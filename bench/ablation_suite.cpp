@@ -1,0 +1,250 @@
+// Ablation suite for the design choices called out in DESIGN.md §4:
+//
+//   A. Negative caching on/off — why NXDomain storms still reach the
+//      passive-DNS database despite shared resolver caches.
+//   B. Two-stage filter vs naive hostname-only filter — the paper's §6.1
+//      claim that hostname filtering is insufficient.
+//   C. DGA classifier feature sets — entropy-only vs structural vs full.
+//   D. Sampling ratio — how much the 1/1000 sample distorts the TLD mix.
+#include <cmath>
+
+#include "analysis/scale.hpp"
+#include "bench_common.hpp"
+#include "dga/classifier.hpp"
+#include "dga/families.hpp"
+#include "honeypot/filter.hpp"
+#include "resolver/hijack.hpp"
+#include "resolver/recursive.hpp"
+#include "synth/scale_models.hpp"
+#include "synth/table1.hpp"
+#include "synth/traffic_model.hpp"
+
+using namespace nxd;
+
+namespace {
+
+void ablation_negative_cache(const bench::Options& options) {
+  std::printf("--- A. resolver negative cache ---\n");
+  resolver::DnsHierarchy hierarchy;
+  util::Table table({"negative cache", "client NX responses",
+                     "upstream resolutions", "upstream reduction"});
+  for (const bool enabled : {true, false}) {
+    resolver::CacheConfig config;
+    config.enable_negative = enabled;
+    resolver::RecursiveResolver resolver(hierarchy, config);
+    util::Rng rng(options.seed);
+    // 50 clients × 200 queries over 2 days against 20 NXDomains, arrival
+    // times spread uniformly (so TTLs expire and re-expose upstream).
+    for (int q = 0; q < 10'000; ++q) {
+      const auto name = dns::DomainName::must(
+          "ghost-" + std::to_string(rng.bounded(20)) + ".com");
+      resolver.resolve_rcode(
+          name, static_cast<util::SimTime>(rng.bounded(2 * 86'400)));
+    }
+    const auto& stats = resolver.stats();
+    table.row(enabled ? "on" : "off", stats.nxdomain_responses,
+              stats.upstream_resolutions,
+              util::pct_str(static_cast<double>(10'000 - stats.upstream_resolutions),
+                            10'000.0));
+  }
+  bench::emit(table, options);
+  std::printf("clients see every NXDomain either way; caching only shields "
+              "the upstream — passive DNS at the resolver still records the "
+              "full storm.\n\n");
+}
+
+void ablation_filter(const bench::Options& options) {
+  std::printf("--- B. two-stage filter vs naive hostname filter ---\n");
+  synth::TrafficModelConfig model_config;
+  model_config.seed = options.seed;
+  model_config.scale = 0.001;
+  const synth::HoneypotTrafficModel model(model_config);
+
+  honeypot::TrafficRecorder no_hosting, control;
+  model.fill_no_hosting_baseline(no_hosting);
+  model.fill_control_group(control);
+  honeypot::TrafficFilter two_stage;
+  two_stage.learn_no_hosting(no_hosting);
+  two_stage.learn_control_group(control);
+
+  // 1000 noise records + real traffic for one domain.
+  const auto& profile = synth::table1_profiles()[0];
+  auto capture = model.generate_domain(profile);
+  const std::size_t real = capture.size();
+  const auto noise = model.generate_noise(profile.domain, 1'000);
+  capture.insert(capture.end(), noise.begin(), noise.end());
+
+  const auto kept_two_stage = two_stage.apply(capture);
+  const auto kept_naive = honeypot::naive_hostname_filter(capture);
+
+  auto residual_noise = [&](const std::vector<honeypot::TrafficRecord>& kept) {
+    // Noise is identifiable by its fingerprints (scanner IPs, acme path,
+    // new-domain bot UA, monitor port).
+    std::size_t count = 0;
+    for (const auto& record : kept) {
+      const auto http = record.http();
+      const bool noisy =
+          record.dst_port == 52646 ||
+          (http && (http->path().find("acme-challenge") != std::string::npos ||
+                    http->header("user-agent").find("NewDomainBot") !=
+                        std::string_view::npos ||
+                    http->header("user-agent").find("Let's Encrypt") !=
+                        std::string_view::npos)) ||
+          (!http && record.payload.find("junk-probe") != std::string::npos) ||
+          record.payload.find("aws-instance-monitor") != std::string::npos;
+      if (noisy) ++count;
+    }
+    return count;
+  };
+
+  util::Table table({"policy", "kept", "residual noise", "real traffic lost"});
+  table.row("two-stage (paper)", kept_two_stage.size(),
+            residual_noise(kept_two_stage),
+            real > kept_two_stage.size() - residual_noise(kept_two_stage)
+                ? real - (kept_two_stage.size() - residual_noise(kept_two_stage))
+                : 0);
+  table.row("naive hostname-only", kept_naive.size(),
+            residual_noise(kept_naive),
+            real - (kept_naive.size() - residual_noise(kept_naive)));
+  bench::emit(table, options);
+  std::printf("the naive filter keeps Let's Encrypt and new-domain crawler "
+              "traffic (correct Host header!) and drops real non-HTTP "
+              "capture — exactly the paper's objection.\n\n");
+}
+
+void ablation_dga_features(const bench::Options& options) {
+  std::printf("--- C. DGA classifier feature sets ---\n");
+  struct Row {
+    const char* label;
+    dga::FeatureMask mask;
+  };
+  const Row rows[] = {
+      {"entropy only", dga::FeatureMask::entropy_only()},
+      {"entropy+structure", {true, true, false}},
+      {"full (linguistic)", dga::FeatureMask::all()},
+  };
+  const auto families = dga::all_families();
+  synth::NxDomainNameModel names(options.seed);
+  util::Rng rng(options.seed);
+  std::vector<std::string> benign;
+  for (int i = 0; i < 2'000; ++i) {
+    benign.emplace_back(names.next_registrable(rng).sld());
+  }
+
+  util::Table table({"features", "conficker", "kraken", "hashchain", "markov",
+                     "wordlist", "benign FPR"});
+  for (const auto& row : rows) {
+    const auto classifier = dga::DgaClassifier::heuristic(row.mask);
+    std::vector<std::string> cells = {row.label};
+    for (const auto& family : families) {
+      int hits = 0, total = 0;
+      for (int d = 0; d < 5; ++d) {
+        for (const auto& name : family->generate(21'000 + d, 40)) {
+          ++total;
+          if (classifier.classify(name).is_dga) ++hits;
+        }
+      }
+      cells.push_back(util::pct_str(hits, total));
+    }
+    cells.push_back(util::pct_str(classifier.dga_fraction(benign), 1.0));
+    table.add_row(cells);
+  }
+  bench::emit(table, options);
+  std::printf("entropy alone misses dictionary/markov families — the reason "
+              "commercial detectors (and our trained NB mode) use richer "
+              "features.\n\n");
+}
+
+void ablation_sampling(const bench::Options& options) {
+  std::printf("--- D. sampling ratio vs estimator error (Fig 4 TLD mix) ---\n");
+  pdns::PassiveDnsStore store;
+  synth::fill_store_with_history(store, 3e-7, options.seed);
+  const analysis::ScaleAnalysis analysis(store);
+
+  // Ground truth: full-pass TLD shares.
+  const auto full = analysis.top_tlds(10);
+  std::uint64_t full_total = 0;
+  for (const auto& row : full) full_total += row.distinct_nxdomains;
+
+  util::Table table({"sampling denominator", "domains kept",
+                     "max abs share error (top-10 TLD)"});
+  for (const std::uint64_t denom : {1ULL, 10ULL, 100ULL, 1000ULL}) {
+    const pdns::DomainSampler sampler(denom, options.seed);
+    util::Counter sampled;
+    for (const auto& name : store.domain_names_sorted()) {
+      if (!sampler.selected(name)) continue;
+      const auto dot = name.rfind('.');
+      sampled.add(name.substr(dot + 1));
+    }
+    double max_err = 0;
+    for (const auto& row : full) {
+      const double true_share = static_cast<double>(row.distinct_nxdomains) /
+                                static_cast<double>(full_total);
+      const double est_share =
+          sampled.total() == 0
+              ? 0
+              : static_cast<double>(sampled.get(row.tld)) /
+                    static_cast<double>(sampled.total());
+      max_err = std::max(max_err, std::abs(true_share - est_share));
+    }
+    table.row(denom, sampled.total(), max_err);
+  }
+  bench::emit(table, options);
+  std::printf("hash sampling preserves the distribution shape; error grows "
+              "as ~1/sqrt(kept), which is why 1/1000 of 146 B names is "
+              "still statistically comfortable.\n\n");
+}
+
+void ablation_hijacking(const bench::Options& options) {
+  std::printf("--- E. NXDomain hijacking vs passive-DNS visibility (§7) ---\n");
+  // The paper argues hijacking (ISPs rewriting NXDomain into ad-server
+  // answers) hides some NXDomains from passive DNS but, at the measured
+  // ~4.8% rate, cannot bias the study.  Quantify: what fraction of a fixed
+  // NXDomain query stream still lands in the store at various hijack rates?
+  util::Table table({"hijack rate", "queries", "NX seen by passive DNS",
+                     "visibility"});
+  for (const double rate : {0.0, 0.048, 0.25, 0.50}) {
+    resolver::DnsHierarchy hierarchy;
+    resolver::CacheConfig no_cache;
+    no_cache.enable_negative = false;
+    resolver::RecursiveResolver inner(hierarchy, no_cache);
+    resolver::HijackConfig config;
+    config.hijack_rate = rate;
+    config.seed = options.seed;
+    resolver::HijackingResolver isp(inner, config);
+
+    pdns::PassiveDnsStore store;
+    // The passive-DNS sensor sits downstream of the ISP path, so it sees
+    // the (possibly rewritten) responses.
+    const int queries = 20'000;
+    util::Rng rng(options.seed);
+    for (int q = 0; q < queries; ++q) {
+      const auto name = dns::DomainName::must(
+          "gone-" + std::to_string(rng.bounded(500)) + ".com");
+      const auto message = dns::make_query(1, name);
+      const auto outcome = isp.resolve(message, q);
+      pdns::Observation obs = pdns::observe(message, outcome.response, q);
+      store.ingest(obs);
+    }
+    table.row(util::pct_str(rate, 1.0), queries, store.nx_responses(),
+              util::pct_str(static_cast<double>(store.nx_responses()),
+                            static_cast<double>(queries)));
+  }
+  bench::emit(table, options);
+  std::printf("at the in-the-wild ~4.8%% rate, >95%% of the NXDomain storm "
+              "remains visible — the paper's §7 robustness argument.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv, /*default_scale=*/1.0);
+  bench::header("Ablation suite", "design-choice quantifications (DESIGN.md §4)",
+                options);
+  ablation_negative_cache(options);
+  ablation_filter(options);
+  ablation_dga_features(options);
+  ablation_sampling(options);
+  ablation_hijacking(options);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared option parsing and report helpers for the per-figure benches.
+//
+// Every bench accepts:
+//   --scale=<f>   fraction of paper-scale volume to synthesize (defaults
+//                 keep each bench under a few seconds)
+//   --seed=<n>    RNG seed (default 42)
+//   --csv         emit CSV instead of the ASCII table
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace nxd::bench {
+
+struct Options {
+  double scale;
+  std::uint64_t seed = 42;
+  bool csv = false;
+};
+
+inline Options parse_options(int argc, char** argv, double default_scale) {
+  Options options;
+  options.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      options.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=<f>] [--seed=<n>] [--csv]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+inline void emit(const util::Table& table, const Options& options) {
+  if (options.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+  }
+}
+
+inline void header(const char* experiment, const char* paper_claim,
+                   const Options& options) {
+  std::printf("## %s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("run: scale=%g seed=%llu\n\n", options.scale,
+              static_cast<unsigned long long>(options.seed));
+}
+
+inline void verdict(bool shape_holds, const char* what) {
+  std::printf("\nshape check [%s]: %s\n\n", what,
+              shape_holds ? "REPRODUCED" : "DIVERGED");
+}
+
+}  // namespace nxd::bench

@@ -1,0 +1,67 @@
+// Figure 8 — NXDomain distribution of blocklisted domains.
+//
+// Paper: 20 M expired NXDomains sampled (the blocklist API is
+// rate-limited), 483,887 hits — malware 382,135 (79%), grayware 42,050
+// (9%), phishing 39,834 (8%), C&C 19,868 (4%).
+// Reproduced through the rate-limited client over the origin corpus.
+#include "analysis/origin.hpp"
+#include "bench_common.hpp"
+#include "synth/origin_model.hpp"
+
+using namespace nxd;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv, /*default_scale=*/1.0);
+  bench::header("Figure 8: blocklist categories among expired NXDomains",
+                "malware 79% / grayware 9% / phishing 8% / C&C 4% of 483,887 hits",
+                options);
+
+  synth::OriginCorpusConfig config;
+  config.seed = options.seed;
+  config.expired_count = static_cast<std::size_t>(40'000 * options.scale);
+  const auto corpus = synth::build_origin_corpus(config);
+
+  const auto detector = squat::SquatDetector::with_defaults();
+  const auto classifier = synth::trained_dga_classifier();
+  // Rate limit shaped so only part of the expired set can be checked —
+  // the paper's "we randomly select 20 million expired NXDomains" effect.
+  analysis::OriginAnalysisConfig origin_config;
+  origin_config.blocklist_qps = 100;
+  origin_config.blocklist_burst = config.expired_count * 0.6;
+  const analysis::OriginAnalysis origin(corpus.whois_db, classifier, detector,
+                                        corpus.blocklist, origin_config);
+  const auto report = origin.run(corpus.all_names);
+
+  const auto paper = synth::fig8_paper_counts();
+  const double paper_total = 483'887;
+  util::Table table({"category", "paper count", "paper share", "measured",
+                     "measured share"});
+  const char* names[4] = {"malware", "grayware", "phishing", "c&c"};
+  for (std::size_t c = 0; c < 4; ++c) {
+    table.row(names[c], paper[c],
+              util::pct_str(static_cast<double>(paper[c]), paper_total),
+              report.blocklisted_by_category[c],
+              util::pct_str(
+                  static_cast<double>(report.blocklisted_by_category[c]),
+                  static_cast<double>(report.blocklisted)));
+  }
+  table.row("total", static_cast<std::uint64_t>(paper_total), "100%",
+            report.blocklisted, "100%");
+  bench::emit(table, options);
+
+  std::printf("\nrate limit: %s of %s expired domains checked, %s skipped "
+              "(paper: 20M of 91M)\n",
+              util::with_commas(report.blocklist_sampled).c_str(),
+              util::with_commas(report.expired).c_str(),
+              util::with_commas(report.blocklist_skipped).c_str());
+
+  const double malware_share =
+      static_cast<double>(report.blocklisted_by_category[0]) /
+      std::max<double>(1.0, static_cast<double>(report.blocklisted));
+  const auto& b = report.blocklisted_by_category;
+  const bool shape = malware_share > 0.70 && malware_share < 0.88 &&
+                     b[1] > b[3] && b[2] > b[3] &&
+                     report.blocklist_skipped > 0;
+  bench::verdict(shape, "malware ~79% dominance + category ordering + rate-limit sampling");
+  return shape ? 0 : 1;
+}

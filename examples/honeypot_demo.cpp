@@ -1,0 +1,155 @@
+// Honeypot demo: stands up a real NXD-Honeypot on loopback (TCP) plus an
+// authoritative DNS server for the "re-registered" domain, sends it a mix
+// of live HTTP traffic, then runs the paper's filtering + categorization
+// pipeline over the capture.
+//
+// Build & run:  ./build/examples/honeypot_demo
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "honeypot/categorizer.hpp"
+#include "honeypot/filter.hpp"
+#include "honeypot/server.hpp"
+#include "net/event_loop.hpp"
+#include "resolver/udp_server.hpp"
+
+using namespace nxd;
+
+namespace {
+
+void send_http(const net::Endpoint& server, const std::string& request) {
+  auto stream = net::TcpStream::connect(server);
+  if (!stream) return;
+  stream->write(request);
+  // Wait for (and discard) the response so the server finishes the exchange.
+  std::vector<std::uint8_t> buffer;
+  for (int i = 0; i < 100 && buffer.empty(); ++i) {
+    stream->read(buffer);
+    if (buffer.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+std::string get(const std::string& path, const std::string& ua,
+                const std::string& referer = {}) {
+  std::string out = "GET " + path + " HTTP/1.1\r\nhost: demo-nxd.com\r\n";
+  if (!ua.empty()) out += "user-agent: " + ua + "\r\n";
+  if (!referer.empty()) out += "referer: " + referer + "\r\n";
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto loopback = *dns::IPv4::parse("127.0.0.1");
+
+  // --- the hosting side: honeypot web server + authoritative DNS.
+  honeypot::TrafficRecorder recorder;
+  honeypot::NxdHoneypot pot({.domain = "demo-nxd.com"}, recorder);
+  util::SimClock clock(0);
+  auto web = honeypot::TcpHoneypotFrontend::create(
+      net::Endpoint{loopback, 0}, pot, clock);
+  if (!web) {
+    std::fprintf(stderr, "failed to bind web front end\n");
+    return 1;
+  }
+
+  resolver::AuthoritativeServer auth;
+  dns::SoaData soa;
+  soa.mname = dns::DomainName::must("ns1.demo-nxd.com");
+  soa.rname = dns::DomainName::must("hostmaster.demo-nxd.com");
+  auto& zone = auth.add_zone(dns::DomainName::must("demo-nxd.com"), soa);
+  zone.add(dns::make_a(dns::DomainName::must("demo-nxd.com"), loopback));
+  auto adns = resolver::UdpDnsServer::create(net::Endpoint{loopback, 0}, auth);
+
+  std::printf("NXD-Honeypot for demo-nxd.com\n");
+  std::printf("  web  : %s\n", web->local().to_string().c_str());
+  std::printf("  aDNS : %s\n\n", adns->local().to_string().c_str());
+
+  net::EventLoop loop;
+  web->attach(loop);
+  adns->attach(loop);
+
+  // --- visitors, driven from a client thread while the loop serves.
+  std::thread visitors([&] {
+    // A user first resolves the domain, then browses.
+    const auto answer = resolver::udp_query(
+        adns->local(), dns::make_query(7, dns::DomainName::must("demo-nxd.com")));
+    if (answer && !answer->answers.empty()) {
+      std::printf("client resolved demo-nxd.com -> %s\n",
+                  std::get<dns::IPv4>(answer->answers[0].rdata).to_string().c_str());
+    }
+    const auto server = web->local();
+    send_http(server, get("/", "Mozilla/5.0 (Windows NT 10.0; Win64; x64) "
+                               "AppleWebKit/537.36 Chrome/114.0 Safari/537.36"));
+    send_http(server, get("/", "Mozilla/5.0 (iPhone; CPU iPhone OS 16_5) "
+                               "AppleWebKit/605.1.15 Mobile/15E148 WhatsApp/2.23"));
+    send_http(server, get("/index.html",
+                          "Mozilla/5.0 (compatible; Googlebot/2.1; "
+                          "+http://www.google.com/bot.html)"));
+    send_http(server, get("/img/logo.png",
+                          "Mozilla/5.0 (compatible; bingbot/2.0; "
+                          "+http://www.bing.com/bingbot.htm)"));
+    send_http(server, get("/status.json", "python-requests/2.28.2"));
+    send_http(server, get("/wp-login.php", "curl/7.88.1"));
+    send_http(server, get("/", "Mozilla/5.0 (X11; Linux) Firefox/114",
+                          "https://www.google.com/search?q=demo"));
+    // Establishment noise the filter should strip.
+    send_http(server, get("/.well-known/acme-challenge/check",
+                          "Mozilla/5.0 (compatible; Let's Encrypt validation "
+                          "server; +https://www.letsencrypt.org)"));
+  });
+  loop.run_for(std::chrono::milliseconds(1500), /*idle_exit=*/false);
+  visitors.join();
+
+  std::printf("\ncaptured %llu requests; categorizing...\n\n",
+              static_cast<unsigned long long>(recorder.total()));
+
+  // --- the analysis side: control-group-learned filter + categorizer.
+  honeypot::TrafficRecorder control;
+  {
+    honeypot::TrafficRecord le;
+    le.source = net::Endpoint{loopback, 0};
+    le.dst_port = 80;
+    le.domain = "nxd-control-0.net";
+    le.payload = get("/.well-known/acme-challenge/check",
+                     "Mozilla/5.0 (compatible; Let's Encrypt validation "
+                     "server; +https://www.letsencrypt.org)");
+    control.record(le);
+  }
+  honeypot::TrafficFilter filter;
+  // NOTE: loopback makes every source 127.0.0.1, so IP-based learning would
+  // nuke everything; for the demo we rely on URI/UA fingerprints only by
+  // skipping the no-hosting stage and by the control record above carrying
+  // the loopback ip too... so drop IP learning entirely here.
+  honeypot::TrafficRecorder empty_baseline;
+  filter.learn_no_hosting(empty_baseline);
+  // Learn only URI/UA fingerprints: strip source IP from the control data.
+  for (auto record : control.records()) {
+    record.source.ip = *dns::IPv4::parse("203.0.113.99");
+    honeypot::TrafficRecorder tmp;
+    tmp.record(record);
+    filter.learn_control_group(tmp);
+  }
+
+  net::ReverseDnsRegistry rdns;
+  const auto vuln_db = vuln::VulnDb::with_defaults();
+  honeypot::TrafficCategorizer categorizer(vuln_db, rdns);
+
+  const auto kept = filter.apply(recorder.records());
+  std::printf("filter: %llu in, %llu kept, %llu establishment noise dropped\n\n",
+              static_cast<unsigned long long>(filter.stats().input),
+              static_cast<unsigned long long>(filter.stats().kept),
+              static_cast<unsigned long long>(filter.stats().dropped_establishment));
+
+  for (const auto& record : kept) {
+    const auto result = categorizer.categorize(record);
+    const auto http = record.http();
+    std::printf("  %-28s -> %-28s (%s)\n",
+                http ? http->uri.c_str() : "<non-http>",
+                honeypot::to_string(result.category).c_str(),
+                result.reason.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+// nx_pipeline: the whole paper in one run, at laptop scale.
+//
+//   §4  Scale   — fill a passive-DNS store with the 2014-2022 NXDomain
+//                 stream, report totals, monthly trend, TLD mix.
+//   §5  Origin  — build an expired+never-registered corpus, join WHOIS,
+//                 run DGA/squat/blocklist analyses.
+//   §6  Security— generate honeypot traffic for the 19 Table-1 domains,
+//                 filter, categorize, and run the botnet forensics.
+//
+// Build & run:  ./build/examples/nx_pipeline [--scale=0.002] [--seed=42]
+//               [--report=<path.md>]   write a Markdown report of the run
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include <fstream>
+
+#include "analysis/origin.hpp"
+#include "analysis/report.hpp"
+#include "analysis/scale.hpp"
+#include "analysis/security.hpp"
+#include "synth/origin_model.hpp"
+#include "synth/scale_models.hpp"
+#include "synth/traffic_model.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace nxd;
+
+int main(int argc, char** argv) {
+  double scale = 0.002;
+  std::uint64_t seed = 42;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
+  }
+
+  // ---------------------------------------------------------------- §4
+  std::printf("=== §4 scale: passive-DNS NXDomain stream (2014-2022) ===\n");
+  pdns::PassiveDnsStore store;
+  synth::fill_store_with_history(store, 5e-9, seed);
+  const analysis::ScaleAnalysis scale_analysis(store);
+  const auto summary = scale_analysis.summary();
+  std::printf("NX responses: %s   distinct NXDomains: %s   (%.1f responses/name)\n",
+              util::with_commas(summary.nx_responses).c_str(),
+              util::with_commas(summary.distinct_nxdomains).c_str(),
+              summary.responses_per_nxdomain);
+  std::printf("yearly avg NX responses per month (scaled):\n");
+  for (const auto& [year, avg] : scale_analysis.yearly_monthly_average()) {
+    std::printf("  %d  %8.0f  %s\n", year, avg,
+                std::string(static_cast<std::size_t>(avg / 40), '#').c_str());
+  }
+  std::printf("top TLDs by distinct NXDomains:\n");
+  for (const auto& row : scale_analysis.top_tlds(5)) {
+    std::printf("  .%-5s names=%-7s queries=%s\n", row.tld.c_str(),
+                util::with_commas(row.distinct_nxdomains).c_str(),
+                util::with_commas(row.nx_queries).c_str());
+  }
+
+  // ---------------------------------------------------------------- §5
+  std::printf("\n=== §5 origin: WHOIS join + DGA + squatting + blocklist ===\n");
+  synth::OriginCorpusConfig corpus_config;
+  corpus_config.seed = seed;
+  corpus_config.expired_count = 20'000;
+  const auto corpus = synth::build_origin_corpus(corpus_config);
+
+  const auto classifier = synth::trained_dga_classifier();
+  const auto detector = squat::SquatDetector::with_defaults();
+  const analysis::OriginAnalysis origin(corpus.whois_db, classifier, detector,
+                                        corpus.blocklist);
+  const auto report = origin.run(corpus.all_names);
+  std::printf("NXDomains: %s   expired (WHOIS history): %s (%.2f%%)\n",
+              util::with_commas(report.total_nxdomains).c_str(),
+              util::with_commas(report.expired).c_str(),
+              100 * report.expired_fraction);
+  std::printf("DGA detected among expired: %s (%.2f%%, planted 3%%)\n",
+              util::with_commas(report.dga_detected).c_str(),
+              100 * report.dga_fraction_of_expired);
+  std::printf("squatting domains: %s (", util::with_commas(report.squats_total).c_str());
+  for (std::size_t t = 0; t < 5; ++t) {
+    std::printf("%s%s=%llu", t ? " " : "",
+                squat::to_string(squat::kAllSquatTypes[t]).c_str(),
+                static_cast<unsigned long long>(report.squats_by_type[t]));
+  }
+  std::printf(")\nblocklisted: %s of %s sampled (",
+              util::with_commas(report.blocklisted).c_str(),
+              util::with_commas(report.blocklist_sampled).c_str());
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::printf("%s%s=%llu", c ? " " : "",
+                blocklist::to_string(blocklist::kAllCategories[c]).c_str(),
+                static_cast<unsigned long long>(report.blocklisted_by_category[c]));
+  }
+  std::printf(")\n");
+
+  // ---------------------------------------------------------------- §6
+  std::printf("\n=== §6 security: NXD-Honeypot, 19 domains, scale %.3f ===\n", scale);
+  synth::TrafficModelConfig model_config;
+  model_config.seed = seed;
+  model_config.scale = scale;
+  const synth::HoneypotTrafficModel model(model_config);
+
+  honeypot::TrafficRecorder no_hosting, control;
+  model.fill_no_hosting_baseline(no_hosting);
+  model.fill_control_group(control);
+  honeypot::TrafficFilter filter;
+  filter.learn_no_hosting(no_hosting);
+  filter.learn_control_group(control);
+
+  const auto vuln_db = vuln::VulnDb::with_defaults();
+  honeypot::TrafficCategorizer::Config cat_config;
+  cat_config.referer_verifier = [&model](const std::string& url,
+                                         const std::string& domain) {
+    return model.verify_referer(url, domain);
+  };
+  const honeypot::TrafficCategorizer categorizer(vuln_db, model.rdns(), cat_config);
+  honeypot::BotnetAnalysis botnet(model.rdns());
+  analysis::SecurityAnalysis security(filter, categorizer, botnet);
+
+  std::vector<honeypot::TrafficRecord> capture;
+  for (const auto& profile : synth::table1_profiles()) {
+    auto records = model.generate_domain(profile);
+    capture.insert(capture.end(), std::make_move_iterator(records.begin()),
+                   std::make_move_iterator(records.end()));
+    auto noise = model.generate_noise(profile.domain, 100);
+    capture.insert(capture.end(), std::make_move_iterator(noise.begin()),
+                   std::make_move_iterator(noise.end()));
+  }
+  const auto sec = security.run(capture);
+
+  std::printf("filter: %s in / %s kept (%s scanner, %s establishment dropped)\n",
+              util::with_commas(sec.filter.input).c_str(),
+              util::with_commas(sec.filter.kept).c_str(),
+              util::with_commas(sec.filter.dropped_ip_scanning).c_str(),
+              util::with_commas(sec.filter.dropped_establishment).c_str());
+
+  util::Table table({"domain", "crawler", "automated", "referral", "user", "others",
+                     "total"});
+  using honeypot::TrafficCategory;
+  for (const auto& domain : sec.matrix.domains_by_total()) {
+    const auto crawler =
+        sec.matrix.at(domain, TrafficCategory::CrawlerSearchEngine) +
+        sec.matrix.at(domain, TrafficCategory::CrawlerFileGrabber);
+    const auto automated =
+        sec.matrix.at(domain, TrafficCategory::AutoScriptSoftware) +
+        sec.matrix.at(domain, TrafficCategory::AutoMaliciousRequest);
+    const auto referral =
+        sec.matrix.at(domain, TrafficCategory::ReferralSearchEngine) +
+        sec.matrix.at(domain, TrafficCategory::ReferralEmbedded) +
+        sec.matrix.at(domain, TrafficCategory::ReferralMaliciousLink);
+    const auto user = sec.matrix.at(domain, TrafficCategory::UserPcMobile) +
+                      sec.matrix.at(domain, TrafficCategory::UserInAppBrowser);
+    table.row(domain, crawler, automated, referral, user,
+              sec.matrix.at(domain, TrafficCategory::Other),
+              sec.matrix.domain_total(domain));
+  }
+  table.render(std::cout);
+
+  std::printf("\nbotnet takeover view (gpclick.com): %s beacons, %s victims\n",
+              util::with_commas(botnet.beacons()).c_str(),
+              util::with_commas(botnet.distinct_victims()).c_str());
+  std::printf("  top relay hostnames:");
+  for (const auto& [host, count] : botnet.by_hostname().top(3)) {
+    std::printf("  %s (%s)", host.c_str(), util::pct_str(count, botnet.beacons()).c_str());
+  }
+  std::printf("\n  victim continents:");
+  for (const auto& [continent, count] : botnet.by_continent().top(5)) {
+    std::printf("  %s=%llu", continent.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n  in-app browsers:");
+  for (const auto& [app, count] : sec.in_app_browsers.top(4)) {
+    std::printf("  %s=%llu", app.c_str(), static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+
+  if (!report_path.empty()) {
+    analysis::ReportInputs inputs;
+    inputs.title = "nx_pipeline run (seed " + std::to_string(seed) + ")";
+    inputs.scale = &scale_analysis;
+    inputs.origin = &report;
+    inputs.security = &sec;
+    inputs.botnet = &botnet;
+    std::ofstream out(report_path);
+    out << analysis::render_markdown_report(inputs);
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the smallest end-to-end tour of nxdlib.
+//
+//   1. Build a DNS hierarchy and register a domain.
+//   2. Resolve it through a caching recursive resolver (paper Fig 1).
+//   3. Deregister it, watch NXDomain responses appear, and observe them in
+//      a Farsight-style passive-DNS store via an SIE channel.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "pdns/sie_channel.hpp"
+#include "pdns/store.hpp"
+#include "resolver/recursive.hpp"
+
+using namespace nxd;
+
+int main() {
+  // --- 1. The authoritative world: root -> TLD -> authoritative servers.
+  resolver::DnsHierarchy hierarchy;
+  const auto domain = dns::DomainName::must("example-shop.com");
+  hierarchy.register_domain(domain, *dns::IPv4::parse("192.0.2.10"));
+  std::printf("registered %s (TLDs known to root: com/net/org/info/io + on-demand)\n",
+              domain.to_string().c_str());
+
+  // --- 2. A recursive resolver with positive + RFC 2308 negative caching,
+  //         tapped by a passive-DNS sensor.
+  pdns::PassiveDnsStore store;
+  auto channel = pdns::SieChannel::nxdomain_channel();
+  channel.subscribe([&store](const pdns::Observation& obs) { store.ingest(obs); });
+
+  resolver::RecursiveResolver resolver(hierarchy);
+  resolver.set_observer([&channel](const dns::Message& query,
+                                   const dns::Message& response, bool,
+                                   util::SimTime when) {
+    channel.publish(pdns::observe(query, response, when));
+  });
+
+  // Resolve with a full iterative trace, like the paper's Fig 1.
+  resolver::IterativeTrace trace;
+  const auto query = dns::make_query(1, *domain.child("www"));
+  hierarchy.resolve_iterative(query, &trace);
+  std::printf("\niterative resolution of %s:\n",
+              query.questions[0].name.to_string().c_str());
+  for (const auto& step : trace.steps) {
+    std::printf("  [%s] %s\n", step.server_label.c_str(), step.outcome.c_str());
+  }
+
+  const auto ok = resolver.resolve(query, /*now=*/0);
+  std::printf("resolver answer: %s (%zu record(s))\n",
+              dns::to_string(ok.response.header.rcode).c_str(),
+              ok.response.answers.size());
+
+  // --- 3. The domain expires and drops: NXDomain era begins.
+  hierarchy.deregister_domain(domain);
+  resolver.flush_cache();
+  std::printf("\n%s deregistered — residual queries now return NXDomain:\n",
+              domain.to_string().c_str());
+  for (int day = 0; day < 5; ++day) {
+    const auto rcode =
+        resolver.resolve_rcode(domain, day * util::kSecondsPerDay);
+    std::printf("  day %d: %s\n", day, dns::to_string(rcode).c_str());
+  }
+
+  std::printf("\npassive-DNS store now holds:\n");
+  std::printf("  NXDomain responses observed : %llu\n",
+              static_cast<unsigned long long>(store.nx_responses()));
+  std::printf("  distinct NXDomains          : %llu\n",
+              static_cast<unsigned long long>(store.distinct_nxdomains()));
+  std::printf("  resolver upstream queries   : %llu (negative cache absorbed the rest)\n",
+              static_cast<unsigned long long>(resolver.stats().upstream_resolutions));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Sinkhole watch: the paper's §7 future-work pipeline running end to end —
+// identify security problems from DNS traffic alone, no HTTP honeypot.
+//
+// A resolver serves a mixed client population (humans mistyping, a botnet
+// beaconing to DGA rendezvous names, an ISP hijacking a slice of NXDomain
+// answers).  A DnsSinkhole taps the observation stream and ranks domains
+// by DNS-metadata suspicion.
+//
+// Build & run:  ./build/examples/sinkhole_watch
+#include <cstdio>
+
+#include "analysis/sinkhole.hpp"
+#include "dga/families.hpp"
+#include "resolver/hijack.hpp"
+#include "synth/origin_model.hpp"
+#include "synth/scale_models.hpp"
+
+using namespace nxd;
+
+int main() {
+  resolver::DnsHierarchy hierarchy;
+  resolver::CacheConfig cache_config;
+  cache_config.enable_negative = false;  // sinkhole wants the raw stream
+  resolver::RecursiveResolver resolver(hierarchy, cache_config);
+  resolver::HijackConfig hijack_config;
+  hijack_config.hijack_rate = 0.048;
+  resolver::HijackingResolver isp(resolver, hijack_config);
+
+  const auto classifier = synth::trained_dga_classifier();
+  analysis::DnsSinkhole::Config sink_config;
+  analysis::DnsSinkhole sinkhole(sink_config, classifier);
+
+  // Tap the resolver (pre-hijack — the sinkhole sits at the resolver, the
+  // hijacker is the ISP path in front of some clients).
+  resolver.set_observer([&sinkhole](const dns::Message& query,
+                                    const dns::Message& response, bool,
+                                    util::SimTime when) {
+    sinkhole.ingest(pdns::observe(query, response, when));
+  });
+
+  // Traffic: a botnet beacons to today's conficker-style set every 30 s;
+  // humans sporadically mistype real names.
+  const dga::ConfickerStyleDga family;
+  const auto rendezvous = family.generate(19'600, 4);
+  synth::NxDomainNameModel names(21);
+  util::Rng rng(21);
+
+  std::printf("simulating 6 hours of mixed DNS traffic...\n");
+  for (util::SimTime t = 0; t < 6 * 3600; t += 30) {
+    for (const auto& name : rendezvous) {
+      isp.resolve_rcode(name, t);  // metronomic beacons
+    }
+    if (rng.chance(0.15)) {  // occasional human typo
+      isp.resolve_rcode(names.next_registrable(rng), t + rng.bounded(30));
+    }
+  }
+
+  std::printf("sinkholed %llu NXDomain observations across %zu domains; "
+              "%llu answers hijacked by the ISP model\n\n",
+              static_cast<unsigned long long>(sinkhole.total_sinkholed()),
+              sinkhole.tracked(),
+              static_cast<unsigned long long>(isp.stats().hijacked));
+
+  std::printf("%-28s %-9s %s\n", "domain", "suspicion", "indicators");
+  int shown = 0;
+  for (const auto& verdict : sinkhole.verdicts()) {
+    if (++shown > 10) break;
+    std::string indicators;
+    for (const auto& indicator : verdict.indicators) {
+      if (!indicators.empty()) indicators += ", ";
+      indicators += indicator;
+    }
+    std::printf("%-28s %-9.2f %s\n", verdict.domain.c_str(), verdict.suspicion,
+                indicators.empty() ? "-" : indicators.c_str());
+  }
+
+  std::printf("\nthe four rendezvous names rank on top: volume + cadence + "
+              "DGA lexicon, from DNS metadata alone.\n");
+  return 0;
+}

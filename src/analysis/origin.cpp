@@ -1,0 +1,58 @@
+#include "analysis/origin.hpp"
+
+namespace nxd::analysis {
+
+OriginReport OriginAnalysis::run(
+    const std::vector<dns::DomainName>& nxdomains) const {
+  OriginReport report;
+  report.total_nxdomains = nxdomains.size();
+
+  // §5.1: join against WHOIS history; split expired / never-registered.
+  std::vector<dns::DomainName> expired;
+  for (const auto& name : nxdomains) {
+    if (whois_db_.has_history(name)) {
+      expired.push_back(name);
+    } else {
+      ++report.never_registered;
+    }
+  }
+  report.expired = expired.size();
+  report.expired_fraction =
+      report.total_nxdomains == 0
+          ? 0
+          : static_cast<double>(report.expired) /
+                static_cast<double>(report.total_nxdomains);
+
+  // §5.2: DGA classification over all expired domains.
+  for (const auto& name : expired) {
+    if (dga_classifier_.classify(name).is_dga) ++report.dga_detected;
+  }
+  report.dga_fraction_of_expired =
+      expired.empty() ? 0
+                      : static_cast<double>(report.dga_detected) /
+                            static_cast<double>(expired.size());
+
+  // §5.2: squatting classification over all expired domains.
+  for (const auto& name : expired) {
+    if (const auto verdict = squat_detector_.classify(name)) {
+      ++report.squats_by_type[static_cast<std::size_t>(verdict->type)];
+      ++report.squats_total;
+    }
+  }
+
+  // §5.2: rate-limited blocklist cross-reference — consume as much of the
+  // expired set as the API budget allows, count the rest as skipped.
+  blocklist::RateLimitedClient client(blocklist_, config_.blocklist_qps,
+                                      config_.blocklist_burst);
+  const auto result =
+      client.cross_reference(expired, 0, config_.seconds_per_lookup);
+  report.blocklist_sampled = result.queried;
+  report.blocklist_skipped = result.skipped_rate_limited;
+  report.blocklisted = result.listed;
+  for (std::size_t i = 0; i < 4; ++i) {
+    report.blocklisted_by_category[i] = result.per_category[i];
+  }
+  return report;
+}
+
+}  // namespace nxd::analysis

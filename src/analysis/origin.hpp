@@ -1,0 +1,70 @@
+// Origin analysis (paper §5): WHOIS join, DGA detection, squatting
+// classification, and blocklist cross-referencing over an NXDomain corpus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "blocklist/blocklist.hpp"
+#include "dga/classifier.hpp"
+#include "squat/detector.hpp"
+#include "whois/history_db.hpp"
+
+namespace nxd::analysis {
+
+struct OriginReport {
+  // §5.1 — WHOIS join.
+  std::uint64_t total_nxdomains = 0;
+  std::uint64_t expired = 0;           // with WHOIS history
+  std::uint64_t never_registered = 0;
+  double expired_fraction = 0;
+
+  // §5.2 — DGA over the expired set.
+  std::uint64_t dga_detected = 0;
+  double dga_fraction_of_expired = 0;
+
+  // §5.2 — squatting over the expired set (SquatType order).
+  std::array<std::uint64_t, 5> squats_by_type{};
+  std::uint64_t squats_total = 0;
+
+  // §5.2 — blocklist cross-reference (rate-limited sample).
+  std::uint64_t blocklist_sampled = 0;
+  std::uint64_t blocklist_skipped = 0;
+  std::uint64_t blocklisted = 0;
+  std::array<std::uint64_t, 4> blocklisted_by_category{};  // ThreatCategory order
+};
+
+struct OriginAnalysisConfig {
+  /// Queries/second the blocklist API admits (shapes the §5.2 sample).
+  double blocklist_qps = 1000;
+  double blocklist_burst = 5000;
+  /// Simulated seconds spent per blocklist lookup attempt.
+  double seconds_per_lookup = 0.0005;
+};
+
+class OriginAnalysis {
+ public:
+  OriginAnalysis(const whois::WhoisHistoryDb& whois_db,
+                 const dga::DgaClassifier& dga_classifier,
+                 const squat::SquatDetector& squat_detector,
+                 const blocklist::Blocklist& blocklist,
+                 OriginAnalysisConfig config = {})
+      : whois_db_(whois_db),
+        dga_classifier_(dga_classifier),
+        squat_detector_(squat_detector),
+        blocklist_(blocklist),
+        config_(config) {}
+
+  /// Run the full §5 pipeline over the corpus.
+  OriginReport run(const std::vector<dns::DomainName>& nxdomains) const;
+
+ private:
+  const whois::WhoisHistoryDb& whois_db_;
+  const dga::DgaClassifier& dga_classifier_;
+  const squat::SquatDetector& squat_detector_;
+  const blocklist::Blocklist& blocklist_;
+  OriginAnalysisConfig config_;
+};
+
+}  // namespace nxd::analysis

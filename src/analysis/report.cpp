@@ -1,0 +1,133 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace nxd::analysis {
+
+namespace {
+
+void render_scale(std::ostringstream& os, const ScaleAnalysis& scale) {
+  os << "## Scale (passive DNS)\n\n";
+  const auto summary = scale.summary();
+  os << "- NXDomain responses observed: **"
+     << util::with_commas(summary.nx_responses) << "**\n";
+  os << "- Distinct NXDomains: **"
+     << util::with_commas(summary.distinct_nxdomains) << "**\n";
+  os << "- Responses per NXDomain: **" << summary.responses_per_nxdomain
+     << "**\n\n";
+
+  os << "### Yearly average NXDomain responses per month\n\n";
+  os << "| year | avg/month |\n|---|---|\n";
+  for (const auto& [year, avg] : scale.yearly_monthly_average()) {
+    os << "| " << year << " | "
+       << util::with_commas(static_cast<std::uint64_t>(avg)) << " |\n";
+  }
+  os << "\n### Top TLDs\n\n| tld | distinct NXDomains | NX queries |\n|---|---|---|\n";
+  for (const auto& row : scale.top_tlds(10)) {
+    os << "| ." << row.tld << " | " << util::with_commas(row.distinct_nxdomains)
+       << " | " << util::with_commas(row.nx_queries) << " |\n";
+  }
+  os << "\n";
+}
+
+void render_origin(std::ostringstream& os, const OriginReport& origin) {
+  os << "## Origin (WHOIS / DGA / squatting / blocklist)\n\n";
+  os << "- NXDomains analyzed: **" << util::with_commas(origin.total_nxdomains)
+     << "**\n";
+  os << "- With WHOIS history (expired): **"
+     << util::with_commas(origin.expired) << "** ("
+     << util::pct_str(origin.expired_fraction, 1.0) << ")\n";
+  os << "- Never registered: **" << util::with_commas(origin.never_registered)
+     << "**\n";
+  os << "- DGA-positive among expired: **"
+     << util::with_commas(origin.dga_detected) << "** ("
+     << util::pct_str(origin.dga_fraction_of_expired, 1.0) << ")\n\n";
+
+  os << "### Squatting\n\n| type | count |\n|---|---|\n";
+  for (std::size_t t = 0; t < 5; ++t) {
+    os << "| " << squat::to_string(squat::kAllSquatTypes[t]) << " | "
+       << util::with_commas(origin.squats_by_type[t]) << " |\n";
+  }
+  os << "| **total** | **" << util::with_commas(origin.squats_total)
+     << "** |\n\n";
+
+  os << "### Blocklist cross-reference\n\n";
+  os << "- Checked: " << util::with_commas(origin.blocklist_sampled)
+     << " (rate limit skipped "
+     << util::with_commas(origin.blocklist_skipped) << ")\n\n";
+  os << "| category | count |\n|---|---|\n";
+  for (std::size_t c = 0; c < 4; ++c) {
+    os << "| " << blocklist::to_string(blocklist::kAllCategories[c]) << " | "
+       << util::with_commas(origin.blocklisted_by_category[c]) << " |\n";
+  }
+  os << "\n";
+}
+
+void render_security(std::ostringstream& os, const SecurityReport& security) {
+  os << "## Security (NXD-Honeypot)\n\n";
+  os << "- Raw records: " << util::with_commas(security.filter.input)
+     << "; kept after two-stage filtering: **"
+     << util::with_commas(security.filter.kept) << "** ("
+     << util::with_commas(security.filter.dropped_ip_scanning)
+     << " scanner, "
+     << util::with_commas(security.filter.dropped_establishment)
+     << " establishment)\n";
+  os << "- HTTP requests categorized: "
+     << util::with_commas(security.http_requests) << "; non-HTTP: "
+     << util::with_commas(security.non_http) << "\n\n";
+
+  os << "### Traffic categories\n\n| category | requests |\n|---|---|\n";
+  for (const auto category : honeypot::kAllCategories) {
+    os << "| " << honeypot::to_string(category) << " | "
+       << util::with_commas(security.matrix.category_total(category)) << " |\n";
+  }
+
+  os << "\n### Per-domain totals (descending)\n\n| domain | requests |\n|---|---|\n";
+  for (const auto& domain : security.matrix.domains_by_total()) {
+    os << "| " << domain << " | "
+       << util::with_commas(security.matrix.domain_total(domain)) << " |\n";
+  }
+
+  if (!security.in_app_browsers.empty()) {
+    os << "\n### In-app browsers\n\n| app | requests |\n|---|---|\n";
+    for (const auto& [app, count] : security.in_app_browsers.top()) {
+      os << "| " << app << " | " << util::with_commas(count) << " |\n";
+    }
+  }
+  os << "\n";
+}
+
+void render_botnet(std::ostringstream& os,
+                   const honeypot::BotnetAnalysis& botnet) {
+  if (botnet.beacons() == 0) return;
+  os << "## Botnet takeover view\n\n";
+  os << "- Beacons: **" << util::with_commas(botnet.beacons())
+     << "**, distinct victims (hashed): "
+     << util::with_commas(botnet.distinct_victims()) << "\n\n";
+  os << "### Relay hostname groups\n\n| group | beacons |\n|---|---|\n";
+  for (const auto& [group, count] : botnet.by_hostname().top(6)) {
+    os << "| " << group << " | " << util::with_commas(count) << " |\n";
+  }
+  os << "\n### Victim continents\n\n| continent | beacons |\n|---|---|\n";
+  for (const auto& [continent, count] : botnet.by_continent().top()) {
+    os << "| " << continent << " | " << util::with_commas(count) << " |\n";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string render_markdown_report(const ReportInputs& inputs) {
+  std::ostringstream os;
+  os << "# " << inputs.title << "\n\n";
+  if (inputs.scale != nullptr) render_scale(os, *inputs.scale);
+  if (inputs.origin != nullptr) render_origin(os, *inputs.origin);
+  if (inputs.security != nullptr) render_security(os, *inputs.security);
+  if (inputs.botnet != nullptr) render_botnet(os, *inputs.botnet);
+  return os.str();
+}
+
+}  // namespace nxd::analysis

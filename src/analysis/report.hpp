@@ -1,0 +1,26 @@
+// Markdown report generation: renders the outputs of the three pipelines
+// into a single human-readable study report — the artifact an operator
+// would attach to a measurement write-up.
+#pragma once
+
+#include <string>
+
+#include "analysis/origin.hpp"
+#include "analysis/scale.hpp"
+#include "analysis/security.hpp"
+#include "honeypot/forensics.hpp"
+
+namespace nxd::analysis {
+
+struct ReportInputs {
+  std::string title = "NXDomain measurement report";
+  const ScaleAnalysis* scale = nullptr;           // §4 (optional)
+  const OriginReport* origin = nullptr;           // §5 (optional)
+  const SecurityReport* security = nullptr;       // §6 (optional)
+  const honeypot::BotnetAnalysis* botnet = nullptr;  // §6.4 (optional)
+};
+
+/// Render whatever sections have inputs; absent sections are skipped.
+std::string render_markdown_report(const ReportInputs& inputs);
+
+}  // namespace nxd::analysis

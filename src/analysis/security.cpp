@@ -1,0 +1,33 @@
+#include "analysis/security.hpp"
+
+namespace nxd::analysis {
+
+SecurityReport SecurityAnalysis::run(
+    const std::vector<honeypot::TrafficRecord>& raw) const {
+  SecurityReport report;
+  const auto kept = filter_.apply(raw);
+  report.filter = filter_.stats();
+
+  for (const auto& record : kept) {
+    report.ports.add(std::to_string(record.dst_port));
+    const auto http = record.http();
+    if (!http) {
+      ++report.non_http;
+      report.matrix.add(record.domain, honeypot::TrafficCategory::Other);
+      continue;
+    }
+    ++report.http_requests;
+    const auto result = categorizer_.categorize(*http, record);
+    report.matrix.add(record.domain, result.category);
+    if (result.category == honeypot::TrafficCategory::UserInAppBrowser &&
+        result.in_app) {
+      report.in_app_browsers.add(honeypot::to_string(*result.in_app));
+    }
+    if (result.category == honeypot::TrafficCategory::AutoMaliciousRequest) {
+      botnet_.ingest(*http, record.source.ip);
+    }
+  }
+  return report;
+}
+
+}  // namespace nxd::analysis

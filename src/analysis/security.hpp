@@ -1,0 +1,40 @@
+// Security analysis (paper §6): filter the honeypot capture, categorize
+// every HTTP request into the Table-1 matrix, and run the botnet forensics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "honeypot/categorizer.hpp"
+#include "honeypot/filter.hpp"
+#include "honeypot/forensics.hpp"
+#include "honeypot/recorder.hpp"
+
+namespace nxd::analysis {
+
+struct SecurityReport {
+  honeypot::FilterStats filter;
+  honeypot::CategoryMatrix matrix;
+  util::Counter in_app_browsers;    // Fig 13
+  util::Counter ports;              // Fig 10a (post-filter)
+  std::uint64_t http_requests = 0;  // parseable HTTP after filtering
+  std::uint64_t non_http = 0;
+};
+
+class SecurityAnalysis {
+ public:
+  SecurityAnalysis(honeypot::TrafficFilter& filter,
+                   const honeypot::TrafficCategorizer& categorizer,
+                   honeypot::BotnetAnalysis& botnet)
+      : filter_(filter), categorizer_(categorizer), botnet_(botnet) {}
+
+  /// Run the full §6 pipeline over a raw capture.
+  SecurityReport run(const std::vector<honeypot::TrafficRecord>& raw) const;
+
+ private:
+  honeypot::TrafficFilter& filter_;
+  const honeypot::TrafficCategorizer& categorizer_;
+  honeypot::BotnetAnalysis& botnet_;
+};
+
+}  // namespace nxd::analysis

@@ -1,0 +1,73 @@
+// Domain selection (paper §3.3): choose the NXDomains worth registering
+// for the honeypot study.
+//
+// Criteria: (1) more than `min_monthly_queries` DNS queries in some month
+// per the passive-DNS database, (2) in non-existent status for at least
+// `min_nx_days` (so the study neither races drop-catchers nor grabs
+// accidentally-expired live services), and (3) a mix of benign and
+// malicious domains, where "malicious" means blocklisted, DGA-positive, or
+// squatting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blocklist/blocklist.hpp"
+#include "dga/classifier.hpp"
+#include "pdns/store.hpp"
+#include "squat/detector.hpp"
+
+namespace nxd::analysis {
+
+struct SelectionCriteria {
+  std::uint32_t min_monthly_queries = 10'000;
+  std::int64_t min_nx_days = 180;  // "at least six months"
+  std::size_t target_count = 19;
+  /// At least this many malicious-origin picks when available (the paper
+  /// ended up with 8 malicious / 11 benign).
+  std::size_t min_malicious = 4;
+};
+
+struct Candidate {
+  std::string domain;
+  std::uint64_t peak_monthly_queries = 0;
+  util::Day first_nx_seen = 0;
+  std::int64_t days_in_nx = 0;
+  bool malicious = false;
+  std::string malicious_reason;  // "blocklist:malware", "dga", "squat:typo"
+};
+
+class DomainSelector {
+ public:
+  DomainSelector(const pdns::PassiveDnsStore& store,
+                 const blocklist::Blocklist& blocklist,
+                 const dga::DgaClassifier& dga_classifier,
+                 const squat::SquatDetector& squat_detector)
+      : store_(store),
+        blocklist_(blocklist),
+        dga_(dga_classifier),
+        squat_(squat_detector) {}
+
+  /// All domains meeting criteria (1) and (2) as of `today`, annotated with
+  /// their maliciousness, sorted by descending peak monthly volume.
+  std::vector<Candidate> candidates(util::Day today,
+                                    const SelectionCriteria& criteria) const;
+
+  /// The final pick: top candidates by traffic with the malicious quota
+  /// honoured (malicious candidates are promoted ahead of lower-traffic
+  /// benign ones until the quota or the supply is exhausted).
+  std::vector<Candidate> select(util::Day today,
+                                const SelectionCriteria& criteria) const;
+
+ private:
+  std::optional<Candidate> evaluate(const std::string& name, util::Day today,
+                                    const SelectionCriteria& criteria) const;
+
+  const pdns::PassiveDnsStore& store_;
+  const blocklist::Blocklist& blocklist_;
+  const dga::DgaClassifier& dga_;
+  const squat::SquatDetector& squat_;
+};
+
+}  // namespace nxd::analysis

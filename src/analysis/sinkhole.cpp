@@ -1,0 +1,95 @@
+#include "analysis/sinkhole.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nxd::analysis {
+
+double SinkholeProfile::query_rate_per_hour() const {
+  const auto window = static_cast<double>(last_seen - first_seen);
+  if (window <= 0) return static_cast<double>(queries);
+  return static_cast<double>(queries) / (window / 3600.0);
+}
+
+double SinkholeProfile::cadence_cv() const {
+  if (interarrival.count() < 2 || interarrival.mean() <= 0) return 1e9;
+  return std::sqrt(interarrival.variance()) / interarrival.mean();
+}
+
+DnsSinkhole::DnsSinkhole(Config config, const dga::DgaClassifier& classifier)
+    : config_(std::move(config)), classifier_(classifier) {
+  for (const auto& domain : config_.domains) {
+    watchlist_.insert(domain.registered_domain().to_string());
+  }
+}
+
+bool DnsSinkhole::ingest(const pdns::Observation& obs) {
+  if (!obs.is_nxdomain()) return false;
+  const std::string key = obs.name.registered_domain().to_string();
+  if (!watchlist_.empty() && !watchlist_.contains(key)) return false;
+
+  ++total_;
+  auto [it, inserted] = profiles_.try_emplace(key);
+  SinkholeProfile& profile = it->second;
+  if (inserted) {
+    profile.domain = key;
+    profile.first_seen = obs.when;
+    profile.dga_positive = classifier_.classify(obs.name).is_dga;
+  }
+  ++profile.queries;
+  profile.last_seen = std::max(profile.last_seen, obs.when);
+  profile.qtypes.add(dns::to_string(obs.qtype));
+  profile.sensors.add(pdns::to_string(obs.sensor.cls));
+
+  if (const auto last = last_arrival_.find(key); last != last_arrival_.end()) {
+    profile.interarrival.add(static_cast<double>(obs.when - last->second));
+  }
+  last_arrival_[key] = obs.when;
+  return true;
+}
+
+const SinkholeProfile* DnsSinkhole::profile(
+    const std::string& registered_domain) const {
+  const auto it = profiles_.find(registered_domain);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<SinkholeVerdict> DnsSinkhole::verdicts() const {
+  std::vector<SinkholeVerdict> out;
+  out.reserve(profiles_.size());
+  for (const auto& [domain, profile] : profiles_) {
+    SinkholeVerdict verdict;
+    verdict.domain = domain;
+    double score = 0;
+    if (profile.dga_positive) {
+      score += 0.4;
+      verdict.indicators.push_back("dga-name");
+    }
+    if (profile.query_rate_per_hour() >= config_.min_rate_per_hour) {
+      score += 0.25;
+      verdict.indicators.push_back("high-volume");
+    }
+    if (profile.cadence_cv() <= config_.max_beacon_cv &&
+        profile.interarrival.count() >= 10) {
+      score += 0.25;
+      verdict.indicators.push_back("beacon-cadence");
+    }
+    // A-record monoculture: bots resolve addresses, humans' stub resolvers
+    // mix in AAAA/MX/etc.
+    if (profile.qtypes.distinct() == 1 && profile.qtypes.get("A") > 0 &&
+        profile.queries >= 20) {
+      score += 0.1;
+      verdict.indicators.push_back("a-only");
+    }
+    verdict.suspicion = std::min(score, 1.0);
+    out.push_back(std::move(verdict));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SinkholeVerdict& a, const SinkholeVerdict& b) {
+              if (a.suspicion != b.suspicion) return a.suspicion > b.suspicion;
+              return a.domain < b.domain;
+            });
+  return out;
+}
+
+}  // namespace nxd::analysis

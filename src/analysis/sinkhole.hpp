@@ -1,0 +1,81 @@
+// DNS sinkhole (paper §7 future work: "we attempt to sinkhole NXDomain
+// traffic to dedicated analysis servers, so we can identify security
+// problems directly based on DNS traffic analysis").
+//
+// A DnsSinkhole watches the observation stream for a configured set of
+// sinkholed names (or, optionally, every NXDomain) and builds per-domain
+// security profiles from DNS metadata alone: query volume and cadence,
+// query-type mix, sensor spread, and the DGA verdict.  A beaconing botnet
+// rendezvous point looks very different from a typo at this level — high
+// volume, metronomic cadence, A-record-only, DGA-positive — and the
+// sinkhole flags it without any HTTP honeypot at all.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dga/classifier.hpp"
+#include "pdns/observation.hpp"
+#include "util/histogram.hpp"
+
+namespace nxd::analysis {
+
+struct SinkholeProfile {
+  std::string domain;
+  std::uint64_t queries = 0;
+  util::SimTime first_seen = 0;
+  util::SimTime last_seen = 0;
+  util::Counter qtypes;                 // "A", "AAAA", ...
+  util::Counter sensors;                // vantage spread
+  util::RunningStats interarrival;      // seconds between queries
+  bool dga_positive = false;
+
+  /// Queries per hour over the observed window.
+  double query_rate_per_hour() const;
+
+  /// Cadence regularity: coefficient of variation of inter-arrival times.
+  /// Automated beaconing sits well below human-driven traffic.
+  double cadence_cv() const;
+};
+
+struct SinkholeVerdict {
+  std::string domain;
+  double suspicion = 0;  // [0, 1]
+  std::vector<std::string> indicators;
+};
+
+class DnsSinkhole {
+ public:
+  struct Config {
+    /// When empty, every NXDomain observation is sinkholed; otherwise only
+    /// the listed registered domains.
+    std::vector<dns::DomainName> domains;
+    double min_rate_per_hour = 10;   // volume indicator threshold
+    double max_beacon_cv = 0.5;      // cadence indicator threshold
+  };
+
+  DnsSinkhole(Config config, const dga::DgaClassifier& classifier);
+
+  /// Feed one observation (subscribe this to an SIE channel or a resolver
+  /// observer).  Returns true when the observation was sinkholed.
+  bool ingest(const pdns::Observation& obs);
+
+  const SinkholeProfile* profile(const std::string& registered_domain) const;
+  std::size_t tracked() const noexcept { return profiles_.size(); }
+  std::uint64_t total_sinkholed() const noexcept { return total_; }
+
+  /// Security verdicts, most suspicious first.
+  std::vector<SinkholeVerdict> verdicts() const;
+
+ private:
+  Config config_;
+  const dga::DgaClassifier& classifier_;
+  std::unordered_set<std::string> watchlist_;
+  std::unordered_map<std::string, SinkholeProfile> profiles_;
+  std::unordered_map<std::string, util::SimTime> last_arrival_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nxd::analysis

@@ -1,0 +1,65 @@
+#include "blocklist/blocklist.hpp"
+
+namespace nxd::blocklist {
+
+std::string to_string(ThreatCategory c) {
+  switch (c) {
+    case ThreatCategory::Malware: return "malware";
+    case ThreatCategory::Grayware: return "grayware";
+    case ThreatCategory::Phishing: return "phishing";
+    case ThreatCategory::CommandAndControl: return "c&c";
+  }
+  return "unknown";
+}
+
+void Blocklist::add(const dns::DomainName& domain, ThreatCategory category,
+                    util::Day listed, std::string note) {
+  entries_[domain] = BlocklistEntry{category, listed, std::move(note)};
+}
+
+std::optional<BlocklistEntry> Blocklist::check(const dns::DomainName& domain) const {
+  const auto it = entries_.find(domain);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Blocklist::contains(const dns::DomainName& domain) const {
+  return entries_.contains(domain);
+}
+
+std::uint64_t Blocklist::count(ThreatCategory c) const {
+  std::uint64_t n = 0;
+  for (const auto& [domain, entry] : entries_) {
+    if (entry.category == c) ++n;
+  }
+  return n;
+}
+
+std::optional<BlocklistEntry> RateLimitedClient::check(
+    const dns::DomainName& domain, util::SimTime now) {
+  if (!bucket_.try_acquire(now)) return std::nullopt;
+  return blocklist_.check(domain);
+}
+
+CrossRefResult RateLimitedClient::cross_reference(
+    const std::vector<dns::DomainName>& domains, util::SimTime start,
+    double seconds_per_query) {
+  CrossRefResult out;
+  double clock = static_cast<double>(start);
+  for (const auto& domain : domains) {
+    const auto now = static_cast<util::SimTime>(clock);
+    clock += seconds_per_query;
+    if (!bucket_.try_acquire(now)) {
+      ++out.skipped_rate_limited;
+      continue;
+    }
+    ++out.queried;
+    if (const auto entry = blocklist_.check(domain)) {
+      ++out.listed;
+      ++out.per_category[static_cast<std::size_t>(entry->category)];
+    }
+  }
+  return out;
+}
+
+}  // namespace nxd::blocklist

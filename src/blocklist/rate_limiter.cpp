@@ -1,0 +1,31 @@
+#include "blocklist/rate_limiter.hpp"
+
+#include <algorithm>
+
+namespace nxd::blocklist {
+
+void TokenBucket::refill_to(util::SimTime now) noexcept {
+  if (now <= last_) return;
+  tokens_ = std::min(capacity_,
+                     tokens_ + refill_ * static_cast<double>(now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_acquire(util::SimTime now) noexcept {
+  refill_to(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++granted_;
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+double TokenBucket::tokens_at(util::SimTime now) const noexcept {
+  if (now <= last_) return tokens_;
+  return std::min(capacity_,
+                  tokens_ + refill_ * static_cast<double>(now - last_));
+}
+
+}  // namespace nxd::blocklist

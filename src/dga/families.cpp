@@ -1,0 +1,208 @@
+#include "dga/families.hpp"
+
+#include "util/rng.hpp"
+
+namespace nxd::dga {
+
+namespace {
+
+util::Rng day_rng(std::uint64_t seed, util::Day day, std::string_view tag) {
+  util::SplitMix64 sm{seed ^ (static_cast<std::uint64_t>(day) * 0x9e3779b97f4a7c15ULL) ^
+                      util::fnv1a(tag)};
+  return util::Rng{sm.next()};
+}
+
+dns::DomainName make_domain(const std::string& label, const std::string& tld) {
+  // Labels produced here are always valid LDH strings, so must() is safe.
+  return dns::DomainName::must(label + "." + tld);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conficker
+
+ConfickerStyleDga::ConfickerStyleDga(std::uint64_t seed)
+    : seed_(seed), tlds_{"com", "net", "org", "info", "biz"} {}
+
+std::vector<dns::DomainName> ConfickerStyleDga::generate(
+    util::Day day, std::size_t count) const {
+  util::Rng rng = day_rng(seed_, day, "conficker");
+  std::vector<dns::DomainName> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = 8 + rng.bounded(4);  // 8..11
+    std::string label;
+    label.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      label.push_back(static_cast<char>('a' + rng.bounded(26)));
+    }
+    out.push_back(make_domain(label, tlds_[rng.bounded(tlds_.size())]));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- Kraken
+
+KrakenStyleDga::KrakenStyleDga(std::uint64_t seed) : seed_(seed) {}
+
+std::vector<dns::DomainName> KrakenStyleDga::generate(util::Day day,
+                                                      std::size_t count) const {
+  // Kraken derived names from a multiplicative LCG; we mirror the shape:
+  // consonant-biased alphabet, 6-11 chars, dyn-DNS flavoured suffixes.
+  static constexpr std::string_view kAlphabet = "bcdfghjklmnpqrstvwxzaeiou";
+  // Registered-level suffixes only: the generated label must be the SLD so
+  // registered-domain analyses (which key on the SLD) see the DGA label.
+  static const std::string kSuffixes[] = {"com", "net", "info", "cc"};
+  std::uint64_t state = seed_ ^ (static_cast<std::uint64_t>(day) * 2654435761u);
+  auto lcg = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<dns::DomainName> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = 6 + lcg() % 6;  // 6..11
+    std::string label;
+    label.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      label.push_back(kAlphabet[lcg() % kAlphabet.size()]);
+    }
+    out.push_back(make_domain(label, kSuffixes[lcg() % 4]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- HashChain
+
+HashChainDga::HashChainDga(std::uint64_t seed) : seed_(seed) {}
+
+std::vector<dns::DomainName> HashChainDga::generate(util::Day day,
+                                                    std::size_t count) const {
+  // newGOZ regenerated weekly; names are hex-ish digests mapped onto a-z,
+  // 14-24 chars — very high entropy, the easy case for detectors.
+  const util::Day week = day / 7;
+  std::vector<dns::DomainName> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t h = seed_ ^ (static_cast<std::uint64_t>(week) << 20) ^ i;
+    std::string label;
+    const std::size_t len = 14 + (util::SplitMix64{h}.next() % 11);  // 14..24
+    while (label.size() < len) {
+      util::SplitMix64 sm{h};
+      h = sm.next();
+      std::uint64_t chunk = h;
+      for (int j = 0; j < 8 && label.size() < len; ++j) {
+        label.push_back(static_cast<char>('a' + chunk % 26));
+        chunk /= 26;
+      }
+    }
+    out.push_back(make_domain(label, (h & 1) ? "net" : "com"));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- Markov
+
+std::vector<dns::DomainName> MarkovDga::generate(util::Day day,
+                                                 std::size_t count) const {
+  // A tiny letter-transition chain biased toward consonant-vowel
+  // alternation: output is pronounceable ("tamirole", "seconade"), so
+  // Shannon entropy alone cannot separate it from benign names.
+  static constexpr std::string_view kVowels = "aeiou";
+  static constexpr std::string_view kConsonants = "bcdfgklmnprstv";
+  util::Rng rng = day_rng(seed_, day, "markov");
+  std::vector<dns::DomainName> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = 7 + rng.bounded(6);  // 7..12
+    std::string label;
+    bool want_vowel = rng.chance(0.4);
+    for (std::size_t j = 0; j < len; ++j) {
+      if (want_vowel) {
+        label.push_back(kVowels[rng.bounded(kVowels.size())]);
+        want_vowel = rng.chance(0.15);  // rarely two vowels in a row
+      } else {
+        label.push_back(kConsonants[rng.bounded(kConsonants.size())]);
+        want_vowel = !rng.chance(0.2);
+      }
+    }
+    out.push_back(make_domain(label, rng.chance(0.7) ? "com" : "net"));
+  }
+  return out;
+}
+
+MarkovDga::MarkovDga(std::uint64_t seed) : seed_(seed) {}
+
+// ----------------------------------------------------------------- Wordlist
+
+const std::vector<std::string>& WordlistDga::dictionary() {
+  static const std::vector<std::string> kWords = {
+      "ability", "absence", "account", "address", "advance", "airline",
+      "amount",  "animal",  "answer",  "article", "attempt", "balance",
+      "barrier", "battery", "bedroom", "benefit", "bicycle", "brother",
+      "cabinet", "capital", "captain", "catalog", "central", "channel",
+      "chapter", "charity", "chicken", "citizen", "classic", "climate",
+      "collect", "college", "comfort", "command", "comment", "company",
+      "concept", "concert", "contact", "content", "context", "control",
+      "council", "country", "courage", "crystal", "culture", "current",
+      "dealer",  "decade",  "defense", "delight", "deposit", "desktop",
+      "diamond", "digital", "dinner",  "display", "dispute", "distance",
+      "doctor",  "dollar",  "dragon",  "drawing", "economy", "edition",
+      "element", "engine",  "evening", "exchange", "expert", "factory",
+      "failure", "feature", "finance", "fitness", "foreign", "formula",
+      "fortune", "forward", "freedom", "gallery", "garden",  "general",
+      "genuine", "harvest", "heaven",  "history", "holiday", "husband",
+      "impact",  "insight", "island",  "journey", "justice", "kitchen",
+      "language", "leader", "leather", "liberty", "library", "machine",
+      "manager", "market",  "master",  "meaning", "measure", "medical",
+      "meeting", "message", "mineral", "minute",  "mirror",  "mission",
+      "moment",  "monitor", "morning", "mountain", "natural", "network",
+      "nothing", "number",  "object",  "ocean",   "office",  "opinion",
+      "orange",  "organic", "outcome", "package", "partner", "patient",
+      "pattern", "payment", "penalty", "pepper",  "perfect", "picture",
+      "pioneer", "planet",  "plastic", "pocket",  "politics", "portion",
+      "poverty", "predict", "premium", "present", "pressure", "primary",
+      "privacy", "problem", "process", "product", "profile", "program",
+      "project", "promise", "protein", "purpose", "quality", "quarter",
+      "rabbit",  "reason",  "recipe",  "record",  "reform",  "region",
+      "regular", "related", "release", "remote",  "request", "reserve",
+      "respect", "revenue", "reverse", "satisfy", "science", "season",
+      "second",  "section", "segment", "serious", "service", "session",
+      "shelter", "silence", "silver",  "simple",  "society", "soldier",
+      "speaker", "special", "station", "storage", "strange", "stretch",
+      "student", "subject", "success", "summer",  "support", "surface",
+      "symbol",  "system",  "teacher", "theory",  "thunder", "traffic",
+      "trouble", "unique",  "vehicle", "venture", "victory", "village",
+      "vintage", "virtual", "vision",  "volume",  "weather", "website",
+      "welcome", "window",  "winter",  "wisdom",  "wonder",  "worker",
+  };
+  return kWords;
+}
+
+WordlistDga::WordlistDga(std::uint64_t seed) : seed_(seed) {}
+
+std::vector<dns::DomainName> WordlistDga::generate(util::Day day,
+                                                   std::size_t count) const {
+  const auto& words = dictionary();
+  util::Rng rng = day_rng(seed_, day, "wordlist");
+  std::vector<dns::DomainName> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& a = words[rng.bounded(words.size())];
+    const std::string& b = words[rng.bounded(words.size())];
+    out.push_back(make_domain(a + b, "net"));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<DgaFamily>> all_families() {
+  std::vector<std::unique_ptr<DgaFamily>> families;
+  families.push_back(std::make_unique<ConfickerStyleDga>());
+  families.push_back(std::make_unique<KrakenStyleDga>());
+  families.push_back(std::make_unique<HashChainDga>());
+  families.push_back(std::make_unique<MarkovDga>());
+  families.push_back(std::make_unique<WordlistDga>());
+  return families;
+}
+
+}  // namespace nxd::dga

@@ -1,0 +1,109 @@
+// Domain Generation Algorithm families.
+//
+// Botnets derive rendezvous domains from a shared (seed, date); the
+// controller registers a handful while bots query them all, so the bulk of
+// DGA output surfaces as NXDomain queries (paper §5.2).  We implement five
+// generator styles spanning the taxonomy of Plohmann et al. (USENIX Sec'16):
+// arithmetic (Conficker-, Kraken-style), hash-based (NewGOZ-style),
+// pronounceable-Markov, and wordlist (Suppobox-style).  These are
+// clean-room reimplementations of the *styles* — parameters are our own —
+// sufficient to exercise detection exactly as real families would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "util/civil_time.hpp"
+
+namespace nxd::dga {
+
+class DgaFamily {
+ public:
+  virtual ~DgaFamily() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Generate the family's domain set for a given day.  Deterministic:
+  /// same (seed, day, count) -> same list, matching how bots and their
+  /// botmaster independently derive identical sets.
+  virtual std::vector<dns::DomainName> generate(util::Day day,
+                                                std::size_t count) const = 0;
+};
+
+/// Arithmetic, date-seeded, uniform random letters (Conficker.A style:
+/// 8-11 lowercase chars, a fresh set every day, spread over several TLDs).
+class ConfickerStyleDga final : public DgaFamily {
+ public:
+  explicit ConfickerStyleDga(std::uint64_t seed = 0xc0f1c3e2);
+  std::string name() const override { return "conficker-style"; }
+  std::vector<dns::DomainName> generate(util::Day day,
+                                        std::size_t count) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<std::string> tlds_;
+};
+
+/// Multiplicative-LCG letters with a consonant-heavy alphabet (Kraken
+/// style: 6-11 chars, dynamic-DNS-flavoured suffixes).
+class KrakenStyleDga final : public DgaFamily {
+ public:
+  explicit KrakenStyleDga(std::uint64_t seed = 0x6b72616b);
+  std::string name() const override { return "kraken-style"; }
+  std::vector<dns::DomainName> generate(util::Day day,
+                                        std::size_t count) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Hash-chain (GameOver Zeus "newGOZ" style): long 14-24 char names from
+/// iterated hashing of (seed, week, index).
+class HashChainDga final : public DgaFamily {
+ public:
+  explicit HashChainDga(std::uint64_t seed = 0x676f7a32);
+  std::string name() const override { return "hashchain-style"; }
+  std::vector<dns::DomainName> generate(util::Day day,
+                                        std::size_t count) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Character-Markov DGA: samples letters from an English-like bigram chain,
+/// producing pronounceable names that defeat entropy-only detectors — the
+/// hard case for the classifier ablation.
+class MarkovDga final : public DgaFamily {
+ public:
+  explicit MarkovDga(std::uint64_t seed = 0x6d61726b);
+  std::string name() const override { return "markov-style"; }
+  std::vector<dns::DomainName> generate(util::Day day,
+                                        std::size_t count) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Wordlist DGA (Suppobox style): concatenates two dictionary words, fully
+/// pronounceable and dictionary-hitting; hardest for lexical detectors.
+class WordlistDga final : public DgaFamily {
+ public:
+  explicit WordlistDga(std::uint64_t seed = 0x776f7264);
+  std::string name() const override { return "wordlist-style"; }
+  std::vector<dns::DomainName> generate(util::Day day,
+                                        std::size_t count) const override;
+
+  /// The embedded dictionary (shared with the feature extractor).
+  static const std::vector<std::string>& dictionary();
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// All five families with default seeds.
+std::vector<std::unique_ptr<DgaFamily>> all_families();
+
+}  // namespace nxd::dga

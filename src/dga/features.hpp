@@ -1,0 +1,50 @@
+// Lexical feature extraction for DGA detection (FANCI-style; Schüppen et
+// al., USENIX Sec'18).  Features are computed on the second-level label of
+// a domain — the part a DGA actually generates.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "dns/name.hpp"
+
+namespace nxd::dga {
+
+struct LexicalFeatures {
+  double length = 0;              // label length
+  double entropy = 0;             // Shannon entropy of the character stream
+  double digit_ratio = 0;         // digits / length
+  double vowel_ratio = 0;         // vowels / letters
+  double max_consonant_run = 0;   // longest consecutive-consonant run
+  double bigram_score = 0;        // mean log-likelihood under English bigrams
+  double dictionary_hits = 0;     // count of dictionary words (len >= 4) found
+  double hyphen_count = 0;
+  double repeated_char_ratio = 0; // chars equal to their predecessor / length
+  double hex_like = 0;            // 1.0 when all chars in [0-9a-f]
+
+  static constexpr std::size_t kCount = 10;
+
+  /// Flat view for generic scorers.
+  std::array<double, kCount> as_array() const {
+    return {length,        entropy,        digit_ratio,       vowel_ratio,
+            max_consonant_run, bigram_score, dictionary_hits, hyphen_count,
+            repeated_char_ratio, hex_like};
+  }
+};
+
+/// Extract features from a bare label ("xkqvbzraw").
+LexicalFeatures extract_features(std::string_view label);
+
+/// Extract from a full domain name (uses the second-level label).
+LexicalFeatures extract_features(const dns::DomainName& name);
+
+/// Shannon entropy in bits/char of the byte stream.
+double shannon_entropy(std::string_view s);
+
+/// Mean log2 probability per bigram under an English letter-bigram model
+/// (trained on the embedded dictionary).  Near -4 for English-like strings,
+/// below -8 for uniform-random letter strings.
+double english_bigram_score(std::string_view s);
+
+}  // namespace nxd::dga

@@ -1,0 +1,382 @@
+#include "dns/message.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+
+namespace nxd::dns {
+
+std::string to_string(RCode rc) {
+  switch (rc) {
+    case RCode::NoError: return "NOERROR";
+    case RCode::FormErr: return "FORMERR";
+    case RCode::ServFail: return "SERVFAIL";
+    case RCode::NXDomain: return "NXDOMAIN";
+    case RCode::NotImp: return "NOTIMP";
+    case RCode::Refused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(rc));
+}
+
+std::string to_string(RRType t) {
+  switch (t) {
+    case RRType::A: return "A";
+    case RRType::NS: return "NS";
+    case RRType::CNAME: return "CNAME";
+    case RRType::SOA: return "SOA";
+    case RRType::PTR: return "PTR";
+    case RRType::MX: return "MX";
+    case RRType::TXT: return "TXT";
+    case RRType::AAAA: return "AAAA";
+    case RRType::OPT: return "OPT";
+  }
+  return "TYPE" + std::to_string(static_cast<int>(t));
+}
+
+namespace {
+
+constexpr std::uint8_t kPointerTag = 0xc0;
+constexpr std::uint16_t kMaxPointerOffset = 0x3fff;
+
+/// Compression dictionary: maps a name suffix (rendered as a dot-joined
+/// string) to the wire offset where it was first written.
+class NameEncoder {
+ public:
+  explicit NameEncoder(util::ByteWriter& w) : w_(w) {}
+
+  void write(const DomainName& name) {
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      // Key for the suffix starting at label i.
+      std::string key;
+      for (std::size_t j = i; j < labels.size(); ++j) {
+        key += labels[j];
+        key += '.';
+      }
+      if (const auto it = offsets_.find(key); it != offsets_.end()) {
+        w_.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+      if (w_.size() <= kMaxPointerOffset) {
+        offsets_.emplace(std::move(key), static_cast<std::uint16_t>(w_.size()));
+      }
+      w_.u8(static_cast<std::uint8_t>(labels[i].size()));
+      w_.bytes(labels[i]);
+    }
+    w_.u8(0);  // root label
+  }
+
+ private:
+  util::ByteWriter& w_;
+  std::unordered_map<std::string, std::uint16_t> offsets_;
+};
+
+void write_rr(util::ByteWriter& w, NameEncoder& names, const ResourceRecord& rr) {
+  names.write(rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type()));
+  w.u16(static_cast<std::uint16_t>(rr.rr_class));
+  w.u32(rr.ttl);
+  const std::size_t rdlength_at = w.size();
+  w.u16(0);  // placeholder
+  const std::size_t rdata_start = w.size();
+
+  struct Visitor {
+    util::ByteWriter& w;
+    NameEncoder& names;
+    void operator()(const IPv4& ip) const { w.u32(ip.addr); }
+    void operator()(const NsData& d) const { names.write(d.ns); }
+    void operator()(const CnameData& d) const { names.write(d.target); }
+    void operator()(const SoaData& d) const {
+      names.write(d.mname);
+      names.write(d.rname);
+      w.u32(d.serial);
+      w.u32(d.refresh);
+      w.u32(d.retry);
+      w.u32(d.expire);
+      w.u32(d.minimum);
+    }
+    void operator()(const PtrData& d) const { names.write(d.target); }
+    void operator()(const MxData& d) const {
+      w.u16(d.preference);
+      names.write(d.exchange);
+    }
+    void operator()(const TxtData& d) const {
+      // TXT is one or more <character-string>s; we emit 255-octet chunks.
+      std::string_view rest = d.text;
+      do {
+        const std::size_t n = std::min<std::size_t>(rest.size(), 255);
+        w.u8(static_cast<std::uint8_t>(n));
+        w.bytes(rest.substr(0, n));
+        rest.remove_prefix(n);
+      } while (!rest.empty());
+    }
+    void operator()(const AaaaData& d) const { w.bytes(d.addr); }
+  };
+  std::visit(Visitor{w, names}, rr.rdata);
+  w.patch_u16(rdlength_at, static_cast<std::uint16_t>(w.size() - rdata_start));
+}
+
+/// Decode a (possibly compressed) name starting at the reader's cursor.
+/// After return the cursor sits just past the name's in-place bytes.
+std::optional<DomainName> read_name(util::ByteReader& r,
+                                    std::span<const std::uint8_t> whole) {
+  std::vector<std::string> labels;
+  std::size_t jumps = 0;
+  std::optional<std::size_t> resume;
+  std::size_t total_len = 0;
+
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if (!r.ok()) return std::nullopt;
+    if (len == 0) break;
+    if ((len & kPointerTag) == kPointerTag) {
+      const std::uint8_t lo = r.u8();
+      if (!r.ok()) return std::nullopt;
+      const std::size_t target = (static_cast<std::size_t>(len & 0x3f) << 8) | lo;
+      if (!resume) resume = r.pos();
+      // A pointer must reference earlier data; combined with the jump cap it
+      // makes decompression loops impossible.
+      if (target >= whole.size() || ++jumps > 64) return std::nullopt;
+      r.seek(target);
+      continue;
+    }
+    if ((len & kPointerTag) != 0) return std::nullopt;  // reserved tags 01/10
+    const std::string label = r.str(len);
+    if (!r.ok()) return std::nullopt;
+    total_len += label.size() + 1;
+    if (total_len > 255) return std::nullopt;
+    labels.push_back(label);
+  }
+  if (resume) r.seek(*resume);
+  return DomainName::from_labels(std::move(labels));
+}
+
+std::optional<ResourceRecord> read_rr(util::ByteReader& r,
+                                      std::span<const std::uint8_t> whole) {
+  auto name = read_name(r, whole);
+  if (!name) return std::nullopt;
+  const auto type = static_cast<RRType>(r.u16());
+  const auto rr_class = static_cast<RRClass>(r.u16());
+  const std::uint32_t ttl = r.u32();
+  const std::uint16_t rdlength = r.u16();
+  if (!r.ok() || r.remaining() < rdlength) return std::nullopt;
+  const std::size_t rdata_end = r.pos() + rdlength;
+
+  std::optional<RData> rdata;
+  switch (type) {
+    case RRType::A: {
+      if (rdlength != 4) return std::nullopt;
+      rdata = IPv4{r.u32()};
+      break;
+    }
+    case RRType::NS: {
+      auto ns = read_name(r, whole);
+      if (!ns) return std::nullopt;
+      rdata = NsData{*std::move(ns)};
+      break;
+    }
+    case RRType::CNAME: {
+      auto target = read_name(r, whole);
+      if (!target) return std::nullopt;
+      rdata = CnameData{*std::move(target)};
+      break;
+    }
+    case RRType::SOA: {
+      auto mname = read_name(r, whole);
+      auto rname = read_name(r, whole);
+      if (!mname || !rname) return std::nullopt;
+      SoaData soa;
+      soa.mname = *std::move(mname);
+      soa.rname = *std::move(rname);
+      soa.serial = r.u32();
+      soa.refresh = r.u32();
+      soa.retry = r.u32();
+      soa.expire = r.u32();
+      soa.minimum = r.u32();
+      rdata = std::move(soa);
+      break;
+    }
+    case RRType::PTR: {
+      auto target = read_name(r, whole);
+      if (!target) return std::nullopt;
+      rdata = PtrData{*std::move(target)};
+      break;
+    }
+    case RRType::MX: {
+      MxData mx;
+      mx.preference = r.u16();
+      auto exchange = read_name(r, whole);
+      if (!exchange) return std::nullopt;
+      mx.exchange = *std::move(exchange);
+      rdata = std::move(mx);
+      break;
+    }
+    case RRType::TXT: {
+      TxtData txt;
+      while (r.ok() && r.pos() < rdata_end) {
+        const std::uint8_t n = r.u8();
+        txt.text += r.str(n);
+      }
+      rdata = std::move(txt);
+      break;
+    }
+    case RRType::AAAA: {
+      if (rdlength != 16) return std::nullopt;
+      AaaaData aaaa;
+      const auto bytes = r.bytes(16);
+      if (bytes.size() != 16) return std::nullopt;
+      std::copy(bytes.begin(), bytes.end(), aaaa.addr.begin());
+      rdata = std::move(aaaa);
+      break;
+    }
+    default:
+      return std::nullopt;  // unknown type: reject rather than misparse
+  }
+  if (!r.ok() || r.pos() != rdata_end || !rdata) return std::nullopt;
+
+  ResourceRecord rr;
+  rr.name = *std::move(name);
+  rr.rr_class = rr_class;
+  rr.ttl = ttl;
+  rr.rdata = *std::move(rdata);
+  return rr;
+}
+
+}  // namespace
+
+Message make_query(std::uint16_t id, const DomainName& name, RRType type) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = true;
+  msg.questions.push_back(Question{name, type, RRClass::IN});
+  return msg;
+}
+
+Message make_response(const Message& query, RCode rcode) {
+  Message msg;
+  msg.header = query.header;
+  msg.header.qr = true;
+  msg.header.ra = true;
+  msg.header.rcode = rcode;
+  msg.questions = query.questions;
+  return msg;
+}
+
+Message make_nxdomain(const Message& query, const ResourceRecord& zone_soa) {
+  Message msg = make_response(query, RCode::NXDomain);
+  msg.authorities.push_back(zone_soa);
+  return msg;
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  util::ByteWriter w;
+  const auto& h = msg.header;
+  w.u16(h.id);
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.opcode) << 11);
+  if (h.aa) flags |= 0x0400;
+  if (h.tc) flags |= 0x0200;
+  if (h.rd) flags |= 0x0100;
+  if (h.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(h.rcode) & 0x000f;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  w.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  w.u16(static_cast<std::uint16_t>(msg.authorities.size()));
+  w.u16(static_cast<std::uint16_t>(msg.additionals.size() +
+                                   (msg.edns ? 1 : 0)));
+
+  NameEncoder names(w);
+  for (const auto& q : msg.questions) {
+    names.write(q.name);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : msg.answers) write_rr(w, names, rr);
+  for (const auto& rr : msg.authorities) write_rr(w, names, rr);
+  for (const auto& rr : msg.additionals) write_rr(w, names, rr);
+  if (msg.edns) {
+    // OPT pseudo-RR (RFC 6891 §6.1.2): root owner, CLASS = advertised UDP
+    // payload size, TTL = ext-rcode/version/flags, empty RDATA.
+    w.u8(0);  // root name
+    w.u16(static_cast<std::uint16_t>(RRType::OPT));
+    w.u16(msg.edns->udp_payload);
+    const std::uint32_t ttl_bits =
+        (static_cast<std::uint32_t>(msg.edns->version) << 16) |
+        (msg.edns->dnssec_ok ? 0x8000u : 0u);
+    w.u32(ttl_bits);
+    w.u16(0);  // rdlength
+  }
+  return std::move(w).take();
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> wire) {
+  util::ByteReader r(wire);
+  Message msg;
+  auto& h = msg.header;
+  h.id = r.u16();
+  const std::uint16_t flags = r.u16();
+  h.qr = (flags & 0x8000) != 0;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0x0f);
+  h.aa = (flags & 0x0400) != 0;
+  h.tc = (flags & 0x0200) != 0;
+  h.rd = (flags & 0x0100) != 0;
+  h.ra = (flags & 0x0080) != 0;
+  h.rcode = static_cast<RCode>(flags & 0x0f);
+  const std::uint16_t qdcount = r.u16();
+  const std::uint16_t ancount = r.u16();
+  const std::uint16_t nscount = r.u16();
+  const std::uint16_t arcount = r.u16();
+  if (!r.ok()) return std::nullopt;
+
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    auto name = read_name(r, wire);
+    if (!name) return std::nullopt;
+    Question q;
+    q.name = *std::move(name);
+    q.qtype = static_cast<RRType>(r.u16());
+    q.qclass = static_cast<RRClass>(r.u16());
+    if (!r.ok()) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+  auto read_section = [&](std::uint16_t count,
+                          std::vector<ResourceRecord>& out,
+                          bool allow_opt) -> bool {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      if (allow_opt) {
+        // Peek for an OPT pseudo-RR: root owner (single zero byte) + type 41.
+        const std::size_t mark = r.pos();
+        if (r.remaining() >= 3 && wire[mark] == 0) {
+          util::ByteReader peek(wire);
+          peek.seek(mark + 1);
+          if (static_cast<RRType>(peek.u16()) == RRType::OPT) {
+            r.seek(mark + 3);
+            if (msg.edns) return false;  // at most one OPT (RFC 6891 §6.1.1)
+            EdnsInfo edns;
+            edns.udp_payload = r.u16();
+            const std::uint32_t ttl_bits = r.u32();
+            edns.version = static_cast<std::uint8_t>((ttl_bits >> 16) & 0xff);
+            edns.dnssec_ok = (ttl_bits & 0x8000u) != 0;
+            const std::uint16_t rdlength = r.u16();
+            r.bytes(rdlength);  // skip EDNS options
+            if (!r.ok()) return false;
+            msg.edns = edns;
+            continue;
+          }
+        }
+      }
+      auto rr = read_rr(r, wire);
+      if (!rr) return false;
+      out.push_back(*std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(ancount, msg.answers, false)) return std::nullopt;
+  if (!read_section(nscount, msg.authorities, false)) return std::nullopt;
+  if (!read_section(arcount, msg.additionals, true)) return std::nullopt;
+  return msg;
+}
+
+}  // namespace nxd::dns

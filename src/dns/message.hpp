@@ -1,0 +1,88 @@
+// DNS message header, question, and full wire codec (RFC 1035 §4).
+//
+// The encoder performs name compression (pointers to earlier occurrences);
+// the decoder chases compression pointers with loop/forward-reference
+// guards.  Decode failures return nullopt — a truncated or hostile packet is
+// data, not an exception.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/record.hpp"
+#include "dns/types.hpp"
+
+namespace nxd::dns {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // false = query, true = response
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = true;   // recursion desired
+  bool ra = false;  // recursion available
+  RCode rcode = RCode::NoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+struct Question {
+  DomainName name;
+  RRType qtype = RRType::A;
+  RRClass qclass = RRClass::IN;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+/// EDNS(0) parameters (RFC 6891), carried on the wire as an OPT pseudo-RR
+/// in the additional section.  Modeled as message metadata rather than a
+/// ResourceRecord: OPT abuses the CLASS field for the advertised UDP
+/// payload size and the TTL field for flags, so it is not record data.
+struct EdnsInfo {
+  std::uint16_t udp_payload = 1'232;  // common modern advertisement
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;
+
+  friend bool operator==(const EdnsInfo&, const EdnsInfo&) = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+  /// Engaged when the message carries an OPT record.
+  std::optional<EdnsInfo> edns;
+
+  bool is_nxdomain() const noexcept {
+    return header.qr && header.rcode == RCode::NXDomain;
+  }
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Build a standard recursive query for (name, type).
+Message make_query(std::uint16_t id, const DomainName& name,
+                   RRType type = RRType::A);
+
+/// Build a response skeleton echoing the query's id/question.
+Message make_response(const Message& query, RCode rcode);
+
+/// Build an authoritative NXDomain response carrying the zone SOA in the
+/// authority section (required for RFC 2308 negative caching).
+Message make_nxdomain(const Message& query, const ResourceRecord& zone_soa);
+
+/// Serialize to wire format with name compression.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Parse from wire format.  Returns nullopt on malformed input (truncation,
+/// bad compression pointers, label overruns, unknown RR types with
+/// inconsistent RDLENGTH, ...).
+std::optional<Message> decode(std::span<const std::uint8_t> wire);
+
+}  // namespace nxd::dns

@@ -1,0 +1,81 @@
+// Domain names per RFC 1035 §2.3 / §3.1.
+//
+// A DomainName is a sequence of labels, stored lowercased (DNS compares
+// case-insensitively, and every database in this library keys on names, so
+// we canonicalize at construction).  The root name has zero labels.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nxd::dns {
+
+class DomainName {
+ public:
+  static constexpr std::size_t kMaxLabelLength = 63;
+  // 255 octets on the wire, which bounds the presentation form to 253 chars.
+  static constexpr std::size_t kMaxNameLength = 253;
+
+  /// The root name ".".
+  DomainName() = default;
+
+  /// Parse presentation format ("www.example.com", trailing dot optional).
+  /// Returns nullopt for syntactically invalid names (empty labels, labels
+  /// over 63 octets, total length over 253, non-printable bytes).
+  /// Underscores and other non-LDH printable characters are accepted, as in
+  /// real passive-DNS feeds (service labels like `_dmarc` are routine).
+  static std::optional<DomainName> parse(std::string_view text);
+
+  /// Like parse but terminates the program on failure; for literals in tests
+  /// and table-driven code where the input is known-good.
+  static DomainName must(std::string_view text);
+
+  /// Build from already-validated labels (lowercased by the constructor).
+  static std::optional<DomainName> from_labels(std::vector<std::string> labels);
+
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+  /// Presentation form without trailing dot; "." for the root.
+  std::string to_string() const;
+
+  /// Top-level domain ("com" for www.example.com); empty for the root.
+  std::string_view tld() const noexcept;
+
+  /// Registered domain (public-suffix-naive: last two labels), e.g.
+  /// "example.com" for www.a.example.com.  Names with fewer than two labels
+  /// return themselves.  The paper's analysis operates at this granularity
+  /// ("we have intentionally excluded the analysis of any subdomains").
+  DomainName registered_domain() const;
+
+  /// Second-level label alone ("example" in example.com); empty if none.
+  std::string_view sld() const noexcept;
+
+  bool is_subdomain_of(const DomainName& ancestor) const noexcept;
+
+  /// Child name: label + this ("www" + example.com = www.example.com).
+  /// Returns nullopt if the result would violate length limits.
+  std::optional<DomainName> child(std::string_view label) const;
+
+  /// Parent name (drops the leftmost label); root's parent is root.
+  DomainName parent() const;
+
+  /// Wire-format length in octets (sum of label length bytes + root byte).
+  std::size_t wire_length() const noexcept;
+
+  friend bool operator==(const DomainName&, const DomainName&) = default;
+  friend auto operator<=>(const DomainName&, const DomainName&) = default;
+
+ private:
+  // Leftmost label first: {"www", "example", "com"}.
+  std::vector<std::string> labels_;
+};
+
+struct DomainNameHash {
+  std::size_t operator()(const DomainName& n) const noexcept;
+};
+
+}  // namespace nxd::dns

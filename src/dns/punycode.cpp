@@ -1,0 +1,264 @@
+#include "dns/punycode.hpp"
+
+#include <cstdint>
+
+#include "util/strings.hpp"
+
+namespace nxd::dns {
+
+namespace {
+
+// RFC 3492 §5 parameter values.
+constexpr std::uint32_t kBase = 36;
+constexpr std::uint32_t kTMin = 1;
+constexpr std::uint32_t kTMax = 26;
+constexpr std::uint32_t kSkew = 38;
+constexpr std::uint32_t kDamp = 700;
+constexpr std::uint32_t kInitialBias = 72;
+constexpr std::uint32_t kInitialN = 128;
+constexpr std::uint32_t kMaxCodePoint = 0x10FFFF;
+
+char encode_digit(std::uint32_t d) {
+  // 0..25 -> 'a'..'z', 26..35 -> '0'..'9'.
+  return d < 26 ? static_cast<char>('a' + d) : static_cast<char>('0' + d - 26);
+}
+
+int decode_digit(char c) {
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= '0' && c <= '9') return c - '0' + 26;
+  return -1;
+}
+
+std::uint32_t adapt(std::uint32_t delta, std::uint32_t num_points, bool first) {
+  delta = first ? delta / kDamp : delta / 2;
+  delta += delta / num_points;
+  std::uint32_t k = 0;
+  while (delta > ((kBase - kTMin) * kTMax) / 2) {
+    delta /= kBase - kTMin;
+    k += kBase;
+  }
+  return k + (((kBase - kTMin + 1) * delta) / (delta + kSkew));
+}
+
+}  // namespace
+
+std::optional<std::string> punycode_encode(const std::u32string& input) {
+  std::string output;
+  // Copy basic (ASCII) code points.
+  for (const char32_t c : input) {
+    if (c < 0x80) output.push_back(static_cast<char>(c));
+  }
+  const std::uint32_t basic_count = static_cast<std::uint32_t>(output.size());
+  std::uint32_t handled = basic_count;
+  if (basic_count > 0) output.push_back('-');
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t delta = 0;
+  std::uint32_t bias = kInitialBias;
+
+  while (handled < input.size()) {
+    // Next code point to handle: smallest >= n.
+    std::uint32_t m = kMaxCodePoint + 1;
+    for (const char32_t c : input) {
+      const auto cp = static_cast<std::uint32_t>(c);
+      if (cp >= n && cp < m) m = cp;
+    }
+    if (m > kMaxCodePoint) return std::nullopt;
+    // Overflow guard for delta += (m - n) * (handled + 1).
+    if ((m - n) > (0xFFFFFFFFu - delta) / (handled + 1)) return std::nullopt;
+    delta += (m - n) * (handled + 1);
+    n = m;
+
+    for (const char32_t c : input) {
+      const auto cp = static_cast<std::uint32_t>(c);
+      if (cp < n && ++delta == 0) return std::nullopt;
+      if (cp == n) {
+        std::uint32_t q = delta;
+        for (std::uint32_t k = kBase;; k += kBase) {
+          const std::uint32_t t = k <= bias          ? kTMin
+                                  : k >= bias + kTMax ? kTMax
+                                                      : k - bias;
+          if (q < t) break;
+          output.push_back(encode_digit(t + (q - t) % (kBase - t)));
+          q = (q - t) / (kBase - t);
+        }
+        output.push_back(encode_digit(q));
+        bias = adapt(delta, handled + 1, handled == basic_count);
+        delta = 0;
+        ++handled;
+      }
+    }
+    ++delta;
+    ++n;
+  }
+  return output;
+}
+
+std::optional<std::u32string> punycode_decode(std::string_view input) {
+  std::u32string output;
+  // Basic code points are everything before the last '-'.
+  const auto last_dash = input.rfind('-');
+  std::size_t in = 0;
+  if (last_dash != std::string_view::npos) {
+    for (std::size_t i = 0; i < last_dash; ++i) {
+      const char c = input[i];
+      if (static_cast<unsigned char>(c) >= 0x80) return std::nullopt;
+      output.push_back(static_cast<char32_t>(c));
+    }
+    in = last_dash + 1;
+  }
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t i = 0;
+  std::uint32_t bias = kInitialBias;
+
+  while (in < input.size()) {
+    const std::uint32_t old_i = i;
+    std::uint32_t w = 1;
+    for (std::uint32_t k = kBase;; k += kBase) {
+      if (in >= input.size()) return std::nullopt;
+      const int digit = decode_digit(input[in++]);
+      if (digit < 0) return std::nullopt;
+      const auto d = static_cast<std::uint32_t>(digit);
+      if (d > (0xFFFFFFFFu - i) / w) return std::nullopt;
+      i += d * w;
+      const std::uint32_t t = k <= bias          ? kTMin
+                              : k >= bias + kTMax ? kTMax
+                                                  : k - bias;
+      if (d < t) break;
+      if (w > 0xFFFFFFFFu / (kBase - t)) return std::nullopt;
+      w *= kBase - t;
+    }
+    const auto out_len = static_cast<std::uint32_t>(output.size()) + 1;
+    bias = adapt(i - old_i, out_len, old_i == 0);
+    if (i / out_len > 0xFFFFFFFFu - n) return std::nullopt;
+    n += i / out_len;
+    i %= out_len;
+    if (n > kMaxCodePoint) return std::nullopt;
+    output.insert(output.begin() + i, static_cast<char32_t>(n));
+    ++i;
+  }
+  return output;
+}
+
+std::optional<std::string> idna_to_ascii_label(const std::u32string& label) {
+  bool all_ascii = true;
+  for (const char32_t c : label) {
+    if (static_cast<std::uint32_t>(c) >= 0x80) {
+      all_ascii = false;
+      break;
+    }
+  }
+  if (all_ascii) {
+    std::string out;
+    out.reserve(label.size());
+    for (const char32_t c : label) {
+      out.push_back(util::ascii_lower(static_cast<char>(c)));
+    }
+    return out;
+  }
+  const auto encoded = punycode_encode(label);
+  if (!encoded) return std::nullopt;
+  return "xn--" + *encoded;
+}
+
+std::optional<std::u32string> idna_to_unicode_label(std::string_view label) {
+  if (util::starts_with(label, "xn--")) {
+    return punycode_decode(label.substr(4));
+  }
+  std::u32string out;
+  for (const char c : label) {
+    if (static_cast<unsigned char>(c) >= 0x80) return std::nullopt;
+    out.push_back(static_cast<char32_t>(util::ascii_lower(c)));
+  }
+  return out;
+}
+
+std::optional<std::u32string> utf8_to_utf32(std::string_view utf8) {
+  std::u32string out;
+  for (std::size_t i = 0; i < utf8.size();) {
+    const auto byte = static_cast<unsigned char>(utf8[i]);
+    std::uint32_t cp = 0;
+    std::size_t len = 0;
+    if (byte < 0x80) {
+      cp = byte;
+      len = 1;
+    } else if ((byte & 0xE0) == 0xC0) {
+      cp = byte & 0x1F;
+      len = 2;
+    } else if ((byte & 0xF0) == 0xE0) {
+      cp = byte & 0x0F;
+      len = 3;
+    } else if ((byte & 0xF8) == 0xF0) {
+      cp = byte & 0x07;
+      len = 4;
+    } else {
+      return std::nullopt;
+    }
+    if (i + len > utf8.size()) return std::nullopt;
+    for (std::size_t j = 1; j < len; ++j) {
+      const auto cont = static_cast<unsigned char>(utf8[i + j]);
+      if ((cont & 0xC0) != 0x80) return std::nullopt;
+      cp = (cp << 6) | (cont & 0x3F);
+    }
+    // Reject overlong encodings and surrogates.
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || (cp >= 0xD800 && cp <= 0xDFFF) ||
+        cp > kMaxCodePoint) {
+      return std::nullopt;
+    }
+    out.push_back(static_cast<char32_t>(cp));
+    i += len;
+  }
+  return out;
+}
+
+std::string utf32_to_utf8(const std::u32string& utf32) {
+  std::string out;
+  for (const char32_t c : utf32) {
+    const auto cp = static_cast<std::uint32_t>(c);
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> idna_to_ascii(std::string_view utf8_domain) {
+  std::string out;
+  for (const auto piece : util::split(utf8_domain, '.')) {
+    const auto label32 = utf8_to_utf32(piece);
+    if (!label32) return std::nullopt;
+    const auto ascii = idna_to_ascii_label(*label32);
+    if (!ascii) return std::nullopt;
+    if (!out.empty()) out.push_back('.');
+    out += *ascii;
+  }
+  return out;
+}
+
+std::optional<std::string> idna_to_unicode(std::string_view ascii_domain) {
+  std::string out;
+  for (const auto piece : util::split(ascii_domain, '.')) {
+    const auto label32 = idna_to_unicode_label(piece);
+    if (!label32) return std::nullopt;
+    if (!out.empty()) out.push_back('.');
+    out += utf32_to_utf8(*label32);
+  }
+  return out;
+}
+
+}  // namespace nxd::dns

@@ -1,0 +1,47 @@
+// Punycode (RFC 3492) and IDNA ToASCII/ToUnicode helpers.
+//
+// Internationalized domain names reach the DNS as "xn--"-prefixed ASCII
+// labels.  Real-world homograph squatting (paper ref [12], "IDN homograph
+// attack") registers Unicode lookalikes — "аррӏе.com" with Cyrillic
+// letters — whose punycode form is what a passive-DNS feed actually
+// records.  This module converts between the two so the squatting detector
+// can fold Unicode confusables, not just ASCII ones.
+//
+// Code points are handled as UTF-32 (std::u32string); UTF-8 helpers are
+// provided for presentation-form text.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nxd::dns {
+
+/// Encode a Unicode label (no dots) to its punycode form, without the
+/// "xn--" prefix.  Returns nullopt on overflow (labels beyond RFC bounds).
+std::optional<std::string> punycode_encode(const std::u32string& input);
+
+/// Decode a punycode label (without the "xn--" prefix).
+std::optional<std::u32string> punycode_decode(std::string_view input);
+
+/// IDNA ToASCII for a single label: pass ASCII through, otherwise encode
+/// and prepend "xn--".
+std::optional<std::string> idna_to_ascii_label(const std::u32string& label);
+
+/// IDNA ToUnicode for a single label: decode "xn--" labels, pass ASCII
+/// through.
+std::optional<std::u32string> idna_to_unicode_label(std::string_view label);
+
+/// UTF-8 <-> UTF-32 helpers (strict; reject malformed sequences).
+std::optional<std::u32string> utf8_to_utf32(std::string_view utf8);
+std::string utf32_to_utf8(const std::u32string& utf32);
+
+/// Convert a full dotted Unicode (UTF-8) domain to its ASCII wire form:
+/// "аррӏе.com" -> "xn--80ak6aa92e.com".  Lowercases ASCII; returns nullopt
+/// on malformed UTF-8 or un-encodable labels.
+std::optional<std::string> idna_to_ascii(std::string_view utf8_domain);
+
+/// Inverse: "xn--80ak6aa92e.com" -> UTF-8 "аррӏе.com".
+std::optional<std::string> idna_to_unicode(std::string_view ascii_domain);
+
+}  // namespace nxd::dns

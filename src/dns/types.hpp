@@ -1,0 +1,49 @@
+// Core DNS protocol constants (RFC 1035 and friends).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nxd::dns {
+
+/// Response codes (RFC 1035 §4.1.1; RCODE field).  NXDOMAIN (a.k.a. "Name
+/// Error") is the star of this library.
+enum class RCode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NXDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+std::string to_string(RCode rc);
+
+/// Resource record types (subset sufficient for the reproduction: address
+/// records, delegation, aliases, SOA for negative caching, PTR for the
+/// reverse-IP lookups used in traffic categorization, TXT/MX for realism).
+enum class RRType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  OPT = 41,  // EDNS(0) pseudo-RR (RFC 6891)
+};
+
+std::string to_string(RRType t);
+
+enum class RRClass : std::uint16_t {
+  IN = 1,
+};
+
+enum class Opcode : std::uint8_t {
+  Query = 0,
+  IQuery = 1,
+  Status = 2,
+};
+
+}  // namespace nxd::dns

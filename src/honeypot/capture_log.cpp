@@ -1,0 +1,236 @@
+#include "honeypot/capture_log.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace nxd::honeypot {
+
+namespace {
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+/// Escape a string for a JSON value (we only emit ASCII-safe content).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal field extractor for our own flat JSON objects: returns the raw
+/// value text for `"key":` (string values unescaped).  Not a general JSON
+/// parser — the format is ours and flat.
+std::optional<std::string> json_field(std::string_view line,
+                                      std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t pos = at + needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return std::nullopt;
+
+  if (line[pos] == '"') {
+    // String value: scan to the closing unescaped quote, unescaping.
+    std::string out;
+    ++pos;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) {
+        const char esc = line[pos + 1];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 5 < line.size()) {
+              unsigned value = 0;
+              std::from_chars(line.data() + pos + 2, line.data() + pos + 6,
+                              value, 16);
+              out.push_back(static_cast<char>(value));
+              pos += 4;
+            }
+            break;
+          }
+          default: out.push_back(esc); break;
+        }
+        pos += 2;
+      } else {
+        out.push_back(line[pos++]);
+      }
+    }
+    if (pos >= line.size()) return std::nullopt;  // unterminated
+    return out;
+  }
+  // Numeric / bare value: up to ',' or '}'.
+  const auto end = line.find_first_of(",}", pos);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(util::trim(line.substr(pos, end - pos)));
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = (static_cast<std::uint8_t>(data[i]) << 16) |
+                            (static_cast<std::uint8_t>(data[i + 1]) << 8) |
+                            static_cast<std::uint8_t>(data[i + 2]);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back(kB64Alphabet[n & 63]);
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = static_cast<std::uint8_t>(data[i]) << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t n = (static_cast<std::uint8_t>(data[i]) << 16) |
+                            (static_cast<std::uint8_t>(data[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::string> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int values[4] = {0, 0, 0, 0};
+    int pads = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding only in the last two positions of the final quantum.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        ++pads;
+        continue;
+      }
+      if (pads > 0) return std::nullopt;  // data after padding
+      values[j] = b64_value(c);
+      if (values[j] < 0) return std::nullopt;
+    }
+    const std::uint32_t n = (static_cast<std::uint32_t>(values[0]) << 18) |
+                            (static_cast<std::uint32_t>(values[1]) << 12) |
+                            (static_cast<std::uint32_t>(values[2]) << 6) |
+                            static_cast<std::uint32_t>(values[3]);
+    out.push_back(static_cast<char>((n >> 16) & 0xff));
+    if (pads < 2) out.push_back(static_cast<char>((n >> 8) & 0xff));
+    if (pads < 1) out.push_back(static_cast<char>(n & 0xff));
+  }
+  return out;
+}
+
+std::string to_json_line(const TrafficRecord& record) {
+  std::string out = "{";
+  out += "\"proto\":\"" + net::to_string(record.protocol) + "\",";
+  out += "\"src_ip\":\"" + record.source.ip.to_string() + "\",";
+  out += "\"src_port\":" + std::to_string(record.source.port) + ",";
+  out += "\"dst_port\":" + std::to_string(record.dst_port) + ",";
+  out += "\"when\":" + std::to_string(record.when) + ",";
+  out += "\"platform\":\"" + to_string(record.platform) + "\",";
+  out += "\"domain\":\"" + json_escape(record.domain) + "\",";
+  out += "\"payload_b64\":\"" + base64_encode(record.payload) + "\"";
+  out += "}";
+  return out;
+}
+
+std::optional<TrafficRecord> from_json_line(std::string_view line) {
+  line = util::trim(line);
+  if (line.empty() || line.front() != '{' || line.back() != '}') {
+    return std::nullopt;
+  }
+  const auto proto = json_field(line, "proto");
+  const auto src_ip = json_field(line, "src_ip");
+  const auto src_port = json_field(line, "src_port");
+  const auto dst_port = json_field(line, "dst_port");
+  const auto when = json_field(line, "when");
+  const auto platform = json_field(line, "platform");
+  const auto domain = json_field(line, "domain");
+  const auto payload = json_field(line, "payload_b64");
+  if (!proto || !src_ip || !src_port || !dst_port || !when || !platform ||
+      !domain || !payload) {
+    return std::nullopt;
+  }
+
+  TrafficRecord record;
+  record.protocol = *proto == "udp" ? net::Protocol::UDP : net::Protocol::TCP;
+  const auto ip = dns::IPv4::parse(*src_ip);
+  if (!ip) return std::nullopt;
+  record.source.ip = *ip;
+
+  auto parse_int = [](const std::string& text, auto& out_value) {
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out_value);
+    return ec == std::errc{} && ptr == text.data() + text.size();
+  };
+  if (!parse_int(*src_port, record.source.port)) return std::nullopt;
+  if (!parse_int(*dst_port, record.dst_port)) return std::nullopt;
+  if (!parse_int(*when, record.when)) return std::nullopt;
+  record.platform =
+      *platform == "gcp" ? HostingPlatform::Gcp : HostingPlatform::Aws;
+  record.domain = *domain;
+  const auto decoded = base64_decode(*payload);
+  if (!decoded) return std::nullopt;
+  record.payload = *decoded;
+  return record;
+}
+
+void write_capture_log(std::ostream& os,
+                       const std::vector<TrafficRecord>& records) {
+  for (const auto& record : records) {
+    os << to_json_line(record) << '\n';
+  }
+}
+
+CaptureLogStats read_capture_log(std::istream& is, TrafficRecorder& recorder) {
+  CaptureLogStats stats;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (util::trim(line).empty()) continue;
+    if (auto record = from_json_line(line)) {
+      recorder.record(*std::move(record));
+      ++stats.loaded;
+    } else {
+      ++stats.skipped_malformed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace nxd::honeypot

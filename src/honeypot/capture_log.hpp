@@ -1,0 +1,41 @@
+// Capture persistence: JSON-Lines export/import of TrafficRecords.
+//
+// The paper's honeypot ran for six months; captures must survive process
+// restarts and be shareable with analysis partners.  One JSON object per
+// line, payload base64-encoded (it is arbitrary bytes), append-friendly,
+// and line-granular: a torn final line (crash mid-write) only costs that
+// line.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "honeypot/recorder.hpp"
+
+namespace nxd::honeypot {
+
+/// Serialize one record to its single-line JSON form (no trailing newline).
+std::string to_json_line(const TrafficRecord& record);
+
+/// Parse one JSON line; nullopt on malformed input.
+std::optional<TrafficRecord> from_json_line(std::string_view line);
+
+/// Write all records, one per line.
+void write_capture_log(std::ostream& os, const std::vector<TrafficRecord>& records);
+
+struct CaptureLogStats {
+  std::size_t loaded = 0;
+  std::size_t skipped_malformed = 0;
+};
+
+/// Read a capture log, appending parsed records into `recorder`.  Malformed
+/// lines are counted and skipped, never fatal.
+CaptureLogStats read_capture_log(std::istream& is, TrafficRecorder& recorder);
+
+/// Standard base64 (RFC 4648, with padding).
+std::string base64_encode(std::string_view data);
+std::optional<std::string> base64_decode(std::string_view text);
+
+}  // namespace nxd::honeypot

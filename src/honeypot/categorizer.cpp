@@ -1,0 +1,357 @@
+#include "honeypot/categorizer.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace nxd::honeypot {
+
+namespace {
+
+struct CrawlerSignature {
+  std::string_view token;    // matched against User-Agent, case-insensitive
+  std::string_view service;
+};
+
+// Search engines, mail-image proxies, and generic fetchers that announce
+// themselves (§6.2: "web crawlers provide their service names and/or URLs
+// of their official websites in the User-Agent header").
+constexpr CrawlerSignature kCrawlerSignatures[] = {
+    {"googlebot", "google"},
+    {"googleimageproxy", "gmail-image"},
+    {"bingbot", "bing"},
+    {"msnbot", "bing"},
+    {"yandexbot", "yandex"},
+    {"baiduspider", "baidu"},
+    {"mail.ru_bot", "mail.ru"},
+    {"mail.ru", "mail.ru"},
+    {"duckduckbot", "duckduckgo"},
+    {"slurp", "yahoo"},
+    {"yahoomailproxy", "yahoo-mail"},
+    {"yahoocachesystem", "yahoo"},
+    {"outlookimageproxy", "microsoft-mail"},
+    {"applebot", "apple"},
+    {"semrushbot", "semrush"},
+    {"ahrefsbot", "ahrefs"},
+    {"mj12bot", "majestic"},
+    {"dotbot", "moz"},
+    {"petalbot", "petal"},
+    {"sogou", "sogou"},
+    {"seznambot", "seznam"},
+    {"facebookexternalhit", "facebook-preview"},
+    {"crawler", "generic-crawler"},
+    {"spider", "generic-crawler"},
+};
+
+constexpr std::string_view kScriptTokens[] = {
+    "python-requests", "python-urllib", "curl/",     "wget/",
+    "libwww-perl",     "go-http-client", "okhttp",   "apache-httpclient",
+    "java/",           "java 1.",        "httpie/",  "aiohttp/",
+    "scrapy/",         "node-fetch",     "axios/",   "ruby",
+    "php/",            "guzzlehttp",     "winhttp",  "powershell",
+    // The stale Chrome 41 string is the signature of a specific bot fleet:
+    // the paper's 1x-sport-bk7.com status.json requests all carry it and
+    // are classified under Script & Software (§6.3).
+    "chrome/41.0.2272.118",
+};
+
+constexpr std::string_view kSearchEngineDomains[] = {
+    "google.",  "bing.com",  "yahoo.",   "yandex.",  "baidu.com",
+    "duckduckgo.com", "mail.ru", "sogou.com", "seznam.cz", "naver.com",
+};
+
+constexpr std::string_view kHtmlExtensions[] = {".html", ".htm", ".php",
+                                                ".asp", ".aspx", ".jsp"};
+
+struct InAppSignature {
+  std::string_view token;
+  InAppBrowser browser;
+};
+
+constexpr InAppSignature kInAppSignatures[] = {
+    {"whatsapp", InAppBrowser::WhatsApp},
+    {"fbav", InAppBrowser::Facebook},
+    {"fb_iab", InAppBrowser::Facebook},
+    {"fban", InAppBrowser::Facebook},
+    {"micromessenger", InAppBrowser::WeChat},
+    {"wechat", InAppBrowser::WeChat},
+    {"twitterandroid", InAppBrowser::Twitter},
+    {"twitter for", InAppBrowser::Twitter},
+    {"instagram", InAppBrowser::Instagram},
+    {"dingtalk", InAppBrowser::DingTalk},
+    {"qq/", InAppBrowser::QQ},
+    {"mqqbrowser", InAppBrowser::QQ},
+    {"line/", InAppBrowser::Line},
+};
+
+}  // namespace
+
+std::string to_string(TrafficCategory c) {
+  switch (c) {
+    case TrafficCategory::CrawlerSearchEngine: return "crawler/search-engine";
+    case TrafficCategory::CrawlerFileGrabber: return "crawler/file-grabber";
+    case TrafficCategory::AutoScriptSoftware: return "automated/script-software";
+    case TrafficCategory::AutoMaliciousRequest: return "automated/malicious-request";
+    case TrafficCategory::ReferralSearchEngine: return "referral/search-engine";
+    case TrafficCategory::ReferralEmbedded: return "referral/embedded-url";
+    case TrafficCategory::ReferralMaliciousLink: return "referral/malicious-link";
+    case TrafficCategory::UserPcMobile: return "user/pc-mobile";
+    case TrafficCategory::UserInAppBrowser: return "user/in-app-browser";
+    case TrafficCategory::Other: return "others";
+  }
+  return "unknown";
+}
+
+MajorCategory major_of(TrafficCategory c) noexcept {
+  switch (c) {
+    case TrafficCategory::CrawlerSearchEngine:
+    case TrafficCategory::CrawlerFileGrabber:
+      return MajorCategory::WebCrawler;
+    case TrafficCategory::AutoScriptSoftware:
+    case TrafficCategory::AutoMaliciousRequest:
+      return MajorCategory::AutomatedProcess;
+    case TrafficCategory::ReferralSearchEngine:
+    case TrafficCategory::ReferralEmbedded:
+    case TrafficCategory::ReferralMaliciousLink:
+      return MajorCategory::Referral;
+    case TrafficCategory::UserPcMobile:
+    case TrafficCategory::UserInAppBrowser:
+      return MajorCategory::UserVisit;
+    case TrafficCategory::Other:
+      return MajorCategory::Other;
+  }
+  return MajorCategory::Other;
+}
+
+std::string to_string(MajorCategory c) {
+  switch (c) {
+    case MajorCategory::WebCrawler: return "web-crawler";
+    case MajorCategory::AutomatedProcess: return "automated-process";
+    case MajorCategory::Referral: return "referral";
+    case MajorCategory::UserVisit: return "user-visit";
+    case MajorCategory::Other: return "others";
+  }
+  return "unknown";
+}
+
+std::string to_string(InAppBrowser b) {
+  switch (b) {
+    case InAppBrowser::WhatsApp: return "WhatsApp";
+    case InAppBrowser::Facebook: return "Facebook";
+    case InAppBrowser::WeChat: return "WeChat";
+    case InAppBrowser::Twitter: return "Twitter";
+    case InAppBrowser::Instagram: return "Instagram";
+    case InAppBrowser::DingTalk: return "DingTalk";
+    case InAppBrowser::QQ: return "QQ";
+    case InAppBrowser::Line: return "Line";
+    case InAppBrowser::Other: return "Others";
+  }
+  return "unknown";
+}
+
+TrafficCategorizer::TrafficCategorizer(const vuln::VulnDb& vuln_db,
+                                       const net::ReverseDnsRegistry& rdns,
+                                       Config config)
+    : vuln_db_(vuln_db), rdns_(rdns), config_(std::move(config)) {}
+
+bool TrafficCategorizer::is_search_engine_url(std::string_view url) const {
+  for (const auto domain : kSearchEngineDomains) {
+    if (util::icontains(url, domain)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> TrafficCategorizer::crawler_from_user_agent(
+    std::string_view ua) const {
+  const std::string lowered = util::to_lower(ua);
+  for (const auto& sig : kCrawlerSignatures) {
+    if (lowered.find(sig.token) != std::string::npos) {
+      return std::string(sig.service);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> TrafficCategorizer::crawler_from_rdns(
+    net::IPv4 ip) const {
+  const auto hostname = rdns_.lookup(ip);
+  if (!hostname) return std::nullopt;
+  // §6.2 field ④: a source resolving into a well-known crawler operator's
+  // namespace is treated as that crawler even with an anonymous UA.
+  // Note: bare ".google.com" is deliberately absent — google-proxy-*
+  // forwarders live there and route botnet beacons (paper Fig 15), so only
+  // the dedicated crawler namespaces count.
+  static constexpr std::string_view kCrawlerSuffixes[] = {
+      ".googlebot.com",   ".search.msn.com", ".crawl.yahoo.net",
+      ".spider.yandex.com", ".crawl.baidu.com", ".bot.mail.ru",
+  };
+  for (const auto suffix : kCrawlerSuffixes) {
+    if (util::ends_with(*hostname, suffix)) {
+      return std::string(suffix.substr(1));
+    }
+  }
+  return std::nullopt;
+}
+
+bool TrafficCategorizer::is_script_user_agent(std::string_view ua) const {
+  const std::string lowered = util::to_lower(ua);
+  return std::any_of(std::begin(kScriptTokens), std::end(kScriptTokens),
+                     [&lowered](std::string_view token) {
+                       return lowered.find(token) != std::string::npos;
+                     });
+}
+
+bool TrafficCategorizer::is_browser_user_agent(std::string_view ua) const {
+  // Real browsers self-identify as Mozilla/5.0 plus a platform clause.
+  if (!util::icontains(ua, "mozilla/")) return false;
+  return util::icontains(ua, "windows") || util::icontains(ua, "macintosh") ||
+         util::icontains(ua, "linux") || util::icontains(ua, "android") ||
+         util::icontains(ua, "iphone") || util::icontains(ua, "ipad") ||
+         util::icontains(ua, "cros");
+}
+
+std::optional<InAppBrowser> TrafficCategorizer::in_app_browser(
+    std::string_view ua) const {
+  const std::string lowered = util::to_lower(ua);
+  for (const auto& sig : kInAppSignatures) {
+    if (lowered.find(sig.token) != std::string::npos) return sig.browser;
+  }
+  return std::nullopt;
+}
+
+bool TrafficCategorizer::wants_html(const HttpRequest& request) {
+  const auto path = request.path();
+  if (path.empty() || path == "/" || path.back() == '/') return true;
+  const std::string lowered = util::to_lower(path);
+  for (const auto ext : kHtmlExtensions) {
+    if (util::ends_with(lowered, ext)) return true;
+  }
+  // Extensionless paths ("/about") are page requests.
+  const auto last_slash = lowered.find_last_of('/');
+  const auto dot = lowered.find('.', last_slash == std::string::npos ? 0 : last_slash);
+  return dot == std::string::npos;
+}
+
+Categorization TrafficCategorizer::categorize(const TrafficRecord& record) const {
+  const auto http = record.http();
+  if (!http) {
+    Categorization out;
+    out.reason = "non-HTTP payload";
+    return out;
+  }
+  return categorize(*http, record);
+}
+
+Categorization TrafficCategorizer::categorize(const HttpRequest& request,
+                                              const TrafficRecord& record) const {
+  Categorization out;
+  const std::string_view ua = request.header("user-agent");
+  const std::string_view referer = request.header("referer");
+
+  // ① User-Agent declares a crawling service (checked before Referer: some
+  // crawlers send a Referer, but their identity is the stronger signal).
+  if (auto service = crawler_from_user_agent(ua)) {
+    out.crawler_service = *service;
+    out.category = wants_html(request) ? TrafficCategory::CrawlerSearchEngine
+                                       : TrafficCategory::CrawlerFileGrabber;
+    out.reason = "user-agent declares crawler '" + *service + "'";
+    return out;
+  }
+  // ④ Source IP reverse-resolves into a crawler operator's namespace.
+  if (auto service = crawler_from_rdns(record.source.ip)) {
+    out.crawler_service = *service;
+    out.category = wants_html(request) ? TrafficCategory::CrawlerSearchEngine
+                                       : TrafficCategory::CrawlerFileGrabber;
+    out.reason = "rDNS attributes source to '" + *service + "'";
+    return out;
+  }
+
+  // ② Referer present -> Referral subtree.
+  if (!referer.empty()) {
+    if (is_search_engine_url(referer)) {
+      out.category = TrafficCategory::ReferralSearchEngine;
+      out.reason = "referer is a search engine";
+      return out;
+    }
+    bool embedded = true;
+    if (config_.referer_verifier) {
+      embedded = config_.referer_verifier(std::string(referer), record.domain);
+    }
+    out.category = embedded ? TrafficCategory::ReferralEmbedded
+                            : TrafficCategory::ReferralMaliciousLink;
+    out.reason = embedded ? "referring page embeds our URL"
+                          : "referer invalid or does not link to us";
+    return out;
+  }
+
+  // ③ User-Agent names a scripting tool / library -> Automated Process,
+  // split by URI sensitivity against the vulnerability database.
+  const bool scripted = is_script_user_agent(ua) || ua.empty();
+  const bool browser = is_browser_user_agent(ua);
+  if (scripted || !browser) {
+    if (vuln_db_.is_sensitive_uri(request.uri)) {
+      out.category = TrafficCategory::AutoMaliciousRequest;
+      out.reason = "automated request probing sensitive URI '" +
+                   std::string(vuln::VulnDb::uri_basename(request.uri)) + "'";
+    } else {
+      out.category = TrafficCategory::AutoScriptSoftware;
+      out.reason = scripted ? "script/software user-agent"
+                            : "undeclared non-browser user-agent";
+    }
+    return out;
+  }
+
+  // Browser UA -> User Visit, split by in-app browser tokens.
+  if (const auto app = in_app_browser(ua)) {
+    out.category = TrafficCategory::UserInAppBrowser;
+    out.in_app = app;
+    out.reason = "in-app browser " + to_string(*app);
+    return out;
+  }
+  out.category = TrafficCategory::UserPcMobile;
+  out.reason = "desktop/mobile browser user-agent";
+  return out;
+}
+
+void CategoryMatrix::add(const std::string& domain, TrafficCategory category,
+                         std::uint64_t n) {
+  rows_[domain][static_cast<std::size_t>(category)] += n;
+  total_ += n;
+}
+
+std::uint64_t CategoryMatrix::at(const std::string& domain,
+                                 TrafficCategory category) const {
+  const auto it = rows_.find(domain);
+  if (it == rows_.end()) return 0;
+  return it->second[static_cast<std::size_t>(category)];
+}
+
+std::uint64_t CategoryMatrix::domain_total(const std::string& domain) const {
+  const auto it = rows_.find(domain);
+  if (it == rows_.end()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto v : it->second) sum += v;
+  return sum;
+}
+
+std::uint64_t CategoryMatrix::category_total(TrafficCategory category) const {
+  std::uint64_t sum = 0;
+  for (const auto& [domain, row] : rows_) {
+    sum += row[static_cast<std::size_t>(category)];
+  }
+  return sum;
+}
+
+std::vector<std::string> CategoryMatrix::domains_by_total() const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& [domain, row] : rows_) out.push_back(domain);
+  std::sort(out.begin(), out.end(), [this](const auto& a, const auto& b) {
+    const auto ta = domain_total(a), tb = domain_total(b);
+    if (ta != tb) return ta > tb;
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace nxd::honeypot

@@ -1,0 +1,134 @@
+// Traffic categorization (paper §6.2, Fig 11) — the four-field decision
+// cascade over Referer, User-Agent, requested URI, and source IP that
+// produces the nine Table-1 categories plus "Others".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "honeypot/recorder.hpp"
+#include "net/reverse_dns.hpp"
+#include "util/histogram.hpp"
+#include "vuln/vuln_db.hpp"
+
+namespace nxd::honeypot {
+
+/// The nine Table-1 sub-categories plus Others.  Grouping (major category)
+/// derives from the value.
+enum class TrafficCategory : std::uint8_t {
+  CrawlerSearchEngine,
+  CrawlerFileGrabber,
+  AutoScriptSoftware,
+  AutoMaliciousRequest,
+  ReferralSearchEngine,
+  ReferralEmbedded,
+  ReferralMaliciousLink,
+  UserPcMobile,
+  UserInAppBrowser,
+  Other,
+};
+
+constexpr TrafficCategory kAllCategories[] = {
+    TrafficCategory::CrawlerSearchEngine, TrafficCategory::CrawlerFileGrabber,
+    TrafficCategory::AutoScriptSoftware,  TrafficCategory::AutoMaliciousRequest,
+    TrafficCategory::ReferralSearchEngine, TrafficCategory::ReferralEmbedded,
+    TrafficCategory::ReferralMaliciousLink, TrafficCategory::UserPcMobile,
+    TrafficCategory::UserInAppBrowser,     TrafficCategory::Other,
+};
+
+std::string to_string(TrafficCategory c);
+
+enum class MajorCategory : std::uint8_t {
+  WebCrawler,
+  AutomatedProcess,
+  Referral,
+  UserVisit,
+  Other,
+};
+
+MajorCategory major_of(TrafficCategory c) noexcept;
+std::string to_string(MajorCategory c);
+
+/// Identified in-app browser, when a user visit came through one (Fig 13).
+enum class InAppBrowser : std::uint8_t {
+  WhatsApp,
+  Facebook,
+  WeChat,
+  Twitter,
+  Instagram,
+  DingTalk,
+  QQ,
+  Line,
+  Other,
+};
+
+std::string to_string(InAppBrowser b);
+
+struct Categorization {
+  TrafficCategory category = TrafficCategory::Other;
+  std::optional<InAppBrowser> in_app;  // set for UserInAppBrowser
+  std::string crawler_service;         // set for crawler categories
+  std::string reason;                  // human-readable decision trail
+};
+
+class TrafficCategorizer {
+ public:
+  struct Config {
+    /// Callback deciding whether a Referer URL's page actually embeds a link
+    /// to `domain` — the paper fetches the referring page with cURL; we
+    /// consult a registry the synthetic web provides.  When absent, all
+    /// non-search referrals count as Embedded.
+    std::function<bool(const std::string& referer_url,
+                       const std::string& domain)>
+        referer_verifier;
+  };
+
+  TrafficCategorizer(const vuln::VulnDb& vuln_db,
+                     const net::ReverseDnsRegistry& rdns, Config config = {});
+
+  Categorization categorize(const TrafficRecord& record) const;
+
+  /// Categorize a parsed request directly (record supplies source IP).
+  Categorization categorize(const HttpRequest& request,
+                            const TrafficRecord& record) const;
+
+ private:
+  bool is_search_engine_url(std::string_view url) const;
+  std::optional<std::string> crawler_from_user_agent(std::string_view ua) const;
+  std::optional<std::string> crawler_from_rdns(net::IPv4 ip) const;
+  bool is_script_user_agent(std::string_view ua) const;
+  bool is_browser_user_agent(std::string_view ua) const;
+  std::optional<InAppBrowser> in_app_browser(std::string_view ua) const;
+  static bool wants_html(const HttpRequest& request);
+
+  const vuln::VulnDb& vuln_db_;
+  const net::ReverseDnsRegistry& rdns_;
+  Config config_;
+};
+
+/// Counting sink used by the Table-1 pipeline: per-domain x per-category.
+class CategoryMatrix {
+ public:
+  void add(const std::string& domain, TrafficCategory category,
+           std::uint64_t n = 1);
+
+  std::uint64_t at(const std::string& domain, TrafficCategory category) const;
+  std::uint64_t domain_total(const std::string& domain) const;
+  std::uint64_t category_total(TrafficCategory category) const;
+  std::uint64_t grand_total() const noexcept { return total_; }
+
+  std::vector<std::string> domains_by_total() const;  // descending
+
+ private:
+  std::unordered_map<std::string,
+                     std::array<std::uint64_t, std::size(kAllCategories)>>
+      rows_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nxd::honeypot

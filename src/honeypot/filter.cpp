@@ -1,0 +1,98 @@
+#include "honeypot/filter.hpp"
+
+#include "util/strings.hpp"
+
+namespace nxd::honeypot {
+
+void TrafficFilter::learn_no_hosting(const TrafficRecorder& baseline) {
+  for (const auto& ip : baseline.distinct_sources()) {
+    scanner_ips_.insert(ip);
+  }
+}
+
+namespace {
+
+/// Establishment-URI fingerprints must be *distinctive*: a control-group
+/// bot fetching "/" must not teach the filter to drop every front-page
+/// visit on the measurement domains.  Only multi-segment paths (like
+/// "/.well-known/acme-challenge/...") are specific enough to index; the
+/// generic fetches are still covered by the IP and User-Agent fingerprints.
+bool distinctive_path(std::string_view path) {
+  std::size_t segments = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i] == '/' && path[i + 1] != '/') ++segments;
+  }
+  return segments >= 2;
+}
+
+}  // namespace
+
+void TrafficFilter::learn_control_group(const TrafficRecorder& control) {
+  for (const auto& record : control.records()) {
+    // Anything a brand-new domain attracts is establishment noise; index by
+    // every fingerprint the paper lists ("URLs, source IP addresses, and
+    // hostname") plus the User-Agent.
+    establishment_ips_.insert(record.source.ip);
+    establishment_ports_.insert(std::to_string(record.dst_port));
+    if (const auto http = record.http()) {
+      if (distinctive_path(http->path())) {
+        establishment_uris_.insert(std::string(http->path()));
+      }
+      const auto agent = http->header("user-agent");
+      if (!agent.empty()) establishment_agents_.insert(std::string(agent));
+    }
+  }
+}
+
+bool TrafficFilter::establishment_noise(const TrafficRecord& record) const {
+  if (establishment_ips_.contains(record.source.ip)) return true;
+  // Non-HTTP ports: match on the port fingerprint (e.g. the AWS 52646
+  // monitor channel shows up identically on control instances).
+  if (!record.is_http_port()) {
+    return establishment_ports_.contains(std::to_string(record.dst_port));
+  }
+  if (const auto http = record.http()) {
+    if (establishment_uris_.contains(std::string(http->path()))) return true;
+    const auto agent = http->header("user-agent");
+    if (!agent.empty() && establishment_agents_.contains(std::string(agent))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TrafficRecord> TrafficFilter::apply(
+    const std::vector<TrafficRecord>& records) {
+  std::vector<TrafficRecord> kept;
+  kept.reserve(records.size());
+  for (const auto& record : records) {
+    ++stats_.input;
+    if (scanner_ips_.contains(record.source.ip)) {
+      ++stats_.dropped_ip_scanning;
+      continue;
+    }
+    if (establishment_noise(record)) {
+      ++stats_.dropped_establishment;
+      continue;
+    }
+    ++stats_.kept;
+    kept.push_back(record);
+  }
+  return kept;
+}
+
+std::vector<TrafficRecord> naive_hostname_filter(
+    const std::vector<TrafficRecord>& records) {
+  std::vector<TrafficRecord> kept;
+  for (const auto& record : records) {
+    const auto http = record.http();
+    if (!http) continue;
+    const auto host = http->header("host");
+    if (!host.empty() && util::iequals(host, record.domain)) {
+      kept.push_back(record);
+    }
+  }
+  return kept;
+}
+
+}  // namespace nxd::honeypot

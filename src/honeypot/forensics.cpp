@@ -1,0 +1,183 @@
+#include "honeypot/forensics.hpp"
+
+#include <charconv>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace nxd::honeypot {
+
+namespace {
+
+struct CountryCode {
+  std::string_view prefix;
+  std::string_view continent;
+};
+
+// Longest prefixes first within a leading digit; ITU-T E.164 assignments
+// for the countries the paper's Fig 14 covers plus common others.
+constexpr CountryCode kCountryCodes[] = {
+    {"+598", "america"},  // Uruguay — called out in §6.4
+    {"+595", "america"},  // Paraguay
+    {"+593", "america"},  // Ecuador
+    {"+591", "america"},  // Bolivia
+    {"+886", "asia"},     // Taiwan
+    {"+852", "asia"},     // Hong Kong
+    {"+971", "asia"},     // UAE
+    {"+966", "asia"},     // Saudi Arabia
+    {"+380", "europe"},   // Ukraine
+    {"+375", "europe"},   // Belarus
+    {"+351", "europe"},   // Portugal
+    {"+358", "europe"},   // Finland
+    {"+420", "europe"},   // Czechia
+    {"+48", "europe"},    // Poland
+    {"+49", "europe"},    // Germany
+    {"+44", "europe"},    // UK
+    {"+33", "europe"},    // France
+    {"+34", "europe"},    // Spain
+    {"+39", "europe"},    // Italy
+    {"+31", "europe"},    // Netherlands — called out in §6.4
+    {"+36", "europe"},    // Hungary
+    {"+40", "europe"},    // Romania
+    {"+46", "europe"},    // Sweden
+    {"+47", "europe"},    // Norway
+    {"+41", "europe"},    // Switzerland
+    {"+43", "europe"},    // Austria
+    {"+30", "europe"},    // Greece
+    {"+90", "asia"},      // Turkey
+    {"+91", "asia"},      // India
+    {"+81", "asia"},      // Japan
+    {"+82", "asia"},      // South Korea
+    {"+84", "asia"},      // Vietnam
+    {"+86", "asia"},      // China — called out in §6.4
+    {"+60", "asia"},      // Malaysia
+    {"+62", "asia"},      // Indonesia
+    {"+63", "asia"},      // Philippines
+    {"+65", "asia"},      // Singapore
+    {"+66", "asia"},      // Thailand
+    {"+61", "oceania"},   // Australia
+    {"+64", "oceania"},   // New Zealand
+    {"+52", "america"},   // Mexico
+    {"+54", "america"},   // Argentina
+    {"+55", "america"},   // Brazil
+    {"+56", "america"},   // Chile
+    {"+57", "america"},   // Colombia
+    {"+51", "america"},   // Peru
+    {"+20", "africa"},    // Egypt
+    {"+27", "africa"},    // South Africa
+    {"+7", "europe"},     // Russia/Kazakhstan (paper groups RU with Europe)
+    {"+1", "america"},    // NANP — called out in §6.4 (USA)
+};
+
+std::string hash_pii(std::string_view raw) {
+  // Appendix A: PII is anonymized before storage.  One-way 64-bit hash is
+  // enough to count distinct victims without retaining identifiers.
+  return util::to_hex(util::fnv1a(raw));
+}
+
+}  // namespace
+
+std::string hostname_group(std::string_view hostname) {
+  std::string out;
+  out.reserve(hostname.size());
+  bool in_star = false;
+  for (std::size_t i = 0; i < hostname.size(); ++i) {
+    const char c = hostname[i];
+    if (util::is_digit(c)) {
+      if (!in_star) {
+        out.push_back('*');
+        in_star = true;
+      }
+      continue;
+    }
+    // A hyphen between two starred runs merges into the star.
+    if (c == '-' && in_star && i + 1 < hostname.size() &&
+        util::is_digit(hostname[i + 1])) {
+      continue;
+    }
+    in_star = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string dialing_prefix_of(std::string_view phone) {
+  if (phone.empty() || phone.front() != '+') return "";
+  // Longest-match: try 4, 3, 2-digit prefixes before 1.
+  for (std::size_t len = 4; len >= 1; --len) {
+    if (phone.size() < len + 1) continue;
+    const std::string_view candidate = phone.substr(0, len + 1);
+    for (const auto& cc : kCountryCodes) {
+      if (cc.prefix == candidate) return std::string(candidate);
+    }
+  }
+  return "";
+}
+
+std::string continent_of_dialing_prefix(std::string_view prefix) {
+  for (const auto& cc : kCountryCodes) {
+    if (cc.prefix == prefix) return std::string(cc.continent);
+  }
+  return "unknown";
+}
+
+std::optional<BotnetBeacon> parse_beacon(const HttpRequest& request) {
+  // Beacon shape (paper Fig 12): GET /getTask.php?imei=...&balance=...&
+  //   country=us&phone=+1...&op=Android&mnc=...&mcc=...&model=...&os=...
+  const auto path = request.path();
+  const auto slash = path.find_last_of('/');
+  const std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  if (!util::iequals(base, "gettask.php")) return std::nullopt;
+
+  BotnetBeacon beacon;
+  bool has_imei = false, has_phone = false;
+  for (const auto& [key, value] : request.query_params()) {
+    if (key == "imei") {
+      beacon.imei_hash = hash_pii(value);
+      has_imei = true;
+    } else if (key == "phone") {
+      beacon.phone_hash = hash_pii(value);
+      beacon.phone_country_code = dialing_prefix_of(value);
+      has_phone = true;
+    } else if (key == "country") {
+      beacon.country = util::to_lower(value);
+    } else if (key == "model") {
+      beacon.model = value;
+    } else if (key == "os") {
+      beacon.os = value;
+    } else if (key == "op") {
+      beacon.operating_sys = value;
+    } else if (key == "balance") {
+      std::int64_t v = 0;
+      std::from_chars(value.data(), value.data() + value.size(), v);
+      beacon.balance = v;
+    }
+  }
+  if (!has_imei || !has_phone) return std::nullopt;
+  return beacon;
+}
+
+bool BotnetAnalysis::ingest(const HttpRequest& request, net::IPv4 source) {
+  const auto beacon = parse_beacon(request);
+  if (!beacon) return false;
+  ++beacons_;
+  if (!beacon->phone_country_code.empty()) {
+    by_cc_.add(beacon->phone_country_code);
+    by_continent_.add(continent_of_dialing_prefix(beacon->phone_country_code));
+  } else {
+    by_continent_.add("unknown");
+  }
+  by_model_.add(beacon->model.empty() ? "unknown" : beacon->model);
+  victims_.add(beacon->phone_hash);
+  const auto hostname = rdns_.lookup(source);
+  by_hostname_.add(hostname ? hostname_group(*hostname) : "unresolved");
+  return true;
+}
+
+std::uint64_t BotnetAnalysis::distinct_victims() const {
+  return victims_.distinct();
+}
+
+}  // namespace nxd::honeypot

@@ -1,0 +1,81 @@
+// Botnet-traffic forensics (paper §6.4 "Botnet Takeover", Figs 12/14/15).
+//
+// The gpclick.com stream is a stranded botnet phoning home: every request
+// fetches getTask.php with the victim's IMEI, phone number, country, and
+// handset model in the query string.  This module parses those beacons,
+// anonymizes the PII (Appendix A: hash before storage, never keep raw
+// identifiers), and aggregates the Fig 14 (country) and Fig 15 (source
+// hostname) distributions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "honeypot/http.hpp"
+#include "net/reverse_dns.hpp"
+#include "util/histogram.hpp"
+
+namespace nxd::honeypot {
+
+/// One parsed beacon, PII already anonymized.
+struct BotnetBeacon {
+  std::string imei_hash;     // FNV-64 of the raw IMEI, hex — raw never stored
+  std::string phone_hash;    // same treatment
+  std::string country;       // ISO-ish lowercase country code ("us")
+  std::string phone_country_code;  // dialing prefix ("+1")
+  std::string model;         // handset model (not PII)
+  std::string os;            // OS/API level
+  std::string operating_sys; // "Android", ...
+  std::int64_t balance = 0;
+};
+
+/// Recognize and parse a C&C beacon request.  Returns nullopt when the
+/// request does not match the beacon shape (path + required parameters).
+std::optional<BotnetBeacon> parse_beacon(const HttpRequest& request);
+
+/// Map a phone dialing prefix to a continent (Fig 14 groups by continent).
+std::string continent_of_dialing_prefix(std::string_view prefix);
+
+/// Map a phone number ("+31612345678") to its dialing prefix ("+31") using
+/// longest-prefix match over the embedded country-code table.
+std::string dialing_prefix_of(std::string_view phone);
+
+/// Collapse a per-host rDNS name to its operator group, as Fig 15 does:
+/// "google-proxy-64-233-160-7.google.com" -> "google-proxy-*.google.com",
+/// "ec2-3-16-1-2.compute-1.amazonaws.com" -> "ec2-*.compute-*.amazonaws.com".
+/// Digit runs become '*', consecutive '*' segments merge.
+std::string hostname_group(std::string_view hostname);
+
+/// Aggregator for the botnet analysis.
+class BotnetAnalysis {
+ public:
+  explicit BotnetAnalysis(const net::ReverseDnsRegistry& rdns) : rdns_(rdns) {}
+
+  /// Feed one HTTP request with its source address; returns true when it
+  /// was a beacon and was ingested.
+  bool ingest(const HttpRequest& request, net::IPv4 source);
+
+  std::uint64_t beacons() const noexcept { return beacons_; }
+  std::uint64_t distinct_victims() const;  // by phone hash
+
+  /// Country dialing prefix -> beacon count (Fig 14).
+  const util::Counter& by_country_code() const noexcept { return by_cc_; }
+  /// Continent -> beacon count.
+  const util::Counter& by_continent() const noexcept { return by_continent_; }
+  /// Source hostname (or "unresolved") -> count (Fig 15).
+  const util::Counter& by_hostname() const noexcept { return by_hostname_; }
+  /// Handset model -> count (§6.4 model breakdown).
+  const util::Counter& by_model() const noexcept { return by_model_; }
+
+ private:
+  const net::ReverseDnsRegistry& rdns_;
+  std::uint64_t beacons_ = 0;
+  util::Counter by_cc_;
+  util::Counter by_continent_;
+  util::Counter by_hostname_;
+  util::Counter by_model_;
+  util::Counter victims_;
+};
+
+}  // namespace nxd::honeypot

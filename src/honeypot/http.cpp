@@ -1,0 +1,124 @@
+#include "honeypot/http.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace nxd::honeypot {
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  const auto it = headers.find(util::to_lower(name));
+  return it == headers.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+bool HttpRequest::has_header(std::string_view name) const {
+  return headers.contains(util::to_lower(name));
+}
+
+std::string_view HttpRequest::path() const {
+  const std::string_view u = uri;
+  const auto q = u.find('?');
+  return q == std::string_view::npos ? u : u.substr(0, q);
+}
+
+std::string_view HttpRequest::query() const {
+  const std::string_view u = uri;
+  const auto q = u.find('?');
+  return q == std::string_view::npos ? std::string_view{} : u.substr(q + 1);
+}
+
+std::vector<std::pair<std::string, std::string>> HttpRequest::query_params()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto piece : util::split_nonempty(query(), '&')) {
+    const auto eq = piece.find('=');
+    if (eq == std::string_view::npos) {
+      out.emplace_back(util::url_decode(piece), "");
+    } else {
+      out.emplace_back(util::url_decode(piece.substr(0, eq)),
+                       util::url_decode(piece.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + uri + " " +
+                    (version.empty() ? "HTTP/1.1" : version) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<HttpRequest> parse_http_request(std::string_view raw) {
+  // Request line.
+  const auto line_end = raw.find('\n');
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const std::string_view request_line = util::trim(raw.substr(0, line_end));
+
+  const auto parts = util::split_nonempty(request_line, ' ');
+  if (parts.size() < 2 || parts.size() > 3) return std::nullopt;
+
+  HttpRequest req;
+  req.method = std::string(parts[0]);
+  req.uri = std::string(parts[1]);
+  req.version = parts.size() == 3 ? std::string(parts[2]) : "HTTP/1.0";
+
+  // Methods must be ASCII tokens; this rejects binary junk cheaply.
+  const bool method_ok =
+      !req.method.empty() && req.method.size() <= 16 &&
+      std::all_of(req.method.begin(), req.method.end(),
+                  [](char c) { return util::is_alpha(c) || c == '-'; });
+  if (!method_ok) return std::nullopt;
+  if (!util::starts_with(req.version, "HTTP/")) return std::nullopt;
+
+  // Headers until blank line.
+  std::size_t pos = line_end + 1;
+  while (pos < raw.size()) {
+    auto eol = raw.find('\n', pos);
+    if (eol == std::string_view::npos) eol = raw.size();
+    const std::string_view line = util::trim(raw.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) break;  // end of headers
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate junk lines
+    const std::string name = util::to_lower(util::trim(line.substr(0, colon)));
+    const std::string value{util::trim(line.substr(colon + 1))};
+    if (!name.empty()) req.headers[name] = value;
+  }
+  if (pos < raw.size()) req.body = std::string(raw.substr(pos));
+  return req;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  auto all = headers;
+  all.emplace("content-length", std::to_string(body.size()));
+  for (const auto& [name, value] : all) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::ok_html(std::string body) {
+  HttpResponse r;
+  r.headers["content-type"] = "text/html; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::not_found() {
+  HttpResponse r;
+  r.status = 404;
+  r.reason = "Not Found";
+  r.headers["content-type"] = "text/plain";
+  r.body = "not found\n";
+  return r;
+}
+
+}  // namespace nxd::honeypot

@@ -1,0 +1,58 @@
+// Minimal HTTP/1.x request/response model and parser.
+//
+// The NXD-Honeypot is "a barebone web server" (paper §3.4): it needs to
+// parse whatever arrives on ports 80/443 — much of it malformed or hostile
+// — record it, and serve a static landing page.  The parser therefore
+// never throws and accepts sloppy input where real clients are sloppy
+// (missing Host, LF-only line endings), while rejecting garbage that is
+// not HTTP at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nxd::honeypot {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string uri;      // raw request target, query string included
+  std::string version;  // "HTTP/1.1"
+  // Lowercased header names; last occurrence wins.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string_view header(std::string_view name) const;
+  bool has_header(std::string_view name) const;
+
+  /// Path component of the URI (query string stripped).
+  std::string_view path() const;
+  /// Query string without the '?'; empty if none.
+  std::string_view query() const;
+
+  /// Parsed query parameters in order of appearance (values URL-decoded).
+  std::vector<std::pair<std::string, std::string>> query_params() const;
+
+  std::string serialize() const;
+};
+
+/// Parse a full request from raw bytes; nullopt when the bytes are not a
+/// parseable HTTP request (the recorder still keeps the raw payload).
+std::optional<HttpRequest> parse_http_request(std::string_view raw);
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string serialize() const;
+
+  static HttpResponse ok_html(std::string body);
+  static HttpResponse not_found();
+};
+
+}  // namespace nxd::honeypot

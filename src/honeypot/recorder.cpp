@@ -1,0 +1,40 @@
+#include "honeypot/recorder.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace nxd::honeypot {
+
+std::string to_string(HostingPlatform p) {
+  return p == HostingPlatform::Aws ? "aws" : "gcp";
+}
+
+void TrafficRecorder::record(TrafficRecord record) {
+  port_counts_.add(std::to_string(record.dst_port));
+  records_.push_back(std::move(record));
+}
+
+std::vector<net::IPv4> TrafficRecorder::distinct_sources() const {
+  std::unordered_set<net::IPv4, dns::IPv4Hash> seen;
+  for (const auto& r : records_) seen.insert(r.source.ip);
+  std::vector<net::IPv4> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<const TrafficRecord*> TrafficRecorder::http_records() const {
+  std::vector<const TrafficRecord*> out;
+  for (const auto& r : records_) {
+    if (r.is_http_port() && parse_http_request(r.payload)) {
+      out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+void TrafficRecorder::clear() {
+  records_.clear();
+  port_counts_ = util::Counter{};
+}
+
+}  // namespace nxd::honeypot

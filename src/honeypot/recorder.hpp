@@ -1,0 +1,64 @@
+// Traffic recorder — the NXD-Honeypot capture plane (paper §3.4): "accepts
+// TCP and UDP packets from all well-known and standardized ports" and keeps
+// source addresses, ports, and payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "honeypot/http.hpp"
+#include "net/endpoint.hpp"
+#include "util/civil_time.hpp"
+#include "util/histogram.hpp"
+
+namespace nxd::honeypot {
+
+/// Which cloud instance a record was captured on — the paper dual-hosts
+/// every domain on AWS and GCP to help identify platform noise.
+enum class HostingPlatform : std::uint8_t { Aws, Gcp };
+
+std::string to_string(HostingPlatform p);
+
+struct TrafficRecord {
+  net::Protocol protocol = net::Protocol::TCP;
+  net::Endpoint source;
+  std::uint16_t dst_port = 0;
+  util::SimTime when = 0;
+  HostingPlatform platform = HostingPlatform::Aws;
+  std::string domain;   // hosted domain the traffic targeted ("" if unknown)
+  std::string payload;  // raw bytes as captured
+
+  /// Parsed lazily by consumers; empty optional when not parseable HTTP.
+  std::optional<HttpRequest> http() const { return parse_http_request(payload); }
+
+  bool is_http_port() const noexcept {
+    return dst_port == 80 || dst_port == 443 || dst_port == 8080 ||
+           dst_port == 8443;
+  }
+};
+
+class TrafficRecorder {
+ public:
+  void record(TrafficRecord record);
+
+  const std::vector<TrafficRecord>& records() const noexcept { return records_; }
+  std::uint64_t total() const noexcept { return records_.size(); }
+
+  /// Port -> packet count (Fig 10 input).
+  const util::Counter& port_counts() const noexcept { return port_counts_; }
+
+  /// Distinct source IPs seen (the no-hosting baseline consumes this).
+  std::vector<net::IPv4> distinct_sources() const;
+
+  /// Records destined to HTTP(S) ports that parse as HTTP.
+  std::vector<const TrafficRecord*> http_records() const;
+
+  void clear();
+
+ private:
+  std::vector<TrafficRecord> records_;
+  util::Counter port_counts_;
+};
+
+}  // namespace nxd::honeypot

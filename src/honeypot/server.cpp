@@ -1,0 +1,129 @@
+#include "honeypot/server.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace nxd::honeypot {
+
+std::string landing_page(const std::string& domain,
+                         const std::string& contact_email) {
+  return "<!doctype html><html><head><title>Research study: " + domain +
+         "</title></head><body>"
+         "<h1>This domain is part of an academic measurement study</h1>"
+         "<p>The domain <b>" + domain + "</b> was previously unregistered "
+         "(in NXDomain status for at least six months) and has been "
+         "re-registered by a university research group to measure residual "
+         "traffic to non-existent domains.</p>"
+         "<p>This server passively records incoming requests for analysis. "
+         "No interaction is initiated with visitors, and collected personal "
+         "data is anonymized before storage.</p>"
+         "<p>Questions or concerns: <a href=\"mailto:" + contact_email +
+         "\">" + contact_email + "</a></p>"
+         "</body></html>";
+}
+
+void NxdHoneypot::set_route(std::string path, HttpResponse response) {
+  routes_[std::move(path)] = std::move(response);
+}
+
+std::optional<std::vector<std::uint8_t>> NxdHoneypot::handle_packet(
+    const net::SimPacket& packet, util::SimTime when) {
+  TrafficRecord record;
+  record.protocol = packet.protocol;
+  record.source = packet.src;
+  record.dst_port = packet.dst.port;
+  record.when = when;
+  record.platform = config_.platform;
+  record.domain = config_.domain;
+  record.payload.assign(packet.payload.begin(), packet.payload.end());
+  recorder_.record(std::move(record));
+
+  // Any TCP payload that parses as an HTTP request gets the landing page
+  // (the TCP front end binds ephemeral ports in tests/examples); junk on
+  // any port is capture-only.
+  if (packet.protocol != net::Protocol::TCP) return std::nullopt;
+  const std::string_view raw(
+      reinterpret_cast<const char*>(packet.payload.data()),
+      packet.payload.size());
+  const auto request = parse_http_request(raw);
+  if (!request) return std::nullopt;
+
+  const auto path = request->path();
+  HttpResponse response;
+  if (const auto route = routes_.find(std::string(path)); route != routes_.end()) {
+    response = route->second;
+  } else if (path == "/" || path == "/index.html") {
+    response =
+        HttpResponse::ok_html(landing_page(config_.domain, config_.contact_email));
+  } else {
+    response = HttpResponse::not_found();
+  }
+  ++responses_;
+  const std::string wire = response.serialize();
+  return std::vector<std::uint8_t>(wire.begin(), wire.end());
+}
+
+void NxdHoneypot::attach_port(net::SimNetwork& network, net::IPv4 host_ip,
+                              std::uint16_t port, net::Protocol proto,
+                              const util::SimClock& clock) {
+  network.attach(net::Endpoint{host_ip, port}, proto,
+                 [this, &clock](const net::SimPacket& packet) {
+                   return handle_packet(packet, clock.now());
+                 });
+}
+
+void NxdHoneypot::attach(net::SimNetwork& network, net::IPv4 host_ip,
+                         const util::SimClock& clock) {
+  // "All well-known and standardized ports": we wire the ones the paper's
+  // Fig 10 actually reports traffic on.
+  for (const std::uint16_t port :
+       {std::uint16_t{80}, std::uint16_t{443}, std::uint16_t{22},
+        std::uint16_t{21}, std::uint16_t{25}, std::uint16_t{8080},
+        std::uint16_t{8443}, std::uint16_t{3389}}) {
+    attach_port(network, host_ip, port, net::Protocol::TCP, clock);
+  }
+  for (const std::uint16_t port : {std::uint16_t{53}, std::uint16_t{123}}) {
+    attach_port(network, host_ip, port, net::Protocol::UDP, clock);
+  }
+}
+
+std::unique_ptr<TcpHoneypotFrontend> TcpHoneypotFrontend::create(
+    const net::Endpoint& local, NxdHoneypot& honeypot,
+    const util::SimClock& clock) {
+  auto listener = net::TcpListener::listen(local);
+  if (!listener) return nullptr;
+  return std::unique_ptr<TcpHoneypotFrontend>(
+      new TcpHoneypotFrontend(std::move(*listener), honeypot, clock));
+}
+
+void TcpHoneypotFrontend::attach(net::EventLoop& loop) {
+  loop.add_readable(listener_.fd(), [this] { on_acceptable(); });
+}
+
+void TcpHoneypotFrontend::on_acceptable() {
+  while (auto stream = listener_.accept()) {
+    // One-shot request/response: read what is available (brief retry for
+    // slow writers), answer, close.
+    std::vector<std::uint8_t> buffer;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const auto n = stream->read(buffer);
+      if (n < 0 || stream->eof()) break;
+      if (!buffer.empty() && n == 0) break;  // drained what was sent
+      if (buffer.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    if (buffer.empty()) continue;
+
+    net::SimPacket packet;
+    packet.protocol = net::Protocol::TCP;
+    packet.src = stream->peer();
+    packet.dst = listener_.local();
+    packet.payload = buffer;
+    if (const auto reply = honeypot_.handle_packet(packet, clock_.now())) {
+      stream->write(std::span<const std::uint8_t>(*reply));
+    }
+  }
+}
+
+}  // namespace nxd::honeypot

@@ -1,0 +1,93 @@
+// NXD-Honeypot service: traffic recorder + barebone web server, attachable
+// to either the deterministic SimNetwork (experiments, tests) or a real TCP
+// listener on loopback (runnable example).
+//
+// Per the paper's ethics appendix, the web server only serves a static
+// landing page describing the study and a contact address; it never
+// interacts further with visitors.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "honeypot/recorder.hpp"
+#include "net/sim_network.hpp"
+#include "net/socket.hpp"
+#include "net/event_loop.hpp"
+
+namespace nxd::honeypot {
+
+/// The landing page served for every HTML request (Appendix A).
+std::string landing_page(const std::string& domain,
+                         const std::string& contact_email);
+
+class NxdHoneypot {
+ public:
+  struct Config {
+    std::string domain;          // hosted domain this instance serves
+    std::string contact_email = "nxd-study@example.edu";
+    HostingPlatform platform = HostingPlatform::Aws;
+  };
+
+  NxdHoneypot(Config config, TrafficRecorder& recorder)
+      : config_(std::move(config)), recorder_(recorder) {}
+
+  /// Interactive-honeypot extension (paper §7 future work: "implementing
+  /// the capability to interact with domain visitors"): serve a custom
+  /// response on an exact path.  Routes are consulted before the default
+  /// landing-page/404 logic, letting an operator feed automated visitors
+  /// the artifact they poll for (e.g. an empty task list on /getTask.php)
+  /// and observe the follow-up behaviour.
+  void set_route(std::string path, HttpResponse response);
+  std::size_t route_count() const noexcept { return routes_.size(); }
+
+  /// Handle one captured packet: record it, and if it parses as an HTTP
+  /// request produce the landing-page (or 404) response bytes.
+  std::optional<std::vector<std::uint8_t>> handle_packet(
+      const net::SimPacket& packet, util::SimTime when);
+
+  /// Attach to a simulated network on the standard ports (80/443 TCP plus a
+  /// UDP capture on 53 — "accepts TCP and UDP packets from all well-known
+  /// ports"; extra ports can be added with attach_port).
+  void attach(net::SimNetwork& network, net::IPv4 host_ip,
+              const util::SimClock& clock);
+  void attach_port(net::SimNetwork& network, net::IPv4 host_ip,
+                   std::uint16_t port, net::Protocol proto,
+                   const util::SimClock& clock);
+
+  const Config& config() const noexcept { return config_; }
+  std::uint64_t http_responses_sent() const noexcept { return responses_; }
+
+ private:
+  Config config_;
+  TrafficRecorder& recorder_;
+  std::map<std::string, HttpResponse> routes_;
+  std::uint64_t responses_ = 0;
+};
+
+/// Real-socket front end: accepts TCP connections on a loopback port,
+/// records each request into the recorder, and serves the landing page.
+/// Single-threaded, event-loop driven; used by examples/honeypot_demo.
+class TcpHoneypotFrontend {
+ public:
+  static std::unique_ptr<TcpHoneypotFrontend> create(
+      const net::Endpoint& local, NxdHoneypot& honeypot,
+      const util::SimClock& clock);
+
+  void attach(net::EventLoop& loop);
+  net::Endpoint local() const noexcept { return listener_.local(); }
+
+ private:
+  TcpHoneypotFrontend(net::TcpListener listener, NxdHoneypot& honeypot,
+                      const util::SimClock& clock)
+      : listener_(std::move(listener)), honeypot_(honeypot), clock_(clock) {}
+
+  void on_acceptable();
+
+  net::TcpListener listener_;
+  NxdHoneypot& honeypot_;
+  const util::SimClock& clock_;
+};
+
+}  // namespace nxd::honeypot

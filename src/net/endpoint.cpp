@@ -1,0 +1,37 @@
+#include "net/endpoint.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace nxd::net {
+
+std::string to_string(Protocol p) { return p == Protocol::UDP ? "udp" : "tcp"; }
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  std::string_view ip_part = text;
+  unsigned length = 32;
+  if (slash != std::string_view::npos) {
+    ip_part = text.substr(0, slash);
+    const auto len_part = text.substr(slash + 1);
+    const auto [ptr, ec] =
+        std::from_chars(len_part.data(), len_part.data() + len_part.size(), length);
+    if (ec != std::errc{} || ptr != len_part.data() + len_part.size() || length > 32) {
+      return std::nullopt;
+    }
+  }
+  const auto ip = IPv4::parse(ip_part);
+  if (!ip) return std::nullopt;
+  return Prefix{*ip, static_cast<std::uint8_t>(length)};
+}
+
+std::string Prefix::to_string() const {
+  return base.to_string() + "/" + std::to_string(length);
+}
+
+}  // namespace nxd::net

@@ -1,0 +1,55 @@
+// Transport endpoints and CIDR prefixes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dns/record.hpp"
+
+namespace nxd::net {
+
+using dns::IPv4;
+
+enum class Protocol : std::uint8_t { UDP, TCP };
+
+std::string to_string(Protocol p);
+
+struct Endpoint {
+  IPv4 ip;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const noexcept {
+    const std::uint64_t x =
+        (static_cast<std::uint64_t>(e.ip.addr) << 16 | e.port) *
+        0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(x ^ (x >> 32));
+  }
+};
+
+/// IPv4 CIDR prefix, e.g. 64.233.160.0/19.
+struct Prefix {
+  IPv4 base;
+  std::uint8_t length = 32;
+
+  static std::optional<Prefix> parse(std::string_view text);
+
+  bool contains(IPv4 ip) const noexcept {
+    if (length == 0) return true;
+    const std::uint32_t mask = length >= 32 ? ~0u : ~0u << (32 - length);
+    return (ip.addr & mask) == (base.addr & mask);
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+}  // namespace nxd::net

@@ -1,0 +1,59 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+
+namespace nxd::net {
+
+void EventLoop::add_readable(int fd, Callback cb) {
+  entries_.push_back(Entry{fd, std::move(cb), false});
+}
+
+void EventLoop::remove(int fd) {
+  for (auto& e : entries_) {
+    if (e.fd == fd) e.dead = true;
+  }
+}
+
+std::size_t EventLoop::poll_once(std::chrono::milliseconds timeout) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) { return e.dead; }),
+                 entries_.end());
+  if (entries_.empty()) return 0;
+
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    fds.push_back(pollfd{e.fd, POLLIN, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), static_cast<int>(timeout.count()));
+  if (ready <= 0) return 0;
+
+  std::size_t fired = 0;
+  // Index-based: callbacks may add entries, invalidating iterators.
+  const std::size_t count = fds.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !entries_[i].dead) {
+      entries_[i].cb();
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+std::size_t EventLoop::run_for(std::chrono::milliseconds duration, bool idle_exit) {
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  std::size_t total = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const auto slice = std::min(remaining, std::chrono::milliseconds(20));
+    const std::size_t fired = poll_once(std::max(slice, std::chrono::milliseconds(1)));
+    total += fired;
+    if (idle_exit && fired == 0) break;
+  }
+  return total;
+}
+
+}  // namespace nxd::net

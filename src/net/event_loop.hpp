@@ -1,0 +1,43 @@
+// A minimal poll(2)-based readiness loop.
+//
+// The honeypot and the authoritative DNS server are single-threaded event
+// services: they register fds with callbacks and let the loop dispatch.
+// `run_for` bounds wall time so examples and tests always terminate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nxd::net {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Register a callback fired whenever `fd` is readable.
+  void add_readable(int fd, Callback cb);
+
+  /// Remove all callbacks for a fd (safe to call from inside a callback).
+  void remove(int fd);
+
+  /// Dispatch ready events until the deadline; returns number of callback
+  /// invocations.  `idle_exit` stops early once no events arrive within one
+  /// poll timeout — convenient for drain-style tests.
+  std::size_t run_for(std::chrono::milliseconds duration,
+                      bool idle_exit = false);
+
+  /// One poll iteration with the given timeout; returns callbacks fired.
+  std::size_t poll_once(std::chrono::milliseconds timeout);
+
+ private:
+  struct Entry {
+    int fd;
+    Callback cb;
+    bool dead = false;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nxd::net

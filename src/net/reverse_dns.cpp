@@ -1,0 +1,39 @@
+#include "net/reverse_dns.hpp"
+
+#include <algorithm>
+
+namespace nxd::net {
+
+void ReverseDnsRegistry::add_block(Prefix prefix, std::string hostname_template) {
+  blocks_.push_back(Block{prefix, std::move(hostname_template)});
+  std::stable_sort(blocks_.begin(), blocks_.end(),
+                   [](const Block& a, const Block& b) {
+                     return a.prefix.length > b.prefix.length;
+                   });
+}
+
+void ReverseDnsRegistry::add_host(IPv4 ip, std::string hostname) {
+  hosts_[ip] = std::move(hostname);
+}
+
+std::optional<std::string> ReverseDnsRegistry::lookup(IPv4 ip) const {
+  if (const auto it = hosts_.find(ip); it != hosts_.end()) return it->second;
+  for (const auto& block : blocks_) {
+    if (block.prefix.contains(ip)) return render(block.hostname_template, ip);
+  }
+  return std::nullopt;
+}
+
+std::string ReverseDnsRegistry::render(const std::string& tmpl, IPv4 ip) {
+  const std::string dashed = std::to_string(ip.octet(0)) + "-" +
+                             std::to_string(ip.octet(1)) + "-" +
+                             std::to_string(ip.octet(2)) + "-" +
+                             std::to_string(ip.octet(3));
+  std::string out = tmpl;
+  if (const auto pos = out.find("%ip%"); pos != std::string::npos) {
+    out.replace(pos, 4, dashed);
+  }
+  return out;
+}
+
+}  // namespace nxd::net

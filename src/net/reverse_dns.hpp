@@ -1,0 +1,49 @@
+// Reverse-IP lookup registry.
+//
+// The paper's traffic categorizer resolves the hostname of each source IP
+// ("we check the hostname of the source IP by using reverse IP lookup") and
+// treats hits on well-known crawler hostnames as benign.  We model the
+// rDNS world as a prefix-keyed registry: operators register PTR templates
+// per CIDR block ("crawl-%d-%d-%d-%d.googlebot.com"), and lookups render the
+// matching template or fail (unresolvable), exactly the two outcomes the
+// categorizer distinguishes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/endpoint.hpp"
+
+namespace nxd::net {
+
+class ReverseDnsRegistry {
+ public:
+  /// Register a PTR template for a prefix.  In the template, "%ip%" expands
+  /// to the dash-joined address ("66-249-66-1"), giving realistic rDNS names.
+  /// Longer (more specific) prefixes win.
+  void add_block(Prefix prefix, std::string hostname_template);
+
+  /// Register an exact-IP PTR record.
+  void add_host(IPv4 ip, std::string hostname);
+
+  /// PTR lookup; nullopt when the address does not reverse-resolve (the
+  /// common case for botnet and residential sources).
+  std::optional<std::string> lookup(IPv4 ip) const;
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  struct Block {
+    Prefix prefix;
+    std::string hostname_template;
+  };
+
+  static std::string render(const std::string& tmpl, IPv4 ip);
+
+  std::vector<Block> blocks_;  // kept sorted by descending prefix length
+  std::unordered_map<IPv4, std::string, dns::IPv4Hash> hosts_;
+};
+
+}  // namespace nxd::net

@@ -1,0 +1,23 @@
+#include "net/sim_network.hpp"
+
+namespace nxd::net {
+
+void SimNetwork::attach(const Endpoint& ep, Protocol proto, Service service) {
+  services_[Key{ep, proto}] = std::move(service);
+}
+
+void SimNetwork::detach(const Endpoint& ep, Protocol proto) {
+  services_.erase(Key{ep, proto});
+}
+
+std::optional<std::vector<std::uint8_t>> SimNetwork::send(const SimPacket& packet) {
+  const auto it = services_.find(Key{packet.dst, packet.protocol});
+  if (it == services_.end()) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  ++delivered_;
+  return it->second(packet);
+}
+
+}  // namespace nxd::net

@@ -1,0 +1,65 @@
+// Deterministic in-memory packet network.
+//
+// Tests and synthetic experiments need to push millions of "packets" through
+// the honeypot recorder and the DNS resolution hierarchy without touching
+// real sockets.  SimNetwork delivers datagrams synchronously to registered
+// endpoint handlers and lets a handler reply inline, which is enough to
+// model request/response protocols (DNS over UDP, one-shot HTTP).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/endpoint.hpp"
+
+namespace nxd::net {
+
+struct SimPacket {
+  Protocol protocol = Protocol::UDP;
+  Endpoint src;
+  Endpoint dst;
+  std::vector<std::uint8_t> payload;
+};
+
+class SimNetwork {
+ public:
+  /// A service consumes a packet and may return a reply payload, which the
+  /// network delivers back to the packet source.
+  using Service =
+      std::function<std::optional<std::vector<std::uint8_t>>(const SimPacket&)>;
+
+  /// Attach a service to (ip, port, protocol).  Replaces any previous one.
+  void attach(const Endpoint& ep, Protocol proto, Service service);
+
+  void detach(const Endpoint& ep, Protocol proto);
+
+  /// Send one packet.  Returns the reply payload if the destination service
+  /// produced one; nullopt when the destination is unattached (packet
+  /// dropped, like a closed port) or the service declined to answer.
+  std::optional<std::vector<std::uint8_t>> send(const SimPacket& packet);
+
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  struct Key {
+    Endpoint ep;
+    Protocol proto;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return EndpointHash{}(k.ep) * 31 + static_cast<std::size_t>(k.proto);
+    }
+  };
+
+  std::unordered_map<Key, Service, KeyHash> services_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace nxd::net

@@ -1,0 +1,160 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nxd::net {
+
+namespace {
+
+sockaddr_in to_sockaddr(const Endpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(ep.port);
+  sa.sin_addr.s_addr = htonl(ep.ip.addr);
+  return sa;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& sa) {
+  return Endpoint{IPv4{ntohl(sa.sin_addr.s_addr)}, ntohs(sa.sin_port)};
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::optional<Endpoint> local_endpoint(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return std::nullopt;
+  }
+  return from_sockaddr(sa);
+}
+
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::optional<UdpSocket> UdpSocket::bind(const Endpoint& local) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid() || !set_nonblocking(fd.get())) return std::nullopt;
+  const sockaddr_in sa = to_sockaddr(local);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    return std::nullopt;
+  }
+  const auto bound = local_endpoint(fd.get());
+  if (!bound) return std::nullopt;
+  return UdpSocket(std::move(fd), *bound);
+}
+
+bool UdpSocket::send_to(const Endpoint& dest,
+                        std::span<const std::uint8_t> payload) {
+  const sockaddr_in sa = to_sockaddr(dest);
+  const auto sent =
+      ::sendto(fd_.get(), payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  return sent == static_cast<ssize_t>(payload.size());
+}
+
+std::optional<Datagram> UdpSocket::recv() {
+  std::vector<std::uint8_t> buf(65536);
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const auto n = ::recvfrom(fd_.get(), buf.data(), buf.size(), 0,
+                            reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) return std::nullopt;
+  buf.resize(static_cast<std::size_t>(n));
+  return Datagram{from_sockaddr(sa), std::move(buf)};
+}
+
+std::optional<TcpStream> TcpStream::connect(const Endpoint& remote) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  const sockaddr_in sa = to_sockaddr(remote);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    return std::nullopt;
+  }
+  if (!set_nonblocking(fd.get())) return std::nullopt;
+  return TcpStream(std::move(fd), remote);
+}
+
+std::ptrdiff_t TcpStream::write(std::span<const std::uint8_t> data) {
+  std::size_t total = 0;
+  while (total < data.size()) {
+    const auto n = ::send(fd_.get(), data.data() + total, data.size() - total,
+                          MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return -1;
+    }
+    total += static_cast<std::size_t>(n);
+  }
+  return static_cast<std::ptrdiff_t>(total);
+}
+
+std::ptrdiff_t TcpStream::write(std::string_view data) {
+  return write(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::ptrdiff_t TcpStream::read(std::vector<std::uint8_t>& out, std::size_t max) {
+  std::vector<std::uint8_t> buf(max);
+  const auto n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+  if (n == 0) {
+    eof_ = true;
+    return 0;
+  }
+  out.insert(out.end(), buf.begin(), buf.begin() + n);
+  return n;
+}
+
+std::optional<TcpListener> TcpListener::listen(const Endpoint& local, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid() || !set_nonblocking(fd.get())) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in sa = to_sockaddr(local);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 ||
+      ::listen(fd.get(), backlog) != 0) {
+    return std::nullopt;
+  }
+  const auto bound = local_endpoint(fd.get());
+  if (!bound) return std::nullopt;
+  return TcpListener(std::move(fd), *bound);
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  Fd fd(::accept(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len));
+  if (!fd.valid()) return std::nullopt;
+  set_nonblocking(fd.get());
+  return TcpStream(std::move(fd), from_sockaddr(sa));
+}
+
+}  // namespace nxd::net

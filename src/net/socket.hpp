@@ -1,0 +1,112 @@
+// Thin RAII wrappers over POSIX UDP/TCP sockets.
+//
+// These back the runnable honeypot and DNS-server examples on loopback.
+// Errors are surfaced as std::error_code-style boolean results plus errno
+// accessors — networking failures are expected at runtime and must not
+// unwind through the event loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hpp"
+
+namespace nxd::net {
+
+/// Owned file descriptor.  Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd();
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int get() const noexcept { return fd_; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+struct Datagram {
+  Endpoint from;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Bound UDP socket.
+class UdpSocket {
+ public:
+  /// Bind to the given local endpoint (port 0 = ephemeral).
+  static std::optional<UdpSocket> bind(const Endpoint& local);
+
+  bool send_to(const Endpoint& dest, std::span<const std::uint8_t> payload);
+
+  /// Non-blocking receive; nullopt when no datagram is pending.
+  std::optional<Datagram> recv();
+
+  Endpoint local() const noexcept { return local_; }
+  int fd() const noexcept { return fd_.get(); }
+
+ private:
+  UdpSocket(Fd fd, Endpoint local) : fd_(std::move(fd)), local_(local) {}
+  Fd fd_;
+  Endpoint local_;
+};
+
+/// Accepted or connected TCP stream.
+class TcpStream {
+ public:
+  static std::optional<TcpStream> connect(const Endpoint& remote);
+
+  /// Returns bytes written, or -1 on error.
+  std::ptrdiff_t write(std::span<const std::uint8_t> data);
+  std::ptrdiff_t write(std::string_view data);
+
+  /// Non-blocking read into an internal buffer; returns bytes read this
+  /// call, 0 on EOF/would-block distinction via `eof()`, -1 on error.
+  std::ptrdiff_t read(std::vector<std::uint8_t>& out, std::size_t max = 65536);
+
+  bool eof() const noexcept { return eof_; }
+  Endpoint peer() const noexcept { return peer_; }
+  int fd() const noexcept { return fd_.get(); }
+
+  TcpStream(Fd fd, Endpoint peer) : fd_(std::move(fd)), peer_(peer) {}
+
+ private:
+  Fd fd_;
+  Endpoint peer_;
+  bool eof_ = false;
+};
+
+/// Listening TCP socket.
+class TcpListener {
+ public:
+  static std::optional<TcpListener> listen(const Endpoint& local, int backlog = 64);
+
+  /// Non-blocking accept.
+  std::optional<TcpStream> accept();
+
+  Endpoint local() const noexcept { return local_; }
+  int fd() const noexcept { return fd_.get(); }
+
+ private:
+  TcpListener(Fd fd, Endpoint local) : fd_(std::move(fd)), local_(local) {}
+  Fd fd_;
+  Endpoint local_;
+};
+
+}  // namespace nxd::net

@@ -1,0 +1,32 @@
+#include "pdns/observation.hpp"
+
+namespace nxd::pdns {
+
+std::string to_string(SensorClass c) {
+  switch (c) {
+    case SensorClass::Isp: return "isp";
+    case SensorClass::Enterprise: return "enterprise";
+    case SensorClass::Academia: return "academia";
+    case SensorClass::Research: return "research";
+  }
+  return "unknown";
+}
+
+std::string SensorId::to_string() const {
+  return nxd::pdns::to_string(cls) + "-" + std::to_string(index);
+}
+
+Observation observe(const dns::Message& query, const dns::Message& response,
+                    util::SimTime when, SensorId sensor) {
+  Observation obs;
+  if (!query.questions.empty()) {
+    obs.name = query.questions.front().name;
+    obs.qtype = query.questions.front().qtype;
+  }
+  obs.rcode = response.header.rcode;
+  obs.when = when;
+  obs.sensor = sensor;
+  return obs;
+}
+
+}  // namespace nxd::pdns

@@ -1,0 +1,53 @@
+// Passive-DNS observations.
+//
+// One Observation is what a Farsight-style sensor exports when it sees a
+// DNS response go by: the queried name, the response code, when, and which
+// vantage point saw it.  Farsight's SIE channel 221 carries exactly the
+// NXDomain subset of this stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dns/message.hpp"
+#include "dns/name.hpp"
+#include "util/civil_time.hpp"
+
+namespace nxd::pdns {
+
+/// Vantage-point classes Farsight aggregates from (§3.1: "ISPs,
+/// enterprises, academia, and research organizations").
+enum class SensorClass : std::uint8_t {
+  Isp,
+  Enterprise,
+  Academia,
+  Research,
+};
+
+std::string to_string(SensorClass c);
+
+struct SensorId {
+  SensorClass cls = SensorClass::Isp;
+  std::uint16_t index = 0;
+
+  std::string to_string() const;
+  friend bool operator==(const SensorId&, const SensorId&) = default;
+};
+
+struct Observation {
+  dns::DomainName name;
+  dns::RRType qtype = dns::RRType::A;
+  dns::RCode rcode = dns::RCode::NoError;
+  util::SimTime when = 0;
+  SensorId sensor;
+
+  bool is_nxdomain() const noexcept { return rcode == dns::RCode::NXDomain; }
+  util::Day day() const noexcept { return when / util::kSecondsPerDay; }
+};
+
+/// Build an Observation from a resolver query/response pair — the adapter a
+/// sensor uses when tapping RecursiveResolver::set_observer.
+Observation observe(const dns::Message& query, const dns::Message& response,
+                    util::SimTime when, SensorId sensor = {});
+
+}  // namespace nxd::pdns

@@ -1,0 +1,27 @@
+#include "pdns/sampler.hpp"
+
+#include "util/rng.hpp"
+
+namespace nxd::pdns {
+
+DomainSampler::DomainSampler(std::uint64_t denominator, std::uint64_t seed)
+    : denominator_(denominator == 0 ? 1 : denominator), seed_(seed) {}
+
+bool DomainSampler::selected(std::string_view domain) const noexcept {
+  // Mix the per-name hash with the seed through one SplitMix64 round so that
+  // different seeds give independent samples of the same population.
+  util::SplitMix64 sm{util::fnv1a(domain) ^ seed_};
+  return sm.next() % denominator_ == 0;
+}
+
+std::vector<std::string> DomainSampler::filter(
+    const std::vector<std::string>& names) const {
+  std::vector<std::string> out;
+  out.reserve(names.size() / denominator_ + 1);
+  for (const auto& name : names) {
+    if (selected(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace nxd::pdns

@@ -1,0 +1,34 @@
+// Deterministic domain sampling (paper §4.2: 1/1,000 random sampling of the
+// 146 B NXDomains so analysis fits in budget while preserving distributions).
+//
+// The sampler is hash-based and stateless: a domain is either in or out of
+// the sample for a given (seed, denominator), independent of scan order.
+// This matters for reproducibility and for consistent joins — the WHOIS and
+// blocklist pipelines must see the same sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nxd::pdns {
+
+class DomainSampler {
+ public:
+  /// Selects ~1/denominator of domains.  denominator >= 1.
+  DomainSampler(std::uint64_t denominator, std::uint64_t seed);
+
+  bool selected(std::string_view domain) const noexcept;
+
+  /// Filter a name list, preserving order.
+  std::vector<std::string> filter(const std::vector<std::string>& names) const;
+
+  std::uint64_t denominator() const noexcept { return denominator_; }
+
+ private:
+  std::uint64_t denominator_;
+  std::uint64_t seed_;
+};
+
+}  // namespace nxd::pdns

@@ -1,0 +1,18 @@
+#include "pdns/sie_channel.hpp"
+
+namespace nxd::pdns {
+
+SieChannel SieChannel::nxdomain_channel() {
+  return SieChannel(221, "SIE NXDomains",
+                    [](const Observation& obs) { return obs.is_nxdomain(); });
+}
+
+bool SieChannel::publish(const Observation& obs) {
+  ++offered_;
+  if (filter_ && !filter_(obs)) return false;
+  ++forwarded_;
+  for (const auto& subscriber : subscribers_) subscriber(obs);
+  return true;
+}
+
+}  // namespace nxd::pdns

@@ -1,0 +1,153 @@
+#include "pdns/snapshot.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace nxd::pdns {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e584450;  // "NXDP"
+constexpr std::uint16_t kVersion = 1;
+constexpr std::uint64_t kDayBias = 1ULL << 62;
+
+std::uint64_t bias(std::int64_t v) {
+  return static_cast<std::uint64_t>(v) + kDayBias;
+}
+
+std::int64_t unbias(std::uint64_t v) {
+  return static_cast<std::int64_t>(v - kDayBias);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save_snapshot(const PassiveDnsStore& store) {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u16(store.config_.track_daily ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(store.total_ >> 32));
+  w.u32(static_cast<std::uint32_t>(store.total_));
+  w.u32(static_cast<std::uint32_t>(store.nx_responses_ >> 32));
+  w.u32(static_cast<std::uint32_t>(store.nx_responses_));
+  w.u32(static_cast<std::uint32_t>(store.distinct_nx_ >> 32));
+  w.u32(static_cast<std::uint32_t>(store.distinct_nx_));
+
+  auto u64 = [&w](std::uint64_t v) {
+    w.u32(static_cast<std::uint32_t>(v >> 32));
+    w.u32(static_cast<std::uint32_t>(v));
+  };
+
+  w.u32(static_cast<std::uint32_t>(store.monthly_nx_.size()));
+  for (const auto& [month, count] : store.monthly_nx_) {
+    u64(bias(month));
+    u64(count);
+  }
+
+  // Deterministic order: sort keys.
+  std::vector<const std::pair<const std::string, TldAggregate>*> tlds;
+  for (const auto& entry : store.tlds_) tlds.push_back(&entry);
+  std::sort(tlds.begin(), tlds.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w.u32(static_cast<std::uint32_t>(tlds.size()));
+  for (const auto* entry : tlds) {
+    w.u8(static_cast<std::uint8_t>(entry->first.size()));
+    w.bytes(entry->first);
+    u64(entry->second.nx_queries);
+    u64(entry->second.distinct_nx_names);
+  }
+
+  std::vector<const std::pair<const std::string, DomainAggregate>*> domains;
+  for (const auto& entry : store.domains_) domains.push_back(&entry);
+  std::sort(domains.begin(), domains.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w.u32(static_cast<std::uint32_t>(domains.size()));
+  for (const auto* entry : domains) {
+    const auto& agg = entry->second;
+    w.u16(static_cast<std::uint16_t>(entry->first.size()));
+    w.bytes(entry->first);
+    u64(bias(agg.first_seen));
+    u64(bias(agg.last_seen));
+    u64(bias(agg.first_nx_seen));
+    u64(agg.nx_queries);
+    u64(agg.ok_queries);
+    w.u32(static_cast<std::uint32_t>(agg.daily_nx.size()));
+    for (const auto& [day, count] : agg.daily_nx) {
+      u64(bias(day));
+      w.u32(count);
+    }
+  }
+
+  const auto sensors = store.sensor_volume_.top();
+  w.u32(static_cast<std::uint32_t>(sensors.size()));
+  for (const auto& [sensor, count] : sensors) {
+    w.u8(static_cast<std::uint8_t>(sensor.size()));
+    w.bytes(sensor);
+    u64(count);
+  }
+  return std::move(w).take();
+}
+
+std::optional<PassiveDnsStore> load_snapshot(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  auto u64 = [&r] {
+    const std::uint64_t hi = r.u32();
+    return (hi << 32) | r.u32();
+  };
+
+  if (r.u32() != kMagic) return std::nullopt;
+  if (r.u16() != kVersion) return std::nullopt;
+  const std::uint16_t flags = r.u16();
+
+  StoreConfig config;
+  config.track_daily = (flags & 1) != 0;
+  PassiveDnsStore store(config);
+  store.total_ = u64();
+  store.nx_responses_ = u64();
+  store.distinct_nx_ = u64();
+
+  const std::uint32_t months = r.u32();
+  for (std::uint32_t i = 0; i < months && r.ok(); ++i) {
+    const auto month = unbias(u64());
+    store.monthly_nx_[month] = u64();
+  }
+
+  const std::uint32_t tlds = r.u32();
+  for (std::uint32_t i = 0; i < tlds && r.ok(); ++i) {
+    const std::string tld = r.str(r.u8());
+    TldAggregate agg;
+    agg.nx_queries = u64();
+    agg.distinct_nx_names = u64();
+    store.tlds_[tld] = agg;
+  }
+
+  const std::uint32_t domains = r.u32();
+  for (std::uint32_t i = 0; i < domains && r.ok(); ++i) {
+    const std::string name = r.str(r.u16());
+    DomainAggregate agg;
+    agg.first_seen = unbias(u64());
+    agg.last_seen = unbias(u64());
+    agg.first_nx_seen = unbias(u64());
+    agg.nx_queries = u64();
+    agg.ok_queries = u64();
+    const std::uint32_t days = r.u32();
+    for (std::uint32_t d = 0; d < days && r.ok(); ++d) {
+      const auto day = unbias(u64());
+      agg.daily_nx[day] = r.u32();
+    }
+    store.domains_[name] = std::move(agg);
+  }
+
+  const std::uint32_t sensors = r.u32();
+  for (std::uint32_t i = 0; i < sensors && r.ok(); ++i) {
+    const std::string sensor = r.str(r.u8());
+    store.sensor_volume_.add(sensor, u64());
+  }
+
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return store;
+}
+
+}  // namespace nxd::pdns

@@ -1,0 +1,35 @@
+// Passive-DNS store snapshots: compact binary serialization of the indexed
+// aggregates — the "mirror the database" step (§3.1: the authors mirrored
+// Farsight's feed into BigQuery before analysis).
+//
+// Format (all integers big-endian, via util::ByteWriter):
+//   magic "NXDP" | version u16 | flags u16
+//   totals: total u64, nx_responses u64, distinct_nx u64
+//   monthly section: count u32, then (month_idx i64 as u64, count u64)*
+//   tld section: count u32, then (len u8, bytes, nx_queries u64,
+//                                 distinct u64)*
+//   domain section: count u32, then per domain:
+//     len u16, name bytes, first_seen/last_seen/first_nx i64,
+//     nx_queries u64, ok_queries u64,
+//     daily count u32, then (day i64, count u32)*
+//   sensor section: count u32, then (len u8, bytes, count u64)*
+// Days/months are biased by +2^62 when stored (they can be negative).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pdns/store.hpp"
+
+namespace nxd::pdns {
+
+/// Serialize the store to its snapshot bytes.
+std::vector<std::uint8_t> save_snapshot(const PassiveDnsStore& store);
+
+/// Rebuild a store from snapshot bytes; nullopt on corrupt/unsupported
+/// input.  The restored store compares equal on every query surface.
+std::optional<PassiveDnsStore> load_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace nxd::pdns

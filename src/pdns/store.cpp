@@ -1,0 +1,91 @@
+#include "pdns/store.hpp"
+
+#include <algorithm>
+
+namespace nxd::pdns {
+
+void PassiveDnsStore::ingest(const Observation& obs) {
+  ++total_;
+  sensor_volume_.add(to_string(obs.sensor.cls));
+
+  const std::string key = obs.name.registered_domain().to_string();
+  DomainAggregate& agg = domains_[key];
+  const util::Day day = obs.day();
+  agg.first_seen = std::min(agg.first_seen, day);
+  agg.last_seen = std::max(agg.last_seen, day);
+
+  if (!obs.is_nxdomain()) {
+    ++agg.ok_queries;
+    return;
+  }
+
+  ++nx_responses_;
+  ++agg.nx_queries;
+  monthly_nx_[util::month_index(day)] += 1;
+  if (config_.track_daily) {
+    agg.daily_nx[day] += 1;
+  }
+
+  const std::string tld(obs.name.tld());
+  TldAggregate& tld_agg = tlds_[tld];
+  ++tld_agg.nx_queries;
+  if (agg.first_nx_seen == INT64_MAX) {
+    agg.first_nx_seen = day;
+    ++distinct_nx_;
+    ++tld_agg.distinct_nx_names;
+  } else {
+    agg.first_nx_seen = std::min(agg.first_nx_seen, day);
+  }
+}
+
+const DomainAggregate* PassiveDnsStore::domain(
+    const std::string& registered_name) const {
+  const auto it = domains_.find(registered_name);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PassiveDnsStore::domain_names_sorted() const {
+  std::vector<std::string> names;
+  names.reserve(domains_.size());
+  for (const auto& [name, agg] : domains_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> PassiveDnsStore::high_traffic_nxdomains(
+    std::uint32_t threshold) const {
+  std::vector<std::string> out;
+  for (const auto& [name, agg] : domains_) {
+    std::map<std::int64_t, std::uint64_t> per_month;
+    for (const auto& [day, count] : agg.daily_nx) {
+      per_month[util::month_index(day)] += count;
+    }
+    const bool qualifies = std::any_of(
+        per_month.begin(), per_month.end(),
+        [threshold](const auto& kv) { return kv.second >= threshold; });
+    if (qualifies) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, TldAggregate>> PassiveDnsStore::top_tlds(
+    std::size_t k) const {
+  std::vector<std::pair<std::string, TldAggregate>> out(tlds_.begin(),
+                                                        tlds_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.distinct_nx_names != b.second.distinct_nx_names) {
+      return a.second.distinct_nx_names > b.second.distinct_nx_names;
+    }
+    return a.first < b.first;
+  });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+std::uint64_t PassiveDnsStore::monthly_nx(std::int64_t month_idx) const {
+  const auto it = monthly_nx_.find(month_idx);
+  return it == monthly_nx_.end() ? 0 : it->second;
+}
+
+}  // namespace nxd::pdns

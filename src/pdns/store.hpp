@@ -1,0 +1,100 @@
+// Passive-DNS observation store — the in-process Farsight-database
+// substitute that the scale/origin analyses query.
+//
+// Indexes maintained on ingest:
+//   - per registered domain: first/last seen, NX vs OK query counts, and
+//     (optionally) a compressed per-day NX count series
+//   - per TLD: distinct NXDomain names + NXDomain query volume (Fig 4)
+//   - per month: total NXDomain responses (Fig 3)
+//   - per sensor class: volume (vantage-point breakdown)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdns/observation.hpp"
+#include "util/histogram.hpp"
+
+namespace nxd::pdns {
+
+struct StoreConfig {
+  /// Keep a per-day NX-count series per domain (needed by the lifespan and
+  /// expiry-window analyses; costs memory proportional to active days).
+  bool track_daily = true;
+};
+
+struct DomainAggregate {
+  util::Day first_seen = INT64_MAX;
+  util::Day last_seen = INT64_MIN;
+  util::Day first_nx_seen = INT64_MAX;  // first day an NXDomain response was observed
+  std::uint64_t nx_queries = 0;
+  std::uint64_t ok_queries = 0;
+  // day -> NXDomain responses that day (present only when track_daily).
+  std::map<util::Day, std::uint32_t> daily_nx;
+
+  bool ever_nx() const noexcept { return first_nx_seen != INT64_MAX; }
+};
+
+struct TldAggregate {
+  std::uint64_t nx_queries = 0;
+  std::uint64_t distinct_nx_names = 0;
+};
+
+class PassiveDnsStore {
+ public:
+  explicit PassiveDnsStore(StoreConfig config = {}) : config_(config) {}
+
+  void ingest(const Observation& obs);
+
+  // ---- scalar totals ------------------------------------------------------
+  std::uint64_t total_observations() const noexcept { return total_; }
+  std::uint64_t nx_responses() const noexcept { return nx_responses_; }
+  std::uint64_t distinct_domains() const noexcept { return domains_.size(); }
+  std::uint64_t distinct_nxdomains() const noexcept { return distinct_nx_; }
+
+  // ---- per-domain ---------------------------------------------------------
+  const DomainAggregate* domain(const std::string& registered_name) const;
+
+  /// All domains, for full scans (sampling, joins).  Deterministic order.
+  std::vector<std::string> domain_names_sorted() const;
+
+  /// Domains whose NXDomain query volume in some calendar month reached
+  /// `threshold` — the paper's §3.3 selection criterion ("more than 10,000
+  /// DNS queries per month").  Requires track_daily.
+  std::vector<std::string> high_traffic_nxdomains(std::uint32_t threshold) const;
+
+  // ---- per-TLD (Fig 4) ----------------------------------------------------
+  std::vector<std::pair<std::string, TldAggregate>> top_tlds(std::size_t k) const;
+
+  // ---- per-month (Fig 3) --------------------------------------------------
+  std::uint64_t monthly_nx(std::int64_t month_idx) const;
+  std::map<std::int64_t, std::uint64_t> monthly_nx_series() const {
+    return monthly_nx_;
+  }
+
+  // ---- per-sensor ---------------------------------------------------------
+  const util::Counter& sensor_volume() const noexcept { return sensor_volume_; }
+
+ private:
+  // Snapshot (de)serialization rebuilds the private indexes directly.
+  friend std::optional<PassiveDnsStore> load_snapshot(
+      std::span<const std::uint8_t> bytes);
+  friend std::vector<std::uint8_t> save_snapshot(const PassiveDnsStore& store);
+
+  StoreConfig config_;
+  std::uint64_t total_ = 0;
+  std::uint64_t nx_responses_ = 0;
+  std::uint64_t distinct_nx_ = 0;
+
+  std::unordered_map<std::string, DomainAggregate> domains_;
+  std::unordered_map<std::string, TldAggregate> tlds_;
+  std::map<std::int64_t, std::uint64_t> monthly_nx_;
+  util::Counter sensor_volume_;
+};
+
+}  // namespace nxd::pdns

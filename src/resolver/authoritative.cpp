@@ -1,0 +1,90 @@
+#include "resolver/authoritative.hpp"
+
+#include <utility>
+
+namespace nxd::resolver {
+
+Zone& AuthoritativeServer::add_zone(dns::DomainName origin, dns::SoaData soa) {
+  zones_.push_back(std::make_unique<Zone>(std::move(origin), std::move(soa)));
+  return *zones_.back();
+}
+
+Zone* AuthoritativeServer::find_zone(const dns::DomainName& name) {
+  return const_cast<Zone*>(std::as_const(*this).find_zone(name));
+}
+
+const Zone* AuthoritativeServer::find_zone(const dns::DomainName& name) const {
+  const Zone* best = nullptr;
+  for (const auto& zone : zones_) {
+    if (name.is_subdomain_of(zone->origin())) {
+      if (!best || zone->origin().label_count() > best->origin().label_count()) {
+        best = zone.get();
+      }
+    }
+  }
+  return best;
+}
+
+bool AuthoritativeServer::remove_zone(const dns::DomainName& origin) {
+  for (auto it = zones_.begin(); it != zones_.end(); ++it) {
+    if ((*it)->origin() == origin) {
+      zones_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+dns::Message AuthoritativeServer::answer(const dns::Message& query) const {
+  ++queries_;
+  if (query.questions.empty()) {
+    return dns::make_response(query, dns::RCode::FormErr);
+  }
+  const auto& q = query.questions.front();
+  const Zone* zone = find_zone(q.name);
+  if (zone == nullptr) {
+    return dns::make_response(query, dns::RCode::Refused);
+  }
+
+  dns::Message response = dns::make_response(query, dns::RCode::NoError);
+  response.header.aa = true;
+  response.header.ra = false;
+
+  dns::DomainName lookup_name = q.name;
+  // Chase CNAME chains inside this server's data (bounded to avoid loops).
+  for (int hops = 0; hops < 8; ++hops) {
+    const LookupResult result = zone->lookup(lookup_name, q.qtype);
+    switch (result.kind) {
+      case LookupKind::Answer:
+        for (const auto& rr : result.records) response.answers.push_back(rr);
+        return response;
+      case LookupKind::CName: {
+        response.answers.push_back(result.records.front());
+        const auto& target =
+            std::get<dns::CnameData>(result.records.front().rdata).target;
+        const Zone* next = find_zone(target);
+        if (next == nullptr) return response;  // alias leaves our data
+        zone = next;
+        lookup_name = target;
+        continue;
+      }
+      case LookupKind::Delegation:
+        response.header.aa = false;
+        for (const auto& rr : result.records) {
+          response.authorities.push_back(rr);
+        }
+        return response;
+      case LookupKind::NoData:
+        response.authorities.push_back(zone->soa_record());
+        return response;
+      case LookupKind::NxDomain:
+        ++nxdomains_;
+        response.header.rcode = dns::RCode::NXDomain;
+        response.authorities.push_back(zone->soa_record());
+        return response;
+    }
+  }
+  return dns::make_response(query, dns::RCode::ServFail);
+}
+
+}  // namespace nxd::resolver

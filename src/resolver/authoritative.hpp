@@ -1,0 +1,38 @@
+// Authoritative server logic: owns zones, answers wire messages.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "resolver/zone.hpp"
+
+namespace nxd::resolver {
+
+class AuthoritativeServer {
+ public:
+  /// Add a zone; returns a stable reference for populating records.
+  Zone& add_zone(dns::DomainName origin, dns::SoaData soa);
+
+  /// Most-specific zone containing the name, or nullptr.
+  Zone* find_zone(const dns::DomainName& name);
+  const Zone* find_zone(const dns::DomainName& name) const;
+
+  /// Drop the zone with exactly this origin; returns false if absent.
+  bool remove_zone(const dns::DomainName& origin);
+
+  /// Answer one query message.  REFUSED when no zone matches; otherwise the
+  /// zone's lookup result rendered per RFC 1035/2308 (NXDomain carries the
+  /// SOA in the authority section; CNAMEs are chased within the same zone).
+  dns::Message answer(const dns::Message& query) const;
+
+  std::uint64_t queries_served() const noexcept { return queries_; }
+  std::uint64_t nxdomains_served() const noexcept { return nxdomains_; }
+
+ private:
+  std::vector<std::unique_ptr<Zone>> zones_;
+  mutable std::uint64_t queries_ = 0;
+  mutable std::uint64_t nxdomains_ = 0;
+};
+
+}  // namespace nxd::resolver

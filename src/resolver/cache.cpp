@@ -1,0 +1,67 @@
+#include "resolver/cache.hpp"
+
+#include <algorithm>
+
+namespace nxd::resolver {
+
+void ResolverCache::put_positive(const dns::DomainName& name, dns::RRType type,
+                                 std::vector<dns::ResourceRecord> records,
+                                 util::SimTime now) {
+  if (records.empty()) return;
+  std::uint32_t ttl = records.front().ttl;
+  for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
+  ttl = std::min(ttl, config_.max_ttl);
+  if (positive_.size() >= config_.max_entries) {
+    // Simple pressure valve: drop everything rather than trickle-evict; the
+    // simulation workloads size the cache generously, so this is a safety
+    // net, not a policy.
+    positive_.clear();
+  }
+  positive_[Key{name, type}] =
+      PositiveEntry{std::move(records), now + static_cast<util::SimTime>(ttl)};
+  ++stats_.insertions;
+}
+
+void ResolverCache::put_negative(const dns::DomainName& name,
+                                 const dns::SoaData& soa, util::SimTime now) {
+  if (!config_.enable_negative) return;
+  const std::uint32_t ttl = std::min(soa.minimum, config_.max_negative_ttl);
+  if (negative_.size() >= config_.max_entries) negative_.clear();
+  negative_[name] = NegativeEntry{now + static_cast<util::SimTime>(ttl)};
+  ++stats_.insertions;
+}
+
+std::optional<ResolverCache::Hit> ResolverCache::get(const dns::DomainName& name,
+                                                     dns::RRType type,
+                                                     util::SimTime now) {
+  // RFC 2308: a cached NXDomain covers *all* types for the name.
+  if (config_.enable_negative) {
+    const auto nit = negative_.find(name);
+    if (nit != negative_.end()) {
+      if (nit->second.expires > now) {
+        ++stats_.negative_hits;
+        return Hit{true, {}};
+      }
+      negative_.erase(nit);
+      ++stats_.expirations;
+    }
+  }
+  const auto it = positive_.find(Key{name, type});
+  if (it != positive_.end()) {
+    if (it->second.expires > now) {
+      ++stats_.positive_hits;
+      return Hit{false, it->second.records};
+    }
+    positive_.erase(it);
+    ++stats_.expirations;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResolverCache::clear() {
+  positive_.clear();
+  negative_.clear();
+}
+
+}  // namespace nxd::resolver

@@ -1,0 +1,92 @@
+// Resolver cache: positive RRset cache plus RFC 2308 negative cache.
+//
+// Negative caching is load-bearing for this paper: a recursive resolver that
+// caches NXDomain answers absorbs repeat queries, which is why Farsight's
+// multi-vantage collection still records massive NXDomain volume — caches
+// expire, and many clients bypass shared resolvers.  The ablation bench
+// (micro_ablation) toggles this cache to quantify the damping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "util/civil_time.hpp"
+
+namespace nxd::resolver {
+
+struct CacheStats {
+  std::uint64_t positive_hits = 0;
+  std::uint64_t negative_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t expirations = 0;
+};
+
+struct CacheConfig {
+  bool enable_negative = true;
+  std::uint32_t max_ttl = 86'400;          // clamp absurd TTLs
+  std::uint32_t max_negative_ttl = 3'600;  // RFC 2308 recommends <= 3h
+  std::size_t max_entries = 1 << 20;
+};
+
+class ResolverCache {
+ public:
+  using Config = CacheConfig;
+
+  explicit ResolverCache(Config config = {}) : config_(config) {}
+
+  /// Store a positive RRset for (name, type).
+  void put_positive(const dns::DomainName& name, dns::RRType type,
+                    std::vector<dns::ResourceRecord> records,
+                    util::SimTime now);
+
+  /// Store a negative (NXDomain) entry; TTL comes from the SOA minimum
+  /// field per RFC 2308 §5.
+  void put_negative(const dns::DomainName& name, const dns::SoaData& soa,
+                    util::SimTime now);
+
+  struct Hit {
+    bool negative = false;
+    std::vector<dns::ResourceRecord> records;  // empty for negative hits
+  };
+
+  /// Lookup; expired entries are treated as misses (and reaped lazily).
+  std::optional<Hit> get(const dns::DomainName& name, dns::RRType type,
+                         util::SimTime now);
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept {
+    return positive_.size() + negative_.size();
+  }
+  void clear();
+
+ private:
+  struct PositiveEntry {
+    std::vector<dns::ResourceRecord> records;
+    util::SimTime expires;
+  };
+  struct NegativeEntry {
+    util::SimTime expires;
+  };
+  struct Key {
+    dns::DomainName name;
+    dns::RRType type;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return dns::DomainNameHash{}(k.name) * 31 +
+             static_cast<std::size_t>(k.type);
+    }
+  };
+
+  Config config_;
+  CacheStats stats_;
+  std::unordered_map<Key, PositiveEntry, KeyHash> positive_;
+  std::unordered_map<dns::DomainName, NegativeEntry, dns::DomainNameHash> negative_;
+};
+
+}  // namespace nxd::resolver

@@ -1,0 +1,125 @@
+#include "resolver/hierarchy.hpp"
+
+namespace nxd::resolver {
+
+namespace {
+
+const std::string kDefaultTlds[] = {"com", "net", "org", "info", "io"};
+
+}  // namespace
+
+DnsHierarchy::DnsHierarchy() {
+  for (const auto& tld : kDefaultTlds) add_tld(tld);
+}
+
+void DnsHierarchy::add_tld(const std::string& tld) { tld_registry_[tld]; }
+
+bool DnsHierarchy::has_tld(const std::string& tld) const {
+  return tld_registry_.contains(tld);
+}
+
+dns::SoaData DnsHierarchy::make_soa(const dns::DomainName& zone_origin) const {
+  dns::SoaData soa;
+  soa.mname = *zone_origin.child("ns1");
+  soa.rname = *zone_origin.child("hostmaster");
+  soa.serial = 1;
+  soa.minimum = 300;
+  return soa;
+}
+
+bool DnsHierarchy::register_domain(const dns::DomainName& domain,
+                                   dns::IPv4 address, std::uint32_t ttl) {
+  if (domain.label_count() < 2) return false;
+  const dns::DomainName reg = domain.registered_domain();
+  if (zones_by_domain_.contains(reg)) return false;
+
+  const std::string tld(reg.tld());
+  add_tld(tld);
+  tld_registry_[tld].insert(reg);
+
+  Zone& zone = auth_.add_zone(reg, make_soa(reg));
+  zone.add(dns::make_a(reg, address, ttl));
+  if (const auto www = reg.child("www")) {
+    zone.add(dns::make_a(*www, address, ttl));
+  }
+  if (const auto ns1 = reg.child("ns1")) {
+    zone.add(dns::make_ns(reg, *ns1));
+  }
+  zones_by_domain_[reg] = auth_.find_zone(reg);
+  return true;
+}
+
+void DnsHierarchy::deregister_domain(const dns::DomainName& domain) {
+  const dns::DomainName reg = domain.registered_domain();
+  const auto it = zones_by_domain_.find(reg);
+  if (it == zones_by_domain_.end()) return;
+  zones_by_domain_.erase(it);
+  auth_.remove_zone(reg);
+  const auto tld_it = tld_registry_.find(std::string(reg.tld()));
+  if (tld_it != tld_registry_.end()) tld_it->second.erase(reg);
+}
+
+bool DnsHierarchy::is_registered(const dns::DomainName& domain) const {
+  return zones_by_domain_.contains(domain.registered_domain());
+}
+
+Zone* DnsHierarchy::zone_of(const dns::DomainName& domain) {
+  const auto it = zones_by_domain_.find(domain.registered_domain());
+  return it == zones_by_domain_.end() ? nullptr : it->second;
+}
+
+dns::Message DnsHierarchy::resolve_iterative(const dns::Message& query,
+                                             IterativeTrace* trace) const {
+  auto note = [&](IterationStep::Server server, std::string label,
+                  std::string outcome) {
+    if (trace != nullptr) {
+      trace->steps.push_back(IterationStep{server, std::move(label), std::move(outcome)});
+    }
+  };
+
+  if (query.questions.empty()) {
+    return dns::make_response(query, dns::RCode::FormErr);
+  }
+  const dns::DomainName& qname = query.questions.front().name;
+
+  // Step 1: root server.  Knows which TLDs exist.
+  ++root_queries_;
+  if (qname.is_root()) {
+    note(IterationStep::Server::Root, ".", "answer (root)");
+    return dns::make_response(query, dns::RCode::NoError);
+  }
+  const std::string tld(qname.tld());
+  const auto tld_it = tld_registry_.find(tld);
+  if (tld_it == tld_registry_.end()) {
+    note(IterationStep::Server::Root, ".", "NXDOMAIN (no such TLD)");
+    dns::SoaData root_soa;
+    root_soa.mname = dns::DomainName::must("a.root-servers.net");
+    root_soa.rname = dns::DomainName::must("nstld.verisign-grs.com");
+    root_soa.minimum = 86'400;
+    return dns::make_nxdomain(query, dns::make_soa(dns::DomainName{}, root_soa));
+  }
+  note(IterationStep::Server::Root, ".", "referral to " + tld + ".");
+
+  // Step 2: TLD server.  Knows which registered domains are delegated.
+  ++tld_queries_;
+  const dns::DomainName reg = qname.registered_domain();
+  if (!tld_it->second.contains(reg)) {
+    note(IterationStep::Server::Tld, tld + ".", "NXDOMAIN (not delegated)");
+    dns::SoaData tld_soa;
+    tld_soa.mname = dns::DomainName::must("a.gtld-servers.net");
+    tld_soa.rname = dns::DomainName::must("nstld.verisign-grs.com");
+    tld_soa.minimum = 900;
+    return dns::make_nxdomain(
+        query, dns::make_soa(dns::DomainName::must(tld), tld_soa));
+  }
+  note(IterationStep::Server::Tld, tld + ".", "referral to " + reg.to_string());
+
+  // Step 3: authoritative server for the registered domain.
+  ++auth_queries_;
+  dns::Message response = auth_.answer(query);
+  note(IterationStep::Server::Authoritative, reg.to_string(),
+       dns::to_string(response.header.rcode));
+  return response;
+}
+
+}  // namespace nxd::resolver

@@ -1,0 +1,81 @@
+// Root -> TLD -> authoritative hierarchy simulation (paper Fig. 1).
+//
+// The hierarchy is the ground truth for which domains exist.  Registering a
+// domain creates its delegation in the TLD registry and an authoritative
+// zone; deregistering removes the delegation, at which point every query for
+// the name yields NXDomain from the TLD server — the lifecycle event the
+// whole paper studies.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "dns/message.hpp"
+#include "resolver/authoritative.hpp"
+
+namespace nxd::resolver {
+
+/// One step of an iterative resolution, for traces/examples.
+struct IterationStep {
+  enum class Server { Root, Tld, Authoritative } server;
+  std::string server_label;
+  std::string outcome;  // "referral to com.", "NXDOMAIN", "answer", ...
+};
+
+struct IterativeTrace {
+  std::vector<IterationStep> steps;
+};
+
+class DnsHierarchy {
+ public:
+  DnsHierarchy();
+
+  /// Create the TLD if missing (idempotent).
+  void add_tld(const std::string& tld);
+
+  bool has_tld(const std::string& tld) const;
+
+  /// Register `domain` (a registered-level name like example.com) with an
+  /// A record for the apex and for the `www` child.  Creates the TLD on
+  /// demand.  Returns false if the name is malformed for registration
+  /// (fewer than two labels).
+  bool register_domain(const dns::DomainName& domain, dns::IPv4 address,
+                       std::uint32_t ttl = 300);
+
+  /// Remove the delegation and zone — the domain becomes non-existent.
+  void deregister_domain(const dns::DomainName& domain);
+
+  bool is_registered(const dns::DomainName& domain) const;
+  std::size_t registered_count() const noexcept { return zones_by_domain_.size(); }
+
+  /// Access the authoritative zone for a registered domain (to add MX, TXT,
+  /// subdomain records, ...); nullptr when not registered.
+  Zone* zone_of(const dns::DomainName& domain);
+
+  /// Full iterative resolution from the root, as a recursive resolver would
+  /// perform it.  Returns the final response (answer, or NXDomain from the
+  /// deepest server that can prove non-existence).
+  dns::Message resolve_iterative(const dns::Message& query,
+                                 IterativeTrace* trace = nullptr) const;
+
+  std::uint64_t root_queries() const noexcept { return root_queries_; }
+  std::uint64_t tld_queries() const noexcept { return tld_queries_; }
+  std::uint64_t auth_queries() const noexcept { return auth_queries_; }
+
+ private:
+  dns::SoaData make_soa(const dns::DomainName& zone_origin) const;
+
+  // TLD -> set of registered-domain names under it.
+  std::unordered_map<std::string, std::set<dns::DomainName>> tld_registry_;
+  // Registered domain -> its authoritative zone (all zones live on one
+  // simulated authoritative server farm).
+  AuthoritativeServer auth_;
+  std::unordered_map<dns::DomainName, Zone*, dns::DomainNameHash> zones_by_domain_;
+
+  mutable std::uint64_t root_queries_ = 0;
+  mutable std::uint64_t tld_queries_ = 0;
+  mutable std::uint64_t auth_queries_ = 0;
+};
+
+}  // namespace nxd::resolver

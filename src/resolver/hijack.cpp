@@ -1,0 +1,34 @@
+#include "resolver/hijack.hpp"
+
+namespace nxd::resolver {
+
+ResolveOutcome HijackingResolver::resolve(const dns::Message& query,
+                                          util::SimTime now) {
+  ResolveOutcome outcome = inner_.resolve(query, now);
+  ++stats_.responses;
+  if (outcome.response.header.rcode != dns::RCode::NXDomain) return outcome;
+
+  ++stats_.nxdomain_seen;
+  if (!rng_.chance(config_.hijack_rate)) return outcome;
+
+  // Rewrite: NOERROR with the ad server's A record, authority cleared —
+  // exactly what a monetizing middlebox emits.  Only A/any-type queries are
+  // rewritten; a hijacker cannot fabricate, say, a sensible SOA.
+  ++stats_.hijacked;
+  dns::Message rewritten = dns::make_response(query, dns::RCode::NoError);
+  if (!query.questions.empty()) {
+    rewritten.answers.push_back(dns::make_a(query.questions.front().name,
+                                            config_.ad_server, config_.ad_ttl));
+  }
+  outcome.response = std::move(rewritten);
+  outcome.negative_cache_hit = false;
+  return outcome;
+}
+
+dns::RCode HijackingResolver::resolve_rcode(const dns::DomainName& name,
+                                            util::SimTime now) {
+  const auto query = dns::make_query(next_id_++, name, dns::RRType::A);
+  return resolve(query, now).response.header.rcode;
+}
+
+}  // namespace nxd::resolver

@@ -1,0 +1,57 @@
+#include "resolver/recursive.hpp"
+
+namespace nxd::resolver {
+
+ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
+                                          util::SimTime now) {
+  ++stats_.client_queries;
+  if (query.questions.empty()) {
+    return ResolveOutcome{dns::make_response(query, dns::RCode::FormErr)};
+  }
+  const auto& q = query.questions.front();
+
+  if (auto hit = cache_.get(q.name, q.qtype, now)) {
+    ++stats_.cache_hits;
+    ResolveOutcome out;
+    out.from_cache = true;
+    if (hit->negative) {
+      out.negative_cache_hit = true;
+      out.response = dns::make_response(query, dns::RCode::NXDomain);
+      ++stats_.nxdomain_responses;
+    } else {
+      out.response = dns::make_response(query, dns::RCode::NoError);
+      out.response.answers = std::move(hit->records);
+    }
+    if (observer_) observer_(query, out.response, true, now);
+    return out;
+  }
+
+  ++stats_.upstream_resolutions;
+  dns::Message response = hierarchy_.resolve_iterative(query);
+  response.header.id = query.header.id;
+
+  if (response.header.rcode == dns::RCode::NXDomain) {
+    ++stats_.nxdomain_responses;
+    // RFC 2308: negative-cache using the SOA from the authority section.
+    for (const auto& rr : response.authorities) {
+      if (rr.type() == dns::RRType::SOA) {
+        cache_.put_negative(q.name, std::get<dns::SoaData>(rr.rdata), now);
+        break;
+      }
+    }
+  } else if (response.header.rcode == dns::RCode::NoError &&
+             !response.answers.empty()) {
+    cache_.put_positive(q.name, q.qtype, response.answers, now);
+  }
+
+  if (observer_) observer_(query, response, false, now);
+  return ResolveOutcome{std::move(response)};
+}
+
+dns::RCode RecursiveResolver::resolve_rcode(const dns::DomainName& name,
+                                            util::SimTime now) {
+  const auto query = dns::make_query(next_id_++, name, dns::RRType::A);
+  return resolve(query, now).response.header.rcode;
+}
+
+}  // namespace nxd::resolver

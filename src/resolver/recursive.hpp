@@ -1,0 +1,60 @@
+// Recursive resolver: cache in front of the iterative hierarchy walk.
+//
+// This is the "Local DNS" box in the paper's Fig. 1 and the vantage point
+// from which passive-DNS sensors observe traffic: every response it returns
+// (cache hit or not) can be exported to a pdns::SieChannel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "resolver/cache.hpp"
+#include "resolver/hierarchy.hpp"
+#include "util/civil_time.hpp"
+
+namespace nxd::resolver {
+
+struct ResolveOutcome {
+  dns::Message response;
+  bool from_cache = false;
+  bool negative_cache_hit = false;
+};
+
+struct RecursiveStats {
+  std::uint64_t client_queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t upstream_resolutions = 0;
+  std::uint64_t nxdomain_responses = 0;
+};
+
+class RecursiveResolver {
+ public:
+  /// Observer invoked for every response handed to a client; this is where
+  /// a passive-DNS sensor taps the resolver.
+  using ResponseObserver =
+      std::function<void(const dns::Message& query, const dns::Message& response,
+                         bool from_cache, util::SimTime when)>;
+
+  RecursiveResolver(const DnsHierarchy& hierarchy, ResolverCache::Config cache_config = {})
+      : hierarchy_(hierarchy), cache_(cache_config) {}
+
+  void set_observer(ResponseObserver observer) { observer_ = std::move(observer); }
+
+  ResolveOutcome resolve(const dns::Message& query, util::SimTime now);
+
+  /// Convenience: resolve (name, A) and report only the rcode.
+  dns::RCode resolve_rcode(const dns::DomainName& name, util::SimTime now);
+
+  const RecursiveStats& stats() const noexcept { return stats_; }
+  const ResolverCache& cache() const noexcept { return cache_; }
+  void flush_cache() { cache_.clear(); }
+
+ private:
+  const DnsHierarchy& hierarchy_;
+  ResolverCache cache_;
+  RecursiveStats stats_;
+  ResponseObserver observer_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace nxd::resolver

@@ -1,0 +1,60 @@
+// DNS over TCP (RFC 1035 §4.2.2) and the TC-bit truncation path.
+//
+// UDP answers over 512 octets must be truncated with the TC bit set; the
+// client then retries over TCP, where each message is preceded by a 2-byte
+// length.  NXDomain responses rarely need this, but an authoritative
+// server for re-registered study domains must be a complete citizen.
+#pragma once
+
+#include <memory>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "resolver/authoritative.hpp"
+
+namespace nxd::resolver {
+
+/// Maximum UDP payload before truncation applies for classic (non-EDNS)
+/// clients.
+constexpr std::size_t kMaxUdpPayload = 512;
+
+/// Ceiling honoured for EDNS-advertised payload sizes (the widely deployed
+/// fragmentation-safe value).
+constexpr std::size_t kMaxEdnsPayload = 1'232;
+
+/// Apply §4.2.1 truncation policy: if `wire_size` exceeds the limit,
+/// return a copy of `response` with answers/authority/additional stripped
+/// and TC set; otherwise return it unchanged.
+dns::Message truncate_for_udp(const dns::Message& response,
+                              std::size_t wire_size,
+                              std::size_t limit = kMaxUdpPayload);
+
+/// DNS-over-TCP front end for an AuthoritativeServer: 2-byte length-prefixed
+/// messages on an accepted stream, one query per connection (the common
+/// retry pattern).
+class TcpDnsServer {
+ public:
+  static std::unique_ptr<TcpDnsServer> create(const net::Endpoint& local,
+                                              const AuthoritativeServer& auth);
+
+  void attach(net::EventLoop& loop);
+  net::Endpoint local() const noexcept { return listener_.local(); }
+  std::uint64_t answered() const noexcept { return answered_; }
+
+ private:
+  TcpDnsServer(net::TcpListener listener, const AuthoritativeServer& auth)
+      : listener_(std::move(listener)), auth_(auth) {}
+
+  void on_acceptable();
+
+  net::TcpListener listener_;
+  const AuthoritativeServer& auth_;
+  std::uint64_t answered_ = 0;
+};
+
+/// Client helper: query over TCP with the length-prefix framing.
+std::optional<dns::Message> tcp_query(const net::Endpoint& server,
+                                      const dns::Message& query,
+                                      int timeout_ms = 2000);
+
+}  // namespace nxd::resolver

@@ -1,0 +1,75 @@
+#include "resolver/udp_server.hpp"
+
+#include <poll.h>
+
+#include "resolver/tcp_server.hpp"
+
+#include <algorithm>
+
+namespace nxd::resolver {
+
+std::unique_ptr<UdpDnsServer> UdpDnsServer::create(
+    const net::Endpoint& local, const AuthoritativeServer& auth) {
+  auto socket = net::UdpSocket::bind(local);
+  if (!socket) return nullptr;
+  return std::unique_ptr<UdpDnsServer>(
+      new UdpDnsServer(std::move(*socket), auth));
+}
+
+void UdpDnsServer::attach(net::EventLoop& loop) {
+  loop.add_readable(socket_.fd(), [this] { pump(); });
+}
+
+std::size_t UdpDnsServer::pump() {
+  std::size_t handled = 0;
+  while (auto datagram = socket_.recv()) {
+    handle_one(*datagram);
+    ++handled;
+  }
+  return handled;
+}
+
+void UdpDnsServer::handle_one(const net::Datagram& datagram) {
+  const auto query = dns::decode(datagram.payload);
+  if (!query || query->header.qr) {
+    ++malformed_;
+    return;
+  }
+  dns::Message response = auth_.answer(*query);
+  // EDNS(0): a client advertising a larger payload raises the truncation
+  // threshold (clamped to a sane ceiling); the server echoes an OPT with
+  // its own capability either way (RFC 6891 §6.2.1).
+  std::size_t limit = kMaxUdpPayload;
+  if (query->edns) {
+    limit = std::clamp<std::size_t>(query->edns->udp_payload, kMaxUdpPayload,
+                                    kMaxEdnsPayload);
+    response.edns = dns::EdnsInfo{kMaxEdnsPayload, 0, false};
+  }
+  auto wire = dns::encode(response);
+  if (wire.size() > limit) {
+    // RFC 1035 §4.2.1: answer doesn't fit in the datagram — set TC and let
+    // the client retry over TCP.
+    response = truncate_for_udp(response, wire.size(), limit);
+    wire = dns::encode(response);
+  }
+  if (socket_.send_to(datagram.from, wire)) ++answered_;
+}
+
+std::optional<dns::Message> udp_query(const net::Endpoint& server,
+                                      const dns::Message& query,
+                                      int timeout_ms) {
+  auto socket = net::UdpSocket::bind(
+      net::Endpoint{dns::IPv4::from_octets(127, 0, 0, 1), 0});
+  if (!socket) return std::nullopt;
+  if (!socket->send_to(server, dns::encode(query))) return std::nullopt;
+
+  pollfd pfd{socket->fd(), POLLIN, 0};
+  if (::poll(&pfd, 1, timeout_ms) <= 0) return std::nullopt;
+  const auto reply = socket->recv();
+  if (!reply) return std::nullopt;
+  auto message = dns::decode(reply->payload);
+  if (!message || message->header.id != query.header.id) return std::nullopt;
+  return message;
+}
+
+}  // namespace nxd::resolver

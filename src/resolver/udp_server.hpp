@@ -1,0 +1,50 @@
+// DNS-over-UDP front end for an AuthoritativeServer, runnable on loopback.
+//
+// This is the "dedicated authoritative DNS server (aDNS)" of the paper's
+// §3.3 honeypot deployment, as a real network service.
+#pragma once
+
+#include <memory>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "resolver/authoritative.hpp"
+
+namespace nxd::resolver {
+
+class UdpDnsServer {
+ public:
+  /// Bind to `local` (port 0 picks an ephemeral port — handy for tests that
+  /// cannot use privileged port 53).  Returns nullptr on bind failure.
+  static std::unique_ptr<UdpDnsServer> create(const net::Endpoint& local,
+                                              const AuthoritativeServer& auth);
+
+  /// Register with an event loop; each readable event answers one datagram.
+  void attach(net::EventLoop& loop);
+
+  /// Drain and answer all currently pending datagrams (poll-free use).
+  std::size_t pump();
+
+  net::Endpoint local() const noexcept { return socket_.local(); }
+  std::uint64_t answered() const noexcept { return answered_; }
+  std::uint64_t malformed() const noexcept { return malformed_; }
+
+ private:
+  UdpDnsServer(net::UdpSocket socket, const AuthoritativeServer& auth)
+      : socket_(std::move(socket)), auth_(auth) {}
+
+  void handle_one(const net::Datagram& datagram);
+
+  net::UdpSocket socket_;
+  const AuthoritativeServer& auth_;
+  std::uint64_t answered_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+/// One-shot client helper: send `query` to `server` over UDP and wait up to
+/// `timeout_ms` for the reply.  Returns nullopt on timeout/parse failure.
+std::optional<dns::Message> udp_query(const net::Endpoint& server,
+                                      const dns::Message& query,
+                                      int timeout_ms = 1000);
+
+}  // namespace nxd::resolver

@@ -1,0 +1,45 @@
+// RFC 1035 §5 master-file ("zone file") parser — the operator-facing way to
+// populate an authoritative Zone, used by the aDNS deployment story (§3.3:
+// "we set up our own authoritative DNS server to resolve the registered
+// domains").
+//
+// Supported subset (the part real small zones use):
+//   $ORIGIN / $TTL directives
+//   relative and absolute owner names, "@" for the origin, blank owner
+//     repetition
+//   optional per-record TTL and class (IN)
+//   record types: SOA (single-line), NS, A, AAAA*, CNAME, MX, PTR, TXT
+//   comments (';' to end of line)
+// *AAAA accepts only the full uncompressed hex form.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resolver/zone.hpp"
+
+namespace nxd::resolver {
+
+struct ZoneParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct ZoneParseResult {
+  std::optional<Zone> zone;           // engaged on success
+  std::vector<ZoneParseError> errors; // non-empty on failure
+  std::size_t records = 0;
+};
+
+/// Parse a zone file's text.  `default_origin` is used until a $ORIGIN
+/// directive appears (pass the zone apex).
+ZoneParseResult parse_zone_file(std::string_view text,
+                                const dns::DomainName& default_origin);
+
+/// Render a zone back to master-file text (stable order; for round-trip
+/// tests and operator inspection).
+std::string to_zone_file(const Zone& zone);
+
+}  // namespace nxd::resolver

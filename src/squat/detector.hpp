@@ -1,0 +1,55 @@
+// Squatting detector — classifies a domain against a target list, reporting
+// which attack type it embodies and which brand it imitates (the
+// "commercial identification algorithm" of paper §5.2).
+//
+// Precedence mirrors specificity: dot and bit patterns are exact structural
+// matches and are tested first; homoglyph next; generic distance-1 typos
+// after; combosquatting (substring + keyword) last, because every more
+// specific class would otherwise also match it.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "squat/generators.hpp"
+
+namespace nxd::squat {
+
+struct SquatVerdict {
+  SquatType type;
+  dns::DomainName target;  // the imitated domain
+};
+
+class SquatDetector {
+ public:
+  explicit SquatDetector(std::vector<Target> targets);
+
+  /// Detector over the embedded default target list.
+  static SquatDetector with_defaults() { return SquatDetector(default_targets()); }
+
+  /// Classify one (registered-level) domain name.
+  std::optional<SquatVerdict> classify(const dns::DomainName& name) const;
+
+  /// Classify a corpus; returns counts per squat type (Fig 7 shape).
+  std::unordered_map<SquatType, std::uint64_t> classify_corpus(
+      const std::vector<dns::DomainName>& names) const;
+
+  const std::vector<Target>& targets() const noexcept { return targets_; }
+
+ private:
+  bool is_bitsquat(const std::string& label, const std::string& brand) const;
+  bool is_homosquat(const std::string& label, const std::string& brand) const;
+  bool is_typosquat(const std::string& label, const std::string& brand) const;
+  bool is_combosquat(const std::string& label, const std::string& brand) const;
+  std::optional<const Target*> dot_target(const dns::DomainName& name) const;
+
+  std::vector<Target> targets_;
+  // brand -> target index, for O(1) exact-brand rejects.
+  std::unordered_map<std::string, std::size_t> brand_index_;
+};
+
+/// Canonicalize ASCII homoglyphs ("g00gle" -> "google", "rnicrosoft" ->
+/// "microsoft").  Exposed for tests.
+std::string fold_confusables(std::string_view s);
+
+}  // namespace nxd::squat

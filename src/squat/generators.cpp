@@ -1,0 +1,307 @@
+#include "squat/generators.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "dns/punycode.hpp"
+#include "util/strings.hpp"
+
+namespace nxd::squat {
+
+namespace {
+
+bool valid_ldh_label(std::string_view label) {
+  if (label.empty() || label.size() > 63) return false;
+  if (label.front() == '-' || label.back() == '-') return false;
+  return std::all_of(label.begin(), label.end(), [](char c) {
+    return util::is_alnum(util::ascii_lower(c)) || c == '-';
+  });
+}
+
+/// Deduplicate, drop the original target, and materialize as DomainNames.
+std::vector<dns::DomainName> finalize(const Target& target,
+                                      const std::set<std::string>& labels) {
+  std::vector<dns::DomainName> out;
+  const std::string tld(target.domain.tld());
+  for (const auto& label : labels) {
+    if (label == target.brand || !valid_ldh_label(label)) continue;
+    if (auto name = dns::DomainName::parse(label + "." + tld)) {
+      out.push_back(*std::move(name));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(SquatType t) {
+  switch (t) {
+    case SquatType::Typo: return "typosquatting";
+    case SquatType::Combo: return "combosquatting";
+    case SquatType::Dot: return "dotsquatting";
+    case SquatType::Bit: return "bitsquatting";
+    case SquatType::Homo: return "homosquatting";
+  }
+  return "unknown";
+}
+
+std::string_view keyboard_neighbors(char c) {
+  switch (util::ascii_lower(c)) {
+    case 'q': return "wa";
+    case 'w': return "qase";
+    case 'e': return "wsdr";
+    case 'r': return "edft";
+    case 't': return "rfgy";
+    case 'y': return "tghu";
+    case 'u': return "yhji";
+    case 'i': return "ujko";
+    case 'o': return "iklp";
+    case 'p': return "ol";
+    case 'a': return "qwsz";
+    case 's': return "awedxz";
+    case 'd': return "serfcx";
+    case 'f': return "drtgvc";
+    case 'g': return "ftyhbv";
+    case 'h': return "gyujnb";
+    case 'j': return "huikmn";
+    case 'k': return "jiolm";
+    case 'l': return "kop";
+    case 'z': return "asx";
+    case 'x': return "zsdc";
+    case 'c': return "xdfv";
+    case 'v': return "cfgb";
+    case 'b': return "vghn";
+    case 'n': return "bhjm";
+    case 'm': return "njk";
+    case '1': return "2q";
+    case '2': return "13w";
+    case '3': return "24e";
+    case '4': return "35r";
+    case '5': return "46t";
+    case '6': return "57y";
+    case '7': return "68u";
+    case '8': return "79i";
+    case '9': return "80o";
+    case '0': return "9p";
+    default: return "";
+  }
+}
+
+std::vector<dns::DomainName> generate_typos(const Target& target) {
+  const std::string& brand = target.brand;
+  std::set<std::string> labels;
+
+  // Omission: drop each character.
+  for (std::size_t i = 0; i < brand.size(); ++i) {
+    labels.insert(brand.substr(0, i) + brand.substr(i + 1));
+  }
+  // Repetition: double each character.
+  for (std::size_t i = 0; i < brand.size(); ++i) {
+    labels.insert(brand.substr(0, i + 1) + brand[i] + brand.substr(i + 1));
+  }
+  // Transposition: swap adjacent characters.
+  for (std::size_t i = 0; i + 1 < brand.size(); ++i) {
+    std::string t = brand;
+    std::swap(t[i], t[i + 1]);
+    labels.insert(t);
+  }
+  // Replacement: QWERTY-adjacent key instead of the intended one.
+  for (std::size_t i = 0; i < brand.size(); ++i) {
+    for (const char n : keyboard_neighbors(brand[i])) {
+      std::string t = brand;
+      t[i] = n;
+      labels.insert(t);
+    }
+  }
+  // Insertion (fat finger): adjacent key pressed together with the intended.
+  for (std::size_t i = 0; i < brand.size(); ++i) {
+    for (const char n : keyboard_neighbors(brand[i])) {
+      labels.insert(brand.substr(0, i) + n + brand.substr(i));
+      labels.insert(brand.substr(0, i + 1) + n + brand.substr(i + 1));
+    }
+  }
+  return finalize(target, labels);
+}
+
+const std::vector<std::string>& combo_keywords() {
+  static const std::vector<std::string> kKeywords = {
+      "login",   "secure",  "account", "support",  "verify",  "update",
+      "signin",  "online",  "service", "help",     "pay",     "payment",
+      "billing", "wallet",  "bonus",   "promo",    "store",   "shop",
+      "mail",    "cloud",   "app",     "mobile",   "portal",  "my",
+  };
+  return kKeywords;
+}
+
+std::vector<dns::DomainName> generate_combos(const Target& target) {
+  std::set<std::string> labels;
+  for (const auto& kw : combo_keywords()) {
+    labels.insert(target.brand + kw);
+    labels.insert(kw + target.brand);
+    labels.insert(target.brand + "-" + kw);
+    labels.insert(kw + "-" + target.brand);
+  }
+  return finalize(target, labels);
+}
+
+std::vector<dns::DomainName> generate_dots(const Target& target) {
+  std::vector<dns::DomainName> out;
+  const std::string tld(target.domain.tld());
+  // Missing dot after www: "wwwgoogle.com".
+  if (auto name = dns::DomainName::parse("www" + target.brand + "." + tld)) {
+    out.push_back(*std::move(name));
+  }
+  // In-brand dot insertion: "goo.gle.com" — the squatter registers
+  // "gle.com" and wildcards the rest; we emit the full deceptive name.
+  for (std::size_t i = 1; i + 1 < target.brand.size(); ++i) {
+    const std::string text =
+        target.brand.substr(0, i) + "." + target.brand.substr(i) + "." + tld;
+    if (auto name = dns::DomainName::parse(text)) {
+      out.push_back(*std::move(name));
+    }
+  }
+  return out;
+}
+
+std::vector<dns::DomainName> generate_bits(const Target& target) {
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < target.brand.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string t = target.brand;
+      t[i] = static_cast<char>(t[i] ^ (1 << bit));
+      const char c = util::ascii_lower(t[i]);
+      if (!util::is_alnum(c) && c != '-') continue;
+      t[i] = c;
+      labels.insert(t);
+    }
+  }
+  return finalize(target, labels);
+}
+
+std::vector<dns::DomainName> generate_homos(const Target& target) {
+  struct Confusable {
+    std::string_view from;
+    std::string_view to;
+  };
+  static constexpr Confusable kConfusables[] = {
+      {"o", "0"}, {"0", "o"}, {"l", "1"}, {"1", "l"}, {"i", "1"}, {"i", "l"},
+      {"l", "i"}, {"m", "rn"}, {"rn", "m"}, {"w", "vv"}, {"vv", "w"},
+      {"d", "cl"}, {"cl", "d"}, {"s", "5"}, {"5", "s"}, {"b", "8"},
+      {"g", "9"}, {"e", "3"},
+  };
+  std::set<std::string> labels;
+  const std::string& brand = target.brand;
+  for (const auto& [from, to] : kConfusables) {
+    for (std::size_t pos = brand.find(from); pos != std::string::npos;
+         pos = brand.find(from, pos + 1)) {
+      std::string t = brand;
+      t.replace(pos, from.size(), to);
+      labels.insert(t);
+    }
+  }
+  return finalize(target, labels);
+}
+
+char unicode_confusable_to_ascii(char32_t code_point) {
+  switch (static_cast<std::uint32_t>(code_point)) {
+    // Cyrillic lookalikes.
+    case 0x0430: return 'a';  // а
+    case 0x0441: return 'c';  // с
+    case 0x0435: return 'e';  // е
+    case 0x043E: return 'o';  // о
+    case 0x0440: return 'p';  // р
+    case 0x0445: return 'x';  // х
+    case 0x0443: return 'y';  // у
+    case 0x0455: return 's';  // ѕ
+    case 0x0456: return 'i';  // і
+    case 0x0458: return 'j';  // ј
+    case 0x04CF: return 'l';  // ӏ (palochka)
+    case 0x04BB: return 'h';  // һ
+    case 0x0501: return 'd';  // ԁ
+    case 0x051B: return 'q';  // ԛ
+    case 0x051D: return 'w';  // ԝ
+    // Greek lookalikes.
+    case 0x03BF: return 'o';  // ο
+    case 0x03B1: return 'a';  // α (stylized)
+    case 0x03BD: return 'v';  // ν
+    default: return 0;
+  }
+}
+
+namespace {
+
+/// Inverse table: ASCII letter -> one representative Unicode lookalike.
+char32_t ascii_to_unicode_confusable(char c) {
+  switch (c) {
+    case 'a': return 0x0430;
+    case 'c': return 0x0441;
+    case 'e': return 0x0435;
+    case 'o': return 0x043E;
+    case 'p': return 0x0440;
+    case 'x': return 0x0445;
+    case 'y': return 0x0443;
+    case 's': return 0x0455;
+    case 'i': return 0x0456;
+    case 'j': return 0x0458;
+    case 'l': return 0x04CF;
+    case 'h': return 0x04BB;
+    case 'd': return 0x0501;
+    case 'q': return 0x051B;
+    case 'w': return 0x051D;
+    case 'v': return 0x03BD;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::vector<dns::DomainName> generate_idn_homos(const Target& target) {
+  std::vector<dns::DomainName> out;
+  const std::string tld(target.domain.tld());
+  std::set<std::string> seen;
+
+  auto emit = [&](const std::u32string& unicode_label) {
+    const auto ascii = dns::idna_to_ascii_label(unicode_label);
+    if (!ascii || !seen.insert(*ascii).second) return;
+    if (auto name = dns::DomainName::parse(*ascii + "." + tld)) {
+      out.push_back(*std::move(name));
+    }
+  };
+
+  // Single-position substitutions.
+  std::u32string base(target.brand.begin(), target.brand.end());
+  bool any = false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const char32_t lookalike =
+        ascii_to_unicode_confusable(static_cast<char>(base[i]));
+    if (lookalike == 0) continue;
+    any = true;
+    std::u32string candidate = base;
+    candidate[i] = lookalike;
+    emit(candidate);
+  }
+  // The classic: substitute every substitutable letter ("аррӏе").
+  if (any) {
+    std::u32string all = base;
+    for (auto& c : all) {
+      const char32_t lookalike =
+          ascii_to_unicode_confusable(static_cast<char>(c));
+      if (lookalike != 0) c = lookalike;
+    }
+    emit(all);
+  }
+  return out;
+}
+
+std::vector<dns::DomainName> generate(SquatType type, const Target& target) {
+  switch (type) {
+    case SquatType::Typo: return generate_typos(target);
+    case SquatType::Combo: return generate_combos(target);
+    case SquatType::Dot: return generate_dots(target);
+    case SquatType::Bit: return generate_bits(target);
+    case SquatType::Homo: return generate_homos(target);
+  }
+  return {};
+}
+
+}  // namespace nxd::squat

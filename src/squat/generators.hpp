@@ -1,0 +1,72 @@
+// Squatting-domain generators — one per attack type from paper Fig. 7.
+//
+// Each generator enumerates (deterministically) the candidate domains an
+// attacker would register against a target.  Generators are exhaustive
+// where the space is small (bitsquatting, typo classes) and list-driven
+// where it is open-ended (combosquatting keywords).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "squat/targets.hpp"
+
+namespace nxd::squat {
+
+enum class SquatType : std::uint8_t {
+  Typo,
+  Combo,
+  Dot,
+  Bit,
+  Homo,
+};
+
+constexpr SquatType kAllSquatTypes[] = {SquatType::Typo, SquatType::Combo,
+                                        SquatType::Dot, SquatType::Bit,
+                                        SquatType::Homo};
+
+std::string to_string(SquatType t);
+
+/// Typosquatting (Agten et al., NDSS'15 typo model): character omission,
+/// repetition, adjacent transposition, QWERTY-adjacent replacement, and
+/// fat-finger insertion applied to the brand label.
+std::vector<dns::DomainName> generate_typos(const Target& target);
+
+/// Combosquatting (Kintis et al., CCS'17): brand combined with trust- or
+/// action-laden keywords ("paypal-login", "secureamazon").
+std::vector<dns::DomainName> generate_combos(const Target& target);
+const std::vector<std::string>& combo_keywords();
+
+/// Dotsquatting: dot manipulation — the "www" glue typo ("wwwgoogle.com")
+/// and in-brand dot insertion that mints a new registrable name
+/// ("goo.gle.com" -> attacker registers "gle.com"; we emit the full name).
+std::vector<dns::DomainName> generate_dots(const Target& target);
+
+/// Bitsquatting (Nikiforakis et al., WWW'13): every single-bit flip of every
+/// brand byte that still yields a valid LDH hostname character.
+std::vector<dns::DomainName> generate_bits(const Target& target);
+
+/// Homoglyph/homograph squatting: ASCII confusable substitutions
+/// (0/o, 1/l, rn/m, vv/w, cl/d, 5/s, ...).
+std::vector<dns::DomainName> generate_homos(const Target& target);
+
+/// IDN homograph squatting (the "IDN homograph attack" the paper cites):
+/// Cyrillic/Greek lookalike letters substituted into the brand, registered
+/// as the punycode ("xn--") form the DNS actually sees.  One candidate per
+/// substitutable position plus the all-substituted classic.
+std::vector<dns::DomainName> generate_idn_homos(const Target& target);
+
+/// Map a Unicode code point to the ASCII letter it visually imitates, or 0
+/// when it is not a known confusable.  Covers the Cyrillic and Greek
+/// lookalike sets used in real attacks.
+char unicode_confusable_to_ascii(char32_t code_point);
+
+/// Dispatch by type.
+std::vector<dns::DomainName> generate(SquatType type, const Target& target);
+
+/// QWERTY adjacency used by both the typo generator and the detector.
+/// Returns the neighbouring keys of `c` (lowercase letters/digits only).
+std::string_view keyboard_neighbors(char c);
+
+}  // namespace nxd::squat

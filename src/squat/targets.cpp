@@ -1,0 +1,41 @@
+#include "squat/targets.hpp"
+
+namespace nxd::squat {
+
+std::vector<Target> targets_from(const std::vector<std::string>& domains) {
+  std::vector<Target> out;
+  out.reserve(domains.size());
+  for (const auto& text : domains) {
+    auto name = dns::DomainName::parse(text);
+    if (!name || name->label_count() < 2) continue;
+    Target t;
+    t.brand = std::string(name->sld());
+    t.domain = *std::move(name);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+const std::vector<Target>& default_targets() {
+  static const std::vector<Target> kTargets = targets_from({
+      "google.com",    "youtube.com",   "facebook.com",  "twitter.com",
+      "instagram.com", "wikipedia.org", "yahoo.com",     "amazon.com",
+      "netflix.com",   "reddit.com",    "linkedin.com",  "office.com",
+      "microsoft.com", "apple.com",     "bing.com",      "ebay.com",
+      "paypal.com",    "walmart.com",   "chase.com",     "wellsfargo.com",
+      "bankofamerica.com", "dropbox.com", "adobe.com",   "spotify.com",
+      "twitch.tv",     "github.com",    "stackoverflow.com", "zoom.us",
+      "salesforce.com", "shopify.com",  "etsy.com",      "target.com",
+      "bestbuy.com",   "homedepot.com", "costco.com",    "fedex.com",
+      "ups.com",       "usps.com",      "airbnb.com",    "booking.com",
+      "expedia.com",   "uber.com",      "lyft.com",      "doordash.com",
+      "coinbase.com",  "binance.com",   "kraken.com",    "robinhood.com",
+      "fidelity.com",  "vanguard.com",  "schwab.com",    "americanexpress.com",
+      "capitalone.com", "discover.com", "citi.com",      "hsbc.com",
+      "aliexpress.com", "alibaba.com",  "baidu.com",     "qq.com",
+      "taobao.com",    "weibo.com",     "vk.com",        "yandex.ru",
+  });
+  return kTargets;
+}
+
+}  // namespace nxd::squat

@@ -1,0 +1,27 @@
+// Popular-domain target list for squatting generation/detection.
+//
+// Squatting is always *relative to* a set of high-value brands.  We embed a
+// representative top-domain list (the detector also accepts custom lists,
+// e.g. a tenant's own brand portfolio).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+
+namespace nxd::squat {
+
+struct Target {
+  dns::DomainName domain;      // e.g. google.com
+  std::string brand;           // the SLD: "google"
+};
+
+/// ~60 embedded popular domains spanning the categories squatters chase
+/// (search, social, commerce, banking, streaming, crypto).
+const std::vector<Target>& default_targets();
+
+/// Build targets from arbitrary domain strings (invalid entries skipped).
+std::vector<Target> targets_from(const std::vector<std::string>& domains);
+
+}  // namespace nxd::squat

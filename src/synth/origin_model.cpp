@@ -1,0 +1,202 @@
+#include "synth/origin_model.hpp"
+
+#include <array>
+#include <unordered_set>
+
+#include "dga/families.hpp"
+#include "squat/generators.hpp"
+#include "synth/scale_models.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::synth {
+
+std::array<std::uint64_t, 5> fig7_paper_counts() {
+  return {45'175, 38'900, 6'090, 313, 126};
+}
+
+std::array<std::uint64_t, 4> fig8_paper_counts() {
+  return {382'135, 42'050, 39'834, 19'868};
+}
+
+dga::DgaClassifier trained_dga_classifier(std::uint64_t seed,
+                                          double target_fpr) {
+  NxDomainNameModel names(seed);
+  util::Rng rng(seed);
+  std::vector<std::string> benign, holdout;
+  benign.reserve(3'300);
+  for (int i = 0; i < 3'000; ++i) {
+    benign.emplace_back(names.next_registrable(rng).sld());
+  }
+  for (int i = 0; i < 2'000; ++i) {
+    holdout.emplace_back(names.next_registrable(rng).sld());
+  }
+  for (const auto& word : dga::WordlistDga::dictionary()) {
+    benign.push_back(word);
+  }
+  // Popular-domain vocabulary (vendors train on Alexa/Tranco-style lists):
+  // brand labels and brand+keyword compounds, so squatting names — which are
+  // near-copies of brands — are not mistaken for algorithmic output.
+  for (const auto& target : squat::default_targets()) {
+    benign.push_back(target.brand);
+    for (const auto& keyword : squat::combo_keywords()) {
+      benign.push_back(target.brand + keyword);
+      benign.push_back(keyword + target.brand);
+    }
+  }
+  std::vector<std::string> dga_labels;
+  for (const auto& family : dga::all_families()) {
+    // Train on a day range far from where corpora plant their names, so
+    // evaluation never sees its own training examples.
+    for (int d = 0; d < 10; ++d) {
+      for (const auto& name : family->generate(25'000 + d, 30)) {
+        dga_labels.emplace_back(name.sld());
+      }
+    }
+  }
+  auto classifier = dga::DgaClassifier::train(benign, dga_labels);
+  classifier.calibrate_threshold(holdout, target_fpr);
+  return classifier;
+}
+
+OriginCorpus build_origin_corpus(const OriginCorpusConfig& config) {
+  OriginCorpus corpus;
+  util::Rng rng(config.seed);
+  NxDomainNameModel names(config.seed);
+
+  // The WHOIS join depends on expired and never-registered names being
+  // disjoint; the name model's space is finite, so enforce uniqueness here.
+  std::unordered_set<std::string> used;
+  // Expired domains were once registered, so their names follow the
+  // registrable style; never-registered names include the random-letter
+  // tail.  Mixing the two would poison the DGA-detection ground truth.
+  auto unique_registrable = [&]() {
+    for (;;) {
+      dns::DomainName name = names.next_registrable(rng);
+      if (used.insert(name.to_string()).second) return name;
+    }
+  };
+  auto unique_name = [&]() {
+    for (;;) {
+      dns::DomainName name = names.next(rng);
+      if (used.insert(name.to_string()).second) return name;
+    }
+  };
+
+  auto add_whois = [&corpus, &rng](const dns::DomainName& domain) {
+    whois::WhoisRecord record;
+    record.domain = domain;
+    static const char* kRegistrars[] = {"godaddy", "namecheap", "101domain",
+                                        "tucows", "gandi"};
+    record.registrar = kRegistrars[rng.bounded(5)];
+    record.registrant = "registrant-" + std::to_string(rng.bounded(1 << 20));
+    // Registered sometime in 2012-2020, expired >= 6 months before "now"
+    // (paper selection criterion).
+    record.created = util::to_day(util::CivilDate{
+        2012 + static_cast<int>(rng.bounded(9)),
+        static_cast<unsigned>(1 + rng.bounded(12)), 1});
+    record.expires =
+        record.created + 365 * static_cast<std::int64_t>(1 + rng.bounded(5));
+    record.updated = record.created;
+    corpus.whois_db.add(record);
+  };
+
+  const auto squat_targets = squat::default_targets();
+  const auto fig7 = fig7_paper_counts();
+  const auto fig8 = fig8_paper_counts();
+  const double fig7_total = 90'604.0;
+  const double fig8_total = 483'887.0;
+
+  const auto dga_families = dga::all_families();
+
+  // ---- expired (WHOIS-holding) names --------------------------------------
+  std::size_t planted_squat_budget = static_cast<std::size_t>(
+      static_cast<double>(config.expired_count) * config.squat_fraction * 100);
+  // The squat fraction of the paper is tiny; oversample squats (x100) so the
+  // Fig 7 bench has enough of each type to show the distribution.  The bench
+  // reports proportions, which oversampling preserves.
+  if (planted_squat_budget < 500) planted_squat_budget = 500;
+
+  for (std::size_t i = 0; i < config.expired_count; ++i) {
+    dns::DomainName name;
+    if (rng.chance(config.dga_fraction)) {
+      // Plant a DGA name: pick a family and a generation day.
+      const auto& family = dga_families[rng.bounded(dga_families.size())];
+      const util::Day day =
+          util::to_day(util::CivilDate{2019, 1, 1}) +
+          static_cast<util::Day>(rng.bounded(1000));
+      auto generated = family->generate(day, 1);
+      name = generated.front();
+      if (!used.insert(name.to_string()).second) {
+        // Rare same-name collision across families/days: substitute a
+        // non-DGA name rather than double-count.
+        name = unique_registrable();
+      } else {
+        corpus.planted_dga.push_back(name);
+      }
+    } else {
+      name = unique_registrable();
+    }
+    corpus.expired.push_back(name);
+    corpus.all_names.push_back(name);
+    add_whois(name);
+
+    // Blocklist planting (Fig 8 mix) over expired names.
+    if (rng.chance(config.blocklisted_fraction)) {
+      double x = rng.uniform() * fig8_total;
+      std::size_t cat = 0;
+      for (; cat < 4; ++cat) {
+        if (x < static_cast<double>(fig8[cat])) break;
+        x -= static_cast<double>(fig8[cat]);
+      }
+      if (cat >= 4) cat = 3;
+      corpus.blocklist.add(name,
+                           static_cast<blocklist::ThreatCategory>(cat),
+                           util::to_day(util::CivilDate{2020, 6, 1}));
+      ++corpus.planted_blocklist_by_category[cat];
+    }
+  }
+
+  // ---- squatting registrations (also expired) ------------------------------
+  int consecutive_failures = 0;
+  for (std::size_t i = 0; i < planted_squat_budget; ++i) {
+    if (consecutive_failures > 200) break;  // candidate space exhausted
+    double x = rng.uniform() * fig7_total;
+    std::size_t type_idx = 0;
+    for (; type_idx < 5; ++type_idx) {
+      if (x < static_cast<double>(fig7[type_idx])) break;
+      x -= static_cast<double>(fig7[type_idx]);
+    }
+    if (type_idx >= 5) type_idx = 4;
+    const auto type = static_cast<squat::SquatType>(type_idx);
+    const auto& target = squat_targets[rng.bounded(squat_targets.size())];
+    const auto candidates = squat::generate(type, target);
+    if (candidates.empty()) {
+      --i;  // a target too short for this type; retry with another draw
+      ++consecutive_failures;
+      continue;
+    }
+    const auto& name = candidates[rng.bounded(candidates.size())];
+    if (!used.insert(name.to_string()).second) {
+      --i;  // duplicate squat draw; redraw
+      ++consecutive_failures;
+      continue;
+    }
+    consecutive_failures = 0;
+    corpus.planted_squats.push_back(name);
+    ++corpus.planted_squats_by_type[type_idx];
+    corpus.expired.push_back(name);
+    corpus.all_names.push_back(name);
+    add_whois(name);
+  }
+
+  // ---- never-registered bulk ----------------------------------------------
+  const std::size_t never_count =
+      config.expired_count * config.never_registered_per_expired;
+  for (std::size_t i = 0; i < never_count; ++i) {
+    corpus.all_names.push_back(unique_name());
+  }
+
+  return corpus;
+}
+
+}  // namespace nxd::synth

@@ -1,0 +1,78 @@
+#include "synth/table1.hpp"
+
+namespace nxd::synth {
+
+std::uint64_t DomainProfile::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto v : counts) sum += v;
+  return sum;
+}
+
+const std::vector<DomainProfile>& table1_profiles() {
+  // Columns: crawler/search, crawler/grabber, auto/script, auto/malicious,
+  // ref/search, ref/embedded, ref/malicious, user/pc-mobile, user/in-app,
+  // others.  Values transcribed from Table 1 and reconciled against the
+  // printed column totals (three cells in the yebeda.org, cservll.net and
+  // ipserv2.net rows disagree with their printed row totals; the
+  // column-total-consistent values are used).  Note the paper's own table
+  // is off by one: its column totals sum to 5,925,310, its grand total
+  // reads 5,925,311.  The eight highlighted (malicious-origin) domains are
+  // flagged.
+  static const std::vector<DomainProfile> kRows = {
+      {"resheba.online", false,
+       {15223, 105221, 1866523, 52263, 1052, 655, 265, 56, 20, 55874}},
+      {"1x-sport-bk7.com", false,
+       {4058, 328, 1215606, 725, 3054, 143, 522, 2952, 43, 15428}},
+      {"fanserials.moda", false,
+       {2536, 5622, 996968, 6225, 1556, 4112, 2189, 106, 122, 4071}},
+      {"gpclick.com", true,
+       {415, 144, 365, 939420, 10524, 248, 115, 1014, 22, 5014}},
+      {"porno-komiksy.com", false,
+       {43285, 105412, 2952, 7441, 2482, 10244, 3052, 25112, 1825, 4552}},
+      {"conf-cdn.com", true,
+       {2653, 55842, 10228, 1699, 3455, 2568, 623, 2004, 652, 11957}},
+      {"pro100diplom.com", false,
+       {796, 48868, 16500, 9734, 83, 261, 53, 351, 108, 1026}},
+      {"yebeda.org", false,
+       {5509, 25742, 26564, 2094, 1933, 351, 314, 205, 30, 4625}},
+      {"oboru.work", false,
+       {1052, 49954, 2651, 6048, 50, 366, 30, 4852, 66, 501}},
+      {"kinopack.org", false,
+       {1205, 5624, 6401, 3255, 1054, 213, 201, 83, 304, 522}},
+      {"sfscl.info", true,
+       {421, 10566, 2946, 1098, 152, 62, 97, 401, 65, 957}},
+      {"ipserv1.net", true,
+       {2016, 7815, 3297, 1552, 336, 105, 78, 105, 63, 1192}},
+      {"cservll.net", true,
+       {1487, 263, 92, 65, 2055, 263, 102, 186, 105, 6234}},
+      {"ipserv2.net", true,
+       {323, 52, 144, 1486, 203, 96, 58, 95, 86, 6811}},
+      {"redirectmyquery.com", false,
+       {266, 128, 62, 1547, 269, 75, 63, 188, 42, 5022}},
+      {"adrenali.gq", false,
+       {1089, 357, 215, 98, 52, 144, 82, 1096, 65, 3054}},
+      {"dns2.name", false,
+       {396, 88, 105, 93, 835, 35, 56, 48, 51, 3987}},
+      {"akamai-technology.com", true,
+       {86, 85, 85, 196, 65, 88, 352, 620, 73, 672}},
+      {"twitter-sup0rt.com", true,
+       {126, 185, 58, 57, 107, 63, 65, 118, 66, 589}},
+  };
+  return kRows;
+}
+
+std::array<std::uint64_t, 10> table1_column_totals() {
+  std::array<std::uint64_t, 10> totals{};
+  for (const auto& row : table1_profiles()) {
+    for (std::size_t i = 0; i < totals.size(); ++i) totals[i] += row.counts[i];
+  }
+  return totals;
+}
+
+std::uint64_t table1_grand_total() {
+  std::uint64_t sum = 0;
+  for (const auto& row : table1_profiles()) sum += row.total();
+  return sum;
+}
+
+}  // namespace nxd::synth

@@ -1,0 +1,40 @@
+// Table 1 ground truth: the 19 registered NXDomains and their per-category
+// HTTP/HTTPS request counts over the paper's 6-month collection.
+//
+// These numbers parameterize the honeypot traffic model; the reproduction
+// generates traffic whose post-filter categorization must land back on
+// these proportions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "honeypot/categorizer.hpp"
+
+namespace nxd::synth {
+
+/// Column order matches honeypot::kAllCategories (nine named categories;
+/// index 9 is Others).
+struct DomainProfile {
+  std::string domain;
+  bool malicious = false;  // highlighted rows in Table 1
+  std::array<std::uint64_t, 10> counts{};  // 9 categories + others
+
+  std::uint64_t total() const noexcept;
+  std::uint64_t count(honeypot::TrafficCategory c) const noexcept {
+    return counts[static_cast<std::size_t>(c)];
+  }
+};
+
+/// All 19 rows of Table 1, in the paper's (descending total) order.
+const std::vector<DomainProfile>& table1_profiles();
+
+/// Paper column totals, same order.
+std::array<std::uint64_t, 10> table1_column_totals();
+
+/// Grand total: 5,925,311.
+std::uint64_t table1_grand_total();
+
+}  // namespace nxd::synth

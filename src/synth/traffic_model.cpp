@@ -1,0 +1,471 @@
+#include "synth/traffic_model.hpp"
+
+#include <cstdio>
+
+#include "honeypot/http.hpp"
+#include "synth/user_agents.hpp"
+#include "util/strings.hpp"
+
+namespace nxd::synth {
+
+using honeypot::TrafficCategory;
+using honeypot::TrafficRecord;
+
+namespace {
+
+// ----- IP pools -------------------------------------------------------------
+
+net::IPv4 random_in_prefix(const net::Prefix& prefix, util::Rng& rng) {
+  const std::uint32_t host_bits = 32 - prefix.length;
+  const std::uint32_t mask = prefix.length == 0 ? ~0u
+                             : host_bits == 0   ? 0u
+                                                : (1u << host_bits) - 1;
+  return net::IPv4{(prefix.base.addr & ~mask) |
+                   (static_cast<std::uint32_t>(rng.next()) & mask)};
+}
+
+const net::Prefix kGooglebot = *net::Prefix::parse("66.249.64.0/19");
+const net::Prefix kBingbot = *net::Prefix::parse("157.55.32.0/20");
+const net::Prefix kYandexBot = *net::Prefix::parse("77.88.0.0/18");
+const net::Prefix kBaiduBot = *net::Prefix::parse("180.76.0.0/16");
+const net::Prefix kMailRuBot = *net::Prefix::parse("217.69.128.0/20");
+const net::Prefix kGoogleProxy = *net::Prefix::parse("64.233.160.0/19");
+const net::Prefix kAws = *net::Prefix::parse("3.16.0.0/14");
+const net::Prefix kGcp = *net::Prefix::parse("34.64.0.0/11");
+const net::Prefix kOvh = *net::Prefix::parse("51.68.0.0/16");
+const net::Prefix kDigitalOcean = *net::Prefix::parse("165.227.0.0/16");
+const net::Prefix kUnresolved = *net::Prefix::parse("185.220.0.0/16");
+const net::Prefix kResidential = *net::Prefix::parse("92.0.0.0/8");
+
+// Botnet relay mix, Fig 15: google-proxy 56.1% of beacon sources.
+struct SourceMix {
+  const net::Prefix* prefix;
+  double weight;
+};
+const SourceMix kBotnetSources[] = {
+    {&kGoogleProxy, 0.561}, {&kUnresolved, 0.20}, {&kAws, 0.12},
+    {&kGcp, 0.05},          {&kOvh, 0.04},        {&kDigitalOcean, 0.029},
+};
+
+// Fig 14 victim dialing-prefix mix (Russia-rooted malware gone global).
+struct CountryMix {
+  const char* prefix;
+  double weight;
+};
+const CountryMix kVictimCountries[] = {
+    {"+7", 0.32},  {"+1", 0.14},   {"+31", 0.07}, {"+86", 0.07},
+    {"+598", 0.05}, {"+380", 0.05}, {"+49", 0.04}, {"+44", 0.03},
+    {"+33", 0.03}, {"+55", 0.03},  {"+91", 0.03}, {"+62", 0.02},
+    {"+90", 0.02}, {"+52", 0.02},  {"+34", 0.02}, {"+48", 0.02},
+    {"+61", 0.015}, {"+81", 0.01}, {"+64", 0.005}, {"+20", 0.01},
+};
+
+// §6.4 handset mix: "Nexus 205X (55.9%) and Nexus 205 (42.3%)" — the OCR's
+// rendering of Nexus 5X / Nexus 5; 1.8% across 38 other models.
+const char* kOtherModels[] = {"SM-G991B", "LG-H870",  "vivo 1904",
+                              "HTC U11",  "HUAWEI P30", "Mi 9T",
+                              "moto g(7)", "SM-A515F"};
+
+std::string fake_imei(util::Rng& rng) {
+  std::string imei = "35";  // TAC prefix shape only; wholly synthetic
+  for (int i = 0; i < 13; ++i) {
+    imei.push_back(static_cast<char>('0' + rng.bounded(10)));
+  }
+  return imei;
+}
+
+std::string fake_phone(std::string_view cc, util::Rng& rng) {
+  std::string phone(cc);
+  for (int i = 0; i < 10; ++i) {
+    phone.push_back(static_cast<char>('0' + rng.bounded(10)));
+  }
+  return phone;
+}
+
+std::string http_request(const std::string& method, const std::string& uri,
+                         const std::string& host, const std::string& ua,
+                         const std::string& referer = {}) {
+  std::string out = method + " " + uri + " HTTP/1.1\r\n";
+  out += "host: " + host + "\r\n";
+  if (!ua.empty()) out += "user-agent: " + ua + "\r\n";
+  if (!referer.empty()) out += "referer: " + referer + "\r\n";
+  out += "accept: */*\r\n";
+  out += "\r\n";
+  return out;
+}
+
+const std::vector<std::string>& page_paths() {
+  static const std::vector<std::string> kPaths = {
+      "/", "/index.html", "/news.html", "/catalog.php", "/about",
+      "/videos/lessons.html", "/forum/topic-12.html",
+  };
+  return kPaths;
+}
+
+const std::vector<std::string>& file_paths() {
+  static const std::vector<std::string> kPaths = {
+      "/img/banner.jpeg",   "/img/photo-3.jpeg", "/static/logo.png",
+      "/static/bg.png",     "/sitemap.xml",      "/feed.xml",
+      "/video/intro.mp4",   "/docs/guide.pdf",   "/img/avatar-7.png",
+  };
+  return kPaths;
+}
+
+const std::vector<std::string>& script_paths() {
+  static const std::vector<std::string> kPaths = {
+      "/status.json",          "/api/v1/update",      "/data/feed.xml",
+      "/videos/course-101.mp4", "/videos/course-207.mp4",
+      "/torrents/lesson-12.torrent", "/update/check",
+  };
+  return kPaths;
+}
+
+const std::vector<std::string>& probe_paths() {
+  static const std::vector<std::string> kPaths = {
+      "/wp-login.php",       "/changepasswd.php",  "/changepassword.php",
+      "/xmlrpc.php",         "/.env",              "/admin.php",
+      "/wp-config.php",      "/setup.php",         "/shell.php",
+  };
+  return kPaths;
+}
+
+}  // namespace
+
+HoneypotTrafficModel::HoneypotTrafficModel(TrafficModelConfig config)
+    : config_(config) {
+  rdns_.add_block(kGooglebot, "crawl-%ip%.googlebot.com");
+  rdns_.add_block(kBingbot, "msnbot-%ip%.search.msn.com");
+  rdns_.add_block(kYandexBot, "spider-%ip%.spider.yandex.com");
+  rdns_.add_block(kBaiduBot, "baiduspider-%ip%.crawl.baidu.com");
+  rdns_.add_block(kMailRuBot, "fetcher-%ip%.bot.mail.ru");
+  rdns_.add_block(kGoogleProxy, "google-proxy-%ip%.google.com");
+  rdns_.add_block(kAws, "ec2-%ip%.compute-1.amazonaws.com");
+  rdns_.add_block(kGcp, "%ip%.bc.googleusercontent.com");
+  rdns_.add_block(kOvh, "ip%ip%.ip.eu-west-1.ovh.net");
+  rdns_.add_block(kDigitalOcean, "droplet-%ip%.digitalocean.com");
+
+  // Deterministic referral web: three legitimate embedding pages per
+  // measurement domain, plus a pool of bogus referers.
+  for (const auto& profile : table1_profiles()) {
+    for (int i = 1; i <= 3; ++i) {
+      embedding_pages_.push_back("https://forums.runet-hub.ru/t/" +
+                                 profile.domain + "/" + std::to_string(i));
+    }
+  }
+  malicious_referers_ = {
+      "http://click-boost.xyz/r?id=771",
+      "https://free-prizes.top/win",
+      "http://best-offers.click/go",
+      "https://traffic-exchange.site/out?u=99",
+  };
+
+  // Stage-1 scanner pool: a stable set of cloud-scanner addresses that probe
+  // instances whether or not a domain is hosted (TEST-NET ranges).
+  util::Rng rng(config_.seed ^ 0x5ca88e55);
+  for (int i = 0; i < 160; ++i) {
+    scanner_pool_.push_back(
+        net::IPv4::from_octets(198, 51, 100, static_cast<std::uint8_t>(i)));
+    scanner_pool_.push_back(
+        net::IPv4::from_octets(203, 0, 113, static_cast<std::uint8_t>(rng.bounded(256))));
+  }
+}
+
+bool HoneypotTrafficModel::verify_referer(const std::string& referer_url,
+                                          const std::string& domain) const {
+  // A legitimate embedding page for `domain` follows the model's referral-web
+  // pattern; anything else either does not exist or does not link to us.
+  return referer_url.find("forums.runet-hub.ru/t/" + domain + "/") !=
+         std::string::npos;
+}
+
+TrafficRecord HoneypotTrafficModel::make_record(const std::string& domain,
+                                                net::IPv4 source,
+                                                std::uint16_t port,
+                                                std::string payload,
+                                                util::Rng& rng) const {
+  TrafficRecord record;
+  record.protocol = net::Protocol::TCP;
+  record.source = net::Endpoint{source, static_cast<std::uint16_t>(
+                                            1024 + rng.bounded(60000))};
+  record.dst_port = port;
+  record.when = config_.start +
+                static_cast<util::SimTime>(rng.bounded(
+                    static_cast<std::uint64_t>(config_.span)));
+  record.platform = rng.chance(0.5) ? honeypot::HostingPlatform::Aws
+                                    : honeypot::HostingPlatform::Gcp;
+  record.domain = domain;
+  record.payload = std::move(payload);
+  return record;
+}
+
+net::IPv4 HoneypotTrafficModel::source_for(TrafficCategory category,
+                                           const DomainProfile& profile,
+                                           util::Rng& rng) const {
+  switch (category) {
+    case TrafficCategory::CrawlerSearchEngine:
+    case TrafficCategory::CrawlerFileGrabber: {
+      const net::Prefix* crawlers[] = {&kGooglebot, &kBingbot, &kYandexBot,
+                                       &kBaiduBot, &kMailRuBot};
+      return random_in_prefix(*crawlers[rng.bounded(5)], rng);
+    }
+    case TrafficCategory::AutoMaliciousRequest:
+      if (profile.domain == "gpclick.com") {
+        double x = rng.uniform(), acc = 0;
+        for (const auto& mix : kBotnetSources) {
+          acc += mix.weight;
+          if (x < acc) return random_in_prefix(*mix.prefix, rng);
+        }
+        return random_in_prefix(kUnresolved, rng);
+      }
+      [[fallthrough]];
+    case TrafficCategory::AutoScriptSoftware: {
+      const net::Prefix* clouds[] = {&kAws, &kGcp, &kOvh, &kDigitalOcean,
+                                     &kUnresolved};
+      return random_in_prefix(*clouds[rng.bounded(5)], rng);
+    }
+    case TrafficCategory::ReferralSearchEngine:
+    case TrafficCategory::ReferralEmbedded:
+    case TrafficCategory::ReferralMaliciousLink:
+    case TrafficCategory::UserPcMobile:
+    case TrafficCategory::UserInAppBrowser:
+      return random_in_prefix(kResidential, rng);
+    case TrafficCategory::Other:
+      return random_in_prefix(kUnresolved, rng);
+  }
+  return random_in_prefix(kUnresolved, rng);
+}
+
+std::string HoneypotTrafficModel::make_request_payload(
+    TrafficCategory category, const DomainProfile& profile,
+    util::Rng& rng) const {
+  const std::string& host = profile.domain;
+  switch (category) {
+    case TrafficCategory::CrawlerSearchEngine:
+      return http_request("GET", rng.pick(page_paths()), host,
+                          crawler_user_agent(rng));
+    case TrafficCategory::CrawlerFileGrabber:
+      return http_request("GET", rng.pick(file_paths()), host,
+                          file_grabber_user_agent(rng));
+    case TrafficCategory::AutoScriptSoftware: {
+      // 1x-sport-bk7.com's fleet hits status.json with the stale-Chrome UA.
+      if (profile.domain == "1x-sport-bk7.com" && rng.chance(0.8)) {
+        return http_request(
+            "GET", "/status.json", host,
+            "Mozilla/5.0 (Windows NT 6.3; WOW64) AppleWebKit/537.36 (KHTML, "
+            "like Gecko) Chrome/41.0.2272.118 Safari/537.36");
+      }
+      return http_request("GET", rng.pick(script_paths()), host,
+                          script_user_agent(rng));
+    }
+    case TrafficCategory::AutoMaliciousRequest: {
+      if (profile.domain == "gpclick.com") {
+        // Botnet beacon (Fig 12).  All identifiers synthetic.
+        double x = rng.uniform(), acc = 0;
+        std::string cc = "+7";
+        for (const auto& mix : kVictimCountries) {
+          acc += mix.weight;
+          if (x < acc) {
+            cc = mix.prefix;
+            break;
+          }
+        }
+        const double m = rng.uniform();
+        const std::string model = m < 0.559   ? "Nexus 5X"
+                                  : m < 0.982 ? "Nexus 5"
+                                              : kOtherModels[rng.bounded(8)];
+        std::string uri = "/getTask.php?imei=" + fake_imei(rng) +
+                          "&balance=0&country=" +
+                          (cc == "+1" ? "us" : cc == "+7" ? "ru" : "xx") +
+                          "&phone=" + util::to_lower(fake_phone(cc, rng)) +
+                          "&op=Android&mnc=" + std::to_string(rng.bounded(999)) +
+                          "&mcc=" + std::to_string(100 + rng.bounded(600)) +
+                          "&model=" + model + "&os=2" +
+                          std::to_string(rng.bounded(10));
+        // '+' and spaces must survive as URI bytes; encode minimally.
+        std::string encoded;
+        for (const char c : uri) {
+          if (c == ' ') {
+            encoded += "%20";
+          } else if (c == '+') {
+            encoded += "%2B";
+          } else {
+            encoded.push_back(c);
+          }
+        }
+        return http_request("GET", encoded, host, botnet_user_agent());
+      }
+      return http_request("GET", rng.pick(probe_paths()), host,
+                          rng.chance(0.5) ? script_user_agent(rng) : "");
+    }
+    case TrafficCategory::ReferralSearchEngine: {
+      static const std::vector<std::string> kSearchReferers = {
+          "https://www.google.com/search?q=site",
+          "https://go.mail.ru/search?q=resheba",
+          "https://yandex.ru/search/?text=serial",
+          "https://www.bing.com/search?q=download",
+      };
+      return http_request("GET", rng.pick(page_paths()), host,
+                          browser_user_agent(rng), rng.pick(kSearchReferers));
+    }
+    case TrafficCategory::ReferralEmbedded: {
+      const std::string referer = "https://forums.runet-hub.ru/t/" + host +
+                                  "/" + std::to_string(1 + rng.bounded(3));
+      return http_request("GET", rng.pick(page_paths()), host,
+                          browser_user_agent(rng), referer);
+    }
+    case TrafficCategory::ReferralMaliciousLink:
+      return http_request("GET", rng.pick(page_paths()), host,
+                          browser_user_agent(rng),
+                          rng.pick(malicious_referers_));
+    case TrafficCategory::UserPcMobile:
+      return http_request("GET", rng.pick(page_paths()), host,
+                          browser_user_agent(rng));
+    case TrafficCategory::UserInAppBrowser:
+      return http_request("GET", rng.pick(page_paths()), host,
+                          in_app_user_agent(sample_in_app(rng), rng));
+    case TrafficCategory::Other: {
+      // Non-HTTP payloads: TLS ClientHello fragment, SSH banner, SOCKS probe.
+      switch (rng.bounded(3)) {
+        case 0: return std::string("\x16\x03\x01\x02\x00\x01", 6);
+        case 1: return "SSH-2.0-Go\r\n";
+        default: return std::string("\x05\x01\x00", 3);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<TrafficRecord> HoneypotTrafficModel::generate_domain(
+    const DomainProfile& profile) const {
+  util::Rng rng(config_.seed ^ util::fnv1a(profile.domain));
+  std::vector<TrafficRecord> out;
+  for (std::size_t ci = 0; ci < std::size(honeypot::kAllCategories); ++ci) {
+    const TrafficCategory category = honeypot::kAllCategories[ci];
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(profile.counts[ci]) * config_.scale + 0.5);
+    for (std::uint64_t i = 0; i < scaled; ++i) {
+      std::uint16_t port;
+      if (category == TrafficCategory::Other) {
+        static constexpr std::uint16_t kOtherPorts[] = {22, 25, 3389, 21,
+                                                        8080, 8443, 123};
+        port = kOtherPorts[rng.bounded(std::size(kOtherPorts))];
+      } else {
+        port = rng.chance(0.55) ? 80 : 443;
+      }
+      out.push_back(make_record(profile.domain,
+                                source_for(category, profile, rng), port,
+                                make_request_payload(category, profile, rng),
+                                rng));
+    }
+  }
+  return out;
+}
+
+std::vector<TrafficRecord> HoneypotTrafficModel::generate_noise(
+    const std::string& domain, std::size_t count) const {
+  util::Rng rng(config_.seed ^ util::fnv1a(domain) ^ 0x9015e);
+  std::vector<TrafficRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (rng.bounded(4)) {
+      case 0: {  // stage-1: cloud scanner junk
+        const auto ip = scanner_pool_[rng.bounded(scanner_pool_.size())];
+        static constexpr std::uint16_t kScanPorts[] = {22, 23, 445, 3389, 80};
+        out.push_back(make_record(domain, ip,
+                                  kScanPorts[rng.bounded(5)],
+                                  "\x03junk-probe", rng));
+        break;
+      }
+      case 1: {  // stage-2: certificate validation (correct hostname!)
+        out.push_back(make_record(
+            domain, net::IPv4::from_octets(23, 178, 112, 5), 80,
+            http_request("GET", "/.well-known/acme-challenge/check", domain,
+                         "Mozilla/5.0 (compatible; Let's Encrypt validation "
+                         "server; +https://www.letsencrypt.org)"),
+            rng));
+        break;
+      }
+      case 2: {  // stage-2: new-domain crawler
+        out.push_back(make_record(
+            domain, net::IPv4::from_octets(104, 18, 36, 9), 443,
+            http_request("GET", "/", domain,
+                         "NewDomainBot/1.0 (+https://newly-registered.example)"),
+            rng));
+        break;
+      }
+      default: {  // stage-2: AWS platform monitor on its dedicated port
+        out.push_back(make_record(domain,
+                                  net::IPv4::from_octets(169, 254, 169, 254),
+                                  52646, "aws-instance-monitor", rng));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void HoneypotTrafficModel::fill_no_hosting_baseline(
+    honeypot::TrafficRecorder& recorder) const {
+  util::Rng rng(config_.seed ^ 0xba5e11e);
+  // Every scanner-pool address appears during the no-hosting phase — that is
+  // precisely why the stage-1 learning works.
+  for (const auto& ip : scanner_pool_) {
+    const int probes = 1 + static_cast<int>(rng.bounded(4));
+    for (int i = 0; i < probes; ++i) {
+      static constexpr std::uint16_t kScanPorts[] = {22, 23, 445, 3389, 80, 8080};
+      TrafficRecord record;
+      record.protocol = net::Protocol::TCP;
+      record.source = net::Endpoint{ip, static_cast<std::uint16_t>(
+                                            1024 + rng.bounded(60000))};
+      record.dst_port = kScanPorts[rng.bounded(6)];
+      record.when = config_.start - 60 * util::kSecondsPerDay +
+                    static_cast<util::SimTime>(
+                        rng.bounded(60 * util::kSecondsPerDay));
+      record.domain = "";  // nothing hosted yet
+      record.payload = "\x03junk-probe";
+      recorder.record(std::move(record));
+    }
+  }
+  // AWS monitor also shows up on bare instances.
+  for (int i = 0; i < 400; ++i) {
+    TrafficRecord record;
+    record.protocol = net::Protocol::TCP;
+    record.source = net::Endpoint{net::IPv4::from_octets(169, 254, 169, 254),
+                                  52646};
+    record.dst_port = 52646;
+    record.when = config_.start - static_cast<util::SimTime>(
+                                      rng.bounded(60 * util::kSecondsPerDay));
+    record.payload = "aws-instance-monitor";
+    recorder.record(std::move(record));
+  }
+}
+
+void HoneypotTrafficModel::fill_control_group(
+    honeypot::TrafficRecorder& recorder) const {
+  util::Rng rng(config_.seed ^ 0xc0117701);
+  for (int d = 0; d < 10; ++d) {
+    const std::string domain = "nxd-control-" + std::to_string(d) + ".net";
+    // Establishment traffic: certificate validation, new-domain crawlers,
+    // platform monitor — the same fingerprints generate_noise emits.
+    for (int i = 0; i < 40; ++i) {
+      recorder.record(make_record(
+          domain, net::IPv4::from_octets(23, 178, 112, 5), 80,
+          http_request("GET", "/.well-known/acme-challenge/check", domain,
+                       "Mozilla/5.0 (compatible; Let's Encrypt validation "
+                       "server; +https://www.letsencrypt.org)"),
+          rng));
+      recorder.record(make_record(
+          domain, net::IPv4::from_octets(104, 18, 36, 9), 443,
+          http_request("GET", "/", domain,
+                       "NewDomainBot/1.0 (+https://newly-registered.example)"),
+          rng));
+    }
+    for (int i = 0; i < 120; ++i) {
+      recorder.record(make_record(domain,
+                                  net::IPv4::from_octets(169, 254, 169, 254),
+                                  52646, "aws-instance-monitor", rng));
+    }
+  }
+}
+
+}  // namespace nxd::synth

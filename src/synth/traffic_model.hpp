@@ -1,0 +1,86 @@
+// Honeypot workload synthesis — the stand-in for six months of live traffic
+// to 19 re-registered NXDomains (paper §6).
+//
+// For every Table-1 domain the model emits TrafficRecords whose HTTP
+// payloads *cause* the categorizer to assign the intended category: crawler
+// UAs fetching pages or files, script/library UAs, sensitive-URI probes,
+// referer-bearing requests (with a ground-truth referral web for the
+// embedded/malicious-link split), browser and in-app-browser user visits,
+// botnet beacons for gpclick.com, and non-HTTP junk for Others.
+// It also produces the no-hosting baseline and control-group captures the
+// two-stage filter learns from, plus the scanner/establishment noise that
+// the filter must strip from the measurement stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "honeypot/recorder.hpp"
+#include "net/reverse_dns.hpp"
+#include "synth/table1.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::synth {
+
+struct TrafficModelConfig {
+  std::uint64_t seed = 42;
+  /// Fraction of the paper's request counts to emit (1.0 = all 5.9 M).
+  double scale = 0.01;
+  /// Collection window (6 months).
+  util::SimTime start = 0;
+  util::SimTime span = 180LL * util::kSecondsPerDay;
+};
+
+class HoneypotTrafficModel {
+ public:
+  explicit HoneypotTrafficModel(TrafficModelConfig config);
+
+  /// Scaled measurement traffic for one Table-1 domain profile (no noise).
+  std::vector<honeypot::TrafficRecord> generate_domain(
+      const DomainProfile& profile) const;
+
+  /// Scanner + establishment noise that should be removed by the filter.
+  std::vector<honeypot::TrafficRecord> generate_noise(
+      const std::string& domain, std::size_t count) const;
+
+  /// Two months of captures on bare (no-domain) instances: pure scanner
+  /// background, including the AWS monitor channel on port 52646.
+  void fill_no_hosting_baseline(honeypot::TrafficRecorder& recorder) const;
+
+  /// Two months of captures on the 10 control-group domains: certificate
+  /// validation, new-domain crawlers, platform monitors.
+  void fill_control_group(honeypot::TrafficRecorder& recorder) const;
+
+  /// rDNS registry covering the model's IP pools (crawlers, google-proxy,
+  /// cloud providers); feed this to the categorizer and botnet analysis.
+  const net::ReverseDnsRegistry& rdns() const noexcept { return rdns_; }
+
+  /// Ground-truth referer verifier for the categorizer: true when the
+  /// referring URL is one of the model's legitimate embedding pages.
+  bool verify_referer(const std::string& referer_url,
+                      const std::string& domain) const;
+
+  const TrafficModelConfig& config() const noexcept { return config_; }
+
+ private:
+  honeypot::TrafficRecord make_record(const std::string& domain,
+                                      net::IPv4 source, std::uint16_t port,
+                                      std::string payload, util::Rng& rng) const;
+
+  std::string make_request_payload(honeypot::TrafficCategory category,
+                                   const DomainProfile& profile,
+                                   util::Rng& rng) const;
+
+  net::IPv4 source_for(honeypot::TrafficCategory category,
+                       const DomainProfile& profile, util::Rng& rng) const;
+
+  TrafficModelConfig config_;
+  net::ReverseDnsRegistry rdns_;
+  std::vector<std::string> embedding_pages_;   // legitimate referral pages
+  std::vector<std::string> malicious_referers_;
+  std::vector<net::IPv4> scanner_pool_;        // stage-1 noise sources
+};
+
+}  // namespace nxd::synth

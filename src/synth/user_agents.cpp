@@ -1,0 +1,149 @@
+#include "synth/user_agents.hpp"
+
+namespace nxd::synth {
+
+namespace {
+
+const std::vector<std::string>& crawler_pool() {
+  static const std::vector<std::string> kPool = {
+      "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
+      "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+      "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)",
+      "Mozilla/5.0 (compatible; Baiduspider/2.0; +http://www.baidu.com/search/spider.html)",
+      "Mozilla/5.0 (compatible; Mail.RU_Bot/2.0; +http://go.mail.ru/help/robots)",
+      "DuckDuckBot/1.1; (+http://duckduckgo.com/duckduckbot.html)",
+      "Mozilla/5.0 (compatible; Yahoo! Slurp; http://help.yahoo.com/help/us/ysearch/slurp)",
+      "Mozilla/5.0 (compatible; SeznamBot/4.0; +http://napoveda.seznam.cz/seznambot-intro/)",
+      "Mozilla/5.0 (compatible; PetalBot;+https://webmaster.petalsearch.com/site/petalbot)",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& file_grabber_pool() {
+  static const std::vector<std::string> kPool = {
+      // Mail providers re-fetching embedded images (the conf-cdn.com story).
+      "Mozilla/5.0 (Windows NT 5.1; rv:11.0) Gecko Firefox/11.0 (via ggpht.com GoogleImageProxy)",
+      "YahooMailProxy; https://help.yahoo.com/kb/yahoo-mail-proxy-SLN28749.html",
+      "OutlookImageProxy (Microsoft Office Outlook)",
+      "Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)",
+      "Mozilla/5.0 (compatible; SemrushBot/7~bl; +http://www.semrush.com/bot.html)",
+      "Mozilla/5.0 (compatible; MJ12bot/v1.4.8; http://mj12bot.com/)",
+      "Mozilla/5.0 (compatible; DotBot/1.2; +https://opensiteexplorer.org/dotbot)",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& script_pool() {
+  static const std::vector<std::string> kPool = {
+      "python-requests/2.28.2",
+      "python-urllib/3.9",
+      "curl/7.88.1",
+      "Wget/1.21.3 (linux-gnu)",
+      "Go-http-client/1.1",
+      "okhttp/4.10.0",
+      "Apache-HttpClient/4.5.13 (Java/11.0.18)",
+      "Java/1.8.0_362",
+      "libwww-perl/6.67",
+      "aiohttp/3.8.4",
+      "axios/1.3.4",
+      "Scrapy/2.8.0 (+https://scrapy.org)",
+      // The stale-Chrome bot fleet signature (paper: 1x-sport-bk7.com).
+      "Mozilla/5.0 (Windows NT 6.3; WOW64) AppleWebKit/537.36 (KHTML, like "
+      "Gecko) Chrome/41.0.2272.118 Safari/537.36",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& browser_pool() {
+  static const std::vector<std::string> kPool = {
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, "
+      "like Gecko) Chrome/114.0.0.0 Safari/537.36",
+      "Mozilla/5.0 (Macintosh; Intel Mac OS X 13_4) AppleWebKit/605.1.15 "
+      "(KHTML, like Gecko) Version/16.5 Safari/605.1.15",
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:114.0) Gecko/20100101 "
+      "Firefox/114.0",
+      "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) "
+      "Chrome/113.0.0.0 Safari/537.36",
+      "Mozilla/5.0 (iPhone; CPU iPhone OS 16_5 like Mac OS X) "
+      "AppleWebKit/605.1.15 (KHTML, like Gecko) Version/16.5 Mobile/15E148 "
+      "Safari/604.1",
+      "Mozilla/5.0 (Linux; Android 13; SM-S918B) AppleWebKit/537.36 (KHTML, "
+      "like Gecko) Chrome/114.0.0.0 Mobile Safari/537.36",
+      "Mozilla/5.0 (Linux; Android 12; HUAWEI P50) AppleWebKit/537.36 (KHTML, "
+      "like Gecko) Chrome/110.0.0.0 Mobile Safari/537.36",
+      "Mozilla/5.0 (Linux; Android 13; Mi 13) AppleWebKit/537.36 (KHTML, like "
+      "Gecko) Chrome/112.0.0.0 Mobile Safari/537.36",
+  };
+  return kPool;
+}
+
+}  // namespace
+
+std::string crawler_user_agent(util::Rng& rng) {
+  return rng.pick(crawler_pool());
+}
+
+std::string file_grabber_user_agent(util::Rng& rng) {
+  return rng.pick(file_grabber_pool());
+}
+
+std::string script_user_agent(util::Rng& rng) { return rng.pick(script_pool()); }
+
+std::string botnet_user_agent() {
+  return "Apache-HttpClient/UNAVAILABLE (java 1.4)";
+}
+
+std::string browser_user_agent(util::Rng& rng) {
+  return rng.pick(browser_pool());
+}
+
+std::string in_app_user_agent(honeypot::InAppBrowser app, util::Rng& rng) {
+  using honeypot::InAppBrowser;
+  const std::string base =
+      rng.chance(0.5)
+          ? "Mozilla/5.0 (iPhone; CPU iPhone OS 16_5 like Mac OS X) "
+            "AppleWebKit/605.1.15 (KHTML, like Gecko) Mobile/15E148"
+          : "Mozilla/5.0 (Linux; Android 13; SM-S918B) AppleWebKit/537.36 "
+            "(KHTML, like Gecko) Chrome/114.0.0.0 Mobile Safari/537.36";
+  switch (app) {
+    case InAppBrowser::WhatsApp: return base + " WhatsApp/2.23.12.75";
+    case InAppBrowser::Facebook:
+      return base + " [FBAN/FBIOS;FBAV/414.0.0.30.112;FB_IAB/FB4A]";
+    case InAppBrowser::WeChat: return base + " MicroMessenger/8.0.37";
+    case InAppBrowser::Twitter: return base + " TwitterAndroid/9.95.0";
+    case InAppBrowser::Instagram: return base + " Instagram 289.0.0.18.109";
+    case InAppBrowser::DingTalk: return base + " DingTalk/7.0.40";
+    case InAppBrowser::QQ: return base + " QQ/8.9.68 MQQBrowser/6.2";
+    case InAppBrowser::Line: return base + " Line/13.10.0";
+    case InAppBrowser::Other: return base + " KakaoTalk/10.2.0";
+  }
+  return base;
+}
+
+const std::vector<std::pair<honeypot::InAppBrowser, std::uint64_t>>&
+in_app_distribution() {
+  using honeypot::InAppBrowser;
+  // Paper Fig 13: total 3,808 in-app requests.  WeChat's printed count is
+  // cropped in the figure; 576 (15%) completes the total.
+  static const std::vector<std::pair<InAppBrowser, std::uint64_t>> kDist = {
+      {InAppBrowser::WhatsApp, 1008}, {InAppBrowser::Facebook, 624},
+      {InAppBrowser::WeChat, 576},    {InAppBrowser::Twitter, 444},
+      {InAppBrowser::Instagram, 408}, {InAppBrowser::DingTalk, 252},
+      {InAppBrowser::QQ, 168},        {InAppBrowser::Other, 328},
+  };
+  return kDist;
+}
+
+honeypot::InAppBrowser sample_in_app(util::Rng& rng) {
+  const auto& dist = in_app_distribution();
+  static const util::DiscreteSampler sampler([] {
+    std::vector<double> w;
+    for (const auto& [app, count] : in_app_distribution()) {
+      w.push_back(static_cast<double>(count));
+    }
+    return w;
+  }());
+  return dist[sampler.sample(rng)].first;
+}
+
+}  // namespace nxd::synth

@@ -1,0 +1,40 @@
+// User-Agent string pools per traffic category, used by the honeypot
+// traffic model.  Strings follow the real-world formats so the categorizer
+// is exercised on realistic input, not sentinel tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "honeypot/categorizer.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::synth {
+
+/// A User-Agent for a search-engine/mail crawler; service varies.
+std::string crawler_user_agent(util::Rng& rng);
+
+/// Mail-image and file-grabbing crawler UAs (gmail image proxy etc.).
+std::string file_grabber_user_agent(util::Rng& rng);
+
+/// Scripting tools and HTTP libraries (python-requests, curl, ...), plus
+/// the stale Chrome/41 bot signature.
+std::string script_user_agent(util::Rng& rng);
+
+/// The exact botnet client UA from paper §6.4.
+std::string botnet_user_agent();
+
+/// Real desktop/mobile browser UA.
+std::string browser_user_agent(util::Rng& rng);
+
+/// Browser UA carrying an in-app browser token for the given app.
+std::string in_app_user_agent(honeypot::InAppBrowser app, util::Rng& rng);
+
+/// Fig 13 in-app browser distribution (app, paper count).
+const std::vector<std::pair<honeypot::InAppBrowser, std::uint64_t>>&
+in_app_distribution();
+
+/// Sample an app from the Fig 13 distribution.
+honeypot::InAppBrowser sample_in_app(util::Rng& rng);
+
+}  // namespace nxd::synth

@@ -1,0 +1,28 @@
+#include "util/bytes.hpp"
+
+namespace nxd::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string to_hex(std::uint64_t value) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace nxd::util

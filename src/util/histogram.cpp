@@ -1,0 +1,43 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+
+namespace nxd::util {
+
+std::uint64_t Counter::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, n] : counts_) sum += n;
+  return sum;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counter::top(
+    std::size_t k) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out(counts_.begin(),
+                                                         counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+BucketHistogram::BucketHistogram(std::int64_t lo, std::int64_t hi,
+                                 std::int64_t width)
+    : lo_(lo), width_(width <= 0 ? 1 : width) {
+  const std::int64_t span = hi > lo ? hi - lo : 1;
+  counts_.assign(static_cast<std::size_t>((span + width_ - 1) / width_), 0);
+}
+
+void BucketHistogram::add(std::int64_t value, std::uint64_t n) {
+  std::int64_t idx = (value - lo_) / width_;
+  if (value < lo_) idx = 0;
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<std::int64_t>(counts_.size())) {
+    idx = static_cast<std::int64_t>(counts_.size()) - 1;
+  }
+  counts_[static_cast<std::size_t>(idx)] += n;
+  total_ += n;
+}
+
+}  // namespace nxd::util

@@ -1,0 +1,86 @@
+// Small counting histogram / top-k helpers used throughout the analysis
+// pipelines (TLD mixes, port mixes, country codes, hostnames, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nxd::util {
+
+/// Counter keyed by string with deterministic top-k extraction (ties broken
+/// lexicographically so reports are stable across runs).
+class Counter {
+ public:
+  void add(const std::string& key, std::uint64_t n = 1) { counts_[key] += n; }
+
+  std::uint64_t get(const std::string& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const;
+  std::size_t distinct() const noexcept { return counts_.size(); }
+  bool empty() const noexcept { return counts_.empty(); }
+
+  /// Descending by count, ascending by key on ties.  k == 0 -> all entries.
+  std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t k = 0) const;
+
+  const std::unordered_map<std::string, std::uint64_t>& raw() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> counts_;
+};
+
+/// Fixed-width bucket histogram over integer observations (e.g. days in
+/// non-existent status, days relative to expiry).
+class BucketHistogram {
+ public:
+  /// Buckets cover [lo, hi) with the given width; out-of-range observations
+  /// are clamped into the first/last bucket.
+  BucketHistogram(std::int64_t lo, std::int64_t hi, std::int64_t width);
+
+  void add(std::int64_t value, std::uint64_t n = 1);
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::int64_t bucket_lo(std::size_t i) const noexcept {
+    return lo_ + static_cast<std::int64_t>(i) * width_;
+  }
+  std::uint64_t at(std::size_t i) const noexcept { return counts_[i]; }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::int64_t lo_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Streaming mean/variance (Welford) for latency-style metrics.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+}  // namespace nxd::util

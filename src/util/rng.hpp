@@ -1,0 +1,234 @@
+// Deterministic, seedable random number generation.
+//
+// Every synthetic workload in nxdlib must be reproducible bit-for-bit across
+// platforms and standard-library implementations, so we implement our own
+// generators and distributions instead of relying on <random> distribution
+// objects (whose outputs are implementation-defined).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace nxd::util {
+
+/// SplitMix64: tiny, fast generator used for seeding and for hashing-style
+/// derivation of child seeds.  Reference: Steele et al., "Fast Splittable
+/// Pseudorandom Number Generators".
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Our workhorse generator: fast,
+/// 256-bit state, excellent statistical quality for simulation purposes.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm{seed};
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound == 0 yields 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(width));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double lambda) noexcept {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// Poisson-distributed count (Knuth for small means, normal approx above).
+  std::uint64_t poisson(double mean) noexcept {
+    if (mean <= 0) return 0;
+    if (mean > 64.0) {
+      const double v = normal(mean, std::sqrt(mean));
+      return v <= 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[bounded(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[bounded(items.size())];
+  }
+
+  /// Derive an independent child generator; `label` namespaces the stream so
+  /// two subsystems seeded from the same parent do not correlate.
+  Rng fork(std::string_view label) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// FNV-1a 64-bit hash; used for seed derivation and PII anonymization.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline Rng Rng::fork(std::string_view label) noexcept {
+  SplitMix64 sm{next() ^ fnv1a(label)};
+  return Rng{sm.next()};
+}
+
+/// Weighted discrete sampler over fixed weights (alias-free linear scan for
+/// small tables, cumulative binary search otherwise).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights) : cdf_(std::move(weights)) {
+    double acc = 0;
+    for (auto& w : cdf_) {
+      acc += (w > 0 ? w : 0);
+      w = acc;
+    }
+    total_ = acc;
+  }
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Index in [0, size()); returns 0 for an all-zero table.
+  std::size_t sample(Rng& rng) const noexcept {
+    if (cdf_.empty() || total_ <= 0) return 0;
+    const double target = rng.uniform() * total_;
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] <= target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0;
+};
+
+/// Bounded Zipf(s) sampler over ranks 1..n — used for TLD and domain
+/// popularity mixes, which are heavy-tailed in every DNS dataset.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Rank in [1, n].
+  std::size_t sample(Rng& rng) const noexcept { return inner_.sample(rng) + 1; }
+
+ private:
+  DiscreteSampler inner_;
+};
+
+inline ZipfSampler::ZipfSampler(std::size_t n, double s)
+    : inner_([n, s] {
+        std::vector<double> w(n);
+        for (std::size_t k = 1; k <= n; ++k) {
+          w[k - 1] = 1.0 / std::pow(static_cast<double>(k), s);
+        }
+        return w;
+      }()) {}
+
+}  // namespace nxd::util

@@ -1,0 +1,50 @@
+// ASCII table / CSV renderer used by the bench harness to print
+// paper-vs-measured rows in a readable, diffable format.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nxd::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: positional stringification of mixed cell types.
+  template <typename... Cells>
+  Table& row(Cells&&... cells) {
+    return add_row({cell_to_string(std::forward<Cells>(cells))...});
+  }
+
+  void render(std::ostream& os) const;
+  void render_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(std::string_view s) { return std::string(s); }
+  static std::string cell_to_string(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string cell_to_string(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Pretty ratio like "1.93x" or "n/a" when the base is zero.
+std::string ratio_str(double measured, double base);
+
+/// Percentage like "79.0%".
+std::string pct_str(double part, double whole);
+
+}  // namespace nxd::util

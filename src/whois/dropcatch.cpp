@@ -1,0 +1,46 @@
+#include "whois/dropcatch.hpp"
+
+namespace nxd::whois {
+
+DropCatchMarket::DropCatchMarket(LifecycleEngine& engine, VolumeOracle oracle,
+                                 DropCatchConfig config)
+    : engine_(engine),
+      oracle_(std::move(oracle)),
+      config_(config),
+      rng_(config.seed) {}
+
+void DropCatchMarket::on_event(const LifecycleEvent& event) {
+  switch (event.kind) {
+    case EventKind::EnteredRedemption: {
+      // The platform starts advertising once the name enters RGP.  Whether
+      // anyone backorders depends on its observed traffic.
+      const std::uint64_t volume = oracle_ ? oracle_(event.domain) : 0;
+      if (volume < config_.min_volume) return;
+      const double p = static_cast<double>(volume) /
+                       (static_cast<double>(volume) + config_.half_volume);
+      if (rng_.chance(p)) {
+        backorders_[event.domain] = volume;
+      }
+      return;
+    }
+    case EventKind::Restored:
+      // Owner saved it; the backorder dies.
+      backorders_.erase(event.domain);
+      return;
+    case EventKind::Dropped: {
+      const auto it = backorders_.find(event.domain);
+      if (it == backorders_.end()) return;
+      // Same-day re-registration by the drop-catcher.
+      if (engine_.register_domain(event.domain, event.day,
+                                  config_.catcher_registrar)) {
+        catches_.push_back(CatchRecord{event.domain, event.day, it->second});
+      }
+      backorders_.erase(it);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace nxd::whois

@@ -1,0 +1,48 @@
+#include "whois/history_db.hpp"
+
+#include <algorithm>
+
+namespace nxd::whois {
+
+void WhoisHistoryDb::add(WhoisRecord record) {
+  auto& list = by_domain_[record.domain];
+  list.push_back(std::move(record));
+  std::stable_sort(list.begin(), list.end(),
+                   [](const WhoisRecord& a, const WhoisRecord& b) {
+                     return a.created < b.created;
+                   });
+  ++records_;
+}
+
+bool WhoisHistoryDb::has_history(const dns::DomainName& domain) const {
+  return by_domain_.contains(domain);
+}
+
+std::optional<WhoisRecord> WhoisHistoryDb::latest(
+    const dns::DomainName& domain) const {
+  const auto it = by_domain_.find(domain);
+  if (it == by_domain_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::span<const WhoisRecord> WhoisHistoryDb::history(
+    const dns::DomainName& domain) const {
+  const auto it = by_domain_.find(domain);
+  if (it == by_domain_.end()) return {};
+  return it->second;
+}
+
+JoinResult WhoisHistoryDb::join(const std::vector<dns::DomainName>& domains) const {
+  JoinResult out;
+  out.total = domains.size();
+  for (const auto& domain : domains) {
+    if (has_history(domain)) {
+      ++out.with_history;
+    } else {
+      ++out.never_registered;
+    }
+  }
+  return out;
+}
+
+}  // namespace nxd::whois

@@ -1,0 +1,158 @@
+#include "whois/lifecycle.hpp"
+
+#include <algorithm>
+
+namespace nxd::whois {
+
+std::string to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Registered: return "registered";
+    case EventKind::RenewalNotice: return "renewal-notice";
+    case EventKind::Renewed: return "renewed";
+    case EventKind::Expired: return "expired";
+    case EventKind::EnteredRedemption: return "entered-redemption";
+    case EventKind::Restored: return "restored";
+    case EventKind::PendingDelete: return "pending-delete";
+    case EventKind::Dropped: return "dropped";
+    case EventKind::ReRegistered: return "re-registered";
+  }
+  return "unknown";
+}
+
+void LifecycleEngine::emit(const dns::DomainName& domain, EventKind kind,
+                           util::Day day) {
+  const LifecycleEvent event{domain, kind, day};
+  log_.push_back(event);
+  if (sink_) sink_(event);
+}
+
+bool LifecycleEngine::register_domain(const dns::DomainName& domain,
+                                      util::Day day, std::string registrar,
+                                      std::int64_t term_days) {
+  auto it = entries_.find(domain);
+  const bool existed = it != entries_.end();
+  if (existed && it->second.status != Status::Dropped) return false;
+
+  Entry entry;
+  entry.record.domain = domain;
+  entry.record.registrar = std::move(registrar);
+  entry.record.created = day;
+  entry.record.updated = day;
+  entry.record.expires = day + term_days;
+  entry.status = Status::Active;
+  entries_[domain] = std::move(entry);
+  emit(domain, existed ? EventKind::ReRegistered : EventKind::Registered, day);
+  return true;
+}
+
+bool LifecycleEngine::renew(const dns::DomainName& domain, util::Day day,
+                            std::int64_t term_days) {
+  const auto it = entries_.find(domain);
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  switch (entry.status) {
+    case Status::Active:
+    case Status::ExpiredGrace:
+      entry.record.expires = std::max(entry.record.expires, day) + term_days;
+      entry.record.updated = day;
+      entry.status = Status::Active;
+      entry.notices_sent = 0;
+      emit(domain, EventKind::Renewed, day);
+      return true;
+    case Status::RedemptionGrace:
+      // Restoration: additional fee, then a normal renewal term.
+      entry.record.expires = day + term_days;
+      entry.record.updated = day;
+      entry.status = Status::Active;
+      entry.notices_sent = 0;
+      emit(domain, EventKind::Restored, day);
+      return true;
+    case Status::PendingDelete:
+    case Status::Dropped:
+      return false;  // irrevocable
+  }
+  return false;
+}
+
+void LifecycleEngine::step_domain(Entry& entry, util::Day day) {
+  const WhoisRecord& rec = entry.record;
+  const dns::DomainName& domain = rec.domain;
+
+  // ERRP notices: "registrars must notify domain owners about domain
+  // termination at least three times (two before the expiration date and
+  // one after)".
+  if (entry.status == Status::Active) {
+    if (entry.notices_sent == 0 &&
+        day >= rec.expires - policy_.first_notice_before) {
+      ++entry.notices_sent;
+      emit(domain, EventKind::RenewalNotice, day);
+    }
+    if (entry.notices_sent == 1 &&
+        day >= rec.expires - policy_.second_notice_before) {
+      ++entry.notices_sent;
+      emit(domain, EventKind::RenewalNotice, day);
+    }
+    if (day >= rec.expires) {
+      entry.status = Status::ExpiredGrace;
+      emit(domain, EventKind::Expired, day);
+    }
+  }
+  if (entry.status == Status::ExpiredGrace) {
+    if (entry.notices_sent == 2 &&
+        day >= rec.expires + policy_.post_expiry_notice_after) {
+      ++entry.notices_sent;
+      emit(domain, EventKind::RenewalNotice, day);
+    }
+    if (day >= policy_.rgp_start(rec.expires)) {
+      entry.status = Status::RedemptionGrace;
+      emit(domain, EventKind::EnteredRedemption, day);
+    }
+  }
+  if (entry.status == Status::RedemptionGrace &&
+      day >= policy_.pending_delete_start(rec.expires)) {
+    entry.status = Status::PendingDelete;
+    emit(domain, EventKind::PendingDelete, day);
+  }
+  if (entry.status == Status::PendingDelete &&
+      day >= policy_.drop_day(rec.expires)) {
+    entry.status = Status::Dropped;
+    emit(domain, EventKind::Dropped, day);
+  }
+}
+
+void LifecycleEngine::advance_to(util::Day day) {
+  // Day-at-a-time keeps event ordering deterministic and the notice logic
+  // simple; workloads span a few thousand simulated days at most.
+  while (today_ < day) {
+    ++today_;
+    for (auto& [domain, entry] : entries_) step_domain(entry, today_);
+  }
+}
+
+std::optional<Status> LifecycleEngine::status(const dns::DomainName& domain) const {
+  const auto it = entries_.find(domain);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.status;
+}
+
+std::optional<WhoisRecord> LifecycleEngine::record(
+    const dns::DomainName& domain) const {
+  const auto it = entries_.find(domain);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.record;
+}
+
+bool LifecycleEngine::resolves_now(const dns::DomainName& domain) const {
+  const auto s = status(domain);
+  return s && resolves(*s);
+}
+
+std::size_t LifecycleEngine::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [domain, entry] : entries_) {
+    if (entry.status == Status::Active) ++n;
+  }
+  return n;
+}
+
+}  // namespace nxd::whois

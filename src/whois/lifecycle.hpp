@@ -1,0 +1,89 @@
+// Domain lifecycle engine: drives registrations through the ICANN ERRP
+// state machine day by day, emitting events (renewal notices, expiry, RGP
+// entry, restore, drop) and keeping an attached DNS view consistent.
+//
+// This substrate gives the reproduction its "origin" ground truth: a domain
+// whose DNS queries continue after its Dropped event is exactly the
+// phenomenon the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "whois/record.hpp"
+
+namespace nxd::whois {
+
+enum class EventKind : std::uint8_t {
+  Registered,
+  RenewalNotice,     // two before expiry + one after (ERRP minimum)
+  Renewed,
+  Expired,
+  EnteredRedemption,
+  Restored,          // owner paid the restoration fee during RGP
+  PendingDelete,
+  Dropped,
+  ReRegistered,      // drop-catch or fresh registration of a dropped name
+};
+
+std::string to_string(EventKind k);
+
+struct LifecycleEvent {
+  dns::DomainName domain;
+  EventKind kind;
+  util::Day day;
+};
+
+class LifecycleEngine {
+ public:
+  using EventSink = std::function<void(const LifecycleEvent&)>;
+
+  explicit LifecycleEngine(ErrpPolicy policy = {}) : policy_(policy) {}
+
+  void set_sink(EventSink sink) { sink_ = std::move(sink); }
+
+  /// Register a domain on `day` for `term_days`.  Fails (returns false) if
+  /// the domain is currently registered.
+  bool register_domain(const dns::DomainName& domain, util::Day day,
+                       std::string registrar, std::int64_t term_days = 365);
+
+  /// Owner renews before/after expiry (allowed through the grace periods;
+  /// during RGP this is a Restore and would carry the restoration fee).
+  bool renew(const dns::DomainName& domain, util::Day day,
+             std::int64_t term_days = 365);
+
+  /// Advance the engine to `day`, firing all due transitions in order.
+  void advance_to(util::Day day);
+
+  std::optional<Status> status(const dns::DomainName& domain) const;
+  std::optional<WhoisRecord> record(const dns::DomainName& domain) const;
+
+  /// Whether DNS currently resolves the name.
+  bool resolves_now(const dns::DomainName& domain) const;
+
+  util::Day today() const noexcept { return today_; }
+  std::size_t active_count() const;
+
+  const std::vector<LifecycleEvent>& log() const noexcept { return log_; }
+
+ private:
+  struct Entry {
+    WhoisRecord record;
+    Status status = Status::Active;
+    int notices_sent = 0;
+  };
+
+  void emit(const dns::DomainName& domain, EventKind kind, util::Day day);
+  void step_domain(Entry& entry, util::Day day);
+
+  ErrpPolicy policy_;
+  EventSink sink_;
+  util::Day today_ = 0;
+  std::unordered_map<dns::DomainName, Entry, dns::DomainNameHash> entries_;
+  std::vector<LifecycleEvent> log_;
+};
+
+}  // namespace nxd::whois

@@ -1,0 +1,31 @@
+#include "whois/record.hpp"
+
+namespace nxd::whois {
+
+std::string to_string(Status s) {
+  switch (s) {
+    case Status::Active: return "active";
+    case Status::ExpiredGrace: return "expired-grace";
+    case Status::RedemptionGrace: return "redemption-grace";
+    case Status::PendingDelete: return "pending-delete";
+    case Status::Dropped: return "dropped";
+  }
+  return "unknown";
+}
+
+bool resolves(Status s) noexcept {
+  return s == Status::Active || s == Status::ExpiredGrace;
+}
+
+Status WhoisRecord::status_at(util::Day day,
+                              std::optional<util::Day> dropped_at) const {
+  if (dropped_at && day >= *dropped_at) return Status::Dropped;
+  const ErrpPolicy policy;
+  if (day < expires) return Status::Active;
+  if (day < policy.rgp_start(expires)) return Status::ExpiredGrace;
+  if (day < policy.pending_delete_start(expires)) return Status::RedemptionGrace;
+  if (day < policy.drop_day(expires)) return Status::PendingDelete;
+  return Status::Dropped;
+}
+
+}  // namespace nxd::whois

@@ -1,0 +1,67 @@
+// WHOIS records and domain registration status.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "util/civil_time.hpp"
+
+namespace nxd::whois {
+
+/// Registration status through the ICANN Expired Registration Recovery
+/// Policy (paper §2).  Order matters: it is the lifecycle progression.
+enum class Status : std::uint8_t {
+  Active,           // registered and within its term
+  ExpiredGrace,     // past expiry; registrar auto-renew grace (0-45 days)
+  RedemptionGrace,  // RGP: 30 days, restorable for a fee
+  PendingDelete,    // 5 days, irrevocable
+  Dropped,          // released to the public — queries now yield NXDomain
+};
+
+std::string to_string(Status s);
+
+/// Whether DNS still resolves the domain in this status.  Registrars keep
+/// expired domains parked (resolving) through the grace period; resolution
+/// stops at RGP when the registrar pulls the delegation.
+bool resolves(Status s) noexcept;
+
+struct WhoisRecord {
+  dns::DomainName domain;
+  std::string registrar;      // "101domain", "godaddy", "namecheap", ...
+  std::string registrant;     // anonymized registrant handle
+  util::Day created = 0;
+  util::Day expires = 0;      // current registration term end
+  util::Day updated = 0;
+  std::vector<std::string> nameservers;
+
+  /// Derived status at a point in time, per the ERRP timeline.  `dropped_at`
+  /// (if known) overrides the schedule — drop-catch and restore events move
+  /// the real date.
+  Status status_at(util::Day day,
+                   std::optional<util::Day> dropped_at = std::nullopt) const;
+};
+
+/// ERRP timing constants (ICANN Expired Registration Recovery Policy).
+struct ErrpPolicy {
+  std::int64_t first_notice_before = 30;  // days before expiry
+  std::int64_t second_notice_before = 5;
+  std::int64_t post_expiry_notice_after = 1;  // days after expiry
+  std::int64_t auto_renew_grace = 45;  // registrar-dependent; 45 is common
+  std::int64_t redemption_days = 30;   // fixed by policy
+  std::int64_t pending_delete_days = 5;
+
+  util::Day rgp_start(util::Day expires) const noexcept {
+    return expires + auto_renew_grace;
+  }
+  util::Day pending_delete_start(util::Day expires) const noexcept {
+    return rgp_start(expires) + redemption_days;
+  }
+  util::Day drop_day(util::Day expires) const noexcept {
+    return pending_delete_start(expires) + pending_delete_days;
+  }
+};
+
+}  // namespace nxd::whois

@@ -1,0 +1,240 @@
+// Tests for the §7-inspired extensions: NXDomain hijacking, the §3.3
+// domain selector, and the DNS sinkhole.
+#include <gtest/gtest.h>
+
+#include "analysis/selection.hpp"
+#include "analysis/sinkhole.hpp"
+#include "dga/families.hpp"
+#include "resolver/hijack.hpp"
+#include "synth/origin_model.hpp"
+
+namespace nxd {
+namespace {
+
+using dns::DomainName;
+using dns::RCode;
+
+// ----------------------------------------------------------------- hijack
+
+TEST(Hijack, RewritesApproximatelyConfiguredFraction) {
+  resolver::DnsHierarchy hierarchy;
+  resolver::CacheConfig no_cache;
+  no_cache.enable_negative = false;  // every query reaches the hijack point
+  resolver::RecursiveResolver inner(hierarchy, no_cache);
+  resolver::HijackingResolver::Config config;
+  config.hijack_rate = 0.048;
+  config.seed = 3;
+  resolver::HijackingResolver hijacker(inner, config);
+
+  int noerror = 0;
+  const int total = 20'000;
+  for (int i = 0; i < total; ++i) {
+    const auto name =
+        DomainName::must("missing-" + std::to_string(i) + ".com");
+    if (hijacker.resolve_rcode(name, i) == RCode::NoError) ++noerror;
+  }
+  EXPECT_EQ(hijacker.stats().nxdomain_seen, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(hijacker.stats().hijacked, static_cast<std::uint64_t>(noerror));
+  EXPECT_NEAR(static_cast<double>(noerror) / total, 0.048, 0.01);
+}
+
+TEST(Hijack, RewrittenAnswerPointsAtAdServer) {
+  resolver::DnsHierarchy hierarchy;
+  resolver::RecursiveResolver inner(hierarchy);
+  resolver::HijackingResolver::Config config;
+  config.hijack_rate = 1.0;  // always hijack
+  config.ad_server = *dns::IPv4::parse("198.51.100.200");
+  resolver::HijackingResolver hijacker(inner, config);
+
+  const auto query = dns::make_query(5, DomainName::must("ghost.com"));
+  const auto outcome = hijacker.resolve(query, 0);
+  EXPECT_EQ(outcome.response.header.rcode, RCode::NoError);
+  ASSERT_EQ(outcome.response.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::IPv4>(outcome.response.answers[0].rdata),
+            *dns::IPv4::parse("198.51.100.200"));
+  EXPECT_TRUE(outcome.response.authorities.empty());  // SOA stripped
+}
+
+TEST(Hijack, LeavesResolvableNamesAlone) {
+  resolver::DnsHierarchy hierarchy;
+  hierarchy.register_domain(DomainName::must("real.com"),
+                            *dns::IPv4::parse("192.0.2.1"));
+  resolver::RecursiveResolver inner(hierarchy);
+  resolver::HijackingResolver::Config config;
+  config.hijack_rate = 1.0;
+  resolver::HijackingResolver hijacker(inner, config);
+
+  const auto query = dns::make_query(6, DomainName::must("real.com"));
+  const auto outcome = hijacker.resolve(query, 0);
+  ASSERT_EQ(outcome.response.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::IPv4>(outcome.response.answers[0].rdata),
+            *dns::IPv4::parse("192.0.2.1"));
+  EXPECT_EQ(hijacker.stats().hijacked, 0u);
+}
+
+// --------------------------------------------------------------- selector
+
+class SelectorFixture : public ::testing::Test {
+ protected:
+  SelectorFixture()
+      : classifier_(synth::trained_dga_classifier()),
+        detector_(squat::SquatDetector::with_defaults()) {}
+
+  /// Ingest `monthly` NX queries/month for `months` months ending at
+  /// day `today`, for the given name.
+  void feed(const char* name, std::uint32_t monthly, int months,
+            util::Day first_nx) {
+    for (int m = 0; m < months; ++m) {
+      const util::Day month_day = first_nx + m * 30;
+      for (std::uint32_t q = 0; q < monthly; ++q) {
+        pdns::Observation obs;
+        obs.name = DomainName::must(name);
+        obs.rcode = dns::RCode::NXDomain;
+        obs.when = (month_day + (q % 28)) * util::kSecondsPerDay;
+        store_.ingest(obs);
+      }
+    }
+  }
+
+  pdns::PassiveDnsStore store_;
+  blocklist::Blocklist blocklist_;
+  dga::DgaClassifier classifier_;
+  squat::SquatDetector detector_;
+};
+
+TEST_F(SelectorFixture, AppliesBothThresholds) {
+  const util::Day today = util::to_day(util::CivilDate{2022, 12, 1});
+  feed("hot-and-old.com", 12'000, 8, today - 240);   // qualifies
+  feed("hot-but-new.com", 12'000, 2, today - 60);    // too recent
+  feed("old-but-cold.com", 500, 8, today - 240);     // too quiet
+
+  const analysis::DomainSelector selector(store_, blocklist_, classifier_,
+                                          detector_);
+  const auto candidates = selector.candidates(today, {});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].domain, "hot-and-old.com");
+  EXPECT_GE(candidates[0].peak_monthly_queries, 10'000u);
+  EXPECT_GE(candidates[0].days_in_nx, 180);
+  EXPECT_FALSE(candidates[0].malicious);
+}
+
+TEST_F(SelectorFixture, AnnotatesMaliciousOrigins) {
+  const util::Day today = util::to_day(util::CivilDate{2022, 12, 1});
+  feed("blocked-domain.com", 11'000, 8, today - 240);
+  feed("paypal-login.com", 11'000, 8, today - 240);     // combosquat
+  feed("xkqzjvwpfhbtrnq.com", 11'000, 8, today - 240);  // DGA-looking
+  blocklist_.add(DomainName::must("blocked-domain.com"),
+                 blocklist::ThreatCategory::CommandAndControl);
+
+  const analysis::DomainSelector selector(store_, blocklist_, classifier_,
+                                          detector_);
+  const auto candidates = selector.candidates(today, {});
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const auto& candidate : candidates) {
+    EXPECT_TRUE(candidate.malicious) << candidate.domain;
+  }
+  // Reasons reflect the precedence blocklist > squat > dga.
+  for (const auto& candidate : candidates) {
+    if (candidate.domain == "blocked-domain.com") {
+      EXPECT_EQ(candidate.malicious_reason, "blocklist:c&c");
+    } else if (candidate.domain == "paypal-login.com") {
+      EXPECT_EQ(candidate.malicious_reason, "squat:combosquatting");
+    } else {
+      EXPECT_EQ(candidate.malicious_reason, "dga");
+    }
+  }
+}
+
+TEST_F(SelectorFixture, SelectionHonoursMaliciousQuota) {
+  const util::Day today = util::to_day(util::CivilDate{2022, 12, 1});
+  // Six loud benign domains and two quieter malicious ones.
+  for (int i = 0; i < 6; ++i) {
+    feed(("benign-" + std::to_string(i) + ".com").c_str(),
+         20'000 + 1'000 * static_cast<std::uint32_t>(i), 8, today - 240);
+  }
+  feed("malicious-a.com", 10'500, 8, today - 240);
+  feed("malicious-b.com", 10'400, 8, today - 240);
+  blocklist_.add(DomainName::must("malicious-a.com"),
+                 blocklist::ThreatCategory::Malware);
+  blocklist_.add(DomainName::must("malicious-b.com"),
+                 blocklist::ThreatCategory::Phishing);
+
+  analysis::SelectionCriteria criteria;
+  criteria.target_count = 6;
+  criteria.min_malicious = 2;
+  const analysis::DomainSelector selector(store_, blocklist_, classifier_,
+                                          detector_);
+  const auto picked = selector.select(today, criteria);
+  ASSERT_EQ(picked.size(), 6u);
+  const auto malicious =
+      std::count_if(picked.begin(), picked.end(),
+                    [](const auto& c) { return c.malicious; });
+  EXPECT_EQ(malicious, 2);
+  // The highest-traffic benign domains survive the replacement.
+  EXPECT_EQ(picked[0].domain, "benign-5.com");
+}
+
+// ---------------------------------------------------------------- sinkhole
+
+TEST(Sinkhole, SeparatesBeaconFromTypoTraffic) {
+  const auto classifier = synth::trained_dga_classifier();
+
+  analysis::DnsSinkhole::Config config;
+  analysis::DnsSinkhole sinkhole(config, classifier);  // watch everything
+
+  // Botnet: DGA name, queried every 60 s, A records only.
+  const dga::ConfickerStyleDga family;
+  const auto beacon_name = family.generate(19'500, 1).front();
+  for (int i = 0; i < 200; ++i) {
+    pdns::Observation obs;
+    obs.name = beacon_name;
+    obs.rcode = dns::RCode::NXDomain;
+    obs.when = i * 60;
+    EXPECT_TRUE(sinkhole.ingest(obs));
+  }
+  // Humans: dictionary typo, sporadic cadence, mixed query types.
+  util::Rng rng(5);
+  util::SimTime when = 0;
+  for (int i = 0; i < 60; ++i) {
+    pdns::Observation obs;
+    obs.name = DomainName::must("cloudzone.com");
+    obs.qtype = rng.chance(0.3) ? dns::RRType::AAAA : dns::RRType::A;
+    obs.rcode = dns::RCode::NXDomain;
+    when += static_cast<util::SimTime>(rng.exponential(1.0 / 1800.0));
+    obs.when = when;
+    sinkhole.ingest(obs);
+  }
+
+  EXPECT_EQ(sinkhole.tracked(), 2u);
+  const auto verdicts = sinkhole.verdicts();
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].domain, beacon_name.registered_domain().to_string());
+  EXPECT_GT(verdicts[0].suspicion, 0.7);
+  EXPECT_LT(verdicts[1].suspicion, 0.5);
+
+  const auto* beacon = sinkhole.profile(verdicts[0].domain);
+  ASSERT_NE(beacon, nullptr);
+  EXPECT_LT(beacon->cadence_cv(), 0.01);  // metronomic
+  EXPECT_TRUE(beacon->dga_positive);
+}
+
+TEST(Sinkhole, WatchlistFiltersOtherDomains) {
+  const auto classifier = synth::trained_dga_classifier();
+  analysis::DnsSinkhole::Config config;
+  config.domains = {DomainName::must("watched.com")};
+  analysis::DnsSinkhole sinkhole(config, classifier);
+
+  pdns::Observation obs;
+  obs.name = DomainName::must("www.watched.com");  // subdomain rolls up
+  obs.rcode = dns::RCode::NXDomain;
+  EXPECT_TRUE(sinkhole.ingest(obs));
+  obs.name = DomainName::must("other.com");
+  EXPECT_FALSE(sinkhole.ingest(obs));
+  obs.name = DomainName::must("watched.com");
+  obs.rcode = dns::RCode::NoError;  // not an NXDomain
+  EXPECT_FALSE(sinkhole.ingest(obs));
+  EXPECT_EQ(sinkhole.total_sinkholed(), 1u);
+}
+
+}  // namespace
+}  // namespace nxd

@@ -1,0 +1,540 @@
+// Unit tests for nxd::honeypot — HTTP parsing, recording, the two-stage
+// filter, the §6.2 categorizer, botnet forensics, and the server.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "honeypot/categorizer.hpp"
+#include "honeypot/filter.hpp"
+#include "honeypot/forensics.hpp"
+#include "honeypot/http.hpp"
+#include "honeypot/recorder.hpp"
+#include "honeypot/server.hpp"
+
+namespace nxd::honeypot {
+namespace {
+
+using net::IPv4;
+
+// -------------------------------------------------------------- HTTP
+
+TEST(HttpParser, ParsesFullRequest) {
+  const auto req = parse_http_request(
+      "GET /page.html?x=1&y=two HTTP/1.1\r\n"
+      "Host: example.com\r\n"
+      "User-Agent: TestAgent/1.0\r\n"
+      "Referer: https://referrer.example/\r\n"
+      "\r\n"
+      "body-bytes");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->uri, "/page.html?x=1&y=two");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  EXPECT_EQ(req->header("host"), "example.com");
+  EXPECT_EQ(req->header("HOST"), "example.com");  // case-insensitive
+  EXPECT_EQ(req->header("user-agent"), "TestAgent/1.0");
+  EXPECT_TRUE(req->has_header("referer"));
+  EXPECT_EQ(req->body, "body-bytes");
+  EXPECT_EQ(req->path(), "/page.html");
+  EXPECT_EQ(req->query(), "x=1&y=two");
+}
+
+TEST(HttpParser, QueryParamsDecoded) {
+  const auto req = parse_http_request(
+      "GET /getTask.php?phone=%2B15551234&model=Nexus%205X&flag HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  const auto params = req->query_params();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].first, "phone");
+  EXPECT_EQ(params[0].second, "+15551234");
+  EXPECT_EQ(params[1].second, "Nexus 5X");
+  EXPECT_EQ(params[2].first, "flag");
+  EXPECT_EQ(params[2].second, "");
+}
+
+TEST(HttpParser, ToleratesLfOnlyAndJunkHeaderLines) {
+  const auto req = parse_http_request(
+      "GET / HTTP/1.0\nHost: a.com\ngarbage line without colon\n\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->header("host"), "a.com");
+}
+
+class MalformedHttpTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedHttpTest, Rejected) {
+  EXPECT_FALSE(parse_http_request(GetParam()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MalformedHttpTest,
+    ::testing::Values("", "\x16\x03\x01\x02",        // TLS handshake bytes
+                      "SSH-2.0-OpenSSH_8.9",          // no newline
+                      "NOT_A_REQUEST",
+                      "GET\r\n\r\n",                  // missing target
+                      "G@T / HTTP/1.1\r\n\r\n",       // bad method chars
+                      "GET / FTP/1.0\r\n\r\n"));      // not HTTP
+
+TEST(HttpResponse, SerializeAndHelpers) {
+  const auto ok = HttpResponse::ok_html("<html></html>");
+  const std::string wire = ok.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-length: 13"), std::string::npos);
+  EXPECT_NE(wire.find("<html></html>"), std::string::npos);
+  EXPECT_EQ(HttpResponse::not_found().status, 404);
+}
+
+TEST(HttpRequest, SerializeParseRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.uri = "/submit";
+  req.version = "HTTP/1.1";
+  req.headers["host"] = "x.com";
+  req.body = "k=v";
+  const auto parsed = parse_http_request(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->body, "k=v");
+}
+
+// ---------------------------------------------------------------- Recorder
+
+TrafficRecord make_rec(const char* src_ip, std::uint16_t port,
+                       std::string payload, const char* domain = "test.com") {
+  TrafficRecord r;
+  r.source = net::Endpoint{*IPv4::parse(src_ip), 40000};
+  r.dst_port = port;
+  r.payload = std::move(payload);
+  r.domain = domain;
+  return r;
+}
+
+std::string simple_get(const char* path, const char* host, const char* ua,
+                       const char* referer = nullptr) {
+  std::string out = std::string("GET ") + path + " HTTP/1.1\r\nhost: " + host +
+                    "\r\n";
+  if (ua != nullptr && *ua) out += std::string("user-agent: ") + ua + "\r\n";
+  if (referer != nullptr) out += std::string("referer: ") + referer + "\r\n";
+  out += "\r\n";
+  return out;
+}
+
+TEST(Recorder, PortHistogramAndSources) {
+  TrafficRecorder rec;
+  rec.record(make_rec("1.2.3.4", 80, simple_get("/", "t.com", "curl/8.0")));
+  rec.record(make_rec("1.2.3.4", 443, "junk"));
+  rec.record(make_rec("5.6.7.8", 80, simple_get("/", "t.com", "curl/8.0")));
+  EXPECT_EQ(rec.total(), 3u);
+  EXPECT_EQ(rec.port_counts().get("80"), 2u);
+  EXPECT_EQ(rec.port_counts().get("443"), 1u);
+  EXPECT_EQ(rec.distinct_sources().size(), 2u);
+  EXPECT_EQ(rec.http_records().size(), 2u);  // the 443 junk doesn't parse
+  rec.clear();
+  EXPECT_EQ(rec.total(), 0u);
+}
+
+// ------------------------------------------------------------------ Filter
+
+TEST(Filter, TwoStagePipeline) {
+  // Stage 1 learning: scanner IP 9.9.9.9 seen on a bare instance.
+  TrafficRecorder no_hosting;
+  no_hosting.record(make_rec("9.9.9.9", 22, "probe", ""));
+
+  // Stage 2 learning: control domain attracts Let's Encrypt + monitor port.
+  TrafficRecorder control;
+  control.record(make_rec("23.178.112.5", 80,
+                          simple_get("/.well-known/acme-challenge/check",
+                                     "control.net", "LE-validator"),
+                          "control.net"));
+  control.record(make_rec("169.254.169.254", 52646, "monitor", "control.net"));
+
+  TrafficFilter filter;
+  filter.learn_no_hosting(no_hosting);
+  filter.learn_control_group(control);
+  EXPECT_EQ(filter.scanner_ip_count(), 1u);
+
+  const std::vector<TrafficRecord> raw = {
+      make_rec("9.9.9.9", 80, simple_get("/", "test.com", "x")),   // stage 1
+      make_rec("23.178.112.5", 80,
+               simple_get("/other", "test.com", "LE-validator")),  // stage 2 ip
+      make_rec("7.7.7.7", 80,
+               simple_get("/.well-known/acme-challenge/check", "test.com",
+                          "y")),                                   // stage 2 uri
+      make_rec("8.8.4.4", 52646, "monitor"),                       // stage 2 port
+      make_rec("6.6.6.6", 80,
+               simple_get("/page.html", "test.com",
+                          "Mozilla/5.0 (Windows NT 10.0) Chrome/114")),  // real
+  };
+  const auto kept = filter.apply(raw);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].source.ip, *IPv4::parse("6.6.6.6"));
+  EXPECT_EQ(filter.stats().dropped_ip_scanning, 1u);
+  EXPECT_EQ(filter.stats().dropped_establishment, 3u);
+  EXPECT_EQ(filter.stats().kept, 1u);
+}
+
+TEST(Filter, NaiveHostnameFilterKeepsEstablishmentNoise) {
+  // The paper's point: Let's Encrypt queries carry the *correct* hostname,
+  // so hostname-only filtering cannot remove them.
+  const std::vector<TrafficRecord> raw = {
+      make_rec("23.178.112.5", 80,
+               simple_get("/.well-known/acme-challenge/check", "test.com",
+                          "LE-validator")),
+      make_rec("6.6.6.6", 80,
+               simple_get("/", "other-host.net", "Mozilla/5.0 (Windows)")),
+  };
+  const auto kept = naive_hostname_filter(raw);
+  ASSERT_EQ(kept.size(), 1u);  // LE noise kept, mismatched host dropped
+  EXPECT_EQ(kept[0].source.ip, *IPv4::parse("23.178.112.5"));
+}
+
+// ------------------------------------------------------------- Categorizer
+
+class CategorizerFixture : public ::testing::Test {
+ protected:
+  CategorizerFixture()
+      : vuln_db_(vuln::VulnDb::with_defaults()),
+        categorizer_(vuln_db_, rdns_, make_config()) {
+    rdns_.add_block(*net::Prefix::parse("66.249.64.0/19"),
+                    "crawl-%ip%.googlebot.com");
+    rdns_.add_block(*net::Prefix::parse("64.233.160.0/19"),
+                    "google-proxy-%ip%.google.com");
+  }
+
+  static TrafficCategorizer::Config make_config() {
+    TrafficCategorizer::Config config;
+    config.referer_verifier = [](const std::string& url, const std::string&) {
+      return url.find("legit-blog") != std::string::npos;
+    };
+    return config;
+  }
+
+  Categorization run(const char* payload, const char* src = "198.18.0.1") {
+    return categorizer_.categorize(make_rec(src, 80, payload));
+  }
+
+  net::ReverseDnsRegistry rdns_;
+  vuln::VulnDb vuln_db_;
+  TrafficCategorizer categorizer_;
+};
+
+TEST_F(CategorizerFixture, CrawlerSearchEngineByUserAgent) {
+  const auto result = run(simple_get(
+      "/index.html", "test.com",
+      "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)")
+                              .c_str());
+  EXPECT_EQ(result.category, TrafficCategory::CrawlerSearchEngine);
+  EXPECT_EQ(result.crawler_service, "google");
+}
+
+TEST_F(CategorizerFixture, CrawlerFileGrabberByFileType) {
+  const auto result = run(simple_get(
+      "/img/photo.jpeg", "test.com",
+      "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)")
+                              .c_str());
+  EXPECT_EQ(result.category, TrafficCategory::CrawlerFileGrabber);
+}
+
+TEST_F(CategorizerFixture, CrawlerByReverseDns) {
+  // Anonymous UA but source reverse-resolves into googlebot.com.
+  const auto result =
+      run(simple_get("/", "test.com", "Mozilla/5.0 (X11; Linux x86_64)")
+              .c_str(),
+          "66.249.66.1");
+  EXPECT_EQ(result.category, TrafficCategory::CrawlerSearchEngine);
+}
+
+TEST_F(CategorizerFixture, GoogleProxyIsNotACrawler) {
+  // google-proxy hosts forward botnet beacons (Fig 15); they must not be
+  // whitelisted as crawlers.
+  const auto result =
+      run(simple_get("/getTask.php?imei=1&phone=%2B15550001", "gpclick.com",
+                     "Apache-HttpClient/UNAVAILABLE (java 1.4)")
+              .c_str(),
+          "64.233.160.7");
+  EXPECT_EQ(result.category, TrafficCategory::AutoMaliciousRequest);
+}
+
+TEST_F(CategorizerFixture, ReferralSearchEngine) {
+  const auto result =
+      run(simple_get("/", "test.com", "Mozilla/5.0 (Windows NT 10.0) Chrome/114",
+                     "https://www.google.com/search?q=test")
+              .c_str());
+  EXPECT_EQ(result.category, TrafficCategory::ReferralSearchEngine);
+}
+
+TEST_F(CategorizerFixture, ReferralEmbeddedVsMaliciousLink) {
+  const auto embedded =
+      run(simple_get("/", "test.com", "Mozilla/5.0 (Windows NT 10.0) Chrome/114",
+                     "https://legit-blog.example/post/1")
+              .c_str());
+  EXPECT_EQ(embedded.category, TrafficCategory::ReferralEmbedded);
+
+  const auto malicious =
+      run(simple_get("/", "test.com", "Mozilla/5.0 (Windows NT 10.0) Chrome/114",
+                     "http://shady-clicks.xyz/r?id=1")
+              .c_str());
+  EXPECT_EQ(malicious.category, TrafficCategory::ReferralMaliciousLink);
+}
+
+TEST_F(CategorizerFixture, ScriptSoftwareByUserAgent) {
+  for (const char* ua : {"python-requests/2.28.2", "curl/7.88.1",
+                         "Wget/1.21", "Go-http-client/1.1",
+                         "Mozilla/5.0 (Windows NT 6.3; WOW64) AppleWebKit/537.36 "
+                         "(KHTML, like Gecko) Chrome/41.0.2272.118 Safari/537.36"}) {
+    const auto result = run(simple_get("/status.json", "test.com", ua).c_str());
+    EXPECT_EQ(result.category, TrafficCategory::AutoScriptSoftware) << ua;
+  }
+}
+
+TEST_F(CategorizerFixture, EmptyUserAgentIsAutomated) {
+  const auto result = run(simple_get("/data.xml", "test.com", "").c_str());
+  EXPECT_EQ(result.category, TrafficCategory::AutoScriptSoftware);
+}
+
+TEST_F(CategorizerFixture, SensitiveUriEscalatesToMalicious) {
+  const auto result =
+      run(simple_get("/wp-login.php", "test.com", "python-requests/2.28").c_str());
+  EXPECT_EQ(result.category, TrafficCategory::AutoMaliciousRequest);
+  const auto benign_uri =
+      run(simple_get("/feed.xml", "test.com", "python-requests/2.28").c_str());
+  EXPECT_EQ(benign_uri.category, TrafficCategory::AutoScriptSoftware);
+}
+
+TEST_F(CategorizerFixture, UserVisitPcAndMobile) {
+  const auto result = run(simple_get(
+      "/", "test.com",
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, "
+      "like Gecko) Chrome/114.0.0.0 Safari/537.36")
+                              .c_str());
+  EXPECT_EQ(result.category, TrafficCategory::UserPcMobile);
+}
+
+struct InAppCase {
+  const char* token;
+  InAppBrowser expected;
+};
+
+class InAppTest : public CategorizerFixture,
+                  public ::testing::WithParamInterface<InAppCase> {};
+
+TEST_P(InAppTest, Identified) {
+  const std::string ua =
+      std::string("Mozilla/5.0 (iPhone; CPU iPhone OS 16_5 like Mac OS X) "
+                  "AppleWebKit/605.1.15 Mobile/15E148 ") +
+      GetParam().token;
+  const auto result = run(simple_get("/", "test.com", ua.c_str()).c_str());
+  EXPECT_EQ(result.category, TrafficCategory::UserInAppBrowser);
+  ASSERT_TRUE(result.in_app.has_value());
+  EXPECT_EQ(*result.in_app, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, InAppTest,
+    ::testing::Values(InAppCase{"WhatsApp/2.23.1", InAppBrowser::WhatsApp},
+                      InAppCase{"[FBAN/FBIOS;FBAV/414.0]", InAppBrowser::Facebook},
+                      InAppCase{"MicroMessenger/8.0.37", InAppBrowser::WeChat},
+                      InAppCase{"TwitterAndroid/9.95", InAppBrowser::Twitter},
+                      InAppCase{"Instagram 289.0.0", InAppBrowser::Instagram},
+                      InAppCase{"DingTalk/7.0.40", InAppBrowser::DingTalk},
+                      InAppCase{"QQ/8.9.68", InAppBrowser::QQ},
+                      InAppCase{"Line/13.10.0", InAppBrowser::Line}));
+
+TEST_F(CategorizerFixture, NonHttpPayloadIsOther) {
+  const auto result = run("\x16\x03\x01junk");
+  EXPECT_EQ(result.category, TrafficCategory::Other);
+}
+
+TEST(Categories, MajorGrouping) {
+  EXPECT_EQ(major_of(TrafficCategory::CrawlerFileGrabber),
+            MajorCategory::WebCrawler);
+  EXPECT_EQ(major_of(TrafficCategory::AutoMaliciousRequest),
+            MajorCategory::AutomatedProcess);
+  EXPECT_EQ(major_of(TrafficCategory::ReferralEmbedded),
+            MajorCategory::Referral);
+  EXPECT_EQ(major_of(TrafficCategory::UserInAppBrowser),
+            MajorCategory::UserVisit);
+  EXPECT_EQ(major_of(TrafficCategory::Other), MajorCategory::Other);
+}
+
+TEST(CategoryMatrix, TotalsAndOrdering) {
+  CategoryMatrix matrix;
+  matrix.add("a.com", TrafficCategory::UserPcMobile, 5);
+  matrix.add("a.com", TrafficCategory::Other, 1);
+  matrix.add("b.com", TrafficCategory::UserPcMobile, 100);
+  EXPECT_EQ(matrix.at("a.com", TrafficCategory::UserPcMobile), 5u);
+  EXPECT_EQ(matrix.domain_total("a.com"), 6u);
+  EXPECT_EQ(matrix.category_total(TrafficCategory::UserPcMobile), 105u);
+  EXPECT_EQ(matrix.grand_total(), 106u);
+  const auto order = matrix.domains_by_total();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "b.com");
+}
+
+// -------------------------------------------------------------- Forensics
+
+TEST(Forensics, ParsesBeaconAndAnonymizes) {
+  const auto req = parse_http_request(
+      "GET /getTask.php?imei=351234567890123&balance=0&country=us&"
+      "phone=%2B15551234567&op=Android&mnc=220&mcc=310&model=Nexus%205X&os=23 "
+      "HTTP/1.1\r\nhost: gpclick.com\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  const auto beacon = parse_beacon(*req);
+  ASSERT_TRUE(beacon.has_value());
+  // PII is stored only as hashes; the raw values must not appear.
+  EXPECT_EQ(beacon->imei_hash.size(), 16u);
+  EXPECT_EQ(beacon->imei_hash.find("3512345"), std::string::npos);
+  EXPECT_EQ(beacon->phone_hash.find("555"), std::string::npos);
+  EXPECT_EQ(beacon->phone_country_code, "+1");
+  EXPECT_EQ(beacon->country, "us");
+  EXPECT_EQ(beacon->model, "Nexus 5X");
+  EXPECT_EQ(beacon->operating_sys, "Android");
+}
+
+TEST(Forensics, NonBeaconRejected) {
+  const auto req = parse_http_request(
+      "GET /getTask.php?foo=1 HTTP/1.1\r\n\r\n");  // missing imei/phone
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(parse_beacon(*req).has_value());
+  const auto other =
+      parse_http_request("GET /other.php?imei=1&phone=%2B12 HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(parse_beacon(*other).has_value());
+}
+
+struct PrefixCase {
+  const char* phone;
+  const char* prefix;
+  const char* continent;
+};
+
+class DialingPrefixTest : public ::testing::TestWithParam<PrefixCase> {};
+
+TEST_P(DialingPrefixTest, LongestMatch) {
+  const auto& c = GetParam();
+  EXPECT_EQ(dialing_prefix_of(c.phone), c.prefix);
+  EXPECT_EQ(continent_of_dialing_prefix(c.prefix), c.continent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DialingPrefixTest,
+    ::testing::Values(PrefixCase{"+15551234567", "+1", "america"},
+                      PrefixCase{"+79261234567", "+7", "europe"},
+                      PrefixCase{"+31612345678", "+31", "europe"},
+                      PrefixCase{"+8613912345678", "+86", "asia"},
+                      PrefixCase{"+59891234567", "+598", "america"},
+                      PrefixCase{"+61412345678", "+61", "oceania"},
+                      PrefixCase{"+27821234567", "+27", "africa"}));
+
+TEST(DialingPrefix, InvalidInputs) {
+  EXPECT_EQ(dialing_prefix_of("15551234567"), "");  // no '+'
+  EXPECT_EQ(dialing_prefix_of(""), "");
+  EXPECT_EQ(continent_of_dialing_prefix("+999"), "unknown");
+}
+
+TEST(BotnetAnalysis, AggregatesByCountryHostModel) {
+  net::ReverseDnsRegistry rdns;
+  rdns.add_block(*net::Prefix::parse("64.233.160.0/19"),
+                 "google-proxy.google.com");
+  BotnetAnalysis analysis(rdns);
+
+  auto beacon_req = [](const char* phone, const char* model) {
+    return *parse_http_request(
+        std::string("GET /getTask.php?imei=35999&phone=") + phone +
+        "&model=" + model + " HTTP/1.1\r\n\r\n");
+  };
+  EXPECT_TRUE(analysis.ingest(beacon_req("%2B79261112233", "Nexus%205X"),
+                              *IPv4::parse("64.233.160.5")));
+  EXPECT_TRUE(analysis.ingest(beacon_req("%2B79261112233", "Nexus%205X"),
+                              *IPv4::parse("64.233.160.6")));
+  EXPECT_TRUE(analysis.ingest(beacon_req("%2B15550001111", "Nexus%205"),
+                              *IPv4::parse("198.18.0.1")));
+
+  EXPECT_EQ(analysis.beacons(), 3u);
+  EXPECT_EQ(analysis.distinct_victims(), 2u);  // same phone hash twice
+  EXPECT_EQ(analysis.by_country_code().get("+7"), 2u);
+  EXPECT_EQ(analysis.by_country_code().get("+1"), 1u);
+  EXPECT_EQ(analysis.by_continent().get("europe"), 2u);
+  EXPECT_EQ(analysis.by_hostname().get("google-proxy.google.com"), 2u);
+  EXPECT_EQ(analysis.by_hostname().get("unresolved"), 1u);
+  EXPECT_EQ(analysis.by_model().get("Nexus 5X"), 2u);
+}
+
+// ------------------------------------------------------------------ Server
+
+TEST(NxdHoneypot, RecordsAndServesLandingPage) {
+  TrafficRecorder recorder;
+  NxdHoneypot honeypot({.domain = "resheba.online"}, recorder);
+  net::SimNetwork network;
+  util::SimClock clock(1000);
+  const auto host_ip = *IPv4::parse("203.0.113.10");
+  honeypot.attach(network, host_ip, clock);
+
+  net::SimPacket packet;
+  packet.protocol = net::Protocol::TCP;
+  packet.src = net::Endpoint{*IPv4::parse("198.18.5.5"), 55555};
+  packet.dst = net::Endpoint{host_ip, 80};
+  const std::string get = simple_get("/", "resheba.online", "Mozilla/5.0 (Windows)");
+  packet.payload.assign(get.begin(), get.end());
+
+  const auto reply = network.send(packet);
+  ASSERT_TRUE(reply.has_value());
+  const std::string text(reply->begin(), reply->end());
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_NE(text.find("measurement study"), std::string::npos);
+  EXPECT_NE(text.find("resheba.online"), std::string::npos);
+  ASSERT_EQ(recorder.total(), 1u);
+  EXPECT_EQ(recorder.records()[0].when, 1000);
+  EXPECT_EQ(recorder.records()[0].domain, "resheba.online");
+
+  // Non-HTTP port traffic is captured but unanswered.
+  packet.dst.port = 22;
+  packet.payload = {'S', 'S', 'H'};
+  EXPECT_FALSE(network.send(packet).has_value());
+  EXPECT_EQ(recorder.total(), 2u);
+
+  // Unknown path -> 404 (still recorded).
+  packet.dst.port = 80;
+  const std::string probe = simple_get("/wp-login.php", "resheba.online", "curl/8");
+  packet.payload.assign(probe.begin(), probe.end());
+  const auto not_found = network.send(packet);
+  ASSERT_TRUE(not_found.has_value());
+  EXPECT_NE(std::string(not_found->begin(), not_found->end()).find("404"),
+            std::string::npos);
+  EXPECT_EQ(honeypot.http_responses_sent(), 2u);
+}
+
+TEST(LandingPage, ContainsEthicsDisclosure) {
+  const std::string page = landing_page("gpclick.com", "team@lab.edu");
+  EXPECT_NE(page.find("gpclick.com"), std::string::npos);
+  EXPECT_NE(page.find("team@lab.edu"), std::string::npos);
+  EXPECT_NE(page.find("anonymized"), std::string::npos);
+}
+
+TEST(TcpFrontend, ServesOverLoopback) {
+  TrafficRecorder recorder;
+  NxdHoneypot honeypot({.domain = "loop.test"}, recorder);
+  util::SimClock clock(7);
+  auto frontend = TcpHoneypotFrontend::create(
+      net::Endpoint{*IPv4::parse("127.0.0.1"), 0}, honeypot, clock);
+  ASSERT_NE(frontend, nullptr);
+
+  net::EventLoop loop;
+  frontend->attach(loop);
+
+  auto client = net::TcpStream::connect(frontend->local());
+  ASSERT_TRUE(client.has_value());
+  client->write(simple_get("/", "loop.test", "Mozilla/5.0 (Windows)"));
+  loop.run_for(std::chrono::milliseconds(400), /*idle_exit=*/false);
+
+  std::vector<std::uint8_t> buffer;
+  for (int i = 0; i < 200 && buffer.empty(); ++i) {
+    client->read(buffer);
+    if (buffer.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string text(buffer.begin(), buffer.end());
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_EQ(recorder.total(), 1u);
+}
+
+}  // namespace
+}  // namespace nxd::honeypot

@@ -1,0 +1,190 @@
+// Cross-module integration tests: the full lifecycle -> DNS -> passive-DNS
+// story the paper is built on, plus a live loopback honeypot round trip.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "honeypot/server.hpp"
+#include "pdns/sie_channel.hpp"
+#include "pdns/store.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/udp_server.hpp"
+#include "whois/lifecycle.hpp"
+
+namespace nxd {
+namespace {
+
+using dns::DomainName;
+using dns::IPv4;
+using dns::RCode;
+
+/// The full §2 story: a domain is registered, serves traffic, expires
+/// through the ICANN pipeline, drops, and from that moment every DNS query
+/// surfaces as an NXDomain observation in the passive-DNS database.
+TEST(Integration, LifecycleDrivesDnsAndPassiveDns) {
+  resolver::DnsHierarchy hierarchy;
+  whois::LifecycleEngine lifecycle;
+  pdns::PassiveDnsStore store;
+  pdns::SieChannel channel = pdns::SieChannel::nxdomain_channel();
+  channel.subscribe([&store](const pdns::Observation& obs) { store.ingest(obs); });
+
+  // Wire the lifecycle to DNS: registration creates the delegation, the
+  // Dropped event removes it (registrars pull the zone at RGP entry, but
+  // modeling the drop is what creates the NXDomain).
+  lifecycle.set_sink([&hierarchy](const whois::LifecycleEvent& event) {
+    switch (event.kind) {
+      case whois::EventKind::Registered:
+      case whois::EventKind::ReRegistered:
+        hierarchy.register_domain(event.domain, *IPv4::parse("192.0.2.50"));
+        break;
+      case whois::EventKind::EnteredRedemption:
+        hierarchy.deregister_domain(event.domain);
+        break;
+      default:
+        break;
+    }
+  });
+
+  resolver::RecursiveResolver resolver(hierarchy);
+  // Passive-DNS sensor taps the resolver.
+  resolver.set_observer([&channel](const dns::Message& query,
+                                   const dns::Message& response,
+                                   bool /*from_cache*/, util::SimTime when) {
+    channel.publish(pdns::observe(query, response, when));
+  });
+
+  const auto domain = DomainName::must("fading-star.com");
+  lifecycle.register_domain(domain, 0, "godaddy", 365);
+  ASSERT_TRUE(hierarchy.is_registered(domain));
+
+  // Resolvable while active: NOERROR, nothing lands in the NX store.
+  auto query_on_day = [&](util::Day day) {
+    return resolver.resolve_rcode(domain, day * util::kSecondsPerDay);
+  };
+  EXPECT_EQ(query_on_day(10), RCode::NoError);
+  EXPECT_EQ(store.nx_responses(), 0u);
+
+  // Let it expire and pass through the grace periods.
+  lifecycle.advance_to(365 + 50);  // inside RGP -> delegation pulled
+  EXPECT_EQ(lifecycle.status(domain), whois::Status::RedemptionGrace);
+  resolver.flush_cache();  // long-gone positive TTLs
+  EXPECT_EQ(query_on_day(365 + 50), RCode::NXDomain);
+  EXPECT_EQ(store.nx_responses(), 1u);
+
+  lifecycle.advance_to(365 + 100);
+  EXPECT_EQ(lifecycle.status(domain), whois::Status::Dropped);
+
+  // Clients keep querying — residual traffic.  Within one negative-TTL
+  // window only the first query reaches upstream, but the pdns sensor (at
+  // the resolver) still records every NXDomain response it hands out.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(query_on_day(365 + 100 + i), RCode::NXDomain);
+  }
+  EXPECT_EQ(store.nx_responses(), 21u);
+  EXPECT_EQ(store.distinct_nxdomains(), 1u);
+  const auto* agg = store.domain(domain.to_string());
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->first_nx_seen, 365 + 50);
+
+  // Drop-catch re-registration ends the NXDomain era.
+  lifecycle.register_domain(domain, 365 + 130, "dropcatch", 365);
+  resolver.flush_cache();
+  EXPECT_EQ(query_on_day(365 + 131), RCode::NoError);
+}
+
+/// The §3.3/§3.4 deployment in miniature, over real sockets: an
+/// authoritative DNS server resolves the re-registered NXDomain to the
+/// honeypot's address; an HTTP client then visits and the honeypot records
+/// the request.
+TEST(Integration, DnsThenHttpOverLoopback) {
+  const auto loopback = *IPv4::parse("127.0.0.1");
+
+  // Honeypot web server on an ephemeral port.
+  honeypot::TrafficRecorder recorder;
+  honeypot::NxdHoneypot pot({.domain = "resheba.online"}, recorder);
+  util::SimClock clock(0);
+  auto frontend = honeypot::TcpHoneypotFrontend::create(
+      net::Endpoint{loopback, 0}, pot, clock);
+  ASSERT_NE(frontend, nullptr);
+
+  // Authoritative DNS answering for the registered domain, pointing at the
+  // honeypot host.
+  resolver::AuthoritativeServer auth;
+  dns::SoaData soa;
+  soa.mname = DomainName::must("ns1.resheba.online");
+  soa.rname = DomainName::must("hostmaster.resheba.online");
+  auto& zone = auth.add_zone(DomainName::must("resheba.online"), soa);
+  zone.add(dns::make_a(DomainName::must("resheba.online"), loopback));
+  auto dns_server =
+      resolver::UdpDnsServer::create(net::Endpoint{loopback, 0}, auth);
+  ASSERT_NE(dns_server, nullptr);
+
+  net::EventLoop loop;
+  dns_server->attach(loop);
+  frontend->attach(loop);
+
+  std::optional<dns::Message> dns_reply;
+  std::optional<std::string> http_reply;
+  std::thread client([&] {
+    // Step 1: resolve the domain.
+    dns_reply = resolver::udp_query(
+        dns_server->local(),
+        dns::make_query(42, DomainName::must("resheba.online")), 2000);
+    if (!dns_reply || dns_reply->answers.empty()) return;
+    const auto ip = std::get<IPv4>(dns_reply->answers[0].rdata);
+    // Step 2: HTTP GET against the resolved address.
+    auto stream = net::TcpStream::connect(
+        net::Endpoint{ip, frontend->local().port});
+    if (!stream) return;
+    stream->write(std::string_view("GET / HTTP/1.1\r\nhost: resheba.online\r\n"
+                                   "user-agent: integration-test\r\n\r\n"));
+    std::vector<std::uint8_t> buffer;
+    for (int i = 0; i < 300 && buffer.empty(); ++i) {
+      stream->read(buffer);
+      if (buffer.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    http_reply = std::string(buffer.begin(), buffer.end());
+  });
+
+  loop.run_for(std::chrono::milliseconds(1500), /*idle_exit=*/false);
+  client.join();
+
+  ASSERT_TRUE(dns_reply.has_value());
+  EXPECT_EQ(dns_reply->header.rcode, RCode::NoError);
+  ASSERT_TRUE(http_reply.has_value());
+  EXPECT_NE(http_reply->find("200 OK"), std::string::npos);
+  ASSERT_EQ(recorder.total(), 1u);
+  const auto http = recorder.records()[0].http();
+  ASSERT_TRUE(http.has_value());
+  EXPECT_EQ(http->header("user-agent"), "integration-test");
+}
+
+/// Negative caching interacts with the NXDomain observation volume: a
+/// shared resolver shields upstream servers but the sensor still witnesses
+/// the client-facing NXDomain storm — quantified here, asserted on in the
+/// ablation bench.
+TEST(Integration, NegativeCacheAblation) {
+  resolver::DnsHierarchy hierarchy;
+
+  auto run = [&hierarchy](bool negative_cache) {
+    resolver::CacheConfig config;
+    config.enable_negative = negative_cache;
+    resolver::RecursiveResolver resolver(hierarchy, config);
+    const auto name = DomainName::must("queried-forever.com");
+    for (int i = 0; i < 500; ++i) {
+      resolver.resolve_rcode(name, i);  // 500 queries inside one TTL window
+    }
+    return resolver.stats();
+  };
+
+  const auto with_cache = run(true);
+  const auto without_cache = run(false);
+  EXPECT_EQ(with_cache.nxdomain_responses, 500u);
+  EXPECT_EQ(without_cache.nxdomain_responses, 500u);
+  EXPECT_EQ(with_cache.upstream_resolutions, 1u);
+  EXPECT_EQ(without_cache.upstream_resolutions, 500u);
+}
+
+}  // namespace
+}  // namespace nxd

@@ -1,0 +1,228 @@
+// Unit tests for nxd::net — prefixes, rDNS registry, sim network, sockets,
+// event loop.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/endpoint.hpp"
+#include "net/event_loop.hpp"
+#include "net/reverse_dns.hpp"
+#include "net/sim_network.hpp"
+#include "net/socket.hpp"
+
+namespace nxd::net {
+namespace {
+
+// ---------------------------------------------------------------- Prefix
+
+struct PrefixCase {
+  const char* text;
+  const char* inside;
+  const char* outside;
+};
+
+class PrefixTest : public ::testing::TestWithParam<PrefixCase> {};
+
+TEST_P(PrefixTest, ParseAndContains) {
+  const auto& c = GetParam();
+  const auto prefix = Prefix::parse(c.text);
+  ASSERT_TRUE(prefix.has_value()) << c.text;
+  EXPECT_TRUE(prefix->contains(*IPv4::parse(c.inside)))
+      << c.inside << " should be in " << c.text;
+  EXPECT_FALSE(prefix->contains(*IPv4::parse(c.outside)))
+      << c.outside << " should not be in " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PrefixTest,
+    ::testing::Values(
+        PrefixCase{"10.0.0.0/8", "10.255.1.2", "11.0.0.1"},
+        PrefixCase{"192.168.1.0/24", "192.168.1.200", "192.168.2.1"},
+        PrefixCase{"66.249.64.0/19", "66.249.95.255", "66.249.96.0"},
+        PrefixCase{"1.2.3.4/32", "1.2.3.4", "1.2.3.5"}));
+
+TEST(Prefix, ZeroLengthContainsAll) {
+  const auto p = Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(*IPv4::parse("255.255.255.255")));
+}
+
+TEST(Prefix, RejectsBadInput) {
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3/24").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/x").has_value());
+}
+
+TEST(Endpoint, Formatting) {
+  const Endpoint e{*IPv4::parse("127.0.0.1"), 8080};
+  EXPECT_EQ(e.to_string(), "127.0.0.1:8080");
+  EXPECT_EQ(to_string(Protocol::UDP), "udp");
+}
+
+// ------------------------------------------------------------- ReverseDns
+
+TEST(ReverseDns, LongestPrefixWins) {
+  ReverseDnsRegistry rdns;
+  rdns.add_block(*Prefix::parse("10.0.0.0/8"), "generic.example.net");
+  rdns.add_block(*Prefix::parse("10.1.0.0/16"), "specific-%ip%.example.net");
+  const auto generic = rdns.lookup(*IPv4::parse("10.2.0.1"));
+  const auto specific = rdns.lookup(*IPv4::parse("10.1.2.3"));
+  ASSERT_TRUE(generic.has_value());
+  ASSERT_TRUE(specific.has_value());
+  EXPECT_EQ(*generic, "generic.example.net");
+  EXPECT_EQ(*specific, "specific-10-1-2-3.example.net");
+}
+
+TEST(ReverseDns, ExactHostOverridesBlocks) {
+  ReverseDnsRegistry rdns;
+  rdns.add_block(*Prefix::parse("10.0.0.0/8"), "block.example.net");
+  rdns.add_host(*IPv4::parse("10.0.0.1"), "pinned.example.net");
+  EXPECT_EQ(*rdns.lookup(*IPv4::parse("10.0.0.1")), "pinned.example.net");
+}
+
+TEST(ReverseDns, UnknownAddressUnresolved) {
+  ReverseDnsRegistry rdns;
+  rdns.add_block(*Prefix::parse("10.0.0.0/8"), "x");
+  EXPECT_FALSE(rdns.lookup(*IPv4::parse("172.16.0.1")).has_value());
+}
+
+// ------------------------------------------------------------- SimNetwork
+
+TEST(SimNetwork, DeliversToAttachedService) {
+  SimNetwork network;
+  const Endpoint server{*IPv4::parse("192.0.2.1"), 80};
+  network.attach(server, Protocol::TCP, [](const SimPacket& packet) {
+    std::vector<std::uint8_t> reply(packet.payload.rbegin(),
+                                    packet.payload.rend());
+    return std::optional(reply);
+  });
+  SimPacket packet;
+  packet.protocol = Protocol::TCP;
+  packet.src = Endpoint{*IPv4::parse("198.51.100.9"), 5555};
+  packet.dst = server;
+  packet.payload = {1, 2, 3};
+  const auto reply = network.send(packet);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, (std::vector<std::uint8_t>{3, 2, 1}));
+  EXPECT_EQ(network.delivered(), 1u);
+  EXPECT_EQ(network.dropped(), 0u);
+}
+
+TEST(SimNetwork, DropsToClosedPortOrWrongProtocol) {
+  SimNetwork network;
+  const Endpoint server{*IPv4::parse("192.0.2.1"), 80};
+  network.attach(server, Protocol::TCP,
+                 [](const SimPacket&) { return std::nullopt; });
+  SimPacket packet;
+  packet.dst = Endpoint{*IPv4::parse("192.0.2.1"), 81};
+  packet.protocol = Protocol::TCP;
+  EXPECT_FALSE(network.send(packet).has_value());
+  packet.dst = server;
+  packet.protocol = Protocol::UDP;  // wrong protocol, same endpoint
+  EXPECT_FALSE(network.send(packet).has_value());
+  EXPECT_EQ(network.dropped(), 2u);
+  // Correct protocol reaches the service (which declines to reply).
+  packet.protocol = Protocol::TCP;
+  EXPECT_FALSE(network.send(packet).has_value());
+  EXPECT_EQ(network.delivered(), 1u);
+}
+
+TEST(SimNetwork, DetachStopsDelivery) {
+  SimNetwork network;
+  const Endpoint server{*IPv4::parse("192.0.2.1"), 53};
+  network.attach(server, Protocol::UDP, [](const SimPacket&) {
+    return std::optional(std::vector<std::uint8_t>{1});
+  });
+  network.detach(server, Protocol::UDP);
+  SimPacket packet;
+  packet.dst = server;
+  packet.protocol = Protocol::UDP;
+  EXPECT_FALSE(network.send(packet).has_value());
+}
+
+// ------------------------------------------------- real sockets (loopback)
+
+TEST(UdpSocket, LoopbackEcho) {
+  const Endpoint any{*IPv4::parse("127.0.0.1"), 0};
+  auto server = UdpSocket::bind(any);
+  auto client = UdpSocket::bind(any);
+  ASSERT_TRUE(server.has_value());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_NE(server->local().port, 0);
+
+  const std::vector<std::uint8_t> payload = {'p', 'i', 'n', 'g'};
+  ASSERT_TRUE(client->send_to(server->local(), payload));
+
+  // Non-blocking: poll briefly for arrival.
+  std::optional<Datagram> got;
+  for (int i = 0; i < 200 && !got; ++i) {
+    got = server->recv();
+    if (!got) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, payload);
+  EXPECT_EQ(got->from.port, client->local().port);
+}
+
+TEST(TcpSockets, ListenConnectWriteRead) {
+  const Endpoint any{*IPv4::parse("127.0.0.1"), 0};
+  auto listener = TcpListener::listen(any);
+  ASSERT_TRUE(listener.has_value());
+
+  auto client = TcpStream::connect(listener->local());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_GT(client->write(std::string_view("GET / HTTP/1.1\r\n\r\n")), 0);
+
+  std::optional<TcpStream> accepted;
+  for (int i = 0; i < 200 && !accepted; ++i) {
+    accepted = listener->accept();
+    if (!accepted) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(accepted.has_value());
+
+  std::vector<std::uint8_t> buffer;
+  for (int i = 0; i < 200 && buffer.empty(); ++i) {
+    accepted->read(buffer);
+    if (buffer.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string text(buffer.begin(), buffer.end());
+  EXPECT_EQ(text, "GET / HTTP/1.1\r\n\r\n");
+}
+
+TEST(EventLoop, FiresOnReadable) {
+  const Endpoint any{*IPv4::parse("127.0.0.1"), 0};
+  auto server = UdpSocket::bind(any);
+  auto client = UdpSocket::bind(any);
+  ASSERT_TRUE(server && client);
+
+  EventLoop loop;
+  int fired = 0;
+  loop.add_readable(server->fd(), [&] {
+    while (server->recv()) ++fired;
+  });
+  const std::vector<std::uint8_t> payload = {1};
+  client->send_to(server->local(), payload);
+  client->send_to(server->local(), payload);
+  loop.run_for(std::chrono::milliseconds(300), /*idle_exit=*/false);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RemoveStopsDispatch) {
+  const Endpoint any{*IPv4::parse("127.0.0.1"), 0};
+  auto server = UdpSocket::bind(any);
+  auto client = UdpSocket::bind(any);
+  ASSERT_TRUE(server && client);
+
+  EventLoop loop;
+  int fired = 0;
+  loop.add_readable(server->fd(), [&] { ++fired; });
+  loop.remove(server->fd());
+  const std::vector<std::uint8_t> payload = {1};
+  client->send_to(server->local(), payload);
+  loop.run_for(std::chrono::milliseconds(100), /*idle_exit=*/true);
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace nxd::net

@@ -1,0 +1,242 @@
+// Tests for the persistence & market extensions: pdns snapshots, the
+// drop-catch market, honeypot routes, and the Markdown report.
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "analysis/scale.hpp"
+#include "honeypot/server.hpp"
+#include "pdns/snapshot.hpp"
+#include "synth/scale_models.hpp"
+#include "whois/dropcatch.hpp"
+
+namespace nxd {
+namespace {
+
+using dns::DomainName;
+
+// ---------------------------------------------------------------- snapshot
+
+TEST(Snapshot, RoundTripPreservesEveryQuerySurface) {
+  pdns::PassiveDnsStore original;
+  synth::fill_store_with_history(original, 2e-9, 7);
+  // Mix in an OK observation and a sensor spread.
+  pdns::Observation ok;
+  ok.name = DomainName::must("alive.com");
+  ok.rcode = dns::RCode::NoError;
+  ok.when = 1'000'000;
+  ok.sensor.cls = pdns::SensorClass::Academia;
+  original.ingest(ok);
+
+  const auto bytes = pdns::save_snapshot(original);
+  ASSERT_FALSE(bytes.empty());
+  const auto restored = pdns::load_snapshot(bytes);
+  ASSERT_TRUE(restored.has_value());
+
+  EXPECT_EQ(restored->total_observations(), original.total_observations());
+  EXPECT_EQ(restored->nx_responses(), original.nx_responses());
+  EXPECT_EQ(restored->distinct_nxdomains(), original.distinct_nxdomains());
+  EXPECT_EQ(restored->distinct_domains(), original.distinct_domains());
+  EXPECT_EQ(restored->monthly_nx_series(), original.monthly_nx_series());
+  EXPECT_EQ(restored->domain_names_sorted(), original.domain_names_sorted());
+  EXPECT_EQ(restored->sensor_volume().get("academia"),
+            original.sensor_volume().get("academia"));
+
+  // Per-domain aggregates including daily series.
+  for (const auto& name : original.domain_names_sorted()) {
+    const auto* a = original.domain(name);
+    const auto* b = restored->domain(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(a->first_seen, b->first_seen);
+    EXPECT_EQ(a->first_nx_seen, b->first_nx_seen);
+    EXPECT_EQ(a->nx_queries, b->nx_queries);
+    EXPECT_EQ(a->ok_queries, b->ok_queries);
+    EXPECT_EQ(a->daily_nx, b->daily_nx);
+  }
+  // TLD index.
+  EXPECT_EQ(restored->top_tlds(10).size(), original.top_tlds(10).size());
+  for (std::size_t i = 0; i < original.top_tlds(10).size(); ++i) {
+    EXPECT_EQ(restored->top_tlds(10)[i].first, original.top_tlds(10)[i].first);
+    EXPECT_EQ(restored->top_tlds(10)[i].second.nx_queries,
+              original.top_tlds(10)[i].second.nx_queries);
+  }
+}
+
+TEST(Snapshot, CorruptInputRejected) {
+  pdns::PassiveDnsStore store;
+  synth::fill_store_with_history(store, 1e-9, 3);
+  auto bytes = pdns::save_snapshot(store);
+
+  EXPECT_FALSE(pdns::load_snapshot({}).has_value());
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(pdns::load_snapshot(bad_magic).has_value());
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(pdns::load_snapshot(truncated).has_value());
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(pdns::load_snapshot(trailing).has_value());
+}
+
+// -------------------------------------------------------------- drop-catch
+
+TEST(DropCatch, PopularDomainsCaughtInstantlyQuietOnesDrop) {
+  whois::LifecycleEngine engine;
+  // Traffic oracle: hot.com is heavily queried, cold.com barely.
+  auto oracle = [](const DomainName& domain) -> std::uint64_t {
+    return domain.to_string() == "hot.com" ? 1'000'000 : 10;
+  };
+  whois::DropCatchConfig config;
+  config.seed = 4;
+  whois::DropCatchMarket market(engine, oracle, config);
+  engine.set_sink([&market](const whois::LifecycleEvent& event) {
+    market.on_event(event);
+  });
+
+  engine.register_domain(DomainName::must("hot.com"), 0, "godaddy", 365);
+  engine.register_domain(DomainName::must("cold.com"), 0, "godaddy", 365);
+  engine.advance_to(365 + 100);  // through the whole ERRP pipeline
+
+  // hot.com: backordered in RGP, re-registered the drop day.
+  ASSERT_EQ(market.catches().size(), 1u);
+  EXPECT_EQ(market.catches()[0].domain.to_string(), "hot.com");
+  EXPECT_EQ(market.catches()[0].caught_on, 365 + 80);  // ERRP drop day
+  EXPECT_EQ(engine.status(DomainName::must("hot.com")), whois::Status::Active);
+  EXPECT_EQ(engine.record(DomainName::must("hot.com"))->registrar, "dropcatch");
+
+  // cold.com: below min volume, never backordered, stays dropped.
+  EXPECT_EQ(engine.status(DomainName::must("cold.com")),
+            whois::Status::Dropped);
+}
+
+TEST(DropCatch, RestoreCancelsBackorder) {
+  whois::LifecycleEngine engine;
+  auto oracle = [](const DomainName&) -> std::uint64_t { return 1'000'000; };
+  whois::DropCatchMarket market(engine, oracle);
+  engine.set_sink([&market](const whois::LifecycleEvent& event) {
+    market.on_event(event);
+  });
+
+  const auto domain = DomainName::must("saved.com");
+  engine.register_domain(domain, 0, "godaddy", 365);
+  engine.advance_to(365 + 50);  // in RGP; backorder placed
+  EXPECT_TRUE(market.has_backorder(domain));
+  engine.renew(domain, 365 + 50, 365);  // owner restores
+  EXPECT_FALSE(market.has_backorder(domain));
+  engine.advance_to(365 + 200);
+  EXPECT_TRUE(market.catches().empty());
+}
+
+TEST(DropCatch, CatchProbabilityScalesWithTraffic) {
+  // Statistical: with half_volume = 2000, a 2000-query domain is caught
+  // about half the time across many trials.
+  int caught = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    whois::LifecycleEngine engine;
+    auto oracle = [](const DomainName&) -> std::uint64_t { return 2'000; };
+    whois::DropCatchConfig config;
+    config.seed = static_cast<std::uint64_t>(t) + 1;
+    whois::DropCatchMarket market(engine, oracle, config);
+    engine.set_sink([&market](const whois::LifecycleEvent& event) {
+      market.on_event(event);
+    });
+    engine.register_domain(DomainName::must("mid.com"), 0, "r", 100);
+    engine.advance_to(400);
+    if (!market.catches().empty()) ++caught;
+  }
+  EXPECT_NEAR(static_cast<double>(caught) / trials, 0.5, 0.12);
+}
+
+// ------------------------------------------------------------------ routes
+
+TEST(HoneypotRoutes, CustomRouteServedBeforeDefaults) {
+  honeypot::TrafficRecorder recorder;
+  honeypot::NxdHoneypot pot({.domain = "gpclick.com"}, recorder);
+  honeypot::HttpResponse tasks;
+  tasks.headers["content-type"] = "application/json";
+  tasks.body = "{\"tasks\":[]}";
+  pot.set_route("/getTask.php", tasks);
+  EXPECT_EQ(pot.route_count(), 1u);
+
+  net::SimNetwork network;
+  util::SimClock clock(0);
+  const auto host = *dns::IPv4::parse("203.0.113.20");
+  pot.attach(network, host, clock);
+
+  net::SimPacket packet;
+  packet.protocol = net::Protocol::TCP;
+  packet.src = net::Endpoint{*dns::IPv4::parse("198.18.1.1"), 40000};
+  packet.dst = net::Endpoint{host, 80};
+  const std::string beacon =
+      "GET /getTask.php?imei=35&phone=%2B15550001 HTTP/1.1\r\n"
+      "host: gpclick.com\r\n\r\n";
+  packet.payload.assign(beacon.begin(), beacon.end());
+
+  const auto reply = network.send(packet);
+  ASSERT_TRUE(reply.has_value());
+  const std::string text(reply->begin(), reply->end());
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_NE(text.find("{\"tasks\":[]}"), std::string::npos);
+
+  // Unrouted sensitive path still 404s.
+  const std::string probe = "GET /wp-login.php HTTP/1.1\r\nhost: gpclick.com\r\n\r\n";
+  packet.payload.assign(probe.begin(), probe.end());
+  const auto not_found = network.send(packet);
+  ASSERT_TRUE(not_found.has_value());
+  EXPECT_NE(std::string(not_found->begin(), not_found->end()).find("404"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(Report, RendersAllSections) {
+  pdns::PassiveDnsStore store;
+  synth::fill_store_with_history(store, 2e-9, 9);
+  analysis::ScaleAnalysis scale(store);
+
+  analysis::OriginReport origin;
+  origin.total_nxdomains = 1000;
+  origin.expired = 100;
+  origin.never_registered = 900;
+  origin.expired_fraction = 0.1;
+  origin.dga_detected = 3;
+  origin.squats_by_type = {5, 4, 3, 2, 1};
+  origin.squats_total = 15;
+  origin.blocklisted = 7;
+  origin.blocklist_sampled = 50;
+  origin.blocklisted_by_category = {4, 1, 1, 1};
+
+  analysis::SecurityReport security;
+  security.filter.input = 500;
+  security.filter.kept = 450;
+  security.matrix.add("resheba.online",
+                      honeypot::TrafficCategory::AutoScriptSoftware, 400);
+  security.in_app_browsers.add("WhatsApp", 9);
+
+  analysis::ReportInputs inputs;
+  inputs.title = "Test run";
+  inputs.scale = &scale;
+  inputs.origin = &origin;
+  inputs.security = &security;
+  const std::string md = analysis::render_markdown_report(inputs);
+
+  EXPECT_NE(md.find("# Test run"), std::string::npos);
+  EXPECT_NE(md.find("## Scale (passive DNS)"), std::string::npos);
+  EXPECT_NE(md.find("## Origin"), std::string::npos);
+  EXPECT_NE(md.find("## Security"), std::string::npos);
+  EXPECT_NE(md.find("| typosquatting | 5 |"), std::string::npos);
+  EXPECT_NE(md.find("| resheba.online | 400 |"), std::string::npos);
+  EXPECT_NE(md.find("| WhatsApp | 9 |"), std::string::npos);
+  // Botnet section skipped when absent.
+  EXPECT_EQ(md.find("## Botnet"), std::string::npos);
+}
+
+TEST(Report, SectionsAreOptional) {
+  const std::string md = analysis::render_markdown_report({});
+  EXPECT_NE(md.find("# NXDomain measurement report"), std::string::npos);
+  EXPECT_EQ(md.find("## Scale"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nxd

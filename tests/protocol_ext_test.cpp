@@ -1,0 +1,467 @@
+// Tests for the protocol-surface extensions: punycode/IDNA, IDN homograph
+// squatting, the zone-file parser, DNS-over-TCP with TC-bit fallback, and
+// the capture log.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "dns/punycode.hpp"
+#include "honeypot/capture_log.hpp"
+#include "resolver/tcp_server.hpp"
+#include "resolver/udp_server.hpp"
+#include "resolver/zone_file.hpp"
+#include "squat/detector.hpp"
+#include "squat/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nxd {
+namespace {
+
+using dns::DomainName;
+
+// --------------------------------------------------------------- punycode
+
+TEST(Punycode, Rfc3492SampleAndKnownDomains) {
+  // "bücher" -> "bcher-kva" (classic IDNA example).
+  const std::u32string buecher = {U'b', U'ü', U'c', U'h', U'e', U'r'};
+  const auto encoded = dns::punycode_encode(buecher);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(*encoded, "bcher-kva");
+  const auto decoded = dns::punycode_decode("bcher-kva");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, buecher);
+}
+
+TEST(Punycode, PaperApplePunycode) {
+  // The canonical IDN homograph demo: Cyrillic "аррӏе" -> xn--80ak6aa92e
+  // (the punycode the paper's name-test fixture uses).
+  const std::u32string apple = {0x0430, 0x0440, 0x0440, 0x04CF, 0x0435};
+  const auto encoded = dns::punycode_encode(apple);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(*encoded, "80ak6aa92e");
+  const auto back = dns::punycode_decode(*encoded);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, apple);
+}
+
+TEST(Punycode, AsciiOnlyRoundTrip) {
+  const std::u32string ascii = {U'p', U'l', U'a', U'i', U'n'};
+  const auto encoded = dns::punycode_encode(ascii);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(*encoded, "plain-");
+  const auto decoded = dns::punycode_decode(*encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ascii);
+}
+
+TEST(Punycode, RandomRoundTrip) {
+  util::Rng rng(4);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::u32string label;
+    const std::size_t len = 1 + rng.bounded(12);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (rng.chance(0.5)) {
+        label.push_back(static_cast<char32_t>('a' + rng.bounded(26)));
+      } else {
+        // BMP non-ASCII, avoiding surrogates.
+        char32_t cp;
+        do {
+          cp = static_cast<char32_t>(0x80 + rng.bounded(0xF000));
+        } while (cp >= 0xD800 && cp <= 0xDFFF);
+        label.push_back(cp);
+      }
+    }
+    const auto encoded = dns::punycode_encode(label);
+    ASSERT_TRUE(encoded.has_value());
+    const auto decoded = dns::punycode_decode(*encoded);
+    ASSERT_TRUE(decoded.has_value()) << *encoded;
+    EXPECT_EQ(*decoded, label);
+  }
+}
+
+TEST(Punycode, DecodeRejectsGarbage) {
+  EXPECT_FALSE(dns::punycode_decode("!!bad!!").has_value());
+  // Non-ASCII before the delimiter is invalid.
+  EXPECT_FALSE(dns::punycode_decode("\xffpre-abc").has_value());
+}
+
+TEST(Idna, FullDomainConversions) {
+  const auto ascii = dns::idna_to_ascii("аррӏе.com");
+  ASSERT_TRUE(ascii.has_value());
+  EXPECT_EQ(*ascii, "xn--80ak6aa92e.com");
+  const auto unicode = dns::idna_to_unicode("xn--80ak6aa92e.com");
+  ASSERT_TRUE(unicode.has_value());
+  EXPECT_EQ(*unicode, "аррӏе.com");
+  EXPECT_EQ(*dns::idna_to_ascii("Example.COM"), "example.com");
+}
+
+TEST(Utf8, StrictValidation) {
+  EXPECT_TRUE(dns::utf8_to_utf32("héllo").has_value());
+  EXPECT_FALSE(dns::utf8_to_utf32("\xc0\xaf").has_value());      // overlong
+  EXPECT_FALSE(dns::utf8_to_utf32("\xed\xa0\x80").has_value());  // surrogate
+  EXPECT_FALSE(dns::utf8_to_utf32("\x80").has_value());          // bare cont.
+  const auto round = dns::utf8_to_utf32("аррӏе");
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(dns::utf32_to_utf8(*round), "аррӏе");
+}
+
+// --------------------------------------------------------- IDN homographs
+
+TEST(IdnHomograph, GeneratorEmitsPunycodeLookalikes) {
+  const auto target = squat::targets_from({"apple.com"}).front();
+  const auto candidates = squat::generate_idn_homos(target);
+  ASSERT_FALSE(candidates.empty());
+  bool found_classic = false;
+  for (const auto& name : candidates) {
+    EXPECT_TRUE(name.sld().substr(0, 4) == "xn--") << name.to_string();
+    if (name.to_string() == "xn--80ak6aa92e.com") found_classic = true;
+  }
+  EXPECT_TRUE(found_classic) << "the all-Cyrillic apple lookalike";
+}
+
+TEST(IdnHomograph, DetectorUnmasksLookalikes) {
+  const auto detector = squat::SquatDetector::with_defaults();
+  // apple.com is in the default target list.
+  const auto verdict =
+      detector.classify(DomainName::must("xn--80ak6aa92e.com"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->type, squat::SquatType::Homo);
+  EXPECT_EQ(verdict->target.to_string(), "apple.com");
+}
+
+TEST(IdnHomograph, GeneratedCandidatesRoundTrip) {
+  const auto detector = squat::SquatDetector::with_defaults();
+  for (const char* brand : {"apple.com", "paypal.com", "chase.com"}) {
+    const auto target = squat::targets_from({brand}).front();
+    for (const auto& name : squat::generate_idn_homos(target)) {
+      const auto verdict = detector.classify(name);
+      ASSERT_TRUE(verdict.has_value()) << name.to_string();
+      EXPECT_EQ(verdict->type, squat::SquatType::Homo) << name.to_string();
+      EXPECT_EQ(verdict->target.to_string(), brand) << name.to_string();
+    }
+  }
+}
+
+TEST(IdnHomograph, GenuineNonLatinNamesAreNotSquats) {
+  const auto detector = squat::SquatDetector::with_defaults();
+  // "пример" (Russian for "example") — real Cyrillic, not a lookalike mix.
+  const auto ascii = dns::idna_to_ascii("пример.com");
+  ASSERT_TRUE(ascii.has_value());
+  EXPECT_FALSE(detector.classify(DomainName::must(*ascii)).has_value());
+}
+
+// ---------------------------------------------------------------- zone file
+
+constexpr const char* kZoneText = R"($ORIGIN example.com.
+$TTL 300
+@   IN SOA ns1.example.com. hostmaster.example.com. 7 3600 600 86400 120
+@   IN NS  ns1
+ns1 IN A   192.0.2.53
+@       A   192.0.2.10     ; apex address
+www 600 A   192.0.2.11
+    600 A   192.0.2.12     ; same owner (www), repeated
+alias   CNAME www
+@   IN  MX  10 mail.example.com.
+txt1    TXT "v=spf1 -all"
+v6      AAAA 2001:0db8:0000:0000:0000:0000:0000:0001
+)";
+
+TEST(ZoneFile, ParsesFullZone) {
+  const auto result =
+      resolver::parse_zone_file(kZoneText, DomainName::must("example.com"));
+  ASSERT_TRUE(result.errors.empty())
+      << result.errors.front().message << " @line " << result.errors.front().line;
+  ASSERT_TRUE(result.zone.has_value());
+  const resolver::Zone& zone = *result.zone;
+
+  EXPECT_EQ(zone.soa().serial, 7u);
+  EXPECT_EQ(zone.soa().minimum, 120u);
+
+  const auto apex = zone.lookup(DomainName::must("example.com"), dns::RRType::A);
+  EXPECT_EQ(apex.kind, resolver::LookupKind::Answer);
+
+  const auto www = zone.lookup(DomainName::must("www.example.com"), dns::RRType::A);
+  ASSERT_EQ(www.kind, resolver::LookupKind::Answer);
+  EXPECT_EQ(www.records.size(), 2u);  // repeated-owner line landed on www
+  EXPECT_EQ(www.records[0].ttl, 600u);
+
+  const auto alias =
+      zone.lookup(DomainName::must("alias.example.com"), dns::RRType::A);
+  EXPECT_EQ(alias.kind, resolver::LookupKind::CName);
+
+  const auto mx = zone.lookup(DomainName::must("example.com"), dns::RRType::MX);
+  ASSERT_EQ(mx.kind, resolver::LookupKind::Answer);
+  EXPECT_EQ(std::get<dns::MxData>(mx.records[0].rdata).preference, 10);
+
+  const auto txt = zone.lookup(DomainName::must("txt1.example.com"), dns::RRType::TXT);
+  ASSERT_EQ(txt.kind, resolver::LookupKind::Answer);
+  EXPECT_EQ(std::get<dns::TxtData>(txt.records[0].rdata).text, "v=spf1 -all");
+
+  const auto v6 = zone.lookup(DomainName::must("v6.example.com"), dns::RRType::AAAA);
+  ASSERT_EQ(v6.kind, resolver::LookupKind::Answer);
+  const auto& addr = std::get<dns::AaaaData>(v6.records[0].rdata).addr;
+  EXPECT_EQ(addr[0], 0x20);
+  EXPECT_EQ(addr[15], 0x01);
+}
+
+TEST(ZoneFile, ReportsErrorsWithLines) {
+  const auto result = resolver::parse_zone_file(
+      "@ IN SOA ns. host. 1 2 3 4 5\nbad line without type\nwww A not-an-ip\n",
+      DomainName::must("example.com"));
+  ASSERT_FALSE(result.zone.has_value());
+  ASSERT_GE(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0].line, 2u);
+  EXPECT_EQ(result.errors[1].line, 3u);
+}
+
+TEST(ZoneFile, MissingSoaIsFatal) {
+  const auto result = resolver::parse_zone_file(
+      "www A 192.0.2.1\n", DomainName::must("example.com"));
+  ASSERT_FALSE(result.zone.has_value());
+  EXPECT_NE(result.errors.back().message.find("SOA"), std::string::npos);
+}
+
+TEST(ZoneFile, ExportReimportRoundTrip) {
+  const auto first =
+      resolver::parse_zone_file(kZoneText, DomainName::must("example.com"));
+  ASSERT_TRUE(first.zone.has_value());
+  const std::string exported = resolver::to_zone_file(*first.zone);
+  const auto second =
+      resolver::parse_zone_file(exported, DomainName::must("example.com"));
+  ASSERT_TRUE(second.zone.has_value())
+      << (second.errors.empty() ? "?" : second.errors.front().message);
+  EXPECT_EQ(second.zone->record_count(), first.zone->record_count());
+  // Spot-check a record surviving the round trip.
+  const auto www =
+      second.zone->lookup(DomainName::must("www.example.com"), dns::RRType::A);
+  EXPECT_EQ(www.records.size(), 2u);
+}
+
+// ------------------------------------------------------------- DNS-over-TCP
+
+TEST(Truncation, PolicyAppliesOnlyOverLimit) {
+  dns::Message response =
+      dns::make_response(dns::make_query(1, DomainName::must("big.example.com")),
+                         dns::RCode::NoError);
+  response.answers.push_back(
+      dns::make_txt(DomainName::must("big.example.com"), std::string(900, 'x')));
+  const auto wire = dns::encode(response);
+  ASSERT_GT(wire.size(), resolver::kMaxUdpPayload);
+
+  const auto truncated = resolver::truncate_for_udp(response, wire.size());
+  EXPECT_TRUE(truncated.header.tc);
+  EXPECT_TRUE(truncated.answers.empty());
+  EXPECT_EQ(truncated.questions, response.questions);
+
+  const auto untouched = resolver::truncate_for_udp(response, 100);
+  EXPECT_FALSE(untouched.header.tc);
+  EXPECT_EQ(untouched.answers.size(), 1u);
+}
+
+TEST(DnsTcp, UdpTruncatesAndTcpDelivers) {
+  // A TXT record too big for UDP: the UDP path must come back TC-flagged
+  // and empty; the TCP retry must deliver the full answer.
+  resolver::AuthoritativeServer auth;
+  dns::SoaData soa;
+  soa.mname = DomainName::must("ns1.big.test");
+  soa.rname = DomainName::must("host.big.test");
+  auto& zone = auth.add_zone(DomainName::must("big.test"), soa);
+  zone.add(dns::make_txt(DomainName::must("data.big.test"), std::string(800, 'z')));
+
+  const auto loopback = net::Endpoint{*dns::IPv4::parse("127.0.0.1"), 0};
+  auto udp = resolver::UdpDnsServer::create(loopback, auth);
+  auto tcp = resolver::TcpDnsServer::create(loopback, auth);
+  ASSERT_NE(udp, nullptr);
+  ASSERT_NE(tcp, nullptr);
+
+  net::EventLoop loop;
+  udp->attach(loop);
+  tcp->attach(loop);
+
+  std::optional<dns::Message> udp_reply, tcp_reply;
+  std::thread client([&] {
+    const auto query =
+        dns::make_query(9, DomainName::must("data.big.test"), dns::RRType::TXT);
+    udp_reply = resolver::udp_query(udp->local(), query, 2000);
+    if (udp_reply && udp_reply->header.tc) {
+      tcp_reply = resolver::tcp_query(tcp->local(), query, 2000);
+    }
+  });
+  loop.run_for(std::chrono::milliseconds(1500), /*idle_exit=*/false);
+  client.join();
+
+  ASSERT_TRUE(udp_reply.has_value());
+  EXPECT_TRUE(udp_reply->header.tc);
+  EXPECT_TRUE(udp_reply->answers.empty());
+
+  ASSERT_TRUE(tcp_reply.has_value());
+  EXPECT_FALSE(tcp_reply->header.tc);
+  ASSERT_EQ(tcp_reply->answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::TxtData>(tcp_reply->answers[0].rdata).text.size(),
+            800u);
+  EXPECT_EQ(tcp->answered(), 1u);
+}
+
+// -------------------------------------------------------------- capture log
+
+honeypot::TrafficRecord sample_record() {
+  honeypot::TrafficRecord record;
+  record.protocol = net::Protocol::TCP;
+  record.source = net::Endpoint{*dns::IPv4::parse("203.0.113.9"), 51512};
+  record.dst_port = 443;
+  record.when = 123'456'789;
+  record.platform = honeypot::HostingPlatform::Gcp;
+  record.domain = "resheba.online";
+  record.payload = "GET /a?b=\"c\" HTTP/1.1\r\nhost: resheba.online\r\n\r\n";
+  return record;
+}
+
+TEST(CaptureLog, JsonLineRoundTrip) {
+  const auto record = sample_record();
+  const std::string line = honeypot::to_json_line(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto parsed = honeypot::from_json_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->protocol, record.protocol);
+  EXPECT_EQ(parsed->source, record.source);
+  EXPECT_EQ(parsed->dst_port, record.dst_port);
+  EXPECT_EQ(parsed->when, record.when);
+  EXPECT_EQ(parsed->platform, record.platform);
+  EXPECT_EQ(parsed->domain, record.domain);
+  EXPECT_EQ(parsed->payload, record.payload);
+}
+
+TEST(CaptureLog, BinaryPayloadSurvives) {
+  auto record = sample_record();
+  record.payload = std::string("\x00\x16\x03\x01\xff\xfe", 6);
+  const auto parsed = honeypot::from_json_line(honeypot::to_json_line(record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, record.payload);
+}
+
+TEST(CaptureLog, StreamRoundTripWithTornLine) {
+  std::vector<honeypot::TrafficRecord> records;
+  for (int i = 0; i < 25; ++i) {
+    auto record = sample_record();
+    record.when = i;
+    record.dst_port = static_cast<std::uint16_t>(80 + i);
+    records.push_back(std::move(record));
+  }
+  std::ostringstream out;
+  honeypot::write_capture_log(out, records);
+  std::string text = out.str();
+  // Simulate a crash mid-append: torn final line.
+  text += "{\"proto\":\"tcp\",\"src_ip\":\"1.2.3";
+
+  std::istringstream in(text);
+  honeypot::TrafficRecorder recorder;
+  const auto stats = honeypot::read_capture_log(in, recorder);
+  EXPECT_EQ(stats.loaded, 25u);
+  EXPECT_EQ(stats.skipped_malformed, 1u);
+  ASSERT_EQ(recorder.total(), 25u);
+  EXPECT_EQ(recorder.records()[7].dst_port, 87);
+}
+
+TEST(Base64, KnownVectorsAndRejects) {
+  EXPECT_EQ(honeypot::base64_encode(""), "");
+  EXPECT_EQ(honeypot::base64_encode("f"), "Zg==");
+  EXPECT_EQ(honeypot::base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(honeypot::base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(honeypot::base64_encode("foobar"), "Zm9vYmFy");
+  EXPECT_EQ(*honeypot::base64_decode("Zm9vYmFy"), "foobar");
+  EXPECT_EQ(*honeypot::base64_decode("Zg=="), "f");
+  EXPECT_FALSE(honeypot::base64_decode("Zg=").has_value());   // bad length
+  EXPECT_FALSE(honeypot::base64_decode("Z!==").has_value());  // bad char
+  EXPECT_FALSE(honeypot::base64_decode("=AAA").has_value());  // pad first
+}
+
+}  // namespace
+}  // namespace nxd
+
+// Appended: EDNS(0) coverage.
+namespace nxd {
+namespace {
+
+TEST(Edns, OptRoundTrip) {
+  dns::Message query = dns::make_query(3, DomainName::must("edns.example.com"));
+  query.edns = dns::EdnsInfo{1'232, 0, true};
+  const auto wire = dns::encode(query);
+  const auto decoded = dns::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->edns.has_value());
+  EXPECT_EQ(decoded->edns->udp_payload, 1'232);
+  EXPECT_TRUE(decoded->edns->dnssec_ok);
+  EXPECT_EQ(*decoded, query);
+  // Non-EDNS messages stay OPT-free.
+  const auto plain = dns::decode(dns::encode(dns::make_query(4, DomainName::must("x.com"))));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->edns.has_value());
+}
+
+TEST(Edns, OptCoexistsWithRealAdditionals) {
+  dns::Message msg = dns::make_response(
+      dns::make_query(5, DomainName::must("a.example.com")), dns::RCode::NoError);
+  msg.additionals.push_back(
+      dns::make_a(DomainName::must("ns1.example.com"), *dns::IPv4::parse("192.0.2.1")));
+  msg.edns = dns::EdnsInfo{4'096, 0, false};
+  const auto decoded = dns::decode(dns::encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->additionals.size(), 1u);
+  ASSERT_TRUE(decoded->edns.has_value());
+  EXPECT_EQ(decoded->edns->udp_payload, 4'096);
+}
+
+TEST(Edns, DuplicateOptRejected) {
+  dns::Message msg = dns::make_query(6, DomainName::must("dup.example.com"));
+  msg.edns = dns::EdnsInfo{};
+  auto wire = dns::encode(msg);
+  // Append a second OPT and bump arcount (offset 11 is the low byte).
+  const std::uint8_t opt[] = {0, 0, 41, 0x04, 0xd0, 0, 0, 0, 0, 0, 0};
+  wire.insert(wire.end(), std::begin(opt), std::end(opt));
+  wire[11] = 2;
+  EXPECT_FALSE(dns::decode(wire).has_value());
+}
+
+TEST(Edns, UdpServerHonorsAdvertisedPayload) {
+  // A ~800-byte TXT answer: truncated for classic clients, delivered whole
+  // to an EDNS client advertising 1232.
+  resolver::AuthoritativeServer auth;
+  dns::SoaData soa;
+  soa.mname = DomainName::must("ns1.edns.test");
+  soa.rname = DomainName::must("host.edns.test");
+  auto& zone = auth.add_zone(DomainName::must("edns.test"), soa);
+  zone.add(dns::make_txt(DomainName::must("data.edns.test"), std::string(800, 'q')));
+
+  auto server = resolver::UdpDnsServer::create(
+      net::Endpoint{*dns::IPv4::parse("127.0.0.1"), 0}, auth);
+  ASSERT_NE(server, nullptr);
+  net::EventLoop loop;
+  server->attach(loop);
+
+  std::optional<dns::Message> classic, extended;
+  std::thread client([&] {
+    auto query = dns::make_query(21, DomainName::must("data.edns.test"),
+                                 dns::RRType::TXT);
+    classic = resolver::udp_query(server->local(), query, 2000);
+    query.header.id = 22;
+    query.edns = dns::EdnsInfo{1'232, 0, false};
+    extended = resolver::udp_query(server->local(), query, 2000);
+  });
+  loop.run_for(std::chrono::milliseconds(1200), /*idle_exit=*/false);
+  client.join();
+
+  ASSERT_TRUE(classic.has_value());
+  EXPECT_TRUE(classic->header.tc);
+  EXPECT_TRUE(classic->answers.empty());
+
+  ASSERT_TRUE(extended.has_value());
+  EXPECT_FALSE(extended->header.tc);
+  ASSERT_EQ(extended->answers.size(), 1u);
+  ASSERT_TRUE(extended->edns.has_value());  // server echoes its capability
+  EXPECT_EQ(extended->edns->udp_payload, 1'232);
+}
+
+}  // namespace
+}  // namespace nxd

@@ -1,0 +1,253 @@
+// Unit tests for nxd::squat — generators, detector, and round-trip
+#include <set>
+// properties (everything a generator emits must be detected as a squat of
+// the right type against the same target list).
+#include <gtest/gtest.h>
+
+#include "squat/detector.hpp"
+#include "squat/generators.hpp"
+#include "util/strings.hpp"
+
+namespace nxd::squat {
+namespace {
+
+using dns::DomainName;
+
+Target target_of(const char* domain) {
+  return targets_from({domain}).front();
+}
+
+// ------------------------------------------------------------- generators
+
+TEST(TypoGenerator, AllCandidatesWithinDamerauOne) {
+  const auto target = target_of("google.com");
+  const auto candidates = generate_typos(target);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& name : candidates) {
+    EXPECT_LE(util::damerau_distance(name.sld(), "google"), 1u)
+        << name.to_string();
+    EXPECT_NE(name.sld(), "google");
+    EXPECT_EQ(name.tld(), "com");
+  }
+}
+
+TEST(TypoGenerator, CoversAllFiveClasses) {
+  const auto target = target_of("paypal.com");
+  const auto candidates = generate_typos(target);
+  std::set<std::string> slds;
+  for (const auto& name : candidates) slds.insert(std::string(name.sld()));
+  EXPECT_TRUE(slds.contains("aypal"));    // omission
+  EXPECT_TRUE(slds.contains("ppaypal"));  // repetition
+  EXPECT_TRUE(slds.contains("apypal"));   // transposition
+  EXPECT_TRUE(slds.contains("oaypal"));   // adjacent replacement (p->o)
+  EXPECT_TRUE(slds.contains("opaypal"));  // fat-finger insertion
+}
+
+TEST(ComboGenerator, ContainsBrandPlusKeyword) {
+  const auto target = target_of("paypal.com");
+  const auto candidates = generate_combos(target);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& name : candidates) {
+    EXPECT_NE(name.sld().find("paypal"), std::string_view::npos)
+        << name.to_string();
+    EXPECT_GT(name.sld().size(), 6u);
+  }
+  std::set<std::string> slds;
+  for (const auto& name : candidates) slds.insert(std::string(name.sld()));
+  EXPECT_TRUE(slds.contains("paypal-login"));
+  EXPECT_TRUE(slds.contains("securepaypal"));
+}
+
+TEST(DotGenerator, WwwGlueAndInBrandDots) {
+  const auto target = target_of("google.com");
+  const auto candidates = generate_dots(target);
+  std::set<std::string> names;
+  for (const auto& name : candidates) names.insert(name.to_string());
+  EXPECT_TRUE(names.contains("wwwgoogle.com"));
+  EXPECT_TRUE(names.contains("goo.gle.com"));
+  EXPECT_TRUE(names.contains("g.oogle.com"));
+}
+
+TEST(BitGenerator, AllCandidatesExactlyOneBitFlip) {
+  const auto target = target_of("amazon.com");
+  const auto candidates = generate_bits(target);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& name : candidates) {
+    const std::string sld(name.sld());
+    ASSERT_EQ(sld.size(), 6u) << sld;
+    int diff_bits = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      unsigned x = static_cast<unsigned char>(sld[i]) ^
+                   static_cast<unsigned char>("amazon"[i]);
+      while (x != 0) {
+        diff_bits += static_cast<int>(x & 1);
+        x >>= 1;
+      }
+    }
+    EXPECT_EQ(diff_bits, 1) << sld;
+  }
+}
+
+TEST(HomoGenerator, ProducesConfusables) {
+  const auto google = generate_homos(target_of("google.com"));
+  std::set<std::string> slds;
+  for (const auto& name : google) slds.insert(std::string(name.sld()));
+  EXPECT_TRUE(slds.contains("g0ogle"));
+  EXPECT_TRUE(slds.contains("googie") || slds.contains("goog1e"));
+
+  const auto microsoft = generate_homos(target_of("microsoft.com"));
+  std::set<std::string> ms;
+  for (const auto& name : microsoft) ms.insert(std::string(name.sld()));
+  EXPECT_TRUE(ms.contains("rnicrosoft"));
+}
+
+TEST(Generators, NeverEmitTheTargetItself) {
+  for (const auto type : kAllSquatTypes) {
+    const auto target = target_of("twitter.com");
+    for (const auto& name : generate(type, target)) {
+      EXPECT_NE(name, target.domain)
+          << to_string(type) << " emitted the target";
+    }
+  }
+}
+
+TEST(KeyboardNeighbors, SymmetricAndNonSelf) {
+  for (char c = 'a'; c <= 'z'; ++c) {
+    for (const char n : keyboard_neighbors(c)) {
+      EXPECT_NE(n, c);
+      const auto back = keyboard_neighbors(n);
+      EXPECT_NE(back.find(c), std::string_view::npos)
+          << c << " -> " << n << " not symmetric";
+    }
+  }
+}
+
+// ----------------------------------------------------------- fold_confusables
+
+TEST(FoldConfusables, CanonicalizesConfusableClasses) {
+  // Members of a confusable class fold to the same canonical string.
+  EXPECT_EQ(fold_confusables("g0ogle"), "google");
+  EXPECT_EQ(fold_confusables("rnicrosoft"), fold_confusables("microsoft"));
+  EXPECT_EQ(fold_confusables("m1crosoft"), fold_confusables("microsoft"));
+  EXPECT_EQ(fold_confusables("mlcrosoft"), fold_confusables("microsoft"));
+  EXPECT_EQ(fold_confusables("paypa1"), fold_confusables("paypal"));
+  EXPECT_EQ(fold_confusables("vvikipedia"), fold_confusables("wikipedia"));
+  // Unconfusable strings are stable under double folding.
+  EXPECT_EQ(fold_confusables(fold_confusables("amazon")),
+            fold_confusables("amazon"));
+  // Distinct brands stay distinct.
+  EXPECT_NE(fold_confusables("google"), fold_confusables("amazon"));
+}
+
+// --------------------------------------------------------------- detector
+
+struct RoundTripCase {
+  SquatType type;
+  const char* target;
+};
+
+class GeneratorDetectorRoundTrip
+    : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(GeneratorDetectorRoundTrip, GeneratedCandidatesDetected) {
+  const auto& param = GetParam();
+  const SquatDetector detector = SquatDetector::with_defaults();
+  const auto target = target_of(param.target);
+  const auto candidates = generate(param.type, target);
+  ASSERT_FALSE(candidates.empty());
+
+  std::size_t detected = 0, correct_type = 0;
+  for (const auto& name : candidates) {
+    const auto verdict = detector.classify(name);
+    if (verdict) {
+      ++detected;
+      if (verdict->type == param.type) ++correct_type;
+    }
+  }
+  // Everything generated must register as *some* squat (a bit flip can
+  // coincide with a keyboard-adjacent typo, so cross-type hits are fine),
+  // and the majority must carry the intended type.
+  EXPECT_EQ(detected, candidates.size()) << to_string(param.type);
+  EXPECT_GE(correct_type * 10, candidates.size() * 7)
+      << to_string(param.type) << ": " << correct_type << "/"
+      << candidates.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, GeneratorDetectorRoundTrip,
+    ::testing::Values(RoundTripCase{SquatType::Typo, "google.com"},
+                      RoundTripCase{SquatType::Typo, "amazon.com"},
+                      RoundTripCase{SquatType::Combo, "paypal.com"},
+                      RoundTripCase{SquatType::Combo, "netflix.com"},
+                      RoundTripCase{SquatType::Dot, "google.com"},
+                      RoundTripCase{SquatType::Bit, "facebook.com"},
+                      RoundTripCase{SquatType::Homo, "google.com"},
+                      RoundTripCase{SquatType::Homo, "microsoft.com"}),
+    [](const auto& info) {
+      return to_string(info.param.type) + std::string("_") +
+             std::string(info.param.target).substr(0, 3);
+    });
+
+TEST(Detector, BenignNamesPass) {
+  const SquatDetector detector = SquatDetector::with_defaults();
+  for (const char* name :
+       {"example.com", "weather-news.org", "quantumphysics.net",
+        "rustaceans.org", "kubernetes.io"}) {
+    EXPECT_FALSE(detector.classify(dns::DomainName::must(name)).has_value())
+        << name;
+  }
+}
+
+TEST(Detector, TheTargetItselfIsNotASquat) {
+  const SquatDetector detector = SquatDetector::with_defaults();
+  EXPECT_FALSE(
+      detector.classify(dns::DomainName::must("google.com")).has_value());
+  EXPECT_FALSE(
+      detector.classify(dns::DomainName::must("paypal.com")).has_value());
+}
+
+TEST(Detector, IdentifiesTargetDomain) {
+  const SquatDetector detector = SquatDetector::with_defaults();
+  const auto verdict = detector.classify(dns::DomainName::must("gogle.com"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->type, SquatType::Typo);
+  EXPECT_EQ(verdict->target.to_string(), "google.com");
+}
+
+TEST(Detector, PaperExampleTwitterSupport) {
+  // twitter-sup0rt.com from Table 1: combosquat with homoglyph inside the
+  // keyword.  Our detector sees brand "twitter" + extra token -> Combo.
+  const SquatDetector detector = SquatDetector::with_defaults();
+  const auto verdict =
+      detector.classify(dns::DomainName::must("twitter-sup0rt.com"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->type, SquatType::Combo);
+  EXPECT_EQ(verdict->target.to_string(), "twitter.com");
+}
+
+TEST(Detector, ClassifyCorpusCounts) {
+  const SquatDetector detector = SquatDetector::with_defaults();
+  std::vector<dns::DomainName> corpus = {
+      dns::DomainName::must("gogle.com"),        // typo
+      dns::DomainName::must("paypal-login.com"), // combo
+      dns::DomainName::must("wwwgoogle.com"),    // dot
+      dns::DomainName::must("g0ogle.com"),       // homo
+      dns::DomainName::must("benign-site.org"),  // none
+  };
+  const auto counts = detector.classify_corpus(corpus);
+  EXPECT_EQ(counts.at(SquatType::Typo), 1u);
+  EXPECT_EQ(counts.at(SquatType::Combo), 1u);
+  EXPECT_EQ(counts.at(SquatType::Dot), 1u);
+  EXPECT_EQ(counts.at(SquatType::Homo), 1u);
+  EXPECT_FALSE(counts.contains(SquatType::Bit));
+}
+
+TEST(Detector, ShortBrandsNeedExactStructure) {
+  // Brands under 4 chars must not trigger distance-1 typo attribution
+  // (noise would overwhelm signal).
+  const SquatDetector detector(targets_from({"qq.com"}));
+  EXPECT_FALSE(detector.classify(dns::DomainName::must("qa.com")).has_value());
+}
+
+}  // namespace
+}  // namespace nxd::squat

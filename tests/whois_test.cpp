@@ -1,0 +1,240 @@
+// Unit tests for nxd::whois — records, ICANN ERRP lifecycle engine, history
+// database joins.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "whois/history_db.hpp"
+#include "whois/lifecycle.hpp"
+#include "whois/record.hpp"
+
+namespace nxd::whois {
+namespace {
+
+using dns::DomainName;
+
+// ----------------------------------------------------------------- Record
+
+struct StatusCase {
+  std::int64_t days_after_expiry;
+  Status expected;
+};
+
+class StatusTimelineTest : public ::testing::TestWithParam<StatusCase> {};
+
+TEST_P(StatusTimelineTest, ErrpSchedule) {
+  WhoisRecord record;
+  record.domain = DomainName::must("example.com");
+  record.created = 0;
+  record.expires = 365;
+  const auto& c = GetParam();
+  EXPECT_EQ(record.status_at(record.expires + c.days_after_expiry), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Timeline, StatusTimelineTest,
+    ::testing::Values(StatusCase{-100, Status::Active},
+                      StatusCase{-1, Status::Active},
+                      StatusCase{0, Status::ExpiredGrace},
+                      StatusCase{44, Status::ExpiredGrace},
+                      StatusCase{45, Status::RedemptionGrace},
+                      StatusCase{74, Status::RedemptionGrace},
+                      StatusCase{75, Status::PendingDelete},
+                      StatusCase{79, Status::PendingDelete},
+                      StatusCase{80, Status::Dropped},
+                      StatusCase{10'000, Status::Dropped}));
+
+TEST(Record, DroppedAtOverride) {
+  WhoisRecord record;
+  record.domain = DomainName::must("example.com");
+  record.expires = 365;
+  EXPECT_EQ(record.status_at(370, /*dropped_at=*/369), Status::Dropped);
+}
+
+TEST(Record, ResolvesOnlyThroughGrace) {
+  EXPECT_TRUE(resolves(Status::Active));
+  EXPECT_TRUE(resolves(Status::ExpiredGrace));
+  EXPECT_FALSE(resolves(Status::RedemptionGrace));
+  EXPECT_FALSE(resolves(Status::PendingDelete));
+  EXPECT_FALSE(resolves(Status::Dropped));
+}
+
+TEST(ErrpPolicy, DerivedDays) {
+  const ErrpPolicy policy;
+  EXPECT_EQ(policy.rgp_start(100), 145);
+  EXPECT_EQ(policy.pending_delete_start(100), 175);
+  EXPECT_EQ(policy.drop_day(100), 180);
+}
+
+// --------------------------------------------------------------- Lifecycle
+
+std::vector<EventKind> kinds_for(const LifecycleEngine& engine,
+                                 const DomainName& domain) {
+  std::vector<EventKind> out;
+  for (const auto& event : engine.log()) {
+    if (event.domain == domain) out.push_back(event.kind);
+  }
+  return out;
+}
+
+TEST(Lifecycle, FullExpiryPath) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("fading.com");
+  ASSERT_TRUE(engine.register_domain(domain, 0, "godaddy", 365));
+  engine.advance_to(365 + 100);
+
+  const auto kinds = kinds_for(engine, domain);
+  const std::vector<EventKind> expected = {
+      EventKind::Registered,     EventKind::RenewalNotice,
+      EventKind::RenewalNotice,  EventKind::Expired,
+      EventKind::RenewalNotice,  // post-expiry notice (third of three)
+      EventKind::EnteredRedemption, EventKind::PendingDelete,
+      EventKind::Dropped};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_EQ(engine.status(domain), Status::Dropped);
+  EXPECT_FALSE(engine.resolves_now(domain));
+}
+
+TEST(Lifecycle, ExactlyThreeNotices) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("noticed.com");
+  engine.register_domain(domain, 0, "namecheap", 365);
+  engine.advance_to(1000);
+  int notices = 0;
+  for (const auto& kind : kinds_for(engine, domain)) {
+    if (kind == EventKind::RenewalNotice) ++notices;
+  }
+  EXPECT_EQ(notices, 3);  // ERRP minimum: two before + one after
+}
+
+TEST(Lifecycle, RenewalResetsTerm) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("kept.com");
+  engine.register_domain(domain, 0, "godaddy", 365);
+  engine.advance_to(350);
+  ASSERT_TRUE(engine.renew(domain, 350, 365));
+  engine.advance_to(700);
+  EXPECT_EQ(engine.status(domain), Status::Active);
+  EXPECT_EQ(engine.record(domain)->expires, 365 + 365);
+}
+
+TEST(Lifecycle, RenewDuringGraceIsRenewal) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("late.com");
+  engine.register_domain(domain, 0, "godaddy", 365);
+  engine.advance_to(380);  // inside auto-renew grace
+  ASSERT_EQ(engine.status(domain), Status::ExpiredGrace);
+  ASSERT_TRUE(engine.renew(domain, 380, 365));
+  EXPECT_EQ(engine.status(domain), Status::Active);
+}
+
+TEST(Lifecycle, RestoreDuringRedemption) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("saved.com");
+  engine.register_domain(domain, 0, "godaddy", 365);
+  engine.advance_to(365 + 50);  // inside RGP (45..75 after expiry)
+  ASSERT_EQ(engine.status(domain), Status::RedemptionGrace);
+  ASSERT_TRUE(engine.renew(domain, 365 + 50, 365));
+  EXPECT_EQ(engine.status(domain), Status::Active);
+  const auto kinds = kinds_for(engine, domain);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), EventKind::Restored),
+            kinds.end());
+}
+
+TEST(Lifecycle, PendingDeleteIrrevocable) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("doomed.com");
+  engine.register_domain(domain, 0, "godaddy", 365);
+  engine.advance_to(365 + 77);  // pending delete: 75..80 after expiry
+  ASSERT_EQ(engine.status(domain), Status::PendingDelete);
+  EXPECT_FALSE(engine.renew(domain, 365 + 77, 365));
+}
+
+TEST(Lifecycle, ReRegistrationAfterDrop) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("recycled.com");
+  engine.register_domain(domain, 0, "godaddy", 365);
+  engine.advance_to(365 + 100);
+  ASSERT_EQ(engine.status(domain), Status::Dropped);
+  // Drop-catch: someone else registers the released name.
+  ASSERT_TRUE(engine.register_domain(domain, 365 + 100, "dropcatch", 365));
+  EXPECT_EQ(engine.status(domain), Status::Active);
+  const auto kinds = kinds_for(engine, domain);
+  EXPECT_EQ(kinds.back(), EventKind::ReRegistered);
+}
+
+TEST(Lifecycle, DuplicateRegistrationRejected) {
+  LifecycleEngine engine;
+  const auto domain = DomainName::must("taken.com");
+  engine.register_domain(domain, 0, "godaddy", 365);
+  EXPECT_FALSE(engine.register_domain(domain, 10, "namecheap", 365));
+}
+
+TEST(Lifecycle, SinkReceivesEventsInOrder) {
+  LifecycleEngine engine;
+  std::vector<util::Day> days;
+  engine.set_sink([&](const LifecycleEvent& event) { days.push_back(event.day); });
+  engine.register_domain(DomainName::must("x.com"), 0, "godaddy", 100);
+  engine.advance_to(300);
+  ASSERT_GE(days.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(days.begin(), days.end()));
+}
+
+TEST(Lifecycle, ActiveCount) {
+  LifecycleEngine engine;
+  engine.register_domain(DomainName::must("a.com"), 0, "r", 100);
+  engine.register_domain(DomainName::must("b.com"), 0, "r", 1000);
+  engine.advance_to(500);  // a.com fully dropped; b.com alive
+  EXPECT_EQ(engine.active_count(), 1u);
+}
+
+// -------------------------------------------------------------- HistoryDb
+
+TEST(HistoryDb, JoinSplitsExpiredAndNever) {
+  WhoisHistoryDb db;
+  WhoisRecord record;
+  record.domain = DomainName::must("was-registered.com");
+  record.created = 100;
+  record.expires = 465;
+  db.add(record);
+
+  const std::vector<DomainName> corpus = {
+      DomainName::must("was-registered.com"),
+      DomainName::must("never-registered-1.com"),
+      DomainName::must("never-registered-2.com"),
+  };
+  const auto result = db.join(corpus);
+  EXPECT_EQ(result.total, 3u);
+  EXPECT_EQ(result.with_history, 1u);
+  EXPECT_EQ(result.never_registered, 2u);
+  EXPECT_NEAR(result.with_history_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(HistoryDb, HistoryKeptChronological) {
+  WhoisHistoryDb db;
+  const auto domain = DomainName::must("multi-life.com");
+  for (const util::Day created : {2000, 100, 1000}) {
+    WhoisRecord record;
+    record.domain = domain;
+    record.created = created;
+    record.expires = created + 365;
+    db.add(record);
+  }
+  const auto history = db.history(domain);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].created, 100);
+  EXPECT_EQ(history[2].created, 2000);
+  EXPECT_EQ(db.latest(domain)->created, 2000);
+  EXPECT_EQ(db.record_count(), 3u);
+  EXPECT_EQ(db.domain_count(), 1u);
+}
+
+TEST(HistoryDb, MissingDomain) {
+  WhoisHistoryDb db;
+  EXPECT_FALSE(db.has_history(DomainName::must("ghost.com")));
+  EXPECT_FALSE(db.latest(DomainName::must("ghost.com")).has_value());
+  EXPECT_TRUE(db.history(DomainName::must("ghost.com")).empty());
+}
+
+}  // namespace
+}  // namespace nxd::whois

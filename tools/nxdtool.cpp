@@ -1,0 +1,246 @@
+// nxdtool — command-line front end to the nxdlib analyzers.
+//
+// Subcommands:
+//   dga <domain>...              classify (+ attribute) domains as DGA
+//   squat <domain>...            squatting detection against the default
+//                                brand list
+//   idn <domain>...              punycode <-> unicode conversion and
+//                                homograph unmasking
+//   zone check <file> <origin>   parse an RFC 1035 zone file, report errors
+//   zone dump <file> <origin>    parse and re-emit normalized master text
+//   capture stats <jsonl>        categorize a capture log, print the
+//                                category/port breakdown
+//   resolve <domain>...          resolve against a demo hierarchy (shows
+//                                NXDomain vs NOERROR and the Fig-1 trace)
+//
+// Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when a check
+// subcommand found problems (e.g. zone errors).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/security.hpp"
+#include "dga/attribution.hpp"
+#include "dga/classifier.hpp"
+#include "dns/punycode.hpp"
+#include "honeypot/capture_log.hpp"
+#include "honeypot/categorizer.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/zone_file.hpp"
+#include "squat/detector.hpp"
+#include "synth/origin_model.hpp"
+#include "util/strings.hpp"
+
+using namespace nxd;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nxdtool <command> [args]\n"
+               "  dga <domain>...             DGA classification + family attribution\n"
+               "  squat <domain>...           squatting detection (default brand list)\n"
+               "  idn <domain>...             punycode <-> unicode + homograph check\n"
+               "  zone check <file> <origin>  validate a zone file\n"
+               "  zone dump <file> <origin>   normalize a zone file to stdout\n"
+               "  capture stats <file.jsonl>  categorize a honeypot capture log\n"
+               "  resolve <domain>...         resolve against the demo hierarchy\n");
+  return 1;
+}
+
+std::optional<std::string> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int cmd_dga(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto classifier = synth::trained_dga_classifier();
+  // Attribution window: ±3 days around a fixed reference (a real deployment
+  // would use "today"; the tool stays deterministic).
+  const auto families = dga::all_families();
+  const dga::FamilyAttributor attributor(families, 19'000, 19'006, 150);
+
+  for (int i = 0; i < argc; ++i) {
+    const auto name = dns::DomainName::parse(argv[i]);
+    if (!name) {
+      std::printf("%-32s invalid-name\n", argv[i]);
+      continue;
+    }
+    const auto verdict = classifier.classify(*name);
+    const auto family = attributor.attribute(*name);
+    std::printf("%-32s %s score=%.2f%s%s\n", argv[i],
+                verdict.is_dga ? "DGA" : "benign", verdict.score,
+                family ? " family=" : "",
+                family ? family->family.c_str() : "");
+  }
+  return 0;
+}
+
+int cmd_squat(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto detector = squat::SquatDetector::with_defaults();
+  for (int i = 0; i < argc; ++i) {
+    const auto name = dns::DomainName::parse(argv[i]);
+    if (!name) {
+      std::printf("%-32s invalid-name\n", argv[i]);
+      continue;
+    }
+    if (const auto verdict = detector.classify(*name)) {
+      std::printf("%-32s %s of %s\n", argv[i],
+                  squat::to_string(verdict->type).c_str(),
+                  verdict->target.to_string().c_str());
+    } else {
+      std::printf("%-32s clean\n", argv[i]);
+    }
+  }
+  return 0;
+}
+
+int cmd_idn(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto detector = squat::SquatDetector::with_defaults();
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view input = argv[i];
+    if (input.find("xn--") != std::string_view::npos) {
+      const auto unicode = dns::idna_to_unicode(input);
+      std::printf("%-32s unicode=%s", argv[i],
+                  unicode ? unicode->c_str() : "<undecodable>");
+    } else {
+      const auto ascii = dns::idna_to_ascii(input);
+      std::printf("%-32s ascii=%s", argv[i],
+                  ascii ? ascii->c_str() : "<unencodable>");
+    }
+    // Homograph check on the ASCII form.
+    const auto ascii = input.find("xn--") != std::string_view::npos
+                           ? std::optional<std::string>(std::string(input))
+                           : dns::idna_to_ascii(input);
+    if (ascii) {
+      if (const auto name = dns::DomainName::parse(*ascii)) {
+        if (const auto verdict = detector.classify(*name)) {
+          std::printf("  !! %s of %s", squat::to_string(verdict->type).c_str(),
+                      verdict->target.to_string().c_str());
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_zone(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const bool dump = std::strcmp(argv[0], "dump") == 0;
+  if (!dump && std::strcmp(argv[0], "check") != 0) return usage();
+  const auto text = read_file(argv[1]);
+  if (!text) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  const auto origin = dns::DomainName::parse(argv[2]);
+  if (!origin) {
+    std::fprintf(stderr, "nxdtool: bad origin '%s'\n", argv[2]);
+    return 1;
+  }
+  const auto result = resolver::parse_zone_file(*text, *origin);
+  for (const auto& error : result.errors) {
+    std::fprintf(stderr, "%s:%zu: %s\n", argv[1], error.line,
+                 error.message.c_str());
+  }
+  if (!result.zone) return 2;
+  if (dump) {
+    std::fputs(resolver::to_zone_file(*result.zone).c_str(), stdout);
+  } else {
+    std::printf("%s: OK (%zu records, origin %s)\n", argv[1], result.records,
+                result.zone->origin().to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_capture(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[0], "stats") != 0) return usage();
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  honeypot::TrafficRecorder recorder;
+  const auto stats = honeypot::read_capture_log(in, recorder);
+  std::printf("%s: %zu records loaded, %zu malformed lines skipped\n",
+              argv[1], stats.loaded, stats.skipped_malformed);
+
+  const net::ReverseDnsRegistry rdns;
+  const auto vuln_db = vuln::VulnDb::with_defaults();
+  const honeypot::TrafficCategorizer categorizer(vuln_db, rdns);
+  util::Counter categories, domains;
+  for (const auto& record : recorder.records()) {
+    categories.add(honeypot::to_string(categorizer.categorize(record).category));
+    if (!record.domain.empty()) domains.add(record.domain);
+  }
+  std::printf("\ncategories:\n");
+  for (const auto& [category, count] : categories.top()) {
+    std::printf("  %-30s %llu\n", category.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\ntop ports:\n");
+  for (const auto& [port, count] : recorder.port_counts().top(8)) {
+    std::printf("  %-6s %llu\n", port.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  if (!domains.empty()) {
+    std::printf("\ntop domains:\n");
+    for (const auto& [domain, count] : domains.top(8)) {
+      std::printf("  %-30s %llu\n", domain.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+  return 0;
+}
+
+int cmd_resolve(int argc, char** argv) {
+  if (argc < 1) return usage();
+  // Demo hierarchy with a couple of registered names, so the tool shows
+  // both outcomes and the Fig-1 trace.
+  resolver::DnsHierarchy hierarchy;
+  hierarchy.register_domain(dns::DomainName::must("example.com"),
+                            *dns::IPv4::parse("93.184.216.34"));
+  hierarchy.register_domain(dns::DomainName::must("example.org"),
+                            *dns::IPv4::parse("93.184.216.34"));
+  resolver::RecursiveResolver resolver(hierarchy);
+  for (int i = 0; i < argc; ++i) {
+    const auto name = dns::DomainName::parse(argv[i]);
+    if (!name) {
+      std::printf("%-32s invalid-name\n", argv[i]);
+      continue;
+    }
+    resolver::IterativeTrace trace;
+    const auto response =
+        hierarchy.resolve_iterative(dns::make_query(1, *name), &trace);
+    std::printf("%-32s %s\n", argv[i],
+                dns::to_string(response.header.rcode).c_str());
+    for (const auto& step : trace.steps) {
+      std::printf("    [%s] %s\n", step.server_label.c_str(),
+                  step.outcome.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view command = argv[1];
+  if (command == "dga") return cmd_dga(argc - 2, argv + 2);
+  if (command == "squat") return cmd_squat(argc - 2, argv + 2);
+  if (command == "idn") return cmd_idn(argc - 2, argv + 2);
+  if (command == "zone") return cmd_zone(argc - 2, argv + 2);
+  if (command == "capture") return cmd_capture(argc - 2, argv + 2);
+  if (command == "resolve") return cmd_resolve(argc - 2, argv + 2);
+  return usage();
+}
