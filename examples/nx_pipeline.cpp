@@ -9,6 +9,11 @@
 //
 // Build & run:  ./build/examples/nx_pipeline [--scale=0.002] [--seed=42]
 //               [--report=<path.md>]   write a Markdown report of the run
+//               [--loss=0.1] [--chaos-seed=7]
+//                   chaos run: resolve a query stream through a SimNetwork
+//                   with that much injected packet loss (plus corruption and
+//                   duplication at half/quarter the rate) and report how the
+//                   retry policy separates failure noise from real NXDomains
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -19,9 +24,12 @@
 #include "analysis/report.hpp"
 #include "analysis/scale.hpp"
 #include "analysis/security.hpp"
+#include "pdns/observation.hpp"
+#include "resolver/recursive.hpp"
 #include "synth/origin_model.hpp"
 #include "synth/scale_models.hpp"
 #include "synth/traffic_model.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -30,10 +38,16 @@ using namespace nxd;
 int main(int argc, char** argv) {
   double scale = 0.002;
   std::uint64_t seed = 42;
+  double loss = 0;
+  std::uint64_t chaos_seed = 7;
   std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
     if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (std::strncmp(argv[i], "--loss=", 7) == 0) loss = std::atof(argv[i] + 7);
+    if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    }
     if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
   }
 
@@ -174,6 +188,82 @@ int main(int argc, char** argv) {
     std::printf("  %s=%llu", app.c_str(), static_cast<unsigned long long>(count));
   }
   std::printf("\n");
+
+  // ---------------------------------------------------------------- chaos
+  if (loss > 0) {
+    std::printf("\n=== chaos: resolver under %.0f%% injected loss (seed %llu) ===\n",
+                100 * loss, static_cast<unsigned long long>(chaos_seed));
+    resolver::DnsHierarchy hierarchy;
+    std::vector<dns::DomainName> registered;
+    for (int d = 0; d < 40; ++d) {
+      const std::string tld = d % 2 ? "com" : "net";
+      auto name = dns::DomainName::must("host" + std::to_string(d) + "." + tld);
+      hierarchy.register_domain(name, dns::IPv4::from_octets(
+                                          203, 0, 113, static_cast<std::uint8_t>(d)));
+      registered.push_back(std::move(name));
+    }
+
+    net::SimNetwork network;
+    net::FaultPlan plan(chaos_seed);
+    net::FaultSpec spec;
+    spec.drop = loss;
+    spec.corrupt = loss / 2;
+    spec.duplicate = loss / 4;
+    plan.set_default(spec);
+    network.set_fault_plan(std::move(plan));
+    hierarchy.attach(network);
+
+    resolver::RecursiveResolver resolver(hierarchy);
+    resolver.use_network(network, {}, resolver::RetryPolicy{}, chaos_seed);
+
+    pdns::PassiveDnsStore chaos_store;
+    resolver.set_observer([&chaos_store](const dns::Message& q,
+                                         const dns::Message& r, bool,
+                                         util::SimTime when) {
+      chaos_store.ingest(pdns::observe(q, r, when));
+    });
+
+    util::Rng stream(chaos_seed);
+    util::SimTime now = 0;
+    std::uint16_t id = 1;
+    for (int i = 0; i < 1'500; ++i, now += 2) {
+      dns::DomainName name =
+          stream.chance(0.5)
+              ? registered[stream.bounded(registered.size())]
+              : dns::DomainName::must("ghost" + std::to_string(stream.bounded(400)) +
+                                      (stream.chance(0.5) ? ".com" : ".org"));
+      const auto outcome =
+          resolver.resolve(dns::make_query(id++, name, dns::RRType::A), now);
+      now += outcome.elapsed;
+    }
+
+    const auto& rs = resolver.stats();
+    const auto& fs = network.fault_stats();
+    std::printf("faults injected: drops=%llu dups=%llu corruptions=%llu "
+                "truncations=%llu delays=%llu\n",
+                static_cast<unsigned long long>(fs.injected_drops),
+                static_cast<unsigned long long>(fs.injected_duplicates),
+                static_cast<unsigned long long>(fs.injected_corruptions),
+                static_cast<unsigned long long>(fs.injected_truncations),
+                static_cast<unsigned long long>(fs.injected_delays));
+    std::printf("resolver: %llu queries, %llu cache hits, %llu upstream, "
+                "%llu retries, %llu timeouts\n",
+                static_cast<unsigned long long>(rs.client_queries),
+                static_cast<unsigned long long>(rs.cache_hits),
+                static_cast<unsigned long long>(rs.upstream_resolutions),
+                static_cast<unsigned long long>(rs.retries),
+                static_cast<unsigned long long>(rs.timeouts));
+    std::printf("responses: %llu NXDOMAIN, %llu SERVFAIL (failure noise kept "
+                "out of the NX aggregates)\n",
+                static_cast<unsigned long long>(rs.nxdomain_responses),
+                static_cast<unsigned long long>(rs.servfail_responses));
+    std::printf("pdns store: %s observations, %s NX responses, %s distinct "
+                "NXDomains, %s servfails\n",
+                util::with_commas(chaos_store.total_observations()).c_str(),
+                util::with_commas(chaos_store.nx_responses()).c_str(),
+                util::with_commas(chaos_store.distinct_nxdomains()).c_str(),
+                util::with_commas(chaos_store.servfail_responses()).c_str());
+  }
 
   if (!report_path.empty()) {
     analysis::ReportInputs inputs;

@@ -13,6 +13,7 @@ ScaleSummary ScaleAnalysis::summary() const {
           ? 0
           : static_cast<double>(out.nx_responses) /
                 static_cast<double>(out.distinct_nxdomains);
+  out.servfail_responses = store_.servfail_responses();
   return out;
 }
 

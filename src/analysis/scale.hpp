@@ -16,6 +16,10 @@ struct ScaleSummary {
   std::uint64_t nx_responses = 0;
   std::uint64_t distinct_nxdomains = 0;
   double responses_per_nxdomain = 0;
+  /// SERVFAIL observations excluded from the NXDomain aggregates — reported
+  /// so a scale figure can show how much of the feed was failure noise
+  /// rather than genuine non-existence.
+  std::uint64_t servfail_responses = 0;
 };
 
 struct MonthlyPoint {

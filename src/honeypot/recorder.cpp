@@ -10,7 +10,27 @@ std::string to_string(HostingPlatform p) {
 }
 
 void TrafficRecorder::record(TrafficRecord record) {
+  bool duplicate = false;
+  if (fault_plan_ != nullptr && !fault_plan_->empty()) {
+    // Key faults on the destination port (the sensor's listening socket);
+    // the wildcard IP means per-endpoint plans match on port alone.
+    std::vector<std::uint8_t> payload(record.payload.begin(),
+                                      record.payload.end());
+    const auto verdict = fault_plan_->apply(
+        net::Endpoint{dns::IPv4{}, record.dst_port}, payload, record.when);
+    if (verdict.drop) {
+      ++capture_drops_;
+      return;
+    }
+    record.payload.assign(payload.begin(), payload.end());
+    record.when += verdict.delay;
+    duplicate = verdict.duplicate;
+  }
   port_counts_.add(std::to_string(record.dst_port));
+  if (duplicate) {
+    port_counts_.add(std::to_string(record.dst_port));
+    records_.push_back(record);
+  }
   records_.push_back(std::move(record));
 }
 

@@ -9,6 +9,7 @@
 
 #include "honeypot/http.hpp"
 #include "net/endpoint.hpp"
+#include "net/fault.hpp"
 #include "util/civil_time.hpp"
 #include "util/histogram.hpp"
 
@@ -42,6 +43,15 @@ class TrafficRecorder {
  public:
   void record(TrafficRecord record);
 
+  /// Route captures through the same fault stage SimNetwork uses, keyed on
+  /// the destination port: dropped packets are never recorded (counted in
+  /// `capture_drops()`), corruption/truncation mangle the stored payload,
+  /// delay shifts the capture timestamp, and a duplicate is recorded twice
+  /// — the capture-plane analogue of pcap loss on a saturated sensor.  The
+  /// plan must outlive the recorder; nullptr disables.
+  void set_fault_plan(net::FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  std::uint64_t capture_drops() const noexcept { return capture_drops_; }
+
   const std::vector<TrafficRecord>& records() const noexcept { return records_; }
   std::uint64_t total() const noexcept { return records_.size(); }
 
@@ -59,6 +69,8 @@ class TrafficRecorder {
  private:
   std::vector<TrafficRecord> records_;
   util::Counter port_counts_;
+  net::FaultPlan* fault_plan_ = nullptr;
+  std::uint64_t capture_drops_ = 0;
 };
 
 }  // namespace nxd::honeypot

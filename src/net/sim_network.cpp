@@ -3,15 +3,38 @@
 namespace nxd::net {
 
 void SimNetwork::attach(const Endpoint& ep, Protocol proto, Service service) {
-  services_[Key{ep, proto}] = std::move(service);
+  services_[ServiceKey{ep, proto}] = std::move(service);
 }
 
 void SimNetwork::detach(const Endpoint& ep, Protocol proto) {
-  services_.erase(Key{ep, proto});
+  services_.erase(ServiceKey{ep, proto});
 }
 
 std::optional<std::vector<std::uint8_t>> SimNetwork::send(const SimPacket& packet) {
-  const auto it = services_.find(Key{packet.dst, packet.protocol});
+  last_delay_ = 0;
+  if (!fault_plan_.empty()) {
+    SimPacket shaped = packet;
+    const FaultVerdict verdict = fault_plan_.apply(
+        packet.dst, shaped.payload, clock_ != nullptr ? clock_->now() : 0);
+    if (verdict.drop) return std::nullopt;
+    last_delay_ = verdict.delay;
+    const auto it = services_.find(ServiceKey{packet.dst, packet.protocol});
+    if (it == services_.end()) {
+      ++dropped_;
+      return std::nullopt;
+    }
+    ++delivered_;
+    auto reply = it->second(shaped);
+    if (verdict.duplicate) {
+      // The duplicate reaches the service too; its reply is discarded (the
+      // client already has the first one — classic UDP retransmit noise).
+      ++delivered_;
+      it->second(shaped);
+    }
+    return reply;
+  }
+
+  const auto it = services_.find(ServiceKey{packet.dst, packet.protocol});
   if (it == services_.end()) {
     ++dropped_;
     return std::nullopt;

@@ -9,7 +9,8 @@ namespace nxd::pdns {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4e584450;  // "NXDP"
-constexpr std::uint16_t kVersion = 1;
+// v2: adds the servfail_responses counter after distinct_nx.
+constexpr std::uint16_t kVersion = 2;
 constexpr std::uint64_t kDayBias = 1ULL << 62;
 
 std::uint64_t bias(std::int64_t v) {
@@ -33,6 +34,8 @@ std::vector<std::uint8_t> save_snapshot(const PassiveDnsStore& store) {
   w.u32(static_cast<std::uint32_t>(store.nx_responses_));
   w.u32(static_cast<std::uint32_t>(store.distinct_nx_ >> 32));
   w.u32(static_cast<std::uint32_t>(store.distinct_nx_));
+  w.u32(static_cast<std::uint32_t>(store.servfail_responses_ >> 32));
+  w.u32(static_cast<std::uint32_t>(store.servfail_responses_));
 
   auto u64 = [&w](std::uint64_t v) {
     w.u32(static_cast<std::uint32_t>(v >> 32));
@@ -107,6 +110,7 @@ std::optional<PassiveDnsStore> load_snapshot(
   store.total_ = u64();
   store.nx_responses_ = u64();
   store.distinct_nx_ = u64();
+  store.servfail_responses_ = u64();
 
   const std::uint32_t months = r.u32();
   for (std::uint32_t i = 0; i < months && r.ok(); ++i) {

@@ -8,6 +8,14 @@ void PassiveDnsStore::ingest(const Observation& obs) {
   ++total_;
   sensor_volume_.add(to_string(obs.sensor.cls));
 
+  if (obs.rcode == dns::RCode::ServFail) {
+    // A resolution failure says nothing about the name's existence; keep it
+    // out of the per-domain aggregates so selection thresholds see only
+    // genuine answers.
+    ++servfail_responses_;
+    return;
+  }
+
   const std::string key = obs.name.registered_domain().to_string();
   DomainAggregate& agg = domains_[key];
   const util::Day day = obs.day();

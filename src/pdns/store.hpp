@@ -56,6 +56,11 @@ class PassiveDnsStore {
   std::uint64_t nx_responses() const noexcept { return nx_responses_; }
   std::uint64_t distinct_domains() const noexcept { return domains_.size(); }
   std::uint64_t distinct_nxdomains() const noexcept { return distinct_nx_; }
+  /// SERVFAIL observations — resolution failures, not proof of
+  /// non-existence.  Tracked separately so scale analyses can distinguish
+  /// genuine NXDomain volume from failure noise; never mixed into the
+  /// per-domain OK/NX aggregates that drive selection.
+  std::uint64_t servfail_responses() const noexcept { return servfail_responses_; }
 
   // ---- per-domain ---------------------------------------------------------
   const DomainAggregate* domain(const std::string& registered_name) const;
@@ -90,6 +95,7 @@ class PassiveDnsStore {
   std::uint64_t total_ = 0;
   std::uint64_t nx_responses_ = 0;
   std::uint64_t distinct_nx_ = 0;
+  std::uint64_t servfail_responses_ = 0;
 
   std::unordered_map<std::string, DomainAggregate> domains_;
   std::unordered_map<std::string, TldAggregate> tlds_;

@@ -1,5 +1,7 @@
 #include "resolver/hierarchy.hpp"
 
+#include <algorithm>
+
 namespace nxd::resolver {
 
 namespace {
@@ -7,6 +9,15 @@ namespace {
 const std::string kDefaultTlds[] = {"com", "net", "org", "info", "io"};
 
 }  // namespace
+
+bool is_referral(const dns::Message& response) {
+  return response.header.rcode == dns::RCode::NoError &&
+         response.answers.empty() &&
+         std::any_of(response.authorities.begin(), response.authorities.end(),
+                     [](const dns::ResourceRecord& rr) {
+                       return rr.type() == dns::RRType::NS;
+                     });
+}
 
 DnsHierarchy::DnsHierarchy() {
   for (const auto& tld : kDefaultTlds) add_tld(tld);
@@ -68,6 +79,88 @@ Zone* DnsHierarchy::zone_of(const dns::DomainName& domain) {
   return it == zones_by_domain_.end() ? nullptr : it->second;
 }
 
+dns::Message DnsHierarchy::answer_at(ServerTier tier,
+                                     const dns::Message& query) const {
+  if (query.questions.empty()) {
+    return dns::make_response(query, dns::RCode::FormErr);
+  }
+  const dns::DomainName& qname = query.questions.front().name;
+
+  switch (tier) {
+    case ServerTier::Root: {
+      // The root knows which TLDs exist.
+      ++root_queries_;
+      if (qname.is_root()) {
+        return dns::make_response(query, dns::RCode::NoError);
+      }
+      const std::string tld(qname.tld());
+      if (!tld_registry_.contains(tld)) {
+        dns::SoaData root_soa;
+        root_soa.mname = dns::DomainName::must("a.root-servers.net");
+        root_soa.rname = dns::DomainName::must("nstld.verisign-grs.com");
+        root_soa.minimum = 86'400;
+        return dns::make_nxdomain(query,
+                                  dns::make_soa(dns::DomainName{}, root_soa));
+      }
+      dns::Message referral = dns::make_response(query, dns::RCode::NoError);
+      referral.authorities.push_back(
+          dns::make_ns(dns::DomainName::must(tld),
+                       dns::DomainName::must("a.gtld-servers.net")));
+      return referral;
+    }
+
+    case ServerTier::Tld: {
+      // The TLD server knows which registered domains are delegated.
+      ++tld_queries_;
+      const std::string tld(qname.tld());
+      const auto tld_it = tld_registry_.find(tld);
+      if (tld_it == tld_registry_.end()) {
+        // Lame query for a TLD this server farm does not carry.
+        return dns::make_response(query, dns::RCode::Refused);
+      }
+      const dns::DomainName reg = qname.registered_domain();
+      if (!tld_it->second.contains(reg)) {
+        dns::SoaData tld_soa;
+        tld_soa.mname = dns::DomainName::must("a.gtld-servers.net");
+        tld_soa.rname = dns::DomainName::must("nstld.verisign-grs.com");
+        tld_soa.minimum = 900;
+        return dns::make_nxdomain(
+            query, dns::make_soa(dns::DomainName::must(tld), tld_soa));
+      }
+      dns::Message referral = dns::make_response(query, dns::RCode::NoError);
+      if (const auto ns1 = reg.child("ns1")) {
+        referral.authorities.push_back(dns::make_ns(reg, *ns1));
+      }
+      return referral;
+    }
+
+    case ServerTier::Authoritative:
+      ++auth_queries_;
+      return auth_.answer(query);
+  }
+  return dns::make_response(query, dns::RCode::ServFail);  // unreachable
+}
+
+void DnsHierarchy::attach(net::SimNetwork& network,
+                          const HierarchyEndpoints& endpoints) const {
+  const std::pair<ServerTier, net::Endpoint> tiers[] = {
+      {ServerTier::Root, endpoints.root},
+      {ServerTier::Tld, endpoints.tld},
+      {ServerTier::Authoritative, endpoints.auth},
+  };
+  for (const auto& [tier, endpoint] : tiers) {
+    network.attach(endpoint, net::Protocol::UDP,
+                   [this, tier](const net::SimPacket& packet)
+                       -> std::optional<std::vector<std::uint8_t>> {
+                     const auto query = dns::decode(packet.payload);
+                     // A corrupted/truncated query never reaches the DNS
+                     // logic: real servers drop what they cannot parse.
+                     if (!query || query->header.qr) return std::nullopt;
+                     return dns::encode(answer_at(tier, *query));
+                   });
+  }
+}
+
 dns::Message DnsHierarchy::resolve_iterative(const dns::Message& query,
                                              IterativeTrace* trace) const {
   auto note = [&](IterationStep::Server server, std::string label,
@@ -82,41 +175,30 @@ dns::Message DnsHierarchy::resolve_iterative(const dns::Message& query,
   }
   const dns::DomainName& qname = query.questions.front().name;
 
-  // Step 1: root server.  Knows which TLDs exist.
-  ++root_queries_;
+  // Step 1: root server.
+  dns::Message root_response = answer_at(ServerTier::Root, query);
   if (qname.is_root()) {
     note(IterationStep::Server::Root, ".", "answer (root)");
-    return dns::make_response(query, dns::RCode::NoError);
+    return root_response;
   }
   const std::string tld(qname.tld());
-  const auto tld_it = tld_registry_.find(tld);
-  if (tld_it == tld_registry_.end()) {
+  if (root_response.header.rcode == dns::RCode::NXDomain) {
     note(IterationStep::Server::Root, ".", "NXDOMAIN (no such TLD)");
-    dns::SoaData root_soa;
-    root_soa.mname = dns::DomainName::must("a.root-servers.net");
-    root_soa.rname = dns::DomainName::must("nstld.verisign-grs.com");
-    root_soa.minimum = 86'400;
-    return dns::make_nxdomain(query, dns::make_soa(dns::DomainName{}, root_soa));
+    return root_response;
   }
   note(IterationStep::Server::Root, ".", "referral to " + tld + ".");
 
-  // Step 2: TLD server.  Knows which registered domains are delegated.
-  ++tld_queries_;
+  // Step 2: TLD server.
   const dns::DomainName reg = qname.registered_domain();
-  if (!tld_it->second.contains(reg)) {
+  dns::Message tld_response = answer_at(ServerTier::Tld, query);
+  if (!is_referral(tld_response)) {
     note(IterationStep::Server::Tld, tld + ".", "NXDOMAIN (not delegated)");
-    dns::SoaData tld_soa;
-    tld_soa.mname = dns::DomainName::must("a.gtld-servers.net");
-    tld_soa.rname = dns::DomainName::must("nstld.verisign-grs.com");
-    tld_soa.minimum = 900;
-    return dns::make_nxdomain(
-        query, dns::make_soa(dns::DomainName::must(tld), tld_soa));
+    return tld_response;
   }
   note(IterationStep::Server::Tld, tld + ".", "referral to " + reg.to_string());
 
   // Step 3: authoritative server for the registered domain.
-  ++auth_queries_;
-  dns::Message response = auth_.answer(query);
+  dns::Message response = answer_at(ServerTier::Authoritative, query);
   note(IterationStep::Server::Authoritative, reg.to_string(),
        dns::to_string(response.header.rcode));
   return response;

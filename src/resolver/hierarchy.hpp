@@ -5,6 +5,13 @@
 // zone; deregistering removes the delegation, at which point every query for
 // the name yields NXDomain from the TLD server — the lifecycle event the
 // whole paper studies.
+//
+// Each tier can answer on its own (`answer_at`), which lets the three
+// servers be attached to a SimNetwork at distinct endpoints: queries then
+// travel as real packets through the network's fault-injection stage, and a
+// RecursiveResolver walks the referral chain with retries (see
+// resolver/recursive.hpp).  The zero-packet `resolve_iterative` fast path
+// is unchanged for fault-free workloads.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,7 @@
 #include <unordered_map>
 
 #include "dns/message.hpp"
+#include "net/sim_network.hpp"
 #include "resolver/authoritative.hpp"
 
 namespace nxd::resolver {
@@ -26,6 +34,22 @@ struct IterationStep {
 struct IterativeTrace {
   std::vector<IterationStep> steps;
 };
+
+/// The three server tiers a full resolution walks.
+enum class ServerTier : std::uint8_t { Root, Tld, Authoritative };
+
+/// Where each tier listens when the hierarchy is attached to a SimNetwork.
+/// Defaults are recognizable stand-ins (a.root-servers.net, a.gtld-servers
+/// and a TEST-NET-1 authoritative farm), all on UDP port 53.
+struct HierarchyEndpoints {
+  net::Endpoint root{dns::IPv4::from_octets(198, 41, 0, 4), 53};
+  net::Endpoint tld{dns::IPv4::from_octets(192, 5, 6, 30), 53};
+  net::Endpoint auth{dns::IPv4::from_octets(192, 0, 2, 53), 53};
+};
+
+/// True when `response` is a referral: NoError, no answers, and an NS
+/// record in the authority section pointing at the next tier.
+bool is_referral(const dns::Message& response);
 
 class DnsHierarchy {
  public:
@@ -52,6 +76,17 @@ class DnsHierarchy {
   /// Access the authoritative zone for a registered domain (to add MX, TXT,
   /// subdomain records, ...); nullptr when not registered.
   Zone* zone_of(const dns::DomainName& domain);
+
+  /// Answer `query` as the given tier's server would: a referral toward the
+  /// next tier, an authoritative answer, or NXDomain with the SOA that
+  /// proves non-existence.
+  dns::Message answer_at(ServerTier tier, const dns::Message& query) const;
+
+  /// Attach the three tiers to a SimNetwork (UDP port 53 services), so
+  /// queries traverse the network's fault-injection stage.  The hierarchy
+  /// must outlive the network's use of the services.
+  void attach(net::SimNetwork& network,
+              const HierarchyEndpoints& endpoints = {}) const;
 
   /// Full iterative resolution from the root, as a recursive resolver would
   /// perform it.  Returns the final response (answer, or NXDomain from the

@@ -1,6 +1,91 @@
 #include "resolver/recursive.hpp"
 
+#include <algorithm>
+
 namespace nxd::resolver {
+
+namespace {
+
+/// Source endpoint stamped on the resolver's upstream packets.
+const net::Endpoint kResolverSource{dns::IPv4::from_octets(10, 53, 0, 53), 3053};
+
+/// A reply only counts if it is a response to *this* query: matching id,
+/// echoed question, and — for NXDomain — the RFC 2308 SOA proof.  Corrupted
+/// packets that survive decoding are rejected here instead of poisoning the
+/// answer (in particular, a bit-flipped rcode can never fabricate an
+/// NXDomain without its SOA).
+bool is_acceptable_reply(const dns::Message& query, const dns::Message& reply) {
+  if (!reply.header.qr || reply.header.id != query.header.id) return false;
+  if (reply.questions.size() != query.questions.size()) return false;
+  if (!query.questions.empty() && !(reply.questions.front() == query.questions.front())) {
+    return false;
+  }
+  if (reply.header.rcode == dns::RCode::NXDomain) {
+    return std::any_of(reply.authorities.begin(), reply.authorities.end(),
+                       [](const dns::ResourceRecord& rr) {
+                         return rr.type() == dns::RRType::SOA;
+                       });
+  }
+  return true;
+}
+
+}  // namespace
+
+void RecursiveResolver::use_network(net::SimNetwork& network,
+                                    HierarchyEndpoints endpoints,
+                                    RetryPolicy policy,
+                                    std::uint64_t jitter_seed) {
+  net_.network = &network;
+  net_.endpoints = endpoints;
+  net_.policy = policy;
+  net_.rng = util::Rng(jitter_seed);
+}
+
+std::optional<dns::Message> RecursiveResolver::query_endpoint(
+    const net::Endpoint& server, const dns::Message& query,
+    util::SimTime& now) {
+  const auto wire = dns::encode(query);
+  for (int attempt = 0; attempt < std::max(1, net_.policy.attempts); ++attempt) {
+    if (attempt > 0) {
+      now += net_.policy.backoff_before(attempt, net_.rng);
+      ++stats_.retries;
+    }
+    net::SimPacket packet;
+    packet.protocol = net::Protocol::UDP;
+    packet.src = kResolverSource;
+    packet.dst = server;
+    packet.payload = wire;
+    const auto raw = net_.network->send(packet);
+    now += net_.network->last_injected_delay();
+    if (raw) {
+      auto reply = dns::decode(*raw);
+      if (reply && is_acceptable_reply(query, *reply)) return reply;
+      // Mangled or mismatched reply: treat like a lost packet and retry.
+    }
+    ++stats_.timeouts;
+    now += net_.policy.try_timeout;
+  }
+  return std::nullopt;
+}
+
+dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
+                                                    util::SimTime& now) {
+  const net::Endpoint chain[] = {net_.endpoints.root, net_.endpoints.tld,
+                                 net_.endpoints.auth};
+  for (std::size_t hop = 0; hop < std::size(chain); ++hop) {
+    auto reply = query_endpoint(chain[hop], query, now);
+    if (!reply) {
+      // Every attempt at this tier exhausted: degrade to SERVFAIL.  Loss
+      // must never manufacture an NXDomain — non-existence requires a
+      // server that *answered* with proof.
+      return dns::make_response(query, dns::RCode::ServFail);
+    }
+    if (hop + 1 == std::size(chain) || !is_referral(*reply)) {
+      return *std::move(reply);
+    }
+  }
+  return dns::make_response(query, dns::RCode::ServFail);  // unreachable
+}
 
 ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
                                           util::SimTime now) {
@@ -27,7 +112,10 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
   }
 
   ++stats_.upstream_resolutions;
-  dns::Message response = hierarchy_.resolve_iterative(query);
+  util::SimTime done = now;
+  dns::Message response = net_.network != nullptr
+                              ? resolve_via_network(query, done)
+                              : hierarchy_.resolve_iterative(query);
   response.header.id = query.header.id;
 
   if (response.header.rcode == dns::RCode::NXDomain) {
@@ -42,10 +130,16 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
   } else if (response.header.rcode == dns::RCode::NoError &&
              !response.answers.empty()) {
     cache_.put_positive(q.name, q.qtype, response.answers, now);
+  } else if (response.header.rcode == dns::RCode::ServFail) {
+    // Failure is transient: never cached, so the next client query retries
+    // upstream instead of pinning the outage.
+    ++stats_.servfail_responses;
   }
 
   if (observer_) observer_(query, response, false, now);
-  return ResolveOutcome{std::move(response)};
+  ResolveOutcome out{std::move(response)};
+  out.elapsed = done - now;
+  return out;
 }
 
 dns::RCode RecursiveResolver::resolve_rcode(const dns::DomainName& name,

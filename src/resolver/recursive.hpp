@@ -3,13 +3,23 @@
 // This is the "Local DNS" box in the paper's Fig. 1 and the vantage point
 // from which passive-DNS sensors observe traffic: every response it returns
 // (cache hit or not) can be exported to a pdns::SieChannel.
+//
+// Two upstream paths exist.  The default calls the hierarchy directly
+// (perfect wire, zero packets).  `use_network` routes every upstream query
+// through a SimNetwork as real DNS packets — subject to the network's
+// fault-injection plan — governed by an explicit RetryPolicy: per-try
+// timeouts, exponential backoff with jitter, and graceful degradation to
+// SERVFAIL (never a spurious NXDomain) when every upstream is exhausted.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
+#include "net/sim_network.hpp"
 #include "resolver/cache.hpp"
 #include "resolver/hierarchy.hpp"
+#include "resolver/retry.hpp"
 #include "util/civil_time.hpp"
 
 namespace nxd::resolver {
@@ -18,6 +28,9 @@ struct ResolveOutcome {
   dns::Message response;
   bool from_cache = false;
   bool negative_cache_hit = false;
+  /// Simulated seconds the upstream resolution took (timeouts + backoff +
+  /// injected transit delay); 0 for cache hits and the direct path.
+  util::SimTime elapsed = 0;
 };
 
 struct RecursiveStats {
@@ -25,6 +38,13 @@ struct RecursiveStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t upstream_resolutions = 0;
   std::uint64_t nxdomain_responses = 0;
+  // Network-path robustness counters: how much of the observed stream is
+  // failure noise rather than genuine NXDomain volume.
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t servfail_responses = 0;
+
+  friend bool operator==(const RecursiveStats&, const RecursiveStats&) = default;
 };
 
 class RecursiveResolver {
@@ -40,6 +60,15 @@ class RecursiveResolver {
 
   void set_observer(ResponseObserver observer) { observer_ = std::move(observer); }
 
+  /// Route upstream resolution through `network`: the root/TLD/auth tiers
+  /// are queried at `endpoints` as real packets (the hierarchy must already
+  /// be attach()ed there), each governed by `policy`.  `jitter_seed` feeds
+  /// the backoff-jitter Rng, keeping chaos runs reproducible.
+  void use_network(net::SimNetwork& network, HierarchyEndpoints endpoints = {},
+                   RetryPolicy policy = {}, std::uint64_t jitter_seed = 1);
+
+  const RetryPolicy& retry_policy() const noexcept { return net_.policy; }
+
   ResolveOutcome resolve(const dns::Message& query, util::SimTime now);
 
   /// Convenience: resolve (name, A) and report only the rcode.
@@ -50,10 +79,29 @@ class RecursiveResolver {
   void flush_cache() { cache_.clear(); }
 
  private:
+  struct NetworkPath {
+    net::SimNetwork* network = nullptr;
+    HierarchyEndpoints endpoints;
+    RetryPolicy policy;
+    util::Rng rng{1};
+  };
+
+  /// Walk root -> TLD -> auth over the network with retries; returns the
+  /// final response, or SERVFAIL when a tier never answered.  Advances
+  /// `now` by the simulated time the walk consumed.
+  dns::Message resolve_via_network(const dns::Message& query, util::SimTime& now);
+
+  /// Query one server endpoint under the retry policy.  Advances `now` per
+  /// timeout/backoff; nullopt when every attempt was exhausted.
+  std::optional<dns::Message> query_endpoint(const net::Endpoint& server,
+                                             const dns::Message& query,
+                                             util::SimTime& now);
+
   const DnsHierarchy& hierarchy_;
   ResolverCache cache_;
   RecursiveStats stats_;
   ResponseObserver observer_;
+  NetworkPath net_;
   std::uint16_t next_id_ = 1;
 };
 

@@ -1,0 +1,19 @@
+#include "resolver/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nxd::resolver {
+
+util::SimTime RetryPolicy::backoff_before(int attempt, util::Rng& rng) const {
+  if (attempt <= 0 || backoff_base <= 0) return 0;
+  double wait = static_cast<double>(backoff_base) *
+                std::pow(std::max(1.0, backoff_multiplier), attempt - 1);
+  wait = std::min(wait, static_cast<double>(backoff_max));
+  if (jitter > 0) {
+    wait *= 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+  }
+  return std::max<util::SimTime>(0, std::llround(wait));
+}
+
+}  // namespace nxd::resolver

@@ -1,0 +1,34 @@
+// Retry/timeout/backoff policy for upstream DNS queries.
+//
+// A measurement resolver is only trustworthy when its retry budget is
+// explicit and testable (ZDNS makes the same argument), and retry behaviour
+// toward unresponsive delegations is itself security-relevant (NXNSAttack).
+// Every knob is in SimTime seconds so chaos tests can account simulated
+// time exactly; jitter draws from the caller-supplied seeded Rng, keeping
+// whole runs reproducible.
+#pragma once
+
+#include "util/civil_time.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::resolver {
+
+struct RetryPolicy {
+  /// Tries per server endpoint (first try included).
+  int attempts = 3;
+  /// Simulated seconds charged for every unanswered try.
+  util::SimTime try_timeout = 2;
+  /// Wait before the second try; doubles (by default) per further retry.
+  util::SimTime backoff_base = 1;
+  double backoff_multiplier = 2.0;
+  util::SimTime backoff_max = 30;
+  /// Fraction of the backoff randomized symmetrically: the wait before
+  /// retry k lands in [b_k * (1 - jitter), b_k * (1 + jitter)].
+  double jitter = 0.25;
+
+  /// Backoff charged before try `attempt` (0-based; attempt 0 waits
+  /// nothing).  Consumes one Rng draw only when jitter is enabled.
+  util::SimTime backoff_before(int attempt, util::Rng& rng) const;
+};
+
+}  // namespace nxd::resolver

@@ -47,8 +47,18 @@ void TcpDnsServer::on_acceptable() {
         (static_cast<std::size_t>(buffer[0]) << 8) | buffer[1];
     if (buffer.size() < expected + 2) continue;
 
-    const auto query = dns::decode(
-        std::span<const std::uint8_t>(buffer.data() + 2, expected));
+    std::vector<std::uint8_t> message(buffer.begin() + 2,
+                                      buffer.begin() + 2 + expected);
+    if (fault_plan_ != nullptr && !fault_plan_->empty()) {
+      const auto verdict = fault_plan_->apply(listener_.local(), message, 0);
+      if (verdict.drop) {
+        ++faulted_;
+        continue;
+      }
+      // A duplicate verdict is meaningless on a stream; ignore it.
+    }
+
+    const auto query = dns::decode(message);
     if (!query || query->header.qr) continue;
 
     const auto response = auth_.answer(*query);

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "resolver/authoritative.hpp"
 
@@ -41,6 +42,13 @@ class TcpDnsServer {
   net::Endpoint local() const noexcept { return listener_.local(); }
   std::uint64_t answered() const noexcept { return answered_; }
 
+  /// Run each received DNS message through the fault stage before parsing
+  /// (drop → connection ignored, corrupt/truncate → mangled wire; the
+  /// duplicate verdict is meaningless on a stream and ignored).  The plan
+  /// must outlive the server; nullptr disables.
+  void set_fault_plan(net::FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  std::uint64_t faulted() const noexcept { return faulted_; }
+
  private:
   TcpDnsServer(net::TcpListener listener, const AuthoritativeServer& auth)
       : listener_(std::move(listener)), auth_(auth) {}
@@ -49,7 +57,9 @@ class TcpDnsServer {
 
   net::TcpListener listener_;
   const AuthoritativeServer& auth_;
+  net::FaultPlan* fault_plan_ = nullptr;
   std::uint64_t answered_ = 0;
+  std::uint64_t faulted_ = 0;
 };
 
 /// Client helper: query over TCP with the length-prefix framing.

@@ -30,7 +30,17 @@ std::size_t UdpDnsServer::pump() {
 }
 
 void UdpDnsServer::handle_one(const net::Datagram& datagram) {
-  const auto query = dns::decode(datagram.payload);
+  std::vector<std::uint8_t> payload = datagram.payload;
+  bool duplicate = false;
+  if (fault_plan_ != nullptr && !fault_plan_->empty()) {
+    const auto verdict = fault_plan_->apply(socket_.local(), payload, 0);
+    if (verdict.drop) {
+      ++faulted_;
+      return;
+    }
+    duplicate = verdict.duplicate;
+  }
+  const auto query = dns::decode(payload);
   if (!query || query->header.qr) {
     ++malformed_;
     return;
@@ -53,6 +63,7 @@ void UdpDnsServer::handle_one(const net::Datagram& datagram) {
     wire = dns::encode(response);
   }
   if (socket_.send_to(datagram.from, wire)) ++answered_;
+  if (duplicate && socket_.send_to(datagram.from, wire)) ++answered_;
 }
 
 std::optional<dns::Message> udp_query(const net::Endpoint& server,

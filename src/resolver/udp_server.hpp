@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "resolver/authoritative.hpp"
 
@@ -29,6 +30,13 @@ class UdpDnsServer {
   std::uint64_t answered() const noexcept { return answered_; }
   std::uint64_t malformed() const noexcept { return malformed_; }
 
+  /// Run every inbound datagram through the same fault stage SimNetwork
+  /// uses: drops are swallowed (counted in `faulted()`), corruption and
+  /// truncation mangle the wire before parsing, duplicates are answered
+  /// twice.  The plan must outlive the server; nullptr disables.
+  void set_fault_plan(net::FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  std::uint64_t faulted() const noexcept { return faulted_; }
+
  private:
   UdpDnsServer(net::UdpSocket socket, const AuthoritativeServer& auth)
       : socket_(std::move(socket)), auth_(auth) {}
@@ -37,8 +45,10 @@ class UdpDnsServer {
 
   net::UdpSocket socket_;
   const AuthoritativeServer& auth_;
+  net::FaultPlan* fault_plan_ = nullptr;
   std::uint64_t answered_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t faulted_ = 0;
 };
 
 /// One-shot client helper: send `query` to `server` over UDP and wait up to

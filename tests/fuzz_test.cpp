@@ -8,6 +8,8 @@
 
 #include "dns/message.hpp"
 #include "honeypot/http.hpp"
+#include "net/fault.hpp"
+#include "net/sim_network.hpp"
 #include "util/rng.hpp"
 
 namespace nxd {
@@ -106,6 +108,69 @@ TEST_P(DnsFuzz, RandomMessagesRoundTrip) {
     ASSERT_TRUE(decoded.has_value()) << "iteration " << iteration;
     EXPECT_EQ(*decoded, msg) << "iteration " << iteration;
   }
+}
+
+// Feed wire messages through SimNetwork's fault stage (the corruption and
+// truncation the chaos layer injects) into the decoder.  Contract: no crash,
+// and no silent misparse — a payload the stage left untouched must decode to
+// exactly the message that was sent (rcode preserved), and anything the
+// decoder does accept must re-encode.
+TEST_P(DnsFuzz, FaultMangledPacketsNeverCrashOrSilentlyMisparse) {
+  util::Rng rng(GetParam() ^ 0x6f1d);
+  net::SimNetwork network;
+  const net::Endpoint sink{dns::IPv4::from_octets(192, 0, 2, 77), 53};
+
+  // The service hands whatever the fault stage delivered back to the test.
+  std::vector<std::uint8_t> arrived;
+  bool got_packet = false;
+  network.attach(sink, net::Protocol::UDP, [&](const net::SimPacket& packet) {
+    arrived = packet.payload;
+    got_packet = true;
+    return std::optional(packet.payload);
+  });
+
+  net::FaultPlan plan(GetParam());
+  net::FaultSpec spec;
+  spec.corrupt = 0.5;
+  spec.truncate = 0.3;
+  spec.max_corrupt_bytes = 8;
+  plan.set_default(spec);
+  network.set_fault_plan(std::move(plan));
+
+  for (int iteration = 0; iteration < 2'000; ++iteration) {
+    dns::Message msg = dns::make_query(
+        static_cast<std::uint16_t>(iteration),
+        dns::DomainName::must("q" + std::to_string(iteration % 97) + ".example.com"));
+    msg.header.rcode =
+        rng.chance(0.3) ? dns::RCode::NXDomain : dns::RCode::NoError;
+    const auto original_wire = dns::encode(msg);
+
+    net::SimPacket packet;
+    packet.protocol = net::Protocol::UDP;
+    packet.dst = sink;
+    packet.payload = original_wire;
+    got_packet = false;
+    const auto reply = network.send(packet);
+    ASSERT_TRUE(got_packet);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, arrived);
+
+    const auto decoded = dns::decode(arrived);
+    if (arrived == original_wire) {
+      // Untouched payload: decoding must succeed and preserve the message.
+      ASSERT_TRUE(decoded.has_value()) << "iteration " << iteration;
+      EXPECT_EQ(decoded->header.rcode, msg.header.rcode);
+      EXPECT_EQ(decoded->header.id, msg.header.id);
+      EXPECT_EQ(*decoded, msg);
+    } else if (decoded) {
+      // Mangled but still parseable: fine, as long as it stays internally
+      // consistent (the resolver's reply validation rejects it upstream).
+      EXPECT_FALSE(dns::encode(*decoded).empty());
+    }
+  }
+  // The plan actually mutated a healthy share of the stream.
+  EXPECT_GT(network.fault_stats().injected_corruptions, 0u);
+  EXPECT_GT(network.fault_stats().injected_truncations, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DnsFuzz, ::testing::Values(1, 2, 3, 4, 5));

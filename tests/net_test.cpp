@@ -4,9 +4,11 @@
 
 #include <chrono>
 #include <thread>
+#include <unordered_set>
 
 #include "net/endpoint.hpp"
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "net/reverse_dns.hpp"
 #include "net/sim_network.hpp"
 #include "net/socket.hpp"
@@ -139,6 +141,127 @@ TEST(SimNetwork, DetachStopsDelivery) {
   packet.dst = server;
   packet.protocol = Protocol::UDP;
   EXPECT_FALSE(network.send(packet).has_value());
+}
+
+// The old hash was `EndpointHash(ep) * 31 + proto`: for two endpoints whose
+// hashes differ by 1, (h, TCP) and (h+..., UDP) could collide trivially, and
+// the protocol occupied only the low bits.  The SplitMix64-style combiner
+// must keep a realistic (ip × port × proto) grid collision-free and must
+// separate protocols by more than the low bits.
+TEST(ServiceKeyHash, GridIsCollisionFree) {
+  std::unordered_set<std::size_t> hashes;
+  std::size_t keys = 0;
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (const std::uint16_t port : {53, 80, 443, 8080, 52646}) {
+        for (const Protocol proto : {Protocol::UDP, Protocol::TCP}) {
+          const ServiceKey key{
+              Endpoint{IPv4::from_octets(192, static_cast<std::uint8_t>(a),
+                                         static_cast<std::uint8_t>(b), 1),
+                       port},
+              proto};
+          hashes.insert(ServiceKeyHash{}(key));
+          ++keys;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(hashes.size(), keys);
+}
+
+TEST(ServiceKeyHash, ProtocolChangesMoreThanLowBits) {
+  const Endpoint ep{*IPv4::parse("192.0.2.1"), 53};
+  const auto udp = ServiceKeyHash{}(ServiceKey{ep, Protocol::UDP});
+  const auto tcp = ServiceKeyHash{}(ServiceKey{ep, Protocol::TCP});
+  EXPECT_NE(udp, tcp);
+  // An avalanching hash flips high bits too, not just the +1 the old
+  // combiner produced.
+  EXPECT_NE(udp >> 32, tcp >> 32);
+}
+
+// -------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, EmptyPlanIsInert) {
+  FaultPlan plan;  // default-constructed: nothing configured
+  EXPECT_TRUE(plan.empty());
+  std::vector<std::uint8_t> payload = {1, 2, 3};
+  const auto verdict = plan.apply(Endpoint{*IPv4::parse("192.0.2.1"), 53},
+                                  payload, 0);
+  EXPECT_FALSE(verdict.drop);
+  EXPECT_FALSE(verdict.duplicate);
+  EXPECT_EQ(verdict.delay, 0);
+  EXPECT_EQ(payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(plan.stats().total_faults(), 0u);
+
+  // A plan whose specs are all zero-probability is still empty.
+  FaultPlan zeroed(7);
+  zeroed.set_default(FaultSpec{});
+  EXPECT_TRUE(zeroed.empty());
+}
+
+TEST(FaultPlan, AlwaysDropSpecDropsEverything) {
+  FaultPlan plan(1);
+  FaultSpec spec;
+  spec.drop = 1.0;
+  plan.set_default(spec);
+  EXPECT_FALSE(plan.empty());
+  std::vector<std::uint8_t> payload = {9};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(plan.apply(Endpoint{*IPv4::parse("192.0.2.1"), 53}, payload, 0)
+                    .drop);
+  }
+  EXPECT_EQ(plan.stats().injected_drops, 10u);
+}
+
+TEST(FaultPlan, PerEndpointSpecOverridesDefault) {
+  FaultPlan plan(1);
+  FaultSpec lossy;
+  lossy.drop = 1.0;
+  plan.set_default(lossy);
+  const Endpoint spared{*IPv4::parse("192.0.2.9"), 53};
+  plan.set_for(spared, FaultSpec{});  // perfect wire for this one endpoint
+  std::vector<std::uint8_t> payload = {1};
+  EXPECT_FALSE(plan.apply(spared, payload, 0).drop);
+  EXPECT_TRUE(
+      plan.apply(Endpoint{*IPv4::parse("192.0.2.1"), 53}, payload, 0).drop);
+}
+
+TEST(FaultPlan, TimedOutageDropsOnlyInsideWindow) {
+  FaultPlan plan(1);
+  const Endpoint dst{*IPv4::parse("192.0.2.1"), 53};
+  plan.add_outage(dst, 100, 200);
+  std::vector<std::uint8_t> payload = {1};
+  EXPECT_FALSE(plan.apply(dst, payload, 99).drop);
+  EXPECT_TRUE(plan.apply(dst, payload, 100).drop);
+  EXPECT_TRUE(plan.apply(dst, payload, 199).drop);
+  EXPECT_FALSE(plan.apply(dst, payload, 200).drop);  // half-open interval
+  EXPECT_EQ(plan.stats().outage_drops, 2u);
+  // Another endpoint is unaffected.
+  EXPECT_FALSE(
+      plan.apply(Endpoint{*IPv4::parse("192.0.2.2"), 53}, payload, 150).drop);
+}
+
+TEST(SimNetwork, DuplicateVerdictDeliversTwice) {
+  SimNetwork network;
+  const Endpoint server{*IPv4::parse("192.0.2.1"), 53};
+  int invocations = 0;
+  network.attach(server, Protocol::UDP, [&](const SimPacket&) {
+    ++invocations;
+    return std::optional(std::vector<std::uint8_t>{1});
+  });
+  FaultPlan plan(3);
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  plan.set_default(spec);
+  network.set_fault_plan(std::move(plan));
+  SimPacket packet;
+  packet.dst = server;
+  packet.protocol = Protocol::UDP;
+  packet.payload = {42};
+  EXPECT_TRUE(network.send(packet).has_value());
+  EXPECT_EQ(invocations, 2);
+  EXPECT_EQ(network.delivered(), 2u);
+  EXPECT_EQ(network.fault_stats().injected_duplicates, 1u);
 }
 
 // ------------------------------------------------- real sockets (loopback)

@@ -1,0 +1,227 @@
+// RetryPolicy unit tests: backoff arithmetic, jitter bounds, SimTime
+// accounting through the resolver's network path, and the SERVFAIL
+// degradation contract (a dead upstream must look like failure, never like
+// non-existence).
+#include <gtest/gtest.h>
+
+#include "net/fault.hpp"
+#include "net/sim_network.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/retry.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::resolver {
+namespace {
+
+// ------------------------------------------------------------- backoff math
+
+struct BackoffCase {
+  int attempt;
+  util::SimTime base;
+  double multiplier;
+  util::SimTime max;
+  util::SimTime expected;
+};
+
+class BackoffTest : public ::testing::TestWithParam<BackoffCase> {};
+
+TEST_P(BackoffTest, DeterministicWithoutJitter) {
+  const auto& c = GetParam();
+  RetryPolicy policy;
+  policy.backoff_base = c.base;
+  policy.backoff_multiplier = c.multiplier;
+  policy.backoff_max = c.max;
+  policy.jitter = 0;
+  util::Rng rng(1);
+  EXPECT_EQ(policy.backoff_before(c.attempt, rng), c.expected);
+  // jitter == 0 must not have consumed any randomness: the generator still
+  // produces the same next value as a fresh same-seed one.
+  EXPECT_EQ(rng.next(), util::Rng(1).next());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BackoffTest,
+    ::testing::Values(
+        // Exponential ladder: 1, 2, 4, 8, 16, then clamped at 30.
+        BackoffCase{1, 1, 2.0, 30, 1}, BackoffCase{2, 1, 2.0, 30, 2},
+        BackoffCase{3, 1, 2.0, 30, 4}, BackoffCase{4, 1, 2.0, 30, 8},
+        BackoffCase{5, 1, 2.0, 30, 16}, BackoffCase{6, 1, 2.0, 30, 30},
+        BackoffCase{10, 1, 2.0, 30, 30},
+        // Multiplier 1: constant waits.
+        BackoffCase{1, 5, 1.0, 30, 5}, BackoffCase{4, 5, 1.0, 30, 5},
+        // attempt <= 0 or base <= 0: no wait.
+        BackoffCase{0, 1, 2.0, 30, 0}, BackoffCase{-1, 1, 2.0, 30, 0},
+        BackoffCase{3, 0, 2.0, 30, 0}));
+
+TEST(RetryPolicy, JitterStaysWithinSymmetricBounds) {
+  RetryPolicy policy;
+  policy.backoff_base = 8;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max = 600;
+  policy.jitter = 0.25;
+  util::Rng rng(7);
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const double nominal = 8.0 * std::pow(2.0, attempt - 1);
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto wait = policy.backoff_before(attempt, rng);
+      EXPECT_GE(wait, static_cast<util::SimTime>(std::floor(nominal * 0.75)));
+      EXPECT_LE(wait, static_cast<util::SimTime>(std::ceil(nominal * 1.25)));
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterIsSeedDeterministic) {
+  RetryPolicy policy;
+  policy.jitter = 0.5;
+  std::vector<util::SimTime> a, b;
+  util::Rng ra(3), rb(3);
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    a.push_back(policy.backoff_before(attempt, ra));
+    b.push_back(policy.backoff_before(attempt, rb));
+  }
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------- SimTime accounting
+
+TEST(RetryAccounting, TotalOutageCostsAttemptsTimeoutsPlusBackoffs) {
+  DnsHierarchy hierarchy;
+  const auto name = dns::DomainName::must("anything.com");
+  hierarchy.register_domain(name, dns::IPv4::from_octets(203, 0, 113, 1));
+
+  net::SimNetwork network;
+  network.set_fault_plan(net::FaultPlan(1));
+  hierarchy.attach(network);
+
+  RetryPolicy policy;  // attempts=3, try_timeout=2, base=1, mult=2
+  policy.jitter = 0;
+  RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network, {}, policy);
+
+  net::FaultWindow dark(network.fault_plan());  // everything down
+  const auto query = dns::make_query(1, name, dns::RRType::A);
+  const auto outcome = resolver.resolve(query, 0);
+  EXPECT_EQ(outcome.response.header.rcode, dns::RCode::ServFail);
+  // Root tier never answers: 3 tries x 2s timeout + backoffs 1s + 2s = 9s.
+  EXPECT_EQ(outcome.elapsed, 9);
+  const auto& stats = resolver.stats();
+  EXPECT_EQ(stats.timeouts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.servfail_responses, 1u);
+}
+
+TEST(RetryAccounting, SingleAttemptPolicyNeverRetries) {
+  DnsHierarchy hierarchy;
+  net::SimNetwork network;
+  network.set_fault_plan(net::FaultPlan(1));
+  hierarchy.attach(network);
+
+  RetryPolicy one_shot;
+  one_shot.attempts = 1;
+  one_shot.try_timeout = 5;
+  RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network, {}, one_shot);
+
+  net::FaultWindow dark(network.fault_plan());
+  const auto outcome =
+      resolver.resolve(dns::make_query(1, dns::DomainName::must("a.com")), 0);
+  EXPECT_EQ(outcome.response.header.rcode, dns::RCode::ServFail);
+  EXPECT_EQ(outcome.elapsed, 5);
+  EXPECT_EQ(resolver.stats().retries, 0u);
+  EXPECT_EQ(resolver.stats().timeouts, 1u);
+}
+
+// ------------------------------------------------- SERVFAIL degradation
+
+TEST(ServFailDegradation, AuthorityOutageIsServFailNotNXDomain) {
+  DnsHierarchy hierarchy;
+  const auto name = dns::DomainName::must("living.com");
+  hierarchy.register_domain(name, dns::IPv4::from_octets(203, 0, 113, 1));
+
+  net::SimNetwork network;
+  network.set_fault_plan(net::FaultPlan(1));
+  hierarchy.attach(network);
+  RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network);
+
+  const HierarchyEndpoints endpoints;
+  net::FaultWindow auth_down(network.fault_plan(), endpoints.auth);
+  // Root and TLD still answer (the referral chain works), but the
+  // authoritative server is dark: the walk must degrade to SERVFAIL.
+  EXPECT_EQ(resolver.resolve_rcode(name, 0), dns::RCode::ServFail);
+  EXPECT_EQ(resolver.stats().servfail_responses, 1u);
+  EXPECT_GT(resolver.stats().timeouts, 0u);
+}
+
+TEST(ServFailDegradation, NXDomainStillProvableWhileAuthDown) {
+  // An undelegated name is proven non-existent by the TLD server, which is
+  // up — so a dead authoritative farm must not suppress real NXDomains.
+  DnsHierarchy hierarchy;
+  hierarchy.register_domain(dns::DomainName::must("other.com"),
+                            dns::IPv4::from_octets(203, 0, 113, 1));
+  net::SimNetwork network;
+  network.set_fault_plan(net::FaultPlan(1));
+  hierarchy.attach(network);
+  RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network);
+
+  const HierarchyEndpoints endpoints;
+  net::FaultWindow auth_down(network.fault_plan(), endpoints.auth);
+  EXPECT_EQ(resolver.resolve_rcode(dns::DomainName::must("ghost.com"), 0),
+            dns::RCode::NXDomain);
+}
+
+TEST(ServFailDegradation, ServFailIsNeverCachedAndRecoveryIsImmediate) {
+  DnsHierarchy hierarchy;
+  const auto name = dns::DomainName::must("flaky.net");
+  hierarchy.register_domain(name, dns::IPv4::from_octets(203, 0, 113, 1));
+
+  net::SimNetwork network;
+  network.set_fault_plan(net::FaultPlan(1));
+  hierarchy.attach(network);
+  RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network);
+
+  {
+    net::FaultWindow dark(network.fault_plan());
+    EXPECT_EQ(resolver.resolve_rcode(name, 0), dns::RCode::ServFail);
+  }
+  // No flush: were SERVFAIL cached, this would still fail.
+  EXPECT_EQ(resolver.resolve_rcode(name, 1), dns::RCode::NoError);
+  // And the answer now populates the cache as usual.
+  EXPECT_EQ(resolver.resolve_rcode(name, 2), dns::RCode::NoError);
+  EXPECT_EQ(resolver.stats().cache_hits, 1u);
+}
+
+// ----------------------------------------------- parity with direct path
+
+TEST(NetworkPath, PerfectWireMatchesDirectPathAndCountsNoFailures) {
+  DnsHierarchy hierarchy;
+  hierarchy.register_domain(dns::DomainName::must("alpha.com"),
+                            dns::IPv4::from_octets(203, 0, 113, 1));
+  hierarchy.register_domain(dns::DomainName::must("beta.org"),
+                            dns::IPv4::from_octets(203, 0, 113, 2));
+
+  net::SimNetwork network;
+  hierarchy.attach(network);
+  RecursiveResolver via_net(hierarchy);
+  via_net.use_network(network);
+  RecursiveResolver direct(hierarchy);
+
+  const char* cases[] = {"alpha.com", "www.alpha.com", "beta.org",
+                         "gone.com", "nope.org", "no.suchtld"};
+  for (const char* text : cases) {
+    const auto name = dns::DomainName::must(text);
+    EXPECT_EQ(via_net.resolve_rcode(name, 0), direct.resolve_rcode(name, 0))
+        << text;
+    via_net.flush_cache();
+    direct.flush_cache();
+  }
+  const auto& stats = via_net.stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.servfail_responses, 0u);
+}
+
+}  // namespace
+}  // namespace nxd::resolver
