@@ -1,0 +1,166 @@
+// Serial vs sharded passive-DNS ingest throughput.
+//
+// Generates one seeded 2014-2022 NXDomain stream (generation happens outside
+// every timed region), then ingests it three ways:
+//
+//   * serial    — one PassiveDnsStore, one thread, plain ingest() loop;
+//   * sharded N — hash-partitioned ShardedStore with an N-worker pool and a
+//                 lock-free two-pass ingest_batch(), for N in {2, 4, 8};
+//   * merge     — folding the N shards back into one store (timed separately
+//                 so the table shows where the serial tail lives).
+//
+// After every sharded run the merged store's snapshot is compared byte-for-
+// byte against the serial store's snapshot: the speedup column is only
+// meaningful if the parallel path computes the identical answer.
+//
+// Usage: ingest_throughput [--scale=1e-6] [--seed=42] [--json=BENCH_ingest.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdns/sharded_store.hpp"
+#include "pdns/snapshot.hpp"
+#include "pdns/store.hpp"
+#include "synth/scale_models.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/worker_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fixed(double v, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+  return buf;
+}
+
+struct RunResult {
+  std::size_t shards = 1;       // 1 == serial baseline
+  double ingest_seconds = 0;
+  double merge_seconds = 0;     // 0 for the serial run
+  double obs_per_second = 0;
+  double speedup = 1.0;         // vs serial, ingest+merge wall clock
+  bool snapshot_identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1e-6;
+  std::uint64_t seed = 42;
+  std::string json_path = "BENCH_ingest.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  using namespace nxd;
+
+  std::printf("=== ingest throughput: serial vs sharded (scale=%g seed=%llu) ===\n",
+              scale, static_cast<unsigned long long>(seed));
+
+  synth::HistoryStreamConfig history;
+  history.scale = scale;
+  history.seed = seed;
+  history.ok_fraction = 0.05;        // exercise the non-NX ingest branches too
+  history.servfail_fraction = 0.02;
+  const synth::NxHistoryStream stream(history);
+  const auto generation_start = Clock::now();
+  const auto observations = stream.all();
+  const double generation_seconds = seconds_since(generation_start);
+  std::printf("stream: %s observations over %zu months (generated in %.3f s)\n\n",
+              util::with_commas(static_cast<std::uint64_t>(observations.size())).c_str(),
+              stream.months(), generation_seconds);
+
+  // Serial baseline.
+  pdns::PassiveDnsStore serial;
+  const auto serial_start = Clock::now();
+  for (const auto& obs : observations) serial.ingest(obs);
+  const double serial_seconds = seconds_since(serial_start);
+  const auto serial_snapshot = pdns::save_snapshot(serial);
+
+  std::vector<RunResult> runs;
+  RunResult baseline;
+  baseline.ingest_seconds = serial_seconds;
+  baseline.obs_per_second =
+      serial_seconds > 0 ? static_cast<double>(observations.size()) / serial_seconds : 0;
+  runs.push_back(baseline);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    util::WorkerPool pool(shards);
+    pdns::ShardedStore sharded(shards);
+    const auto start = Clock::now();
+    sharded.ingest_batch(observations, pool);
+    const double ingest_seconds = seconds_since(start);
+    const auto merge_start = Clock::now();
+    const pdns::PassiveDnsStore merged = sharded.merge();
+    const double merge_seconds = seconds_since(merge_start);
+
+    RunResult r;
+    r.shards = shards;
+    r.ingest_seconds = ingest_seconds;
+    r.merge_seconds = merge_seconds;
+    const double total = ingest_seconds + merge_seconds;
+    r.obs_per_second = total > 0 ? static_cast<double>(observations.size()) / total : 0;
+    r.speedup = total > 0 ? serial_seconds / total : 0;
+    r.snapshot_identical = pdns::save_snapshot(merged) == serial_snapshot;
+    runs.push_back(r);
+  }
+
+  util::Table table({"config", "ingest s", "merge s", "obs/s", "speedup", "snapshot"});
+  for (const auto& r : runs) {
+    table.add_row({r.shards == 1 ? "serial" : "sharded x" + std::to_string(r.shards),
+                   fixed(r.ingest_seconds, 3),
+                   r.shards == 1 ? "-" : fixed(r.merge_seconds, 3),
+                   util::with_commas(static_cast<std::uint64_t>(r.obs_per_second)),
+                   r.shards == 1 ? "1.00" : fixed(r.speedup, 2),
+                   r.shards == 1 ? "baseline" : (r.snapshot_identical ? "identical" : "MISMATCH")});
+  }
+  table.render(std::cout);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("\nhardware_concurrency: %u%s\n", hw,
+              hw <= 1 ? "  (single core: sharded runs measure overhead, not speedup)" : "");
+
+  bool all_identical = true;
+  for (const auto& r : runs) all_identical = all_identical && r.snapshot_identical;
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"ingest_throughput\",\n");
+    std::fprintf(f, "  \"scale\": %g,\n  \"seed\": %llu,\n", scale,
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"observations\": %llu,\n",
+                 static_cast<unsigned long long>(observations.size()));
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(f, "  \"merge_equivalent\": %s,\n", all_identical ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& r = runs[i];
+      std::fprintf(f,
+                   "    {\"shards\": %zu, \"ingest_seconds\": %.6f, "
+                   "\"merge_seconds\": %.6f, \"obs_per_second\": %.1f, "
+                   "\"speedup\": %.3f, \"snapshot_identical\": %s}%s\n",
+                   r.shards, r.ingest_seconds, r.merge_seconds, r.obs_per_second,
+                   r.speedup, r.snapshot_identical ? "true" : "false",
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return all_identical ? 0 : 1;
+}

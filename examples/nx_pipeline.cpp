@@ -9,6 +9,11 @@
 //
 // Build & run:  ./build/examples/nx_pipeline [--scale=0.002] [--seed=42]
 //               [--report=<path.md>]   write a Markdown report of the run
+//               [--threads=8]
+//                   sharded §4 ingest: generate the 2014-2022 stream with a
+//                   partitionable seeded model, hash-partition it across N
+//                   store shards ingested by N workers, and fold the shards
+//                   into one store (byte-identical to serial ingest)
 //               [--loss=0.1] [--chaos-seed=7]
 //                   chaos run: resolve a query stream through a SimNetwork
 //                   with that much injected packet loss (plus corruption and
@@ -25,6 +30,7 @@
 #include "analysis/scale.hpp"
 #include "analysis/security.hpp"
 #include "pdns/observation.hpp"
+#include "pdns/sharded_store.hpp"
 #include "resolver/recursive.hpp"
 #include "synth/origin_model.hpp"
 #include "synth/scale_models.hpp"
@@ -40,6 +46,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   double loss = 0;
   std::uint64_t chaos_seed = 7;
+  std::size_t threads = 1;
   std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
@@ -48,13 +55,33 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
       chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
     }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::strtoull(argv[i] + 10, nullptr, 10);
+    }
     if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
   }
 
   // ---------------------------------------------------------------- §4
   std::printf("=== §4 scale: passive-DNS NXDomain stream (2014-2022) ===\n");
   pdns::PassiveDnsStore store;
-  synth::fill_store_with_history(store, 5e-9, seed);
+  if (threads > 1) {
+    // Sharded path: partitionable stream generation, hash-partitioned
+    // lock-free ingest (one worker per shard), deterministic fold.
+    synth::HistoryStreamConfig history;
+    history.scale = 5e-9;
+    history.seed = seed;
+    const synth::NxHistoryStream stream(history);
+    util::WorkerPool pool(threads);
+    const auto observations = stream.all_parallel(pool);
+    pdns::ShardedStore sharded(threads);
+    sharded.ingest_batch(observations, pool);
+    store = sharded.merge();
+    std::printf("(sharded ingest: %zu workers over %zu shards, %s observations)\n",
+                threads, sharded.shard_count(),
+                util::with_commas(store.total_observations()).c_str());
+  } else {
+    synth::fill_store_with_history(store, 5e-9, seed);
+  }
   const analysis::ScaleAnalysis scale_analysis(store);
   const auto summary = scale_analysis.summary();
   std::printf("NX responses: %s   distinct NXDomains: %s   (%.1f responses/name)\n",

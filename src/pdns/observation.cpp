@@ -2,15 +2,15 @@
 
 namespace nxd::pdns {
 
-std::string to_string(SensorClass c) {
-  switch (c) {
-    case SensorClass::Isp: return "isp";
-    case SensorClass::Enterprise: return "enterprise";
-    case SensorClass::Academia: return "academia";
-    case SensorClass::Research: return "research";
-  }
-  return "unknown";
+const std::string& sensor_class_label(SensorClass c) noexcept {
+  static const std::string kLabels[] = {"isp", "enterprise", "academia",
+                                        "research"};
+  static const std::string kUnknown = "unknown";
+  const auto i = static_cast<std::size_t>(c);
+  return i < std::size(kLabels) ? kLabels[i] : kUnknown;
 }
+
+std::string to_string(SensorClass c) { return sensor_class_label(c); }
 
 std::string SensorId::to_string() const {
   return nxd::pdns::to_string(cls) + "-" + std::to_string(index);

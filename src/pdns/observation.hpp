@@ -26,6 +26,10 @@ enum class SensorClass : std::uint8_t {
 
 std::string to_string(SensorClass c);
 
+/// Allocation-free variant for the ingest hot path: a reference to a static
+/// label ("unknown" for out-of-range values).
+const std::string& sensor_class_label(SensorClass c) noexcept;
+
 struct SensorId {
   SensorClass cls = SensorClass::Isp;
   std::uint16_t index = 0;

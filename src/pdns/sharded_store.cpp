@@ -1,0 +1,84 @@
+#include "pdns/sharded_store.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace nxd::pdns {
+
+ShardedStore::ShardedStore(std::size_t shard_count, StoreConfig config)
+    : config_(config) {
+  shard_count = std::clamp<std::size_t>(shard_count, 1, kMaxShards);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) shards_.emplace_back(config_);
+}
+
+std::size_t ShardedStore::shard_of(const dns::DomainName& name,
+                                   std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  std::array<char, 160> buf;
+  return util::fnv1a(registered_domain_key(name, buf)) % shard_count;
+}
+
+void ShardedStore::ingest(const Observation& obs) {
+  shards_[shard_of(obs.name, shards_.size())].ingest(obs);
+}
+
+void ShardedStore::ingest_batch(std::span<const Observation> batch,
+                                util::WorkerPool& pool) {
+  const std::size_t shard_count = shards_.size();
+  if (shard_count == 1) {
+    for (const auto& obs : batch) shards_[0].ingest(obs);
+    return;
+  }
+
+  // Pass 1: route table.  Sliced so partitioning itself parallelizes.
+  std::vector<std::uint8_t> route(batch.size());
+  const std::size_t slices =
+      std::max<std::size_t>(1, std::min(pool.thread_count() == 0
+                                            ? std::size_t{1}
+                                            : pool.thread_count(),
+                                        shard_count));
+  pool.run_indexed(slices, [&](std::size_t s) {
+    const std::size_t lo = batch.size() * s / slices;
+    const std::size_t hi = batch.size() * (s + 1) / slices;
+    for (std::size_t i = lo; i < hi; ++i) {
+      route[i] = static_cast<std::uint8_t>(shard_of(batch[i].name, shard_count));
+    }
+  });
+
+  // Pass 2: one owner per shard; scans the route bytes, ingests its share.
+  pool.run_indexed(shard_count, [&](std::size_t shard) {
+    PassiveDnsStore& store = shards_[shard];
+    const auto want = static_cast<std::uint8_t>(shard);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (route[i] == want) store.ingest(batch[i]);
+    }
+  });
+}
+
+PassiveDnsStore ShardedStore::merge() const {
+  PassiveDnsStore out(config_);
+  for (const auto& shard : shards_) out.absorb(shard);
+  return out;
+}
+
+std::uint64_t ShardedStore::total_observations() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.total_observations();
+  return total;
+}
+
+std::uint64_t ShardedStore::nx_responses() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.nx_responses();
+  return total;
+}
+
+std::uint64_t ShardedStore::servfail_responses() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.servfail_responses();
+  return total;
+}
+
+}  // namespace nxd::pdns

@@ -1,0 +1,71 @@
+// Sharded passive-DNS ingest — the scale-out path for mirroring an SIE-size
+// feed (the paper aggregates 1.07 T NXDomain responses; one thread appending
+// to one store caps every benchmark far below that).
+//
+// Design (ZDNS-style shard-per-worker, deterministic fold):
+//   - observations are hash-partitioned by *registered domain*, so every
+//     aggregate a single store maintains (per-domain, per-TLD distinct
+//     counts) lives entirely inside one shard;
+//   - each shard is an ordinary PassiveDnsStore owned by exactly one worker
+//     during a batch — the hot path takes no locks and shares no mutable
+//     state;
+//   - merge() folds the shards into one store via PassiveDnsStore::absorb.
+//     Every aggregate is a commutative fold (sum/min/max), so the merged
+//     store — and its v2 snapshot, byte for byte — is identical to serial
+//     ingest of the same stream (tests/sharded_ingest_test pins this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdns/store.hpp"
+#include "util/worker_pool.hpp"
+
+namespace nxd::pdns {
+
+class ShardedStore {
+ public:
+  /// At most 256 shards (routing uses one byte per observation); counts are
+  /// clamped into [1, 256].
+  static constexpr std::size_t kMaxShards = 256;
+
+  explicit ShardedStore(std::size_t shard_count, StoreConfig config = {});
+
+  /// Stable shard routing: FNV-1a over the registered-domain key, mod
+  /// `shard_count`.  Pure function of the name — identical on every
+  /// platform, every thread count, every batch split.
+  static std::size_t shard_of(const dns::DomainName& name,
+                              std::size_t shard_count) noexcept;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  PassiveDnsStore& shard(std::size_t i) { return shards_[i]; }
+  const PassiveDnsStore& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Route a single observation to its shard (serial; for SIE subscribers).
+  void ingest(const Observation& obs);
+
+  /// Parallel batch ingest.  Two lock-free passes over `batch`:
+  ///   1. partition — pool workers compute the route byte for disjoint
+  ///      slices of the batch;
+  ///   2. ingest — one task per shard scans the route table and ingests
+  ///      exactly the observations it owns.
+  /// Workers only read the (const) batch and write their own shard/slice, so
+  /// the result is independent of scheduling.
+  void ingest_batch(std::span<const Observation> batch, util::WorkerPool& pool);
+
+  /// Fold all shards into a single store; snapshot byte-identical to serial
+  /// ingest of the same observation stream.
+  PassiveDnsStore merge() const;
+
+  // Summed scalar counters (no merge required).
+  std::uint64_t total_observations() const noexcept;
+  std::uint64_t nx_responses() const noexcept;
+  std::uint64_t servfail_responses() const noexcept;
+
+ private:
+  StoreConfig config_;
+  std::vector<PassiveDnsStore> shards_;
+};
+
+}  // namespace nxd::pdns

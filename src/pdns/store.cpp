@@ -4,9 +4,20 @@
 
 namespace nxd::pdns {
 
+namespace {
+
+/// TLD portion of a registered-domain key ("com" for "example.com"); the
+/// whole key when it has no dot (single-label names).
+std::string_view tld_of_key(std::string_view key) {
+  const auto dot = key.rfind('.');
+  return dot == std::string_view::npos ? key : key.substr(dot + 1);
+}
+
+}  // namespace
+
 void PassiveDnsStore::ingest(const Observation& obs) {
   ++total_;
-  sensor_volume_.add(to_string(obs.sensor.cls));
+  sensor_volume_.add(sensor_class_label(obs.sensor.cls));
 
   if (obs.rcode == dns::RCode::ServFail) {
     // A resolution failure says nothing about the name's existence; keep it
@@ -16,8 +27,13 @@ void PassiveDnsStore::ingest(const Observation& obs) {
     return;
   }
 
-  const std::string key = obs.name.registered_domain().to_string();
-  DomainAggregate& agg = domains_[key];
+  std::array<char, 160> key_buf;
+  const std::string_view key = registered_domain_key(obs.name, key_buf);
+  auto domain_it = domains_.find(key);
+  if (domain_it == domains_.end()) {
+    domain_it = domains_.try_emplace(std::string(key)).first;
+  }
+  DomainAggregate& agg = domain_it->second;
   const util::Day day = obs.day();
   agg.first_seen = std::min(agg.first_seen, day);
   agg.last_seen = std::max(agg.last_seen, day);
@@ -34,8 +50,12 @@ void PassiveDnsStore::ingest(const Observation& obs) {
     agg.daily_nx[day] += 1;
   }
 
-  const std::string tld(obs.name.tld());
-  TldAggregate& tld_agg = tlds_[tld];
+  const std::string_view tld = obs.name.tld();
+  auto tld_it = tlds_.find(tld);
+  if (tld_it == tlds_.end()) {
+    tld_it = tlds_.try_emplace(std::string(tld)).first;
+  }
+  TldAggregate& tld_agg = tld_it->second;
   ++tld_agg.nx_queries;
   if (agg.first_nx_seen == INT64_MAX) {
     agg.first_nx_seen = day;
@@ -46,8 +66,52 @@ void PassiveDnsStore::ingest(const Observation& obs) {
   }
 }
 
+void PassiveDnsStore::absorb(const PassiveDnsStore& other) {
+  total_ += other.total_;
+  nx_responses_ += other.nx_responses_;
+  distinct_nx_ += other.distinct_nx_;
+  servfail_responses_ += other.servfail_responses_;
+
+  for (const auto& [month, count] : other.monthly_nx_) {
+    monthly_nx_[month] += count;
+  }
+
+  // TLD sums first: the domain pass below may need to correct a TLD's
+  // distinct count, which requires the entry to exist already.
+  for (const auto& [tld, agg] : other.tlds_) {
+    TldAggregate& mine = tlds_[tld];
+    mine.nx_queries += agg.nx_queries;
+    mine.distinct_nx_names += agg.distinct_nx_names;
+  }
+
+  for (const auto& [name, agg] : other.domains_) {
+    auto [it, inserted] = domains_.try_emplace(name, agg);
+    if (inserted) continue;
+    DomainAggregate& mine = it->second;
+    // Both stores saw this domain.  If both saw it go NX, the summed
+    // distinct counters double-counted it — correct globally and per TLD.
+    if (mine.ever_nx() && agg.ever_nx()) {
+      --distinct_nx_;
+      const auto tld_it = tlds_.find(tld_of_key(name));
+      if (tld_it != tlds_.end()) --tld_it->second.distinct_nx_names;
+    }
+    mine.first_seen = std::min(mine.first_seen, agg.first_seen);
+    mine.last_seen = std::max(mine.last_seen, agg.last_seen);
+    mine.first_nx_seen = std::min(mine.first_nx_seen, agg.first_nx_seen);
+    mine.nx_queries += agg.nx_queries;
+    mine.ok_queries += agg.ok_queries;
+    for (const auto& [day, count] : agg.daily_nx) {
+      mine.daily_nx[day] += count;
+    }
+  }
+
+  for (const auto& [sensor, count] : other.sensor_volume_.raw()) {
+    sensor_volume_.add(sensor, count);
+  }
+}
+
 const DomainAggregate* PassiveDnsStore::domain(
-    const std::string& registered_name) const {
+    std::string_view registered_name) const {
   const auto it = domains_.find(registered_name);
   return it == domains_.end() ? nullptr : &it->second;
 }

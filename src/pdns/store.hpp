@@ -7,13 +7,23 @@
 //   - per TLD: distinct NXDomain names + NXDomain query volume (Fig 4)
 //   - per month: total NXDomain responses (Fig 3)
 //   - per sensor class: volume (vantage-point breakdown)
+//
+// The hot path is allocation-light: domain and TLD indexes use transparent
+// (heterogeneous) hashing so a lookup never materializes a std::string, and
+// the registered-domain key is composed into a stack buffer.  Stores merge
+// exactly via absorb() — every aggregate is a commutative fold (sum, min,
+// max), so N hash-partitioned shards collapse into the same store serial
+// ingest would have produced (see pdns/sharded_store.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -45,11 +55,50 @@ struct TldAggregate {
   std::uint64_t distinct_nx_names = 0;
 };
 
+/// Transparent hasher so the string-keyed indexes accept string_view lookups
+/// without constructing a key.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Compose `name`'s registered-domain key (the store's domain index key)
+/// into `buf` without allocating; the returned view aliases `buf` or the
+/// name's own label storage.  Mirrors DomainName::registered_domain(): the
+/// last two labels, the single label, or "." for the root.
+inline std::string_view registered_domain_key(const dns::DomainName& name,
+                                              std::array<char, 160>& buf) {
+  const auto& labels = name.labels();
+  const std::size_t n = labels.size();
+  if (n == 0) return ".";
+  if (n == 1) return labels[0];
+  const std::string& sld = labels[n - 2];
+  const std::string& tld = labels[n - 1];
+  char* p = buf.data();
+  std::memcpy(p, sld.data(), sld.size());
+  p += sld.size();
+  *p++ = '.';
+  std::memcpy(p, tld.data(), tld.size());
+  p += tld.size();
+  return std::string_view{buf.data(), static_cast<std::size_t>(p - buf.data())};
+}
+
 class PassiveDnsStore {
  public:
   explicit PassiveDnsStore(StoreConfig config = {}) : config_(config) {}
 
   void ingest(const Observation& obs);
+
+  /// Exact merge: fold `other` into this store so the result equals serial
+  /// ingest of both stores' input streams (in any order).  All counters are
+  /// commutative folds; distinct-NXDomain counts are corrected for domains
+  /// present in both stores, so the fold is exact even for non-disjoint
+  /// partitions.  Both stores must share the same StoreConfig.
+  void absorb(const PassiveDnsStore& other);
+
+  const StoreConfig& config() const noexcept { return config_; }
 
   // ---- scalar totals ------------------------------------------------------
   std::uint64_t total_observations() const noexcept { return total_; }
@@ -63,7 +112,7 @@ class PassiveDnsStore {
   std::uint64_t servfail_responses() const noexcept { return servfail_responses_; }
 
   // ---- per-domain ---------------------------------------------------------
-  const DomainAggregate* domain(const std::string& registered_name) const;
+  const DomainAggregate* domain(std::string_view registered_name) const;
 
   /// All domains, for full scans (sampling, joins).  Deterministic order.
   std::vector<std::string> domain_names_sorted() const;
@@ -91,14 +140,19 @@ class PassiveDnsStore {
       std::span<const std::uint8_t> bytes);
   friend std::vector<std::uint8_t> save_snapshot(const PassiveDnsStore& store);
 
+  using DomainMap = std::unordered_map<std::string, DomainAggregate,
+                                       TransparentStringHash, std::equal_to<>>;
+  using TldMap = std::unordered_map<std::string, TldAggregate,
+                                    TransparentStringHash, std::equal_to<>>;
+
   StoreConfig config_;
   std::uint64_t total_ = 0;
   std::uint64_t nx_responses_ = 0;
   std::uint64_t distinct_nx_ = 0;
   std::uint64_t servfail_responses_ = 0;
 
-  std::unordered_map<std::string, DomainAggregate> domains_;
-  std::unordered_map<std::string, TldAggregate> tlds_;
+  DomainMap domains_;
+  TldMap tlds_;
   std::map<std::int64_t, std::uint64_t> monthly_nx_;
   util::Counter sensor_volume_;
 };

@@ -44,6 +44,26 @@ struct RecursiveStats {
   std::uint64_t timeouts = 0;
   std::uint64_t servfail_responses = 0;
 
+  /// Exact fold for per-worker resolver fleets: every field is a plain sum,
+  /// so stats from N resolvers combine to what one resolver serving the
+  /// union stream would have counted.
+  RecursiveStats& operator+=(const RecursiveStats& other) noexcept {
+    client_queries += other.client_queries;
+    cache_hits += other.cache_hits;
+    upstream_resolutions += other.upstream_resolutions;
+    nxdomain_responses += other.nxdomain_responses;
+    retries += other.retries;
+    timeouts += other.timeouts;
+    servfail_responses += other.servfail_responses;
+    return *this;
+  }
+
+  friend RecursiveStats operator+(RecursiveStats a,
+                                  const RecursiveStats& b) noexcept {
+    a += b;
+    return a;
+  }
+
   friend bool operator==(const RecursiveStats&, const RecursiveStats&) = default;
 };
 

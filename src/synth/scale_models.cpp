@@ -145,7 +145,7 @@ NxDomainNameModel::NxDomainNameModel(std::uint64_t seed)
   (void)seed;
 }
 
-dns::DomainName NxDomainNameModel::next_registrable(util::Rng& rng) {
+dns::DomainName NxDomainNameModel::next_registrable(util::Rng& rng) const {
   std::string label;
   switch (rng.bounded(3)) {
     case 0:  // dictionary compound ("cloudzone")
@@ -165,7 +165,7 @@ dns::DomainName NxDomainNameModel::next_registrable(util::Rng& rng) {
   return dns::DomainName::must(label + "." + TldModel::sample(rng));
 }
 
-dns::DomainName NxDomainNameModel::next(util::Rng& rng) {
+dns::DomainName NxDomainNameModel::next(util::Rng& rng) const {
   if (rng.bounded(4) == 2) {
     // Random letters — the never-registered/DGA-looking tail.
     std::string label;
@@ -219,6 +219,110 @@ std::uint64_t fill_store_with_history(pdns::PassiveDnsStore& store,
     }
   }
   return total;
+}
+
+// ------------------------------------------------ partitionable history
+
+NxHistoryStream::NxHistoryStream(HistoryStreamConfig config)
+    : config_(config) {
+  const NxDomainNameModel names(config_.seed);
+  // One sequential planning pass owns all cross-month state: the recurring
+  // pool's churn and the Poisson volume draws.  Everything a month needs
+  // afterwards is frozen into its plan.
+  util::Rng rng(config_.seed ^ 0x9b1d0a7a11e17ULL);
+  constexpr std::size_t kPoolSize = 512;
+  std::vector<std::uint32_t> pool(kPoolSize);
+  arena_.reserve(kPoolSize + 9 * 12 * 4);
+  for (std::size_t i = 0; i < kPoolSize; ++i) {
+    arena_.push_back(names.next(rng));
+    pool[i] = static_cast<std::uint32_t>(i);
+  }
+
+  std::uint64_t month_counter = 0;
+  for (int year = 2014; year <= 2022; ++year) {
+    for (unsigned month = 1; month <= 12; ++month) {
+      MonthPlan plan;
+      plan.day0 = util::to_day(util::CivilDate{year, month, 1});
+      plan.volume = rng.poisson(MonthlyVolumeModel::expected(year, month) *
+                                config_.scale);
+      util::SplitMix64 child(config_.seed ^
+                             (0x9e3779b97f4a7c15ULL * (month_counter + 1)));
+      plan.child_seed = child.next();
+      plan.pool = pool;  // snapshot before churn, like the serial filler
+      planned_total_ += plan.volume;
+      months_.push_back(std::move(plan));
+      ++month_counter;
+
+      // Slow pool churn: a few names get re-registered and replaced.
+      for (int c = 0; c < 4; ++c) {
+        arena_.push_back(names.next(rng));
+        pool[rng.bounded(kPoolSize)] =
+            static_cast<std::uint32_t>(arena_.size() - 1);
+      }
+    }
+  }
+}
+
+void NxHistoryStream::generate_month_into(
+    const MonthPlan& plan, std::span<pdns::Observation> out) const {
+  const NxDomainNameModel names(config_.seed);
+  util::Rng rng(plan.child_seed);
+  for (std::uint64_t i = 0; i < plan.volume; ++i) {
+    pdns::Observation obs;
+    // 70% of queries hit the recurring pool, 30% fresh names.
+    if (rng.chance(0.7)) {
+      obs.name = arena_[plan.pool[rng.bounded(plan.pool.size())]];
+    } else {
+      obs.name = names.next(rng);
+    }
+    obs.rcode = dns::RCode::NXDomain;
+    if (config_.ok_fraction > 0 && rng.chance(config_.ok_fraction)) {
+      obs.rcode = dns::RCode::NoError;
+    } else if (config_.servfail_fraction > 0 &&
+               rng.chance(config_.servfail_fraction)) {
+      obs.rcode = dns::RCode::ServFail;
+    }
+    obs.when = (plan.day0 + static_cast<util::Day>(rng.bounded(28))) *
+               util::kSecondsPerDay;
+    obs.sensor.cls = static_cast<pdns::SensorClass>(rng.bounded(4));
+    obs.sensor.index = static_cast<std::uint16_t>(rng.bounded(16));
+    out[i] = std::move(obs);
+  }
+}
+
+std::vector<pdns::Observation> NxHistoryStream::month(std::size_t index) const {
+  const MonthPlan& plan = months_[index];
+  std::vector<pdns::Observation> out(plan.volume);
+  generate_month_into(plan, out);
+  return out;
+}
+
+std::vector<pdns::Observation> NxHistoryStream::all() const {
+  std::vector<pdns::Observation> out(planned_total_);
+  std::size_t offset = 0;
+  for (const auto& plan : months_) {
+    generate_month_into(plan,
+                        std::span(out).subspan(offset, plan.volume));
+    offset += plan.volume;
+  }
+  return out;
+}
+
+std::vector<pdns::Observation> NxHistoryStream::all_parallel(
+    util::WorkerPool& pool) const {
+  std::vector<std::size_t> offsets(months_.size());
+  std::size_t offset = 0;
+  for (std::size_t m = 0; m < months_.size(); ++m) {
+    offsets[m] = offset;
+    offset += months_[m].volume;
+  }
+  // Each task writes a disjoint range of the preallocated output.
+  std::vector<pdns::Observation> out(planned_total_);
+  pool.run_indexed(months_.size(), [&](std::size_t m) {
+    generate_month_into(
+        months_[m], std::span(out).subspan(offsets[m], months_[m].volume));
+  });
+  return out;
 }
 
 }  // namespace nxd::synth

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "pdns/store.hpp"
 #include "util/civil_time.hpp"
 #include "util/rng.hpp"
+#include "util/worker_pool.hpp"
 
 namespace nxd::synth {
 
@@ -97,13 +99,13 @@ class NxDomainNameModel {
   /// A fresh never-registered-looking name (deterministic stream): mixes
   /// dictionary compounds, numbered compounds, hyphenated pairs, and
   /// random-letter strings (the DGA-ish tail of never-registered space).
-  dns::DomainName next(util::Rng& rng);
+  dns::DomainName next(util::Rng& rng) const;
 
   /// A name shaped like a real (once-)registered domain: dictionary-based
   /// styles only, no random-letter strings.  Expired-domain corpora must
   /// draw from this stream or the DGA detector would "find" the synthetic
   /// junk.
-  dns::DomainName next_registrable(util::Rng& rng);
+  dns::DomainName next_registrable(util::Rng& rng) const;
 
  private:
   std::vector<std::string> words_;
@@ -114,5 +116,59 @@ class NxDomainNameModel {
 /// Returns total observations ingested.
 std::uint64_t fill_store_with_history(pdns::PassiveDnsStore& store,
                                       double scale, std::uint64_t seed);
+
+// --------------------------------------------- partitionable history stream
+
+struct HistoryStreamConfig {
+  double scale = 1e-8;
+  std::uint64_t seed = 42;
+  /// Fractions of the stream emitted as NoError / ServFail observations.
+  /// Channel 221 proper is NX-only (both zero, the default); the equivalence
+  /// and fold tests raise these to exercise every store counter through the
+  /// parallel path.
+  double ok_fraction = 0.0;
+  double servfail_fraction = 0.0;
+};
+
+/// The 2014-2022 NXDomain stream of fill_store_with_history, restructured so
+/// it is *partitionable*: the construction pass sequentially plans every
+/// month (Poisson volume, recurring-pool snapshot, per-month child seed),
+/// after which each month's observations are a pure function of the plan —
+/// month(i) can be generated on any worker, in any order, and the
+/// concatenation month(0)..month(n-1) is byte-identical to all().
+class NxHistoryStream {
+ public:
+  explicit NxHistoryStream(HistoryStreamConfig config);
+
+  std::size_t months() const noexcept { return months_.size(); }
+  /// Total observations across all months (known at plan time).
+  std::uint64_t planned_total() const noexcept { return planned_total_; }
+
+  /// Generate one month's observations (deterministic, independent).
+  std::vector<pdns::Observation> month(std::size_t index) const;
+
+  /// The whole stream in serial month order — the equivalence baseline.
+  std::vector<pdns::Observation> all() const;
+
+  /// Same stream, months generated across the pool (each worker fills a
+  /// disjoint range of the output).  Identical content and order to all().
+  std::vector<pdns::Observation> all_parallel(util::WorkerPool& pool) const;
+
+ private:
+  struct MonthPlan {
+    util::Day day0 = 0;
+    std::uint64_t volume = 0;
+    std::uint64_t child_seed = 0;
+    std::vector<std::uint32_t> pool;  // indices into arena_
+  };
+
+  void generate_month_into(const MonthPlan& plan,
+                           std::span<pdns::Observation> out) const;
+
+  HistoryStreamConfig config_;
+  std::vector<dns::DomainName> arena_;  // every name a pool ever held
+  std::vector<MonthPlan> months_;
+  std::uint64_t planned_total_ = 0;
+};
 
 }  // namespace nxd::synth

@@ -1,0 +1,78 @@
+#include "util/worker_pool.hpp"
+
+namespace nxd::util {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+std::size_t WorkerPool::default_threads(std::size_t cap) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return hw < cap ? hw : cap;
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace nxd::util

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for data-parallel stages (sharded pdns ingest,
+// partitioned stream generation).
+//
+// Deliberately minimal: N long-lived threads drain one FIFO task queue.
+// There is no work stealing and no futures — callers structure their work as
+// "run K independent tasks, then wait" (`run_indexed`), which is the only
+// shape the ingest pipeline needs and the easiest shape to prove data-race
+// free: each task owns a disjoint output (its shard / its slice) and only
+// reads shared immutable input.
+//
+// A pool constructed with zero threads degrades to inline execution on the
+// caller's thread, so single-core builds and tests exercise the identical
+// code path without any thread machinery.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nxd::util {
+
+class WorkerPool {
+ public:
+  /// `threads == 0` means "no worker threads": submitted tasks run inline.
+  explicit WorkerPool(std::size_t threads);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Drains the queue (runs every pending task) before joining the workers.
+  ~WorkerPool();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue one task.  Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished running.
+  void wait_idle();
+
+  /// Run `fn(0) .. fn(count-1)` across the pool and wait for all of them.
+  /// With zero worker threads the calls happen inline, in index order.
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// A sensible default worker count for ingest: hardware concurrency,
+  /// clamped to [1, cap].
+  static std::size_t default_threads(std::size_t cap = 16);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nxd::util

@@ -10,6 +10,8 @@
 #include "honeypot/http.hpp"
 #include "net/fault.hpp"
 #include "net/sim_network.hpp"
+#include "pdns/sie_channel.hpp"
+#include "pdns/store.hpp"
 #include "util/rng.hpp"
 
 namespace nxd {
@@ -231,6 +233,91 @@ TEST_P(HttpFuzz, StructuredMutationsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HttpFuzz, ::testing::Values(11, 12, 13));
+
+// ------------------------------------------------------ SIE batch frames
+
+class FrameFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameFuzz, RandomBytesNeverCrash) {
+  util::Rng rng(GetParam() ^ 0x51eb);
+  for (int iteration = 0; iteration < 2'000; ++iteration) {
+    std::vector<std::uint8_t> soup(rng.bounded(512));
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng.next());
+    const auto decoded = pdns::decode_batch_frame(soup);
+    if (decoded) {
+      // Anything accepted must survive encode -> decode unchanged.
+      EXPECT_EQ(pdns::encode_batch_frame(*decoded), soup);
+    }
+  }
+}
+
+// The feed-plane invariant: a mutated frame is either rejected whole (the
+// channel counts the rejection and nothing reaches any subscriber) or it
+// decodes to a well-formed batch that is counted exactly once.  No partial
+// ingest, no double counting, no crash.
+TEST_P(FrameFuzz, MutatedFramesRejectWholeOrCountExactly) {
+  util::Rng rng(GetParam() ^ 0xf4a3e);
+  std::vector<pdns::Observation> batch;
+  for (int i = 0; i < 20; ++i) {
+    pdns::Observation obs;
+    obs.name = dns::DomainName::must("h" + std::to_string(i) + ".fuzz-batch.com");
+    obs.rcode = (i % 5 == 0) ? dns::RCode::NoError : dns::RCode::NXDomain;
+    obs.when = (100 + i) * util::kSecondsPerDay;
+    obs.sensor.cls = static_cast<pdns::SensorClass>(i % 4);
+    obs.sensor.index = static_cast<std::uint16_t>(i % 16);
+    batch.push_back(obs);
+  }
+  const auto wire = pdns::encode_batch_frame(batch);
+
+  for (int iteration = 0; iteration < 4'000; ++iteration) {
+    auto mutated = wire;
+    const int edits = 1 + static_cast<int>(rng.bounded(4));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.bounded(3)) {
+        case 0:  // flip a bit
+          mutated[rng.bounded(mutated.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.bounded(8));
+          break;
+        case 1:  // truncate
+          mutated.resize(rng.bounded(mutated.size() + 1));
+          break;
+        default:  // append garbage
+          mutated.push_back(static_cast<std::uint8_t>(rng.next()));
+          break;
+      }
+    }
+
+    auto channel = pdns::SieChannel::nxdomain_channel();
+    pdns::PassiveDnsStore store;
+    std::uint64_t delivered = 0;
+    channel.subscribe([&](const pdns::Observation& obs) {
+      ++delivered;
+      store.ingest(obs);
+    });
+    const auto forwarded = channel.publish_frame(mutated);
+
+    if (channel.rejected_frames() == 1) {
+      // Rejected whole: the frame contributed nothing anywhere.
+      EXPECT_EQ(forwarded, 0u);
+      EXPECT_EQ(channel.accepted_frames(), 0u);
+      EXPECT_EQ(channel.offered(), 0u);
+      EXPECT_EQ(delivered, 0u);
+      EXPECT_EQ(store.total_observations(), 0u);
+    } else {
+      // Accepted: counted exactly once, end to end.
+      ASSERT_EQ(channel.accepted_frames(), 1u);
+      const auto decoded = pdns::decode_batch_frame(mutated);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(channel.offered(), decoded->size());
+      EXPECT_EQ(forwarded, channel.forwarded());
+      EXPECT_EQ(delivered, channel.forwarded());
+      EXPECT_EQ(store.total_observations(), channel.forwarded());
+      EXPECT_LE(channel.forwarded(), channel.offered());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzz, ::testing::Values(21, 22, 23));
 
 }  // namespace
 }  // namespace nxd

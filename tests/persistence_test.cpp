@@ -2,6 +2,10 @@
 // drop-catch market, honeypot routes, and the Markdown report.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
 #include "analysis/report.hpp"
 #include "analysis/scale.hpp"
 #include "honeypot/server.hpp"
@@ -59,6 +63,90 @@ TEST(Snapshot, RoundTripPreservesEveryQuerySurface) {
     EXPECT_EQ(restored->top_tlds(10)[i].second.nx_queries,
               original.top_tlds(10)[i].second.nx_queries);
   }
+}
+
+// ------------------------------------------------------- golden snapshot
+//
+// The v2 snapshot encoding is pinned byte-for-byte: a hand-built store of
+// six observations must serialize to exactly this blob, forever.  If this
+// test fails the wire format changed — bump the version and write a
+// migration instead of editing the hex.
+
+std::vector<std::uint8_t> hex_decode(std::string_view hex) {
+  auto nibble = [](char c) -> std::uint8_t {
+    return static_cast<std::uint8_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+pdns::PassiveDnsStore golden_store() {
+  pdns::PassiveDnsStore store;
+  auto obs = [](const char* name, util::Day day, dns::RCode rcode,
+                pdns::SensorClass cls, std::uint16_t index) {
+    pdns::Observation o;
+    o.name = DomainName::must(name);
+    o.rcode = rcode;
+    o.when = day * util::kSecondsPerDay;
+    o.sensor.cls = cls;
+    o.sensor.index = index;
+    return o;
+  };
+  using dns::RCode;
+  using pdns::SensorClass;
+  store.ingest(obs("gone.example.com", 100, RCode::NXDomain, SensorClass::Isp, 1));
+  store.ingest(obs("gone.example.com", 131, RCode::NXDomain, SensorClass::Enterprise, 2));
+  store.ingest(obs("typo-fb.net", 100, RCode::NXDomain, SensorClass::Academia, 0));
+  store.ingest(obs("alive.org", 115, RCode::NoError, SensorClass::Research, 3));
+  store.ingest(obs("flaky.io", 131, RCode::ServFail, SensorClass::Isp, 1));
+  store.ingest(obs("dga-x1.top", 132, RCode::NXDomain, SensorClass::Isp, 1));
+  return store;
+}
+
+// Captured from save_snapshot(golden_store()); 486 bytes.
+constexpr const char* kGoldenSnapshotHex =
+    "4e58445000020001000000000000000600000000000000040000000000000003"
+    "0000000000000001000000024000000000005c5b000000000000000240000000"
+    "00005c5c00000000000000020000000303636f6d000000000000000200000000"
+    "00000001036e65740000000000000001000000000000000103746f7000000000"
+    "000000010000000000000001000000040009616c6976652e6f72674000000000"
+    "0000734000000000000073bfffffffffffffff00000000000000000000000000"
+    "00000100000000000a6467612d78312e746f7040000000000000844000000000"
+    "0000844000000000000084000000000000000100000000000000000000000140"
+    "0000000000008400000001000b6578616d706c652e636f6d4000000000000064"
+    "4000000000000083400000000000006400000000000000020000000000000000"
+    "00000002400000000000006400000001400000000000008300000001000b7479"
+    "706f2d66622e6e65744000000000000064400000000000006440000000000000"
+    "6400000000000000010000000000000000000000014000000000000064000000"
+    "01000000040369737000000000000000030861636164656d6961000000000000"
+    "00010a656e746572707269736500000000000000010872657365617263680000"
+    "000000000001";
+
+TEST(Snapshot, GoldenBlobIsStable) {
+  const auto golden = hex_decode(kGoldenSnapshotHex);
+  ASSERT_EQ(golden.size(), 486u);
+  EXPECT_EQ(pdns::save_snapshot(golden_store()), golden)
+      << "snapshot v2 serialization changed; this breaks every store "
+         "persisted by earlier builds";
+}
+
+TEST(Snapshot, GoldenBlobRoundTripsThroughLoad) {
+  const auto golden = hex_decode(kGoldenSnapshotHex);
+  const auto restored = pdns::load_snapshot(golden);
+  ASSERT_TRUE(restored.has_value());
+  // load -> save is the identity on the golden bytes...
+  EXPECT_EQ(pdns::save_snapshot(*restored), golden);
+  // ...and the restored aggregates match the hand-built store.
+  const auto expect = golden_store();
+  EXPECT_EQ(restored->total_observations(), expect.total_observations());
+  EXPECT_EQ(restored->nx_responses(), 4u);
+  EXPECT_EQ(restored->servfail_responses(), 1u);
+  EXPECT_EQ(restored->distinct_nxdomains(), 3u);
+  EXPECT_EQ(restored->domain_names_sorted(), expect.domain_names_sorted());
 }
 
 TEST(Snapshot, CorruptInputRejected) {

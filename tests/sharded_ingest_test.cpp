@@ -1,0 +1,345 @@
+// Sharded parallel pdns ingest: worker-pool semantics, merge-equivalence
+// property tests (sharded ingest + merge must be byte-identical to serial
+// ingest of the same seeded stream), batch-frame publishing, and exact
+// folding of per-shard analysis summaries and resolver stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/scale.hpp"
+#include "pdns/observation.hpp"
+#include "pdns/sharded_store.hpp"
+#include "pdns/sie_channel.hpp"
+#include "pdns/snapshot.hpp"
+#include "pdns/store.hpp"
+#include "resolver/recursive.hpp"
+#include "synth/scale_models.hpp"
+#include "util/worker_pool.hpp"
+
+namespace nxd {
+namespace {
+
+using dns::DomainName;
+using dns::RCode;
+
+pdns::Observation nx_obs(const char* name, util::Day day) {
+  pdns::Observation obs;
+  obs.name = DomainName::must(name);
+  obs.rcode = RCode::NXDomain;
+  obs.when = day * util::kSecondsPerDay;
+  return obs;
+}
+
+std::vector<pdns::Observation> seeded_stream(std::uint64_t seed,
+                                             double scale = 2e-7) {
+  synth::HistoryStreamConfig config;
+  config.scale = scale;
+  config.seed = seed;
+  config.ok_fraction = 0.06;        // cover the NoError ingest branch
+  config.servfail_fraction = 0.03;  // ...and the ServFail short-circuit
+  return synth::NxHistoryStream(config).all();
+}
+
+// ------------------------------------------------------------- WorkerPool
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  util::WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_indexed(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ZeroThreadsRunsInline) {
+  util::WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<std::size_t> order;
+  pool.run_indexed(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, SubmitAndWaitIdle) {
+  util::WorkerPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+  // wait_idle on an idle pool returns immediately.
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(WorkerPool, DestructorDrainsPendingWork) {
+  std::atomic<int> done{0};
+  {
+    util::WorkerPool pool(1);
+    for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(WorkerPool, DefaultThreadsIsClamped) {
+  EXPECT_GE(util::WorkerPool::default_threads(), 1u);
+  EXPECT_LE(util::WorkerPool::default_threads(4), 4u);
+}
+
+// ----------------------------------------------------------- ShardedStore
+
+TEST(ShardedStore, RoutingIsStableAndInRange) {
+  const auto name = DomainName::must("api.stale-cdn.com");
+  for (std::size_t shards : {1u, 2u, 4u, 8u, 256u}) {
+    const auto s = pdns::ShardedStore::shard_of(name, shards);
+    EXPECT_LT(s, shards);
+    EXPECT_EQ(s, pdns::ShardedStore::shard_of(name, shards));
+  }
+  // Same registered domain => same shard, regardless of subdomain labels.
+  EXPECT_EQ(pdns::ShardedStore::shard_of(DomainName::must("a.b.example.net"), 8),
+            pdns::ShardedStore::shard_of(DomainName::must("example.net"), 8));
+}
+
+TEST(ShardedStore, ShardCountIsClamped) {
+  EXPECT_EQ(pdns::ShardedStore(0).shard_count(), 1u);
+  EXPECT_EQ(pdns::ShardedStore(3).shard_count(), 3u);
+  EXPECT_EQ(pdns::ShardedStore(100000).shard_count(), pdns::ShardedStore::kMaxShards);
+}
+
+TEST(ShardedStore, ScalarCountersSumAcrossShards) {
+  pdns::ShardedStore sharded(4);
+  sharded.ingest(nx_obs("a.com", 1));
+  sharded.ingest(nx_obs("b.net", 2));
+  sharded.ingest(nx_obs("c.org", 3));
+  EXPECT_EQ(sharded.total_observations(), 3u);
+  EXPECT_EQ(sharded.nx_responses(), 3u);
+  const auto merged = sharded.merge();
+  EXPECT_EQ(merged.total_observations(), 3u);
+  EXPECT_EQ(merged.distinct_nxdomains(), 3u);
+}
+
+// The tentpole property: for several seeds and every shard count, parallel
+// sharded ingest + merge produces a snapshot byte-identical to serial ingest
+// of the same stream.  Byte-identity of the v2 snapshot implies every
+// aggregate (per-domain min/max days, per-TLD distinct counts, monthly and
+// daily series, sensor mix) folded exactly.
+TEST(MergeEquivalence, SnapshotByteIdenticalAcrossSeedsAndShardCounts) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const auto stream = seeded_stream(seed);
+    ASSERT_GT(stream.size(), 1000u) << "stream too small to be interesting";
+
+    pdns::PassiveDnsStore serial;
+    for (const auto& obs : stream) serial.ingest(obs);
+    const auto want = pdns::save_snapshot(serial);
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      util::WorkerPool pool(shards > 1 ? shards : 0);
+      pdns::ShardedStore sharded(shards);
+      sharded.ingest_batch(stream, pool);
+      const auto merged = sharded.merge();
+      EXPECT_EQ(pdns::save_snapshot(merged), want)
+          << "seed=" << seed << " shards=" << shards;
+      EXPECT_EQ(merged.total_observations(), serial.total_observations());
+      EXPECT_EQ(merged.distinct_nxdomains(), serial.distinct_nxdomains());
+      EXPECT_EQ(merged.servfail_responses(), serial.servfail_responses());
+    }
+  }
+}
+
+TEST(MergeEquivalence, SerialShardIngestMatchesBatchIngest) {
+  const auto stream = seeded_stream(11, 1e-7);
+  util::WorkerPool pool(4);
+  pdns::ShardedStore batched(4);
+  batched.ingest_batch(stream, pool);
+  pdns::ShardedStore one_by_one(4);
+  for (const auto& obs : stream) one_by_one.ingest(obs);
+  EXPECT_EQ(pdns::save_snapshot(batched.merge()),
+            pdns::save_snapshot(one_by_one.merge()));
+}
+
+TEST(MergeEquivalence, ParallelGenerationMatchesSerialGeneration) {
+  synth::HistoryStreamConfig config;
+  config.scale = 1e-7;
+  config.seed = 5;
+  const synth::NxHistoryStream stream(config);
+  util::WorkerPool pool(4);
+  const auto serial = stream.all();
+  const auto parallel = stream.all_parallel(pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial.size(), stream.planned_total());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].name.to_string(), parallel[i].name.to_string()) << i;
+    ASSERT_EQ(serial[i].when, parallel[i].when) << i;
+    ASSERT_EQ(serial[i].rcode, parallel[i].rcode) << i;
+  }
+}
+
+TEST(MergeEquivalence, StoreConfigPropagatesToShards) {
+  pdns::StoreConfig config;
+  config.track_daily = false;
+  pdns::ShardedStore sharded(2, config);
+  sharded.ingest(nx_obs("x.com", 3));
+  const auto merged = sharded.merge();
+  const auto* agg = merged.domain("x.com");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_TRUE(agg->daily_nx.empty());
+
+  pdns::PassiveDnsStore serial(config);
+  serial.ingest(nx_obs("x.com", 3));
+  EXPECT_EQ(pdns::save_snapshot(merged), pdns::save_snapshot(serial));
+}
+
+TEST(MergeEquivalence, AbsorbCorrectsOverlappingDistinctCounts) {
+  // absorb() is exact even when both stores saw the same domain — the
+  // distinct-NX counters (global and per-TLD) must not double-count.
+  pdns::PassiveDnsStore a;
+  a.ingest(nx_obs("dup.com", 1));
+  a.ingest(nx_obs("only-a.com", 2));
+  pdns::PassiveDnsStore b;
+  b.ingest(nx_obs("dup.com", 9));
+  b.ingest(nx_obs("only-b.net", 4));
+  a.absorb(b);
+  EXPECT_EQ(a.total_observations(), 4u);
+  EXPECT_EQ(a.distinct_nxdomains(), 3u);
+  const auto* dup = a.domain("dup.com");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->first_seen, 1);
+  EXPECT_EQ(dup->last_seen, 9);
+  EXPECT_EQ(dup->nx_queries, 2u);
+}
+
+// ------------------------------------------------------- fold exactness
+
+TEST(FoldExactness, ScaleSummariesFoldToMergedSummary) {
+  const auto stream = seeded_stream(42, 1e-7);
+  util::WorkerPool pool(4);
+  pdns::ShardedStore sharded(4);
+  sharded.ingest_batch(stream, pool);
+
+  std::vector<analysis::ScaleSummary> parts;
+  for (std::size_t i = 0; i < sharded.shard_count(); ++i) {
+    parts.push_back(analysis::ScaleAnalysis(sharded.shard(i)).summary());
+  }
+  const auto folded = analysis::fold_summaries(parts);
+
+  const auto merged = sharded.merge();
+  const auto whole = analysis::ScaleAnalysis(merged).summary();
+  EXPECT_EQ(folded.nx_responses, whole.nx_responses);
+  EXPECT_EQ(folded.distinct_nxdomains, whole.distinct_nxdomains);
+  EXPECT_EQ(folded.servfail_responses, whole.servfail_responses);
+  EXPECT_DOUBLE_EQ(folded.responses_per_nxdomain, whole.responses_per_nxdomain);
+}
+
+TEST(FoldExactness, RecursiveStatsSumFieldwise) {
+  resolver::RecursiveStats a;
+  a.client_queries = 10;
+  a.cache_hits = 4;
+  a.upstream_resolutions = 6;
+  a.nxdomain_responses = 3;
+  a.retries = 2;
+  a.timeouts = 1;
+  a.servfail_responses = 1;
+  resolver::RecursiveStats b;
+  b.client_queries = 7;
+  b.nxdomain_responses = 5;
+  b.retries = 1;
+  b.servfail_responses = 1;
+
+  const auto sum = a + b;
+  EXPECT_EQ(sum.client_queries, 17u);
+  EXPECT_EQ(sum.cache_hits, 4u);
+  EXPECT_EQ(sum.upstream_resolutions, 6u);
+  EXPECT_EQ(sum.nxdomain_responses, 8u);
+  EXPECT_EQ(sum.retries, 3u);
+  EXPECT_EQ(sum.timeouts, 1u);
+  EXPECT_EQ(sum.servfail_responses, 2u);
+
+  resolver::RecursiveStats acc = a;
+  acc += b;
+  EXPECT_EQ(acc, sum);
+}
+
+// --------------------------------------------------------- batch frames
+
+TEST(BatchFrames, EncodeDecodeRoundTrip) {
+  std::vector<pdns::Observation> batch;
+  for (int i = 0; i < 10; ++i) {
+    auto obs = nx_obs(("host-" + std::to_string(i) + ".example.com").c_str(),
+                      util::Day{100 + i});
+    obs.sensor.cls = static_cast<pdns::SensorClass>(i % 4);
+    obs.sensor.index = static_cast<std::uint16_t>(i);
+    batch.push_back(obs);
+  }
+  const auto frame = pdns::encode_batch_frame(batch);
+  const auto decoded = pdns::decode_batch_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].name.to_string(), batch[i].name.to_string());
+    EXPECT_EQ((*decoded)[i].when, batch[i].when);
+    EXPECT_EQ((*decoded)[i].rcode, batch[i].rcode);
+    EXPECT_EQ((*decoded)[i].sensor.cls, batch[i].sensor.cls);
+    EXPECT_EQ((*decoded)[i].sensor.index, batch[i].sensor.index);
+  }
+}
+
+TEST(BatchFrames, PublishFrameMatchesPerObservationPublish) {
+  const auto stream = seeded_stream(3, 5e-8);
+  pdns::PassiveDnsStore via_frames;
+  auto channel_a = pdns::SieChannel::nxdomain_channel();
+  channel_a.subscribe([&](const pdns::Observation& o) { via_frames.ingest(o); });
+  // Ship the stream as frames of 500.
+  std::uint64_t forwarded = 0;
+  for (std::size_t i = 0; i < stream.size(); i += 500) {
+    const auto n = std::min<std::size_t>(500, stream.size() - i);
+    const auto frame =
+        pdns::encode_batch_frame(std::span(stream).subspan(i, n));
+    forwarded += channel_a.publish_frame(frame);
+  }
+  EXPECT_EQ(channel_a.rejected_frames(), 0u);
+  EXPECT_GT(channel_a.accepted_frames(), 0u);
+
+  pdns::PassiveDnsStore via_publish;
+  auto channel_b = pdns::SieChannel::nxdomain_channel();
+  channel_b.subscribe([&](const pdns::Observation& o) { via_publish.ingest(o); });
+  for (const auto& obs : stream) channel_b.publish(obs);
+
+  EXPECT_EQ(forwarded, channel_b.forwarded());
+  EXPECT_EQ(channel_a.offered(), channel_b.offered());
+  EXPECT_EQ(pdns::save_snapshot(via_frames), pdns::save_snapshot(via_publish));
+}
+
+TEST(BatchFrames, RejectsStructurallyBrokenFrames) {
+  const std::vector<pdns::Observation> batch = {nx_obs("a.com", 1)};
+  auto frame = pdns::encode_batch_frame(batch);
+
+  auto channel = pdns::SieChannel::nxdomain_channel();
+  std::uint64_t delivered = 0;
+  channel.subscribe([&](const pdns::Observation&) { ++delivered; });
+
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(channel.publish_frame(bad_magic), 0u);
+
+  auto truncated = frame;
+  truncated.pop_back();
+  EXPECT_EQ(channel.publish_frame(truncated), 0u);
+
+  auto trailing = frame;
+  trailing.push_back(0);
+  EXPECT_EQ(channel.publish_frame(trailing), 0u);
+
+  EXPECT_EQ(channel.rejected_frames(), 3u);
+  EXPECT_EQ(channel.accepted_frames(), 0u);
+  EXPECT_EQ(channel.offered(), 0u);
+  EXPECT_EQ(delivered, 0u);
+
+  // The pristine frame still decodes after all that rejection.
+  EXPECT_EQ(channel.publish_frame(frame), 1u);
+  EXPECT_EQ(channel.accepted_frames(), 1u);
+  EXPECT_EQ(delivered, 1u);
+}
+
+}  // namespace
+}  // namespace nxd
