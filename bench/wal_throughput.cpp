@@ -1,0 +1,217 @@
+// Durable-ingest overhead: what does crash safety cost?
+//
+// Generates one seeded NXDomain stream (outside every timed region), splits
+// it into fixed-size batches, then ingests it three ways:
+//
+//   * memory    — plain PassiveDnsStore ingest, no durability (baseline);
+//   * wal       — DurableStore: every batch is WAL-appended + fsynced before
+//                 the ack, no checkpoints;
+//   * wal+ckpt  — same, plus an automatic checkpoint every K batches
+//                 (snapshot write, WAL rotate + truncate inside the run).
+//
+// After the durable runs the directory is recovered cold and the recovered
+// snapshot is compared byte-for-byte against the serial baseline's — the
+// overhead column is only meaningful if the durable path computes the
+// identical answer.  Recovery wall-clock is reported too.
+//
+// Usage: wal_throughput [--scale=1e-6] [--seed=42] [--batch=2000]
+//                       [--ckpt-every=16] [--dir=PATH] [--json=BENCH_wal.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdns/durable_store.hpp"
+#include "pdns/snapshot.hpp"
+#include "pdns/store.hpp"
+#include "synth/scale_models.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fixed(double v, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+  return buf;
+}
+
+struct RunResult {
+  std::string name;
+  double ingest_seconds = 0;
+  double obs_per_second = 0;
+  double overhead = 1.0;  // wall-clock factor vs the memory baseline
+  std::uint64_t checkpoints = 0;
+  bool snapshot_identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1e-6;
+  std::uint64_t seed = 42;
+  std::size_t batch_size = 2000;
+  std::uint64_t ckpt_every = 16;
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "nxd_wal_bench").string();
+  std::string json_path = "BENCH_wal.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (std::strncmp(argv[i], "--batch=", 8) == 0) batch_size = std::strtoull(argv[i] + 8, nullptr, 10);
+    if (std::strncmp(argv[i], "--ckpt-every=", 13) == 0) ckpt_every = std::strtoull(argv[i] + 13, nullptr, 10);
+    if (std::strncmp(argv[i], "--dir=", 6) == 0) dir = argv[i] + 6;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (batch_size == 0) batch_size = 1;
+
+  using namespace nxd;
+
+  std::printf(
+      "=== durable ingest overhead: WAL + checkpoints vs memory "
+      "(scale=%g seed=%llu batch=%zu) ===\n",
+      scale, static_cast<unsigned long long>(seed), batch_size);
+
+  synth::HistoryStreamConfig history;
+  history.scale = scale;
+  history.seed = seed;
+  history.ok_fraction = 0.05;
+  history.servfail_fraction = 0.02;
+  const auto observations = synth::NxHistoryStream(history).all();
+  const std::size_t batches =
+      (observations.size() + batch_size - 1) / batch_size;
+  std::printf("stream: %s observations in %zu batches\n\n",
+              util::with_commas(static_cast<std::uint64_t>(observations.size())).c_str(),
+              batches);
+
+  auto each_batch = [&](auto&& fn) {
+    for (std::size_t at = 0; at < observations.size(); at += batch_size) {
+      const auto n = std::min(batch_size, observations.size() - at);
+      fn(std::span(observations).subspan(at, n));
+    }
+  };
+
+  // Memory baseline.
+  pdns::PassiveDnsStore serial;
+  const auto serial_start = Clock::now();
+  each_batch([&](auto batch) {
+    for (const auto& obs : batch) serial.ingest(obs);
+  });
+  const double serial_seconds = seconds_since(serial_start);
+  const auto serial_snapshot = pdns::save_snapshot(serial);
+
+  std::vector<RunResult> runs;
+  {
+    RunResult r;
+    r.name = "memory";
+    r.ingest_seconds = serial_seconds;
+    r.obs_per_second = serial_seconds > 0
+                           ? static_cast<double>(observations.size()) / serial_seconds
+                           : 0;
+    runs.push_back(r);
+  }
+
+  double recover_seconds = 0;
+  std::uint64_t recovered_batches = 0;
+  for (const bool with_checkpoints : {false, true}) {
+    std::filesystem::remove_all(dir);
+    pdns::DurableStore::Config config;
+    config.checkpoint_every_batches = with_checkpoints ? ckpt_every : 0;
+    RunResult r;
+    r.name = with_checkpoints ? "wal+ckpt" : "wal";
+    {
+      auto store = pdns::DurableStore::open(dir, config);
+      if (!store) {
+        std::fprintf(stderr, "cannot open durable dir %s\n", dir.c_str());
+        return 1;
+      }
+      const auto start = Clock::now();
+      bool ok = true;
+      each_batch([&](auto batch) { ok = ok && store->ingest_batch(batch); });
+      r.ingest_seconds = seconds_since(start);
+      if (!ok) {
+        std::fprintf(stderr, "durable ingest failed\n");
+        return 1;
+      }
+      r.checkpoints = store->checkpoints_taken();
+      r.snapshot_identical = store->snapshot_bytes() == serial_snapshot;
+    }
+    r.obs_per_second = r.ingest_seconds > 0
+                           ? static_cast<double>(observations.size()) / r.ingest_seconds
+                           : 0;
+    r.overhead = serial_seconds > 0 ? r.ingest_seconds / serial_seconds : 0;
+    if (with_checkpoints) {
+      // Cold recovery of the checkpoint+tail layout (the realistic shape).
+      const auto start = Clock::now();
+      auto recovered = pdns::DurableStore::open(dir, config);
+      recover_seconds = seconds_since(start);
+      if (recovered) {
+        recovered_batches = recovered->committed_batches();
+        r.snapshot_identical = r.snapshot_identical &&
+                               recovered->snapshot_bytes() == serial_snapshot;
+      } else {
+        r.snapshot_identical = false;
+      }
+    }
+    runs.push_back(r);
+  }
+  std::filesystem::remove_all(dir);
+
+  util::Table table({"config", "ingest s", "obs/s", "overhead", "ckpts", "snapshot"});
+  for (const auto& r : runs) {
+    table.add_row({r.name, fixed(r.ingest_seconds, 3),
+                   util::with_commas(static_cast<std::uint64_t>(r.obs_per_second)),
+                   r.name == "memory" ? "1.00x" : fixed(r.overhead, 2) + "x",
+                   std::to_string(r.checkpoints),
+                   r.name == "memory" ? "baseline"
+                                      : (r.snapshot_identical ? "identical" : "MISMATCH")});
+  }
+  table.render(std::cout);
+  std::printf("\ncold recovery: %.3f s for %llu batches\n", recover_seconds,
+              static_cast<unsigned long long>(recovered_batches));
+
+  bool all_identical = true;
+  for (const auto& r : runs) all_identical = all_identical && r.snapshot_identical;
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"wal_throughput\",\n");
+    std::fprintf(f, "  \"scale\": %g,\n  \"seed\": %llu,\n", scale,
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"observations\": %llu,\n",
+                 static_cast<unsigned long long>(observations.size()));
+    std::fprintf(f, "  \"batch_size\": %zu,\n", batch_size);
+    std::fprintf(f, "  \"checkpoint_every_batches\": %llu,\n",
+                 static_cast<unsigned long long>(ckpt_every));
+    std::fprintf(f, "  \"recover_seconds\": %.6f,\n", recover_seconds);
+    std::fprintf(f, "  \"durable_equivalent\": %s,\n", all_identical ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& r = runs[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"ingest_seconds\": %.6f, "
+                   "\"obs_per_second\": %.1f, \"overhead\": %.3f, "
+                   "\"checkpoints\": %llu, \"snapshot_identical\": %s}%s\n",
+                   r.name.c_str(), r.ingest_seconds, r.obs_per_second, r.overhead,
+                   static_cast<unsigned long long>(r.checkpoints),
+                   r.snapshot_identical ? "true" : "false",
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return all_identical ? 0 : 1;
+}

@@ -121,4 +121,24 @@ HttpResponse HttpResponse::not_found() {
   return r;
 }
 
+HttpResponse HttpResponse::payload_too_large() {
+  HttpResponse r;
+  r.status = 413;
+  r.reason = "Payload Too Large";
+  r.headers["content-type"] = "text/plain";
+  r.headers["connection"] = "close";
+  r.body = "payload too large\n";
+  return r;
+}
+
+HttpResponse HttpResponse::header_fields_too_large() {
+  HttpResponse r;
+  r.status = 431;
+  r.reason = "Request Header Fields Too Large";
+  r.headers["content-type"] = "text/plain";
+  r.headers["connection"] = "close";
+  r.body = "request header fields too large\n";
+  return r;
+}
+
 }  // namespace nxd::honeypot

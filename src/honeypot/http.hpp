@@ -53,6 +53,10 @@ struct HttpResponse {
 
   static HttpResponse ok_html(std::string body);
   static HttpResponse not_found();
+  /// 413 — a request body pushed the connection past the configured cap.
+  static HttpResponse payload_too_large();
+  /// 431 — the cap was hit before the header block even terminated.
+  static HttpResponse header_fields_too_large();
 };
 
 }  // namespace nxd::honeypot

@@ -10,6 +10,10 @@ std::string to_string(HostingPlatform p) {
 }
 
 void TrafficRecorder::record(TrafficRecord record) {
+  if (max_payload_bytes_ != 0 && record.payload.size() > max_payload_bytes_) {
+    record.payload.resize(max_payload_bytes_);
+    ++oversize_payloads_;
+  }
   bool duplicate = false;
   if (fault_plan_ != nullptr && !fault_plan_->empty()) {
     // Key faults on the destination port (the sensor's listening socket);

@@ -52,6 +52,15 @@ class TrafficRecorder {
   void set_fault_plan(net::FaultPlan* plan) noexcept { fault_plan_ = plan; }
   std::uint64_t capture_drops() const noexcept { return capture_drops_; }
 
+  /// Bound per-record memory: payloads longer than this are truncated to the
+  /// cap before storage and counted in `oversize_payloads()`.  0 (default)
+  /// keeps the historical unbounded behaviour.  A hostile visitor streaming
+  /// an arbitrarily large request can otherwise grow the capture plane
+  /// without limit — the recorder keeps the evidentiary prefix only.
+  void set_max_payload_bytes(std::size_t cap) noexcept { max_payload_bytes_ = cap; }
+  std::size_t max_payload_bytes() const noexcept { return max_payload_bytes_; }
+  std::uint64_t oversize_payloads() const noexcept { return oversize_payloads_; }
+
   const std::vector<TrafficRecord>& records() const noexcept { return records_; }
   std::uint64_t total() const noexcept { return records_.size(); }
 
@@ -71,6 +80,8 @@ class TrafficRecorder {
   util::Counter port_counts_;
   net::FaultPlan* fault_plan_ = nullptr;
   std::uint64_t capture_drops_ = 0;
+  std::size_t max_payload_bytes_ = 0;
+  std::uint64_t oversize_payloads_ = 0;
 };
 
 }  // namespace nxd::honeypot

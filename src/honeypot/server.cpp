@@ -1,5 +1,6 @@
 #include "honeypot/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -42,9 +43,23 @@ std::optional<std::vector<std::uint8_t>> NxdHoneypot::handle_packet(
   // (the TCP front end binds ephemeral ports in tests/examples); junk on
   // any port is capture-only.
   if (packet.protocol != net::Protocol::TCP) return std::nullopt;
-  const std::string_view raw(
-      reinterpret_cast<const char*>(packet.payload.data()),
-      packet.payload.size());
+  std::string_view raw(reinterpret_cast<const char*>(packet.payload.data()),
+                       packet.payload.size());
+  if (config_.max_request_bytes != 0 && raw.size() > config_.max_request_bytes) {
+    // Over the per-connection cap: answer from the capped prefix only.  431
+    // when the cap was exhausted before the header block terminated (an
+    // unbounded header stream), 413 when a well-formed head drags an
+    // oversized body.
+    raw = raw.substr(0, config_.max_request_bytes);
+    const bool headers_complete = raw.find("\r\n\r\n") != std::string_view::npos ||
+                                  raw.find("\n\n") != std::string_view::npos;
+    const auto response = headers_complete
+                              ? HttpResponse::payload_too_large()
+                              : HttpResponse::header_fields_too_large();
+    ++responses_;
+    const std::string wire = response.serialize();
+    return std::vector<std::uint8_t>(wire.begin(), wire.end());
+  }
   const auto request = parse_http_request(raw);
   if (!request) return std::nullopt;
 
@@ -103,10 +118,18 @@ void TcpHoneypotFrontend::attach(net::EventLoop& loop) {
 void TcpHoneypotFrontend::on_acceptable() {
   while (auto stream = listener_.accept()) {
     // One-shot request/response: read what is available (brief retry for
-    // slow writers), answer, close.
+    // slow writers), answer, close.  The read loop is bounded at the
+    // honeypot's request cap — one byte past it is enough for handle_packet
+    // to see the overflow and answer 413/431, so a hostile writer can never
+    // grow this buffer beyond the cap.
+    const std::size_t cap = honeypot_.config().max_request_bytes;
     std::vector<std::uint8_t> buffer;
     for (int attempt = 0; attempt < 50; ++attempt) {
-      const auto n = stream->read(buffer);
+      if (cap != 0 && buffer.size() > cap) break;
+      const std::size_t room =
+          cap != 0 ? std::min<std::size_t>(cap + 1 - buffer.size(), 65536)
+                   : 65536;
+      const auto n = stream->read(buffer, room);
       if (n < 0 || stream->eof()) break;
       if (!buffer.empty() && n == 0) break;  // drained what was sent
       if (buffer.empty()) {

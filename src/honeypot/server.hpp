@@ -28,10 +28,17 @@ class NxdHoneypot {
     std::string domain;          // hosted domain this instance serves
     std::string contact_email = "nxd-study@example.edu";
     HostingPlatform platform = HostingPlatform::Aws;
+    /// Per-connection request cap.  Anything larger is truncated to this
+    /// prefix for capture (the recorder counts it in oversize_payloads())
+    /// and answered with 413 — or 431 when even the header block did not
+    /// fit — instead of being buffered whole.  0 disables the bound.
+    std::size_t max_request_bytes = 64 * 1024;
   };
 
   NxdHoneypot(Config config, TrafficRecorder& recorder)
-      : config_(std::move(config)), recorder_(recorder) {}
+      : config_(std::move(config)), recorder_(recorder) {
+    recorder_.set_max_payload_bytes(config_.max_request_bytes);
+  }
 
   /// Interactive-honeypot extension (paper §7 future work: "implementing
   /// the capability to interact with domain visitors"): serve a custom

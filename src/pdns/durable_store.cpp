@@ -1,0 +1,254 @@
+#include "pdns/durable_store.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "pdns/snapshot.hpp"
+#include "util/bytes.hpp"
+
+namespace nxd::pdns {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4e584350;  // "NXCP"
+constexpr std::uint16_t kCheckpointVersion = 1;
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".nxs";
+
+std::optional<std::uint64_t> parse_snapshot_batches(std::string_view filename) {
+  if (!filename.starts_with(kSnapshotPrefix) ||
+      !filename.ends_with(kSnapshotSuffix)) {
+    return std::nullopt;
+  }
+  const auto digits = filename.substr(
+      kSnapshotPrefix.size(),
+      filename.size() - kSnapshotPrefix.size() - kSnapshotSuffix.size());
+  if (digits.empty() || digits.size() > 20) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Checkpoint files, newest (highest covered-batch count) first.
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string filename = entry.path().filename().string();
+    if (const auto batches = parse_snapshot_batches(filename)) {
+      out.emplace_back(*batches, entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+struct LoadedCheckpoint {
+  PassiveDnsStore store;
+  std::uint64_t batches = 0;
+};
+
+/// Validate record framing, header, and the embedded v2 snapshot.
+std::optional<LoadedCheckpoint> load_checkpoint(const std::string& path) {
+  const auto payload = util::read_file_checked(path);
+  if (!payload) return std::nullopt;
+  util::ByteReader r(*payload);
+  if (r.u32() != kCheckpointMagic) return std::nullopt;
+  if (r.u16() != kCheckpointVersion) return std::nullopt;
+  const std::uint64_t hi = r.u32();
+  const std::uint64_t batches = (hi << 32) | r.u32();
+  if (!r.ok()) return std::nullopt;
+  auto store = load_snapshot(
+      std::span(*payload).subspan(payload->size() - r.remaining()));
+  if (!store) return std::nullopt;
+  return LoadedCheckpoint{std::move(*store), batches};
+}
+
+}  // namespace
+
+std::string DurableStore::snapshot_path(const std::string& dir,
+                                        std::uint64_t batches) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "snapshot-%012" PRIu64 ".nxs", batches);
+  return dir + "/" + name;
+}
+
+std::optional<DurableStore> DurableStore::open(std::string dir, Config config,
+                                               util::CrashPoint* crash) {
+  config.shard_count = std::min(std::max<std::size_t>(config.shard_count, 1),
+                                ShardedStore::kMaxShards);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return std::nullopt;
+
+  DurableStore store(std::move(dir), config, crash);
+
+  // Newest valid checkpoint wins; corrupt ones are skipped, not fatal (an
+  // old checkpoint plus a longer WAL replay recovers the same state).
+  for (const auto& [batches, path] : list_snapshots(store.dir_)) {
+    if (auto loaded = load_checkpoint(path)) {
+      store.base_ = std::move(loaded->store);
+      store.committed_ = loaded->batches;
+      store.recovery_.snapshot_loaded = true;
+      store.recovery_.snapshot_batches = loaded->batches;
+      break;
+    }
+    ++store.recovery_.invalid_snapshots;
+  }
+
+  // Strict WAL tail replay on top of the checkpoint image.
+  auto replay = Wal::replay(store.dir_);
+  store.recovery_.discarded_wal_bytes = replay.discarded_bytes;
+  store.recovery_.wal_tail_truncated = replay.tail_truncated;
+  for (auto& replayed : replay.batches) {
+    if (replayed.seq <= store.committed_) {
+      ++store.recovery_.stale_batches_skipped;
+      continue;
+    }
+    store.tail_.ingest_batch(replayed.batch, *store.pool_);
+    store.committed_ = replayed.seq;
+    ++store.recovery_.replayed_batches;
+    ++store.since_checkpoint_;
+  }
+
+  // Sweep leftover atomic-commit temporaries: a `.tmp` is by definition an
+  // uncommitted write that died before its rename, so deleting it can never
+  // lose acked data.  No crash hook — a death mid-sweep just leaves files
+  // for the next open to sweep again.
+  for (const auto& entry : std::filesystem::directory_iterator(store.dir_, ec)) {
+    if (entry.is_regular_file(ec) &&
+        entry.path().extension().string() == ".tmp") {
+      if (std::filesystem::remove(entry.path(), ec)) {
+        ++store.recovery_.removed_tmp_files;
+      }
+    }
+  }
+
+  // New batches go to a fresh segment past everything on disk; a torn tail
+  // segment is never appended to.
+  std::uint64_t next_segment = 0;
+  const auto segments = Wal::list_segments(store.dir_);
+  if (!segments.empty()) next_segment = segments.back().first + 1;
+  store.wal_ = Wal::create(store.dir_, config.wal, next_segment,
+                           store.committed_ + 1, crash);
+  if (!store.wal_) return std::nullopt;
+  return std::optional<DurableStore>(std::move(store));
+}
+
+bool DurableStore::ingest_batch(std::span<const Observation> batch) {
+  if (!ok_) return false;
+  if (!wal_->append_batch(batch)) {
+    ok_ = false;
+    return false;
+  }
+  // Durable from here on: apply and ack.  The in-memory fold cannot fail.
+  tail_.ingest_batch(batch, *pool_);
+  ++committed_;
+  ++since_checkpoint_;
+  if (config_.checkpoint_every_batches != 0 &&
+      since_checkpoint_ >= config_.checkpoint_every_batches) {
+    // A checkpoint crash latches ok_ but the batch above stays acked.
+    checkpoint();
+  }
+  return true;
+}
+
+bool DurableStore::checkpoint() {
+  if (!ok_) return false;
+  PassiveDnsStore merged = materialize();
+  util::ByteWriter payload;
+  payload.u32(kCheckpointMagic);
+  payload.u16(kCheckpointVersion);
+  payload.u32(static_cast<std::uint32_t>(committed_ >> 32));
+  payload.u32(static_cast<std::uint32_t>(committed_));
+  payload.bytes(save_snapshot(merged));
+  const std::string path = snapshot_path(dir_, committed_);
+  if (!util::write_file_atomic(path, payload.view(), crash_)) {
+    ok_ = false;
+    return false;
+  }
+  // The checkpoint is durable: fold it into the base image and reset the
+  // tail even if the cleanup below dies — recovery only needs the snapshot.
+  base_ = std::move(merged);
+  tail_ = ShardedStore(config_.shard_count, config_.store);
+  since_checkpoint_ = 0;
+  ++checkpoints_;
+
+  // Cleanup, every unlink crash-guarded: older checkpoints, then the WAL
+  // prefix the snapshot covers (rotate first so the live segment only ever
+  // holds post-checkpoint batches).
+  for (const auto& [batches, old_path] : list_snapshots(dir_)) {
+    if (batches == committed_) continue;
+    if (!util::remove_file(old_path, crash_)) {
+      ok_ = false;
+      return false;
+    }
+  }
+  if (!wal_->rotate() || !wal_->drop_segments_below(wal_->segment_index())) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+PassiveDnsStore DurableStore::materialize() const {
+  PassiveDnsStore out = base_;
+  out.absorb(tail_.merge());
+  return out;
+}
+
+std::vector<std::uint8_t> DurableStore::snapshot_bytes() const {
+  return save_snapshot(materialize());
+}
+
+DurableStore::FsckReport DurableStore::fsck(const std::string& dir) {
+  FsckReport report;
+  bool best_found = false;
+  for (const auto& [batches, path] : list_snapshots(dir)) {
+    FsckSnapshot info;
+    info.path = path;
+    info.batches = batches;
+    info.valid = load_checkpoint(path).has_value();
+    if (info.valid && !best_found) {
+      report.best_snapshot_batches = batches;
+      best_found = true;
+    }
+    if (!info.valid) report.clean = false;
+    report.snapshots.push_back(std::move(info));
+  }
+
+  const auto replay = Wal::replay(dir);
+  report.wal_segments = Wal::list_segments(dir).size();
+  report.wal_records = replay.records_scanned;
+  report.discarded_wal_bytes = replay.discarded_bytes;
+  report.wal_tail_truncated = replay.tail_truncated;
+  if (replay.tail_truncated) report.clean = false;
+  for (const auto& replayed : replay.batches) {
+    if (replayed.seq <= report.best_snapshot_batches) {
+      ++report.stale_batches;
+    } else {
+      ++report.replayable_batches;
+    }
+  }
+  report.recoverable_batches =
+      report.best_snapshot_batches + report.replayable_batches;
+
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec) &&
+        entry.path().extension().string() == ".tmp") {
+      ++report.tmp_files;
+      report.clean = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace nxd::pdns

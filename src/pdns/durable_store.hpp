@@ -1,0 +1,157 @@
+// Crash-safe persistence for the passive-DNS pipeline — the missing
+// durability half of the paper's "mirror the feed before analysing it"
+// methodology (§3.1 mirrors Farsight into BigQuery; a collector that loses
+// observations on a crash silently skews every downstream figure).
+//
+// A DurableStore wraps the in-memory PassiveDnsStore/ShardedStore pair with
+// a write-ahead log (pdns/wal.hpp) and checksummed, atomically committed
+// checkpoints:
+//
+//   ingest_batch:  WAL append (flush+fsync)  →  apply to shards  →  ack
+//   checkpoint:    merged snapshot → atomic commit → WAL rotate+truncate
+//   open/recover:  newest valid checkpoint + strict WAL tail replay
+//
+// Invariants (pinned by tests/crash_recovery_test.cpp at every enumerated
+// injection point):
+//   - all-or-nothing per batch: a torn WAL tail is truncated on recovery; a
+//     partially appended batch is never partially visible;
+//   - acked ⊆ recovered: every batch whose append_batch returned true
+//     survives any later crash;
+//   - at most one in-flight batch: recovery yields exactly the acked
+//     batches, or acked+1 when the crash hit after the record reached the
+//     file but before the ack (crash-during-commit ambiguity, the same
+//     contract databases give);
+//   - byte-exactness: the recovered store's v2 snapshot equals, byte for
+//     byte, an uninterrupted serial ingest of the recovered batch prefix.
+//
+// Checkpoint files are named "snapshot-<batches>.nxs"; their checked payload
+// is  magic "NXCP" u32 | version u16 | batches u64 | v2 snapshot bytes.
+// Because the covered batch count is inside the checkpoint, recovery never
+// depends on WAL truncation having completed: stale records (seq ≤ covered)
+// are simply skipped.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdns/sharded_store.hpp"
+#include "pdns/store.hpp"
+#include "pdns/wal.hpp"
+#include "util/checked_io.hpp"
+#include "util/worker_pool.hpp"
+
+namespace nxd::pdns {
+
+class DurableStore {
+ public:
+  struct Config {
+    /// >1 routes every batch through a ShardedStore + worker pool (the PR 2
+    /// parallel path); 1 keeps ingest inline.  Either way the persisted
+    /// snapshot is byte-identical to serial ingest.
+    std::size_t shard_count = 1;
+    /// Automatic checkpoint every N acked batches; 0 = manual only.
+    std::uint64_t checkpoint_every_batches = 0;
+    Wal::Config wal;
+    StoreConfig store;
+  };
+
+  struct RecoveryInfo {
+    bool snapshot_loaded = false;
+    std::uint64_t snapshot_batches = 0;     ///< batches covered by it
+    std::uint64_t replayed_batches = 0;     ///< WAL tail applied on top
+    std::uint64_t stale_batches_skipped = 0;  ///< seq ≤ snapshot (truncation raced a crash)
+    std::uint64_t invalid_snapshots = 0;    ///< corrupt checkpoint files skipped
+    std::uint64_t discarded_wal_bytes = 0;  ///< torn/corrupt tail dropped
+    std::uint64_t removed_tmp_files = 0;    ///< uncommitted temporaries swept
+    bool wal_tail_truncated = false;
+  };
+
+  /// Open-or-recover: loads the newest valid checkpoint, replays the WAL
+  /// tail, and arms a fresh WAL segment for new batches.  On a fresh
+  /// directory this is simply "create".  nullopt only when the directory is
+  /// unusable (or the injected crash fires during setup).
+  static std::optional<DurableStore> open(std::string dir, Config config,
+                                          util::CrashPoint* crash = nullptr);
+
+  /// False once a (simulated or real) I/O failure killed the collector;
+  /// every later ingest/checkpoint refuses.
+  bool ok() const noexcept { return ok_; }
+  const std::string& dir() const noexcept { return dir_; }
+  const Config& config() const noexcept { return config_; }
+  const RecoveryInfo& recovery() const noexcept { return recovery_; }
+
+  /// Durable (acked or recovered) batches so far.
+  std::uint64_t committed_batches() const noexcept { return committed_; }
+  std::uint64_t checkpoints_taken() const noexcept { return checkpoints_; }
+
+  /// WAL-append (durable), then apply.  True == acked: the batch survives
+  /// any crash from here on.  All-or-nothing: false means the batch is
+  /// uncommitted — recovery may admit it only if the record reached the file
+  /// intact before the death (never a partial batch).
+  bool ingest_batch(std::span<const Observation> batch);
+
+  /// Write a checksummed snapshot atomically, then rotate and truncate the
+  /// WAL.  Idempotent per committed prefix.
+  bool checkpoint();
+
+  /// The full store: checkpoint base + everything since, folded exactly.
+  PassiveDnsStore materialize() const;
+  /// save_snapshot(materialize()) — the byte-equivalence currency the crash
+  /// harness and the property tests compare.
+  std::vector<std::uint8_t> snapshot_bytes() const;
+
+  // ---- read-only inspection (nxdtool fsck) -------------------------------
+  struct FsckSnapshot {
+    std::string path;
+    std::uint64_t batches = 0;
+    bool valid = false;
+  };
+  struct FsckReport {
+    std::vector<FsckSnapshot> snapshots;  ///< newest first
+    std::uint64_t best_snapshot_batches = 0;
+    std::uint64_t wal_segments = 0;
+    std::uint64_t wal_records = 0;
+    std::uint64_t replayable_batches = 0;  ///< WAL batches past the snapshot
+    std::uint64_t stale_batches = 0;
+    std::uint64_t recoverable_batches = 0;  ///< snapshot + replayable
+    std::uint64_t discarded_wal_bytes = 0;
+    std::uint64_t tmp_files = 0;  ///< leftover uncommitted temporaries
+    bool wal_tail_truncated = false;
+    /// True when nothing needs repair: no corrupt checkpoints, no torn WAL
+    /// tail, no leftover temporaries.
+    bool clean = true;
+  };
+  static FsckReport fsck(const std::string& dir);
+
+  static std::string snapshot_path(const std::string& dir,
+                                   std::uint64_t batches);
+
+ private:
+  DurableStore(std::string dir, Config config, util::CrashPoint* crash)
+      : dir_(std::move(dir)),
+        config_(config),
+        crash_(crash),
+        base_(config.store),
+        tail_(config.shard_count, config.store),
+        pool_(std::make_unique<util::WorkerPool>(
+            config.shard_count > 1 ? config.shard_count : 0)) {}
+
+  std::string dir_;
+  Config config_;
+  util::CrashPoint* crash_ = nullptr;
+  PassiveDnsStore base_;  ///< checkpoint image
+  ShardedStore tail_;     ///< committed batches since the checkpoint
+  std::unique_ptr<util::WorkerPool> pool_;
+  std::optional<Wal> wal_;
+  RecoveryInfo recovery_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t since_checkpoint_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace nxd::pdns

@@ -112,13 +112,24 @@ std::optional<PassiveDnsStore> load_snapshot(
   store.distinct_nx_ = u64();
   store.servfail_responses_ = u64();
 
+  // Every section count is validated against the bytes actually present
+  // (each entry has a known minimum encoding size) before its loop runs, so
+  // a corrupted count field fails fast instead of iterating 2^32 times
+  // inserting garbage entries.
+  auto plausible = [&r](std::uint32_t count, std::size_t min_entry_bytes) {
+    return static_cast<std::uint64_t>(count) * min_entry_bytes <=
+           r.remaining();
+  };
+
   const std::uint32_t months = r.u32();
+  if (!r.ok() || !plausible(months, 16)) return std::nullopt;
   for (std::uint32_t i = 0; i < months && r.ok(); ++i) {
     const auto month = unbias(u64());
     store.monthly_nx_[month] = u64();
   }
 
   const std::uint32_t tlds = r.u32();
+  if (!r.ok() || !plausible(tlds, 17)) return std::nullopt;
   for (std::uint32_t i = 0; i < tlds && r.ok(); ++i) {
     const std::string tld = r.str(r.u8());
     TldAggregate agg;
@@ -128,6 +139,7 @@ std::optional<PassiveDnsStore> load_snapshot(
   }
 
   const std::uint32_t domains = r.u32();
+  if (!r.ok() || !plausible(domains, 46)) return std::nullopt;
   for (std::uint32_t i = 0; i < domains && r.ok(); ++i) {
     const std::string name = r.str(r.u16());
     DomainAggregate agg;
@@ -137,6 +149,7 @@ std::optional<PassiveDnsStore> load_snapshot(
     agg.nx_queries = u64();
     agg.ok_queries = u64();
     const std::uint32_t days = r.u32();
+    if (!r.ok() || !plausible(days, 12)) return std::nullopt;
     for (std::uint32_t d = 0; d < days && r.ok(); ++d) {
       const auto day = unbias(u64());
       agg.daily_nx[day] = r.u32();
@@ -145,6 +158,7 @@ std::optional<PassiveDnsStore> load_snapshot(
   }
 
   const std::uint32_t sensors = r.u32();
+  if (!r.ok() || !plausible(sensors, 9)) return std::nullopt;
   for (std::uint32_t i = 0; i < sensors && r.ok(); ++i) {
     const std::string sensor = r.str(r.u8());
     store.sensor_volume_.add(sensor, u64());

@@ -1,0 +1,159 @@
+#include "pdns/wal.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "pdns/sie_channel.hpp"
+#include "util/bytes.hpp"
+
+namespace nxd::pdns {
+
+namespace {
+
+constexpr std::string_view kSegmentPrefix = "wal-";
+constexpr std::string_view kSegmentSuffix = ".log";
+
+std::optional<std::uint64_t> parse_segment_index(std::string_view filename) {
+  if (!filename.starts_with(kSegmentPrefix) ||
+      !filename.ends_with(kSegmentSuffix)) {
+    return std::nullopt;
+  }
+  const auto digits = filename.substr(
+      kSegmentPrefix.size(),
+      filename.size() - kSegmentPrefix.size() - kSegmentSuffix.size());
+  if (digits.empty() || digits.size() > 20) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string Wal::segment_path(const std::string& dir, std::uint64_t index) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "wal-%012" PRIu64 ".log", index);
+  return dir + "/" + name;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> Wal::list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string filename = entry.path().filename().string();
+    if (const auto index = parse_segment_index(filename)) {
+      out.emplace_back(*index, entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<Wal> Wal::create(std::string dir, Config config,
+                               std::uint64_t segment_index,
+                               std::uint64_t next_seq,
+                               util::CrashPoint* crash) {
+  Wal wal(std::move(dir), config, segment_index, next_seq, crash);
+  if (!wal.open_segment()) return std::nullopt;
+  return std::optional<Wal>(std::move(wal));
+}
+
+bool Wal::open_segment() {
+  writer_ = util::CheckedWriter::open(segment_path(dir_, segment_index_), crash_);
+  if (!writer_) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Wal::append_batch(std::span<const Observation> batch) {
+  if (!ok_) return false;
+  if (writer_->bytes_written() >= config_.segment_max_bytes) {
+    if (!rotate()) return false;
+  }
+  util::ByteWriter payload;
+  payload.u32(static_cast<std::uint32_t>(next_seq_ >> 32));
+  payload.u32(static_cast<std::uint32_t>(next_seq_));
+  payload.bytes(encode_batch_frame(batch));
+  if (!writer_->append_record(payload.view()) || !writer_->flush()) {
+    ok_ = false;
+    return false;
+  }
+  ++next_seq_;
+  return true;
+}
+
+bool Wal::rotate() {
+  if (!ok_) return false;
+  if (!writer_->close()) {
+    ok_ = false;
+    return false;
+  }
+  ++segment_index_;
+  return open_segment();
+}
+
+bool Wal::drop_segments_below(std::uint64_t keep_from) {
+  if (!ok_) return false;
+  for (const auto& [index, path] : list_segments(dir_)) {
+    if (index >= keep_from) continue;
+    if (!util::remove_file(path, crash_)) {
+      ok_ = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+Wal::Replay Wal::replay(const std::string& dir) {
+  Replay out;
+  std::uint64_t last_seq = 0;
+  bool stopped = false;
+  for (const auto& [index, path] : list_segments(dir)) {
+    const auto bytes = util::read_file(path);
+    if (!bytes) continue;
+    if (stopped) {
+      // Everything past a damaged point is untrusted.
+      out.discarded_bytes += bytes->size();
+      continue;
+    }
+    ++out.segments_scanned;
+    const auto scan = util::scan_records(*bytes);
+    for (const auto& record : scan.records) {
+      if (stopped) {
+        out.discarded_bytes += record.size();
+        continue;
+      }
+      ++out.records_scanned;
+      util::ByteReader r(record);
+      const std::uint64_t hi = r.u32();
+      const std::uint64_t seq = (hi << 32) | r.u32();
+      auto frame = r.ok() ? decode_batch_frame(record.size() >= 8
+                                                   ? std::span(record).subspan(8)
+                                                   : std::span(record))
+                          : std::nullopt;
+      if (!r.ok() || !frame || (last_seq != 0 && seq <= last_seq) || seq == 0) {
+        out.discarded_bytes += record.size();
+        stopped = true;
+        continue;
+      }
+      last_seq = seq;
+      out.batches.push_back({seq, std::move(*frame)});
+    }
+    if (scan.truncated_tail) {
+      out.discarded_bytes += scan.total_bytes - scan.valid_bytes;
+      stopped = true;
+    }
+  }
+  out.tail_truncated = stopped;
+  return out;
+}
+
+}  // namespace nxd::pdns

@@ -1,0 +1,109 @@
+// Write-ahead log of SIE batch frames — the durability backbone of the
+// passive-DNS collector (pdns::DurableStore).
+//
+// A WAL directory holds numbered segment files "wal-<index>.log".  Each
+// segment is a sequence of CRC32C-framed records (util/checked_io); each
+// record's payload is
+//
+//   batch seq u64 (big-endian) | SIE batch frame bytes (pdns/sie_channel)
+//
+// so the log reuses the exact strict frame codec the feed plane already
+// pins with fuzz tests.  Batch sequence numbers are global and consecutive
+// starting at 1; the committed state of a collector is fully described by
+// "batches 1..N applied".
+//
+// Recovery semantics are strict and asymmetric, like the frame decoder's:
+//   - a torn/corrupt record truncates the tail — everything from the first
+//     invalid byte on is discarded, so a batch whose append was interrupted
+//     is never partially visible (all-or-nothing per batch);
+//   - a record that passes its CRC but fails strict frame decoding, or whose
+//     sequence number does not increase, also stops the replay (conservative
+//     corruption handling — nothing after a damaged point is trusted).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdns/observation.hpp"
+#include "util/checked_io.hpp"
+
+namespace nxd::pdns {
+
+class Wal {
+ public:
+  struct Config {
+    /// Finish the current segment and start the next once it reaches this
+    /// many bytes (checked before each append; a single batch may overshoot).
+    std::uint64_t segment_max_bytes = 1u << 20;
+  };
+
+  /// Open a fresh appender in `dir`, writing segments from `segment_index`
+  /// up and numbering batches from `next_seq`.  Never appends to an existing
+  /// segment file — after recovery the caller passes the next free index, so
+  /// a possibly-torn tail segment stays immutable evidence.
+  static std::optional<Wal> create(std::string dir, Config config,
+                                   std::uint64_t segment_index,
+                                   std::uint64_t next_seq,
+                                   util::CrashPoint* crash = nullptr);
+
+  bool ok() const noexcept { return ok_; }
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
+  std::uint64_t segment_index() const noexcept { return segment_index_; }
+
+  /// Append one batch as a single record and flush+fsync it.  True == the
+  /// batch is durable (the caller may ack it); false == the collector died
+  /// mid-append and the batch must be considered uncommitted.
+  bool append_batch(std::span<const Observation> batch);
+
+  /// Close the current segment and start the next one (checkpoint boundary).
+  bool rotate();
+
+  /// Delete every segment with index < `keep_from` — checkpoint truncation.
+  /// Safe to crash anywhere inside: stale segments are filtered by sequence
+  /// number on replay.
+  bool drop_segments_below(std::uint64_t keep_from);
+
+  // ---- recovery ----------------------------------------------------------
+  struct ReplayedBatch {
+    std::uint64_t seq = 0;
+    std::vector<Observation> batch;
+  };
+  struct Replay {
+    std::vector<ReplayedBatch> batches;  ///< valid prefix, seq ascending
+    std::uint64_t segments_scanned = 0;
+    std::uint64_t records_scanned = 0;
+    std::uint64_t discarded_bytes = 0;  ///< torn/corrupt tail bytes dropped
+    bool tail_truncated = false;
+  };
+  static Replay replay(const std::string& dir);
+
+  /// Existing segment files, sorted by index.
+  static std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+      const std::string& dir);
+  static std::string segment_path(const std::string& dir, std::uint64_t index);
+
+ private:
+  Wal(std::string dir, Config config, std::uint64_t segment_index,
+      std::uint64_t next_seq, util::CrashPoint* crash)
+      : dir_(std::move(dir)),
+        config_(config),
+        segment_index_(segment_index),
+        next_seq_(next_seq),
+        crash_(crash) {}
+
+  bool open_segment();
+
+  std::string dir_;
+  Config config_;
+  std::uint64_t segment_index_ = 0;
+  std::uint64_t next_seq_ = 1;
+  util::CrashPoint* crash_ = nullptr;
+  std::optional<util::CheckedWriter> writer_;
+  bool ok_ = true;
+};
+
+}  // namespace nxd::pdns

@@ -1,0 +1,197 @@
+#include "util/checked_io.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/bytes.hpp"
+#include "util/crc32c.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::util {
+
+namespace {
+constexpr std::uint32_t kRecordMagic = 0x434b5231;  // "CKR1"
+constexpr std::size_t kRecordHeaderBytes = 12;      // magic + len + crc
+}  // namespace
+
+// ---------------------------------------------------------------- CrashPoint
+
+std::size_t CrashPoint::on_write(std::vector<std::uint8_t>& buf) noexcept {
+  if (crashed_) return 0;
+  const std::uint64_t op = ops_++;
+  if (mode_ == Mode::None || op != trigger_) return buf.size();
+  crashed_ = true;
+  // Seed the mutation from (seed, trigger) so every enumerated crash point
+  // tears/flips at a different, reproducible position.
+  Rng rng(SplitMix64{seed_ ^ (trigger_ * 0x9e3779b97f4a7c15ULL)}.next());
+  switch (mode_) {
+    case Mode::Kill:
+      return 0;
+    case Mode::Torn:
+      return buf.empty() ? 0 : static_cast<std::size_t>(rng.bounded(buf.size()));
+    case Mode::BitFlip:
+      if (!buf.empty()) {
+        buf[rng.bounded(buf.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.bounded(8));
+      }
+      return buf.size();
+    case Mode::None:
+      break;
+  }
+  return buf.size();
+}
+
+bool CrashPoint::on_barrier() noexcept {
+  if (crashed_) return false;
+  const std::uint64_t op = ops_++;
+  if (mode_ != Mode::None && op == trigger_) {
+    crashed_ = true;
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- CheckedWriter
+
+std::optional<CheckedWriter> CheckedWriter::open(std::string path,
+                                                 CrashPoint* crash) {
+  if (crash != nullptr && !crash->on_barrier()) return std::nullopt;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return std::nullopt;
+  return CheckedWriter(std::move(path), f, crash);
+}
+
+bool CheckedWriter::write_guarded(std::vector<std::uint8_t> bytes) {
+  if (!ok_ || file_ == nullptr) return false;
+  std::size_t to_write = bytes.size();
+  bool dies = false;
+  if (crash_ != nullptr) {
+    to_write = crash_->on_write(bytes);
+    dies = crash_->crashed();
+  }
+  if (to_write > 0) {
+    if (std::fwrite(bytes.data(), 1, to_write, file_.get()) != to_write) {
+      ok_ = false;
+      return false;
+    }
+    bytes_ += to_write;
+  }
+  if (dies) {
+    // Whatever the torn write left behind must be on disk (the kernel, not
+    // the dead process, owns those bytes) before we refuse further work.
+    std::fflush(file_.get());
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool CheckedWriter::append_record(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    ok_ = false;
+    return false;
+  }
+  ByteWriter w;
+  w.u32(kRecordMagic);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32c(payload));
+  w.bytes(payload);
+  return write_guarded(std::move(w).take());
+}
+
+bool CheckedWriter::flush() {
+  if (!ok_ || file_ == nullptr) return false;
+  if (crash_ != nullptr && !crash_->on_barrier()) {
+    ok_ = false;
+    return false;
+  }
+  if (std::fflush(file_.get()) != 0 || ::fsync(fileno(file_.get())) != 0) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool CheckedWriter::close() {
+  const bool flushed = flush();
+  file_.reset();
+  ok_ = false;  // closed writers accept no more work
+  return flushed;
+}
+
+// --------------------------------------------------------------- record scan
+
+RecordScan scan_records(std::span<const std::uint8_t> bytes) {
+  RecordScan out;
+  out.total_bytes = bytes.size();
+  ByteReader r(bytes);
+  while (r.remaining() >= kRecordHeaderBytes) {
+    const std::size_t record_start = r.pos();
+    const std::uint32_t magic = r.u32();
+    const std::uint32_t len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (magic != kRecordMagic || len > kMaxRecordBytes || r.remaining() < len) {
+      r.seek(record_start);
+      break;
+    }
+    const auto payload = r.bytes(len);
+    if (crc32c(payload) != crc) {
+      r.seek(record_start);
+      break;
+    }
+    out.records.emplace_back(payload.begin(), payload.end());
+  }
+  out.valid_bytes = r.pos();
+  out.truncated_tail = out.valid_bytes != out.total_bytes;
+  return out;
+}
+
+RecordScan scan_records_file(const std::string& path) {
+  const auto bytes = read_file(path);
+  if (!bytes) return {};
+  return scan_records(*bytes);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  char buf[64 * 1024];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    out.insert(out.end(), buf, buf + in.gcount());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- atomic commit
+
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> payload,
+                       CrashPoint* crash) {
+  const std::string tmp = path + ".tmp";
+  auto writer = CheckedWriter::open(tmp, crash);
+  if (!writer) return false;
+  if (!writer->append_record(payload)) return false;
+  if (!writer->close()) return false;
+  if (crash != nullptr && !crash->on_barrier()) return false;
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file_checked(
+    const std::string& path) {
+  const auto bytes = read_file(path);
+  if (!bytes) return std::nullopt;
+  auto scan = scan_records(*bytes);
+  if (scan.records.size() != 1 || scan.truncated_tail) return std::nullopt;
+  return std::move(scan.records.front());
+}
+
+bool remove_file(const std::string& path, CrashPoint* crash) {
+  if (crash != nullptr && !crash->on_barrier()) return false;
+  std::remove(path.c_str());
+  return true;
+}
+
+}  // namespace nxd::util

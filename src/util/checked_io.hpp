@@ -1,0 +1,150 @@
+// Crash-safe file primitives for the durable ingest path (pdns::Wal,
+// pdns::DurableStore): CRC32C-framed record writer/reader plus atomic file
+// commit (write temp → flush → rename), with an injectable, seeded
+// CrashPoint hook that simulates a process dying at any I/O boundary.
+//
+// Record framing (all integers big-endian, matching the snapshot codec):
+//   per record: magic "CKR1" u32 | payload_len u32 | crc32c(payload) u32 |
+//               payload bytes
+// A reader scans the valid record prefix and stops at the first torn,
+// oversized, or checksum-failing record — the tail is truncated, never
+// partially admitted, which is what gives the WAL its all-or-nothing batch
+// semantics.
+//
+// Crash model: the process can die at any *operation* boundary — a record
+// write, a flush, a file open, a rename, or an unlink.  Every boundary asks
+// the CrashPoint (when armed) whether to proceed; a triggered crash latches,
+// so every later operation fails too, exactly like code running after the
+// kill would never run.  A write-boundary crash can additionally tear the
+// buffer (a seeded strict prefix reaches the file) or flip a seeded bit
+// before dying — the torn/short-write and media-corruption cases.  The same
+// object in Mode::None is a pure counter, which is how the crash harness
+// discovers how many injection points a scripted run has.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nxd::util {
+
+/// Largest record the reader will admit; bigger length fields are treated as
+/// corruption (a flipped length byte must not trigger a giant allocation).
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;  // 64 MiB
+
+class CrashPoint {
+ public:
+  enum class Mode : std::uint8_t {
+    None,     ///< never crash; count operations (discovery pass)
+    Kill,     ///< die before the trigger op takes effect
+    Torn,     ///< write op: a seeded strict prefix reaches the file, then die
+    BitFlip,  ///< write op: flip one seeded bit, write fully, then die
+  };
+
+  /// Disabled hook: counts boundaries, never crashes.
+  CrashPoint() = default;
+
+  CrashPoint(std::uint64_t trigger_op, Mode mode,
+             std::uint64_t seed = 0) noexcept
+      : trigger_(trigger_op), seed_(seed), mode_(mode) {}
+
+  std::uint64_t ops_seen() const noexcept { return ops_; }
+  bool crashed() const noexcept { return crashed_; }
+
+  // ---- hooks called by the I/O layer ------------------------------------
+  /// Write boundary.  `buf` is the exact byte sequence about to reach the
+  /// file; BitFlip mutates it in place.  Returns how many leading bytes are
+  /// still written before the (possible) death — buf.size() when the op
+  /// proceeds normally, 0 for every op after the crash.
+  std::size_t on_write(std::vector<std::uint8_t>& buf) noexcept;
+
+  /// Non-data boundary (open, flush, rename, unlink).  False = the simulated
+  /// process is dead and the operation must not happen.
+  bool on_barrier() noexcept;
+
+ private:
+  std::uint64_t trigger_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t ops_ = 0;
+  Mode mode_ = Mode::None;
+  bool crashed_ = false;
+};
+
+/// Append-only writer of CRC32C-framed records, every operation guarded by
+/// the (optional) CrashPoint.  Always creates/truncates its file: segments
+/// and snapshot temps are never re-opened for append, so recovery can treat
+/// any existing bytes as immutable history.
+class CheckedWriter {
+ public:
+  static std::optional<CheckedWriter> open(std::string path,
+                                           CrashPoint* crash = nullptr);
+
+  CheckedWriter(CheckedWriter&&) = default;
+  CheckedWriter& operator=(CheckedWriter&&) = default;
+
+  bool ok() const noexcept { return ok_; }
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_; }
+
+  /// Frame `payload` and write it as one operation.
+  bool append_record(std::span<const std::uint8_t> payload);
+
+  /// fflush + fsync — the durability barrier an ack rides on.
+  bool flush();
+
+  /// Flush and close the handle; the writer is unusable afterwards.
+  bool close();
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  CheckedWriter(std::string path, std::FILE* file, CrashPoint* crash)
+      : path_(std::move(path)), file_(file), crash_(crash) {}
+
+  bool write_guarded(std::vector<std::uint8_t> bytes);
+
+  std::string path_;
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  CrashPoint* crash_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  bool ok_ = true;
+};
+
+/// Result of scanning a byte range for framed records.
+struct RecordScan {
+  std::vector<std::vector<std::uint8_t>> records;  ///< valid prefix, in order
+  std::uint64_t valid_bytes = 0;   ///< offset where the valid prefix ends
+  std::uint64_t total_bytes = 0;   ///< input size
+  bool truncated_tail = false;     ///< bytes past the valid prefix existed
+};
+
+RecordScan scan_records(std::span<const std::uint8_t> bytes);
+RecordScan scan_records_file(const std::string& path);
+
+/// Read a whole file; nullopt when it cannot be opened.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+/// Atomic commit: write `payload` as a single framed record to `path.tmp`,
+/// flush, fsync, then rename over `path`.  Either the old file or the
+/// complete new one survives a crash — never a torn mixture.
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> payload,
+                       CrashPoint* crash = nullptr);
+
+/// Read back a file written by write_file_atomic: exactly one valid record
+/// and nothing after it, else nullopt.
+std::optional<std::vector<std::uint8_t>> read_file_checked(
+    const std::string& path);
+
+/// Crash-guarded unlink.  True when the file is gone (or never existed).
+bool remove_file(const std::string& path, CrashPoint* crash = nullptr);
+
+}  // namespace nxd::util

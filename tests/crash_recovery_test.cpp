@@ -1,0 +1,491 @@
+// Crash-safe durable ingest: checked_io framing / atomic-commit primitives,
+// WAL append-rotate-replay, DurableStore checkpoint + recovery — and the
+// deterministic crash-point harness, which enumerates EVERY I/O boundary of
+// a scripted ingest, simulates a kill / torn write / bit flip there,
+// recovers, and asserts byte-exact equivalence with an uninterrupted serial
+// ingest of the committed batch prefix.  Everything is seeded and
+// byte-reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "pdns/durable_store.hpp"
+#include "pdns/observation.hpp"
+#include "pdns/sie_channel.hpp"
+#include "pdns/snapshot.hpp"
+#include "pdns/store.hpp"
+#include "pdns/wal.hpp"
+#include "util/bytes.hpp"
+#include "util/checked_io.hpp"
+#include "util/civil_time.hpp"
+#include "util/rng.hpp"
+
+namespace nxd {
+namespace {
+
+using util::CrashPoint;
+
+/// Fresh scratch directory per scenario, wiped first so every simulated
+/// process starts from the same on-disk state.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "nxd_crash_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+/// Seeded observation batches: a small zoo of domains, days, rcodes, and
+/// sensors, enough to exercise every snapshot section.
+std::vector<std::vector<pdns::Observation>> make_batches(std::uint64_t seed,
+                                                         std::size_t batches,
+                                                         std::size_t per_batch) {
+  static const char* kTlds[] = {"com", "net", "org", "xyz"};
+  util::Rng rng(seed);
+  std::vector<std::vector<pdns::Observation>> out(batches);
+  for (auto& batch : out) {
+    batch.reserve(per_batch);
+    for (std::size_t i = 0; i < per_batch; ++i) {
+      pdns::Observation obs;
+      obs.name = dns::DomainName::must(
+          "h" + std::to_string(rng.bounded(40)) + ".d" +
+          std::to_string(rng.bounded(12)) + "." + kTlds[rng.bounded(4)]);
+      const double roll = rng.uniform();
+      obs.rcode = roll < 0.80   ? dns::RCode::NXDomain
+                  : roll < 0.95 ? dns::RCode::NoError
+                                : dns::RCode::ServFail;
+      obs.when = rng.range(0, 30) * util::kSecondsPerDay + rng.range(0, 86'399);
+      obs.sensor.cls = static_cast<pdns::SensorClass>(rng.bounded(4));
+      obs.sensor.index = static_cast<std::uint16_t>(rng.bounded(3));
+      batch.push_back(std::move(obs));
+    }
+  }
+  return out;
+}
+
+/// Reference: uninterrupted serial ingest of the first `upto` batches.
+std::vector<std::uint8_t> serial_snapshot(
+    std::span<const std::vector<pdns::Observation>> batches,
+    std::uint64_t upto) {
+  pdns::PassiveDnsStore store;
+  for (std::uint64_t b = 0; b < upto; ++b) {
+    for (const auto& obs : batches[b]) store.ingest(obs);
+  }
+  return pdns::save_snapshot(store);
+}
+
+pdns::DurableStore::Config script_config(std::size_t shards) {
+  pdns::DurableStore::Config config;
+  config.shard_count = shards;
+  config.wal.segment_max_bytes = 4096;  // small, to exercise rotation
+  return config;
+}
+
+struct ScriptResult {
+  bool opened = false;
+  std::uint64_t acked = 0;
+};
+
+/// The scripted ingest the harness enumerates: open, ingest every batch,
+/// checkpoint once in the middle.  Stops at the first failed ack (the
+/// simulated process is dead from there on).
+ScriptResult run_script(
+    const std::string& dir,
+    std::span<const std::vector<pdns::Observation>> batches, std::size_t shards,
+    CrashPoint* crash) {
+  auto store = pdns::DurableStore::open(dir, script_config(shards), crash);
+  if (!store) return {};
+  ScriptResult result;
+  result.opened = true;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    if (!store->ingest_batch(batches[b])) break;
+    ++result.acked;
+    if (b + 1 == batches.size() / 2) store->checkpoint();
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- checked_io
+
+TEST(CheckedIo, WriterScanRoundTrip) {
+  const std::string path = fresh_dir("ckio_rt") + "/records.log";
+  auto writer = util::CheckedWriter::open(path);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->append_record(bytes_of("alpha")));
+  ASSERT_TRUE(writer->append_record(bytes_of("")));
+  ASSERT_TRUE(writer->append_record(bytes_of("gamma-3")));
+  ASSERT_TRUE(writer->close());
+  EXPECT_FALSE(writer->append_record(bytes_of("after close")));
+
+  const auto scan = util::scan_records_file(path);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0], bytes_of("alpha"));
+  EXPECT_EQ(scan.records[1], bytes_of(""));
+  EXPECT_EQ(scan.records[2], bytes_of("gamma-3"));
+  EXPECT_FALSE(scan.truncated_tail);
+  EXPECT_EQ(scan.valid_bytes, scan.total_bytes);
+}
+
+TEST(CheckedIo, TruncationAtEveryOffsetAdmitsOnlyWholeRecords) {
+  std::vector<std::size_t> boundaries{0};
+  const std::string path = fresh_dir("ckio_trunc") + "/records.log";
+  auto writer = util::CheckedWriter::open(path);
+  ASSERT_TRUE(writer.has_value());
+  for (const auto* payload : {"first", "second-rec", "x"}) {
+    ASSERT_TRUE(writer->append_record(bytes_of(payload)));
+    ASSERT_TRUE(writer->flush());
+    boundaries.push_back(writer->bytes_written());
+  }
+  ASSERT_TRUE(writer->close());
+  const auto bytes = util::read_file(path);
+  ASSERT_TRUE(bytes.has_value());
+  ASSERT_EQ(bytes->size(), boundaries.back());
+
+  for (std::size_t cut = 0; cut <= bytes->size(); ++cut) {
+    const auto scan =
+        util::scan_records(std::span(*bytes).subspan(0, cut));
+    // Exactly the records whose frames fit wholly under the cut survive.
+    std::size_t expect = 0;
+    while (expect + 1 < boundaries.size() && boundaries[expect + 1] <= cut) {
+      ++expect;
+    }
+    EXPECT_EQ(scan.records.size(), expect) << "cut=" << cut;
+    EXPECT_EQ(scan.valid_bytes, boundaries[expect]) << "cut=" << cut;
+    EXPECT_EQ(scan.truncated_tail, cut != boundaries[expect]) << "cut=" << cut;
+  }
+}
+
+TEST(CheckedIo, CorruptionAtEveryOffsetNeverAdmitsAMangledRecord) {
+  const std::string path = fresh_dir("ckio_flip") + "/records.log";
+  auto writer = util::CheckedWriter::open(path);
+  ASSERT_TRUE(writer.has_value());
+  const std::vector<std::vector<std::uint8_t>> payloads{
+      bytes_of("payload-one"), bytes_of("payload-two-longer"), bytes_of("p3")};
+  for (const auto& p : payloads) ASSERT_TRUE(writer->append_record(p));
+  ASSERT_TRUE(writer->close());
+  const auto clean = util::read_file(path);
+  ASSERT_TRUE(clean.has_value());
+
+  for (std::size_t at = 0; at < clean->size(); ++at) {
+    auto mangled = *clean;
+    mangled[at] ^= 0xFF;
+    const auto scan = util::scan_records(mangled);
+    // Whatever survives must be an untouched prefix of the original records;
+    // the record containing the flipped byte is dropped, not mangled.
+    ASSERT_LT(scan.records.size(), payloads.size() + 1);
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      EXPECT_EQ(scan.records[i], payloads[i]) << "offset=" << at;
+    }
+    EXPECT_TRUE(scan.truncated_tail) << "offset=" << at;
+  }
+}
+
+TEST(CheckedIo, OversizedLengthFieldIsCorruptionNotAnAllocation) {
+  util::ByteWriter w;
+  w.u32(0x434b5231);                 // record magic
+  w.u32(util::kMaxRecordBytes + 1);  // hostile length
+  w.u32(0);                          // crc (never reached)
+  const auto bytes = std::move(w).take();
+  const auto scan = util::scan_records(bytes);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_TRUE(scan.truncated_tail);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(CheckedIo, ReadFileCheckedRejectsTrailingJunk) {
+  const std::string dir = fresh_dir("ckio_atomic");
+  const std::string path = dir + "/state.bin";
+  ASSERT_TRUE(util::write_file_atomic(path, bytes_of("committed")));
+  EXPECT_EQ(util::read_file_checked(path), bytes_of("committed"));
+
+  std::ofstream(path, std::ios::binary | std::ios::app) << "junk";
+  EXPECT_FALSE(util::read_file_checked(path).has_value());
+}
+
+TEST(CheckedIo, AtomicCommitCrashAtEveryOpKeepsOldOrNothing) {
+  const std::string dir = fresh_dir("ckio_commit");
+  const std::string path = dir + "/state.bin";
+  const auto old_payload = bytes_of("old committed state");
+  const auto new_payload = bytes_of("replacement state, longer than before");
+
+  // Discovery: how many I/O boundaries does one commit have?
+  ASSERT_TRUE(util::write_file_atomic(path, old_payload));
+  CrashPoint probe;
+  ASSERT_TRUE(util::write_file_atomic(path, new_payload, &probe));
+  const std::uint64_t total_ops = probe.ops_seen();
+  ASSERT_GE(total_ops, 4u);  // open, record write, flush, rename
+
+  for (std::uint64_t op = 0; op < total_ops; ++op) {
+    for (const auto mode : {CrashPoint::Mode::Kill, CrashPoint::Mode::Torn,
+                            CrashPoint::Mode::BitFlip}) {
+      std::filesystem::remove(path + ".tmp");
+      ASSERT_TRUE(util::write_file_atomic(path, old_payload));
+      CrashPoint crash(op, mode, /*seed=*/1000 + op);
+      EXPECT_FALSE(util::write_file_atomic(path, new_payload, &crash));
+      EXPECT_TRUE(crash.crashed());
+      // The committed file is untouched: the temp never renames over it.
+      EXPECT_EQ(util::read_file_checked(path), old_payload)
+          << "op=" << op << " mode=" << static_cast<int>(mode);
+    }
+  }
+
+  // And an uninterrupted retry lands the new state.
+  ASSERT_TRUE(util::write_file_atomic(path, new_payload));
+  EXPECT_EQ(util::read_file_checked(path), new_payload);
+}
+
+// --------------------------------------------------------------------- Wal
+
+TEST(Wal, AppendRotateReplayRoundTrip) {
+  const std::string dir = fresh_dir("wal_rt");
+  const auto batches = make_batches(21, 5, 30);
+  pdns::Wal::Config config;
+  config.segment_max_bytes = 512;  // force rotation between appends
+  auto wal = pdns::Wal::create(dir, config, /*segment_index=*/0,
+                               /*next_seq=*/1);
+  ASSERT_TRUE(wal.has_value());
+  for (const auto& batch : batches) ASSERT_TRUE(wal->append_batch(batch));
+  EXPECT_EQ(wal->next_seq(), 6u);
+  EXPECT_GE(pdns::Wal::list_segments(dir).size(), 2u);
+
+  const auto replay = pdns::Wal::replay(dir);
+  EXPECT_FALSE(replay.tail_truncated);
+  EXPECT_EQ(replay.discarded_bytes, 0u);
+  ASSERT_EQ(replay.batches.size(), batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(replay.batches[i].seq, i + 1);
+    // Frame-codec byte equality is the strongest cheap comparison.
+    EXPECT_EQ(pdns::encode_batch_frame(replay.batches[i].batch),
+              pdns::encode_batch_frame(batches[i]))
+        << i;
+  }
+}
+
+TEST(Wal, ReplayStopsAtNonIncreasingSequence) {
+  const std::string dir = fresh_dir("wal_seq");
+  const auto batches = make_batches(33, 3, 10);
+  auto writer =
+      util::CheckedWriter::open(pdns::Wal::segment_path(dir, 0));
+  ASSERT_TRUE(writer.has_value());
+  const std::uint64_t seqs[] = {1, 3, 2};  // 2 after 3 is damage
+  for (std::size_t i = 0; i < 3; ++i) {
+    util::ByteWriter payload;
+    payload.u32(static_cast<std::uint32_t>(seqs[i] >> 32));
+    payload.u32(static_cast<std::uint32_t>(seqs[i]));
+    payload.bytes(pdns::encode_batch_frame(batches[i]));
+    ASSERT_TRUE(writer->append_record(payload.view()));
+  }
+  ASSERT_TRUE(writer->close());
+
+  const auto replay = pdns::Wal::replay(dir);
+  ASSERT_EQ(replay.batches.size(), 2u);
+  EXPECT_EQ(replay.batches[0].seq, 1u);
+  EXPECT_EQ(replay.batches[1].seq, 3u);
+  EXPECT_TRUE(replay.tail_truncated);
+  EXPECT_GT(replay.discarded_bytes, 0u);
+}
+
+TEST(Wal, TornTailDropsOnlyTheLastBatch) {
+  const std::string dir = fresh_dir("wal_torn");
+  const auto batches = make_batches(7, 3, 20);
+  pdns::Wal::Config config;  // large segments: everything in one file
+  auto wal = pdns::Wal::create(dir, config, 0, 1);
+  ASSERT_TRUE(wal.has_value());
+  for (const auto& batch : batches) ASSERT_TRUE(wal->append_batch(batch));
+
+  const auto segments = pdns::Wal::list_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto size = std::filesystem::file_size(segments[0].second);
+  std::filesystem::resize_file(segments[0].second, size - 3);
+
+  const auto replay = pdns::Wal::replay(dir);
+  ASSERT_EQ(replay.batches.size(), 2u);  // all-or-nothing: batch 3 gone whole
+  EXPECT_TRUE(replay.tail_truncated);
+  EXPECT_GT(replay.discarded_bytes, 0u);
+}
+
+TEST(Wal, DropSegmentsBelowTruncatesHistory) {
+  const std::string dir = fresh_dir("wal_drop");
+  const auto batches = make_batches(9, 4, 20);
+  pdns::Wal::Config config;
+  config.segment_max_bytes = 256;
+  auto wal = pdns::Wal::create(dir, config, 0, 1);
+  ASSERT_TRUE(wal.has_value());
+  for (const auto& batch : batches) ASSERT_TRUE(wal->append_batch(batch));
+  ASSERT_GE(pdns::Wal::list_segments(dir).size(), 3u);
+
+  ASSERT_TRUE(wal->drop_segments_below(wal->segment_index()));
+  const auto kept = pdns::Wal::list_segments(dir);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].first, wal->segment_index());
+}
+
+// ------------------------------------------------------------ DurableStore
+
+TEST(DurableStore, CheckpointRecoverRoundTrip) {
+  const std::string dir = fresh_dir("ds_rt");
+  const auto batches = make_batches(55, 6, 40);
+
+  {
+    auto store = pdns::DurableStore::open(dir, script_config(1));
+    ASSERT_TRUE(store.has_value());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      ASSERT_TRUE(store->ingest_batch(batches[b]));
+      if (b == 2) {
+        ASSERT_TRUE(store->checkpoint());
+      }
+    }
+    EXPECT_EQ(store->committed_batches(), 6u);
+    EXPECT_EQ(store->checkpoints_taken(), 1u);
+  }  // drop the store: simulate a clean shutdown without a final checkpoint
+
+  auto recovered = pdns::DurableStore::open(dir, script_config(1));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->committed_batches(), 6u);
+  EXPECT_TRUE(recovered->recovery().snapshot_loaded);
+  EXPECT_EQ(recovered->recovery().snapshot_batches, 3u);
+  EXPECT_EQ(recovered->recovery().replayed_batches, 3u);
+  EXPECT_EQ(recovered->recovery().stale_batches_skipped, 0u);
+  EXPECT_FALSE(recovered->recovery().wal_tail_truncated);
+  EXPECT_EQ(recovered->snapshot_bytes(), serial_snapshot(batches, 6));
+}
+
+TEST(DurableStore, RecoverySkipsWalRecordsTheCheckpointAlreadyCovers) {
+  const std::string dir = fresh_dir("ds_stale");
+  const auto batches = make_batches(77, 4, 30);
+  {
+    auto store = pdns::DurableStore::open(dir, script_config(1));
+    ASSERT_TRUE(store.has_value());
+    for (const auto& batch : batches) ASSERT_TRUE(store->ingest_batch(batch));
+    ASSERT_TRUE(store->checkpoint());
+  }
+  // Simulate a crash that raced WAL truncation: a leftover segment still
+  // carrying batch seq 1, which the checkpoint (batches=4) already covers.
+  {
+    auto stale = pdns::Wal::create(dir, {}, /*segment_index=*/50,
+                                   /*next_seq=*/1);
+    ASSERT_TRUE(stale.has_value());
+    ASSERT_TRUE(stale->append_batch(batches[0]));
+  }
+
+  auto recovered = pdns::DurableStore::open(dir, script_config(1));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->committed_batches(), 4u);
+  EXPECT_EQ(recovered->recovery().stale_batches_skipped, 1u);
+  EXPECT_EQ(recovered->recovery().replayed_batches, 0u);
+  EXPECT_EQ(recovered->snapshot_bytes(), serial_snapshot(batches, 4));
+}
+
+TEST(DurableStore, FsckReportsCleanAndDirtyDirectories) {
+  const std::string dir = fresh_dir("ds_fsck");
+  const auto batches = make_batches(88, 4, 25);
+  {
+    auto store = pdns::DurableStore::open(dir, script_config(1));
+    ASSERT_TRUE(store.has_value());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      ASSERT_TRUE(store->ingest_batch(batches[b]));
+      if (b == 1) {
+        ASSERT_TRUE(store->checkpoint());
+      }
+    }
+  }
+  auto report = pdns::DurableStore::fsck(dir);
+  EXPECT_TRUE(report.clean);
+  EXPECT_EQ(report.best_snapshot_batches, 2u);
+  EXPECT_EQ(report.replayable_batches, 2u);
+  EXPECT_EQ(report.recoverable_batches, 4u);
+  EXPECT_EQ(report.stale_batches, 0u);
+
+  // Dirt: a leftover commit temp and a torn WAL tail.
+  std::ofstream(dir + "/snapshot-999.nxs.tmp", std::ios::binary) << "junk";
+  const auto segments = pdns::Wal::list_segments(dir);
+  ASSERT_FALSE(segments.empty());
+  const auto& tail = segments.back().second;
+  std::filesystem::resize_file(tail, std::filesystem::file_size(tail) - 2);
+
+  report = pdns::DurableStore::fsck(dir);
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.tmp_files, 1u);
+  EXPECT_TRUE(report.wal_tail_truncated);
+  EXPECT_EQ(report.recoverable_batches, 3u);  // all-or-nothing on the tail
+}
+
+// ----------------------------------------------------------- crash harness
+
+/// The tentpole property.  For every I/O boundary `op` of the scripted
+/// ingest and every failure mode, kill the collector there, recover, and
+/// require:
+///   - recovery always succeeds (a crashed directory is never unreadable);
+///   - acked ⊆ recovered, and at most one unacked in-flight batch is
+///     admitted (it must have reached the file intact before the death);
+///   - the recovered store's snapshot is byte-identical to an uninterrupted
+///     serial ingest of exactly the recovered batch prefix.
+void enumerate_crash_points(const std::string& tag, std::size_t shards,
+                            std::size_t batch_count, std::size_t per_batch) {
+  const auto batches = make_batches(0xC0FFEE + shards, batch_count, per_batch);
+  std::vector<std::vector<std::uint8_t>> want;
+  for (std::uint64_t r = 0; r <= batches.size(); ++r) {
+    want.push_back(serial_snapshot(batches, r));
+  }
+
+  // Discovery pass: a Mode::None CrashPoint counts the I/O boundaries of an
+  // uninterrupted run (and pins the no-crash behaviour while it is at it).
+  CrashPoint probe;
+  {
+    const auto dir = fresh_dir(tag + "_probe");
+    const auto result = run_script(dir, batches, shards, &probe);
+    ASSERT_TRUE(result.opened);
+    ASSERT_EQ(result.acked, batches.size());
+    auto recovered = pdns::DurableStore::open(dir, script_config(shards));
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(recovered->snapshot_bytes(), want.back());
+  }
+  const std::uint64_t total_ops = probe.ops_seen();
+  ASSERT_GT(total_ops, 15u) << "scripted run has suspiciously few boundaries";
+
+  for (std::uint64_t op = 0; op < total_ops; ++op) {
+    for (const auto mode : {CrashPoint::Mode::Kill, CrashPoint::Mode::Torn,
+                            CrashPoint::Mode::BitFlip}) {
+      const auto dir = fresh_dir(tag + "_" + std::to_string(op) + "_" +
+                                 std::to_string(static_cast<int>(mode)));
+      CrashPoint crash(op, mode, /*seed=*/0x5EED + op);
+      const auto result = run_script(dir, batches, shards, &crash);
+      ASSERT_TRUE(crash.crashed()) << "op=" << op << " never fired";
+
+      auto recovered = pdns::DurableStore::open(dir, script_config(shards));
+      ASSERT_TRUE(recovered.has_value())
+          << "op=" << op << " mode=" << static_cast<int>(mode);
+      const std::uint64_t r = recovered->committed_batches();
+      ASSERT_GE(r, result.acked) << "acked batch lost at op=" << op;
+      ASSERT_LE(r, result.acked + 1)
+          << "more than one unacked batch admitted at op=" << op;
+      ASSERT_LE(r, batches.size());
+      EXPECT_EQ(recovered->snapshot_bytes(), want[r])
+          << "op=" << op << " mode=" << static_cast<int>(mode)
+          << " acked=" << result.acked << " recovered=" << r;
+    }
+  }
+}
+
+TEST(CrashHarness, EveryInjectionPointRecoversExactly) {
+  enumerate_crash_points("serial", /*shards=*/1, /*batch_count=*/6,
+                         /*per_batch=*/40);
+}
+
+TEST(CrashHarness, ShardedIngestRecoversExactlyToo) {
+  enumerate_crash_points("sharded", /*shards=*/4, /*batch_count=*/4,
+                         /*per_batch=*/30);
+}
+
+}  // namespace
+}  // namespace nxd

@@ -536,5 +536,73 @@ TEST(TcpFrontend, ServesOverLoopback) {
   EXPECT_EQ(recorder.total(), 1u);
 }
 
+// ------------------------------------------------------- bounded capture
+
+net::SimPacket tcp_packet(std::string payload) {
+  net::SimPacket packet;
+  packet.protocol = net::Protocol::TCP;
+  packet.src = net::Endpoint{*dns::IPv4::parse("198.18.9.9"), 41000};
+  packet.dst = net::Endpoint{*dns::IPv4::parse("203.0.113.5"), 80};
+  packet.payload.assign(payload.begin(), payload.end());
+  return packet;
+}
+
+TEST(BoundedCapture, OversizedBodyGets413AndTruncatedRecord) {
+  TrafficRecorder recorder;
+  NxdHoneypot pot({.domain = "cap.com", .max_request_bytes = 256}, recorder);
+  EXPECT_EQ(recorder.max_payload_bytes(), 256u);
+
+  const std::string request = "POST /upload HTTP/1.1\r\nhost: cap.com\r\n\r\n" +
+                              std::string(10'000, 'x');
+  const auto reply = pot.handle_packet(tcp_packet(request), 5);
+  ASSERT_TRUE(reply.has_value());
+  const std::string text(reply->begin(), reply->end());
+  EXPECT_NE(text.find("413 Payload Too Large"), std::string::npos);
+
+  // The capture plane kept only the evidentiary prefix and counted the
+  // overflow; per-connection memory is bounded by the cap, not the sender.
+  ASSERT_EQ(recorder.total(), 1u);
+  EXPECT_EQ(recorder.records()[0].payload.size(), 256u);
+  EXPECT_EQ(recorder.oversize_payloads(), 1u);
+}
+
+TEST(BoundedCapture, UnterminatedHeaderFloodGets431) {
+  TrafficRecorder recorder;
+  NxdHoneypot pot({.domain = "cap.com", .max_request_bytes = 128}, recorder);
+
+  std::string flood = "GET / HTTP/1.1\r\n";
+  while (flood.size() <= 1024) flood += "x-filler: aaaaaaaaaaaaaaaa\r\n";
+  const auto reply = pot.handle_packet(tcp_packet(flood), 5);
+  ASSERT_TRUE(reply.has_value());
+  const std::string text(reply->begin(), reply->end());
+  EXPECT_NE(text.find("431 Request Header Fields Too Large"),
+            std::string::npos);
+  EXPECT_EQ(recorder.oversize_payloads(), 1u);
+  EXPECT_EQ(recorder.records()[0].payload.size(), 128u);
+}
+
+TEST(BoundedCapture, RequestsWithinTheCapAreUntouched) {
+  TrafficRecorder recorder;
+  NxdHoneypot pot({.domain = "cap.com", .max_request_bytes = 4096}, recorder);
+  const std::string request = "GET / HTTP/1.1\r\nhost: cap.com\r\n\r\n";
+  const auto reply = pot.handle_packet(tcp_packet(request), 5);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(std::string(reply->begin(), reply->end()).find("200 OK"),
+            std::string::npos);
+  EXPECT_EQ(recorder.oversize_payloads(), 0u);
+  EXPECT_EQ(recorder.records()[0].payload.size(), request.size());
+}
+
+TEST(BoundedCapture, ZeroCapKeepsUnboundedBehaviour) {
+  TrafficRecorder recorder;
+  NxdHoneypot pot({.domain = "cap.com", .max_request_bytes = 0}, recorder);
+  const std::string request = "POST /big HTTP/1.1\r\nhost: cap.com\r\n\r\n" +
+                              std::string(200'000, 'y');
+  const auto reply = pot.handle_packet(tcp_packet(request), 5);
+  ASSERT_TRUE(reply.has_value());  // parsed normally: 404 for /big
+  EXPECT_EQ(recorder.oversize_payloads(), 0u);
+  EXPECT_EQ(recorder.records()[0].payload.size(), request.size());
+}
+
 }  // namespace
 }  // namespace nxd::honeypot

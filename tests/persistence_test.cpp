@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "analysis/report.hpp"
 #include "analysis/scale.hpp"
 #include "honeypot/server.hpp"
+#include "pdns/durable_store.hpp"
 #include "pdns/snapshot.hpp"
 #include "synth/scale_models.hpp"
 #include "whois/dropcatch.hpp"
@@ -164,6 +167,64 @@ TEST(Snapshot, CorruptInputRejected) {
   auto trailing = bytes;
   trailing.push_back(0);
   EXPECT_FALSE(pdns::load_snapshot(trailing).has_value());
+}
+
+// ------------------------------------------------------------ durable store
+
+// The durability property: for several seeds and every shard count, a
+// DurableStore run (ingest in batches, periodic checkpoints, shutdown
+// without a final checkpoint, recover from disk) yields a snapshot
+// byte-identical to plain serial ingest of the same stream.  This is the
+// crash-free sibling of the crash_recovery_test harness — it pins that the
+// durable path adds zero drift on the happy path too.
+TEST(DurableStore, CheckpointRecoverEqualsSerialAcrossSeedsAndShardCounts) {
+  for (const std::uint64_t seed : {3ULL, 19ULL}) {
+    const auto stream = [&] {
+      synth::HistoryStreamConfig config;
+      config.scale = 1e-7;
+      config.seed = seed;
+      config.ok_fraction = 0.06;
+      config.servfail_fraction = 0.03;
+      return synth::NxHistoryStream(config).all();
+    }();
+    ASSERT_GT(stream.size(), 500u);
+
+    pdns::PassiveDnsStore serial;
+    for (const auto& obs : stream) serial.ingest(obs);
+    const auto want = pdns::save_snapshot(serial);
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      const std::string dir = ::testing::TempDir() + "nxd_durable_prop_" +
+                              std::to_string(seed) + "_" +
+                              std::to_string(shards);
+      std::filesystem::remove_all(dir);
+
+      pdns::DurableStore::Config config;
+      config.shard_count = shards;
+      config.checkpoint_every_batches = 3;  // auto-checkpoint mid-run
+      config.wal.segment_max_bytes = 64 * 1024;
+      {
+        auto store = pdns::DurableStore::open(dir, config);
+        ASSERT_TRUE(store.has_value());
+        const std::size_t batch_size = stream.size() / 10 + 1;
+        for (std::size_t at = 0; at < stream.size(); at += batch_size) {
+          const auto n = std::min(batch_size, stream.size() - at);
+          ASSERT_TRUE(store->ingest_batch(
+              std::span(stream).subspan(at, n)));
+        }
+        EXPECT_GE(store->checkpoints_taken(), 1u);
+        EXPECT_EQ(store->snapshot_bytes(), want)
+            << "live seed=" << seed << " shards=" << shards;
+      }  // shutdown with a non-empty WAL tail
+
+      auto recovered = pdns::DurableStore::open(dir, config);
+      ASSERT_TRUE(recovered.has_value());
+      EXPECT_TRUE(recovered->recovery().snapshot_loaded);
+      EXPECT_EQ(recovered->snapshot_bytes(), want)
+          << "recovered seed=" << seed << " shards=" << shards;
+      std::filesystem::remove_all(dir);
+    }
+  }
 }
 
 // -------------------------------------------------------------- drop-catch

@@ -12,11 +12,16 @@
 //                                category/port breakdown
 //   resolve <domain>...          resolve against a demo hierarchy (shows
 //                                NXDomain vs NOERROR and the Fig-1 trace)
+//   recover <dir>                recover a durable ingest directory (WAL
+//                                replay + fresh checkpoint) and print stats
+//   fsck <dir>                   read-only health report of a durable
+//                                ingest directory
 //
 // Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when a check
-// subcommand found problems (e.g. zone errors).
+// subcommand found problems (e.g. zone errors, unclean durable dirs).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,6 +32,7 @@
 #include "dns/punycode.hpp"
 #include "honeypot/capture_log.hpp"
 #include "honeypot/categorizer.hpp"
+#include "pdns/durable_store.hpp"
 #include "resolver/recursive.hpp"
 #include "resolver/zone_file.hpp"
 #include "squat/detector.hpp"
@@ -46,7 +52,9 @@ int usage() {
                "  zone check <file> <origin>  validate a zone file\n"
                "  zone dump <file> <origin>   normalize a zone file to stdout\n"
                "  capture stats <file.jsonl>  categorize a honeypot capture log\n"
-               "  resolve <domain>...         resolve against the demo hierarchy\n");
+               "  resolve <domain>...         resolve against the demo hierarchy\n"
+               "  recover <dir>               recover + compact a durable ingest dir\n"
+               "  fsck <dir>                  read-only durable-dir health report\n");
   return 1;
 }
 
@@ -231,6 +239,99 @@ int cmd_resolve(int argc, char** argv) {
   return 0;
 }
 
+int cmd_recover(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const std::string dir = argv[0];
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "nxdtool: not a directory: %s\n", dir.c_str());
+    return 1;
+  }
+  auto store = pdns::DurableStore::open(dir, pdns::DurableStore::Config{});
+  if (!store) {
+    std::fprintf(stderr, "nxdtool: cannot recover %s\n", dir.c_str());
+    return 1;
+  }
+  const auto& r = store->recovery();
+  std::printf("recovered %s\n", dir.c_str());
+  std::printf("  checkpoint:        %s (%llu batches)\n",
+              r.snapshot_loaded ? "loaded" : "none",
+              static_cast<unsigned long long>(r.snapshot_batches));
+  std::printf("  wal replayed:      %llu batches (%llu stale skipped)\n",
+              static_cast<unsigned long long>(r.replayed_batches),
+              static_cast<unsigned long long>(r.stale_batches_skipped));
+  if (r.wal_tail_truncated) {
+    std::printf("  torn tail:         %llu bytes discarded\n",
+                static_cast<unsigned long long>(r.discarded_wal_bytes));
+  }
+  if (r.invalid_snapshots > 0) {
+    std::printf("  corrupt ckpts:     %llu skipped\n",
+                static_cast<unsigned long long>(r.invalid_snapshots));
+  }
+  if (r.removed_tmp_files > 0) {
+    std::printf("  temporaries:       %llu swept\n",
+                static_cast<unsigned long long>(r.removed_tmp_files));
+  }
+  // Compact: fold everything into a fresh checkpoint so the next open
+  // replays nothing and any torn tail is gone for good.
+  if (!store->checkpoint()) {
+    std::fprintf(stderr, "nxdtool: checkpoint after recovery failed\n");
+    return 1;
+  }
+  const auto recovered = store->materialize();
+  std::printf("  committed:         %llu batches, %s observations\n",
+              static_cast<unsigned long long>(store->committed_batches()),
+              util::with_commas(recovered.total_observations()).c_str());
+  std::printf("  compacted into a fresh checkpoint; dir is clean\n");
+  return 0;
+}
+
+int cmd_fsck(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const std::string dir = argv[0];
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "nxdtool: not a directory: %s\n", dir.c_str());
+    return 1;
+  }
+  const auto report = pdns::DurableStore::fsck(dir);
+  std::printf("fsck %s\n", dir.c_str());
+  std::uint64_t corrupt_snapshots = 0;
+  for (const auto& snap : report.snapshots) {
+    if (!snap.valid) ++corrupt_snapshots;
+    std::printf("  checkpoint %-40s %s (%llu batches)\n", snap.path.c_str(),
+                snap.valid ? "ok" : "CORRUPT",
+                static_cast<unsigned long long>(snap.batches));
+  }
+  std::printf("  wal: %llu segments, %llu records "
+              "(%llu replayable, %llu stale)\n",
+              static_cast<unsigned long long>(report.wal_segments),
+              static_cast<unsigned long long>(report.wal_records),
+              static_cast<unsigned long long>(report.replayable_batches),
+              static_cast<unsigned long long>(report.stale_batches));
+  if (report.wal_tail_truncated) {
+    std::printf("  torn wal tail: %llu bytes would be discarded\n",
+                static_cast<unsigned long long>(report.discarded_wal_bytes));
+  }
+  if (report.tmp_files > 0) {
+    std::printf("  leftover temporaries: %llu\n",
+                static_cast<unsigned long long>(report.tmp_files));
+  }
+  std::printf("  recoverable: %llu batches (%llu checkpointed + %llu wal)\n",
+              static_cast<unsigned long long>(report.recoverable_batches),
+              static_cast<unsigned long long>(report.best_snapshot_batches),
+              static_cast<unsigned long long>(report.replayable_batches));
+  if (report.clean) {
+    std::printf("  clean\n");
+    return 0;
+  }
+  std::printf("  NOT CLEAN (%llu corrupt checkpoints%s%s) — "
+              "run `nxdtool recover %s`\n",
+              static_cast<unsigned long long>(corrupt_snapshots),
+              report.wal_tail_truncated ? ", torn wal tail" : "",
+              report.tmp_files > 0 ? ", leftover temporaries" : "",
+              dir.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -242,5 +343,7 @@ int main(int argc, char** argv) {
   if (command == "zone") return cmd_zone(argc - 2, argv + 2);
   if (command == "capture") return cmd_capture(argc - 2, argv + 2);
   if (command == "resolve") return cmd_resolve(argc - 2, argv + 2);
+  if (command == "recover") return cmd_recover(argc - 2, argv + 2);
+  if (command == "fsck") return cmd_fsck(argc - 2, argv + 2);
   return usage();
 }
