@@ -25,6 +25,14 @@
 //                   checksummed checkpoint.  Re-running after a kill recovers
 //                   the committed prefix (see also: nxdtool recover/fsck).
 //                   Combines with --threads=N for sharded durable ingest.
+//               [--max-conns=64] [--rate-limit=2] [--drain-ms=4000]
+//                   overload run: replay a seeded flood + slowloris barrage
+//                   against a honeypot guarded by the overload layer
+//                   (honeypot/overload.hpp) with that connection cap, per-IP
+//                   request rate, and drain grace, then print the load
+//                   snapshot (pipe it to a file for `nxdtool loadstats`).
+//                   Any of the three flags enables the section; the default
+//                   run is untouched.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +43,7 @@
 
 #include "analysis/origin.hpp"
 #include "analysis/report.hpp"
+#include "honeypot/server.hpp"
 #include "analysis/scale.hpp"
 #include "analysis/security.hpp"
 #include "pdns/durable_store.hpp"
@@ -58,6 +67,10 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::string report_path;
   std::string durable_dir;
+  std::size_t max_conns = 64;
+  double rate_limit = 2;
+  std::int64_t drain_ms = 4'000;
+  bool overload_run = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
     if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -70,6 +83,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
     if (std::strncmp(argv[i], "--durable=", 10) == 0) durable_dir = argv[i] + 10;
+    if (std::strncmp(argv[i], "--max-conns=", 12) == 0) {
+      max_conns = std::strtoull(argv[i] + 12, nullptr, 10);
+      overload_run = true;
+    }
+    if (std::strncmp(argv[i], "--rate-limit=", 13) == 0) {
+      rate_limit = std::atof(argv[i] + 13);
+      overload_run = true;
+    }
+    if (std::strncmp(argv[i], "--drain-ms=", 11) == 0) {
+      drain_ms = std::strtoll(argv[i] + 11, nullptr, 10);
+      overload_run = true;
+    }
   }
 
   // ---------------------------------------------------------------- §4
@@ -350,6 +375,105 @@ int main(int argc, char** argv) {
                 util::with_commas(chaos_store.nx_responses()).c_str(),
                 util::with_commas(chaos_store.distinct_nxdomains()).c_str(),
                 util::with_commas(chaos_store.servfail_responses()).c_str());
+  }
+
+  // ------------------------------------------------------------- overload
+  if (overload_run) {
+    std::printf("\n=== overload: honeypot flood + slowloris (seed %llu, "
+                "max-conns %zu, rate %.1f/s, drain %lld ms) ===\n",
+                static_cast<unsigned long long>(seed), max_conns, rate_limit,
+                static_cast<long long>(drain_ms));
+    honeypot::TrafficRecorder ol_recorder;
+    honeypot::NxdHoneypot::Config ol_config;
+    ol_config.domain = "overload-demo.com";
+    honeypot::NxdHoneypot ol_server(ol_config, ol_recorder);
+    honeypot::OverloadConfig guard;
+    guard.max_connections = max_conns;
+    guard.per_ip_rate = rate_limit;
+    guard.drain_deadline =
+        std::max<util::SimTime>(1, (drain_ms + 999) / 1'000);
+    ol_server.enable_overload(guard);
+
+    util::SimClock ol_clock;
+    util::Rng flood(seed);
+    const net::Endpoint ol_dst{dns::IPv4::from_octets(203, 0, 113, 10), 80};
+    const std::string ol_request =
+        "GET / HTTP/1.1\r\nHost: overload-demo.com\r\n\r\n";
+
+    // Slowloris barrage: three connections per slot of capacity open a
+    // header and then stall, so the cap fills and late arrivals shed 503;
+    // the header deadline reaps the stalled ones.
+    const std::size_t loris = max_conns != 0 ? 3 * max_conns : 96;
+    for (std::size_t i = 0; i < loris; ++i) {
+      const net::Endpoint src{
+          dns::IPv4::from_octets(198, 51, static_cast<std::uint8_t>(i >> 8),
+                                 static_cast<std::uint8_t>(i)),
+          static_cast<std::uint16_t>(49'152 + i)};
+      const auto opened = ol_server.conn_open(src, ol_clock.now());
+      if (opened.accepted) {
+        const std::string partial = "GET / HTTP/1.1\r\nHost: ";
+        ol_server.conn_data(
+            opened.id,
+            std::span(reinterpret_cast<const std::uint8_t*>(partial.data()),
+                      partial.size()),
+            ol_clock.now());
+      }
+    }
+    ol_clock.advance(guard.header_deadline + 1);
+    ol_server.reap_expired(ol_clock.now());
+
+    // One-shot request flood: a few hot sources hammer (tripping the per-IP
+    // limiter), a long tail stays under it.
+    for (int i = 0; i < 600; ++i) {
+      const bool hot = flood.chance(0.7);
+      const net::Endpoint src{
+          dns::IPv4::from_octets(
+              192, 0, 2,
+              static_cast<std::uint8_t>(hot ? flood.bounded(3)
+                                            : 16 + flood.bounded(200))),
+          static_cast<std::uint16_t>(50'000 + i)};
+      net::SimPacket packet;
+      packet.protocol = net::Protocol::TCP;
+      packet.src = src;
+      packet.dst = ol_dst;
+      packet.payload.assign(ol_request.begin(), ol_request.end());
+      ol_server.handle_packet(packet, ol_clock.now());
+      if (i % 20 == 19) ol_clock.advance(1);
+    }
+
+    // Graceful drain: a last wave is mid-request when the drain starts;
+    // half finish inside the grace window, the stragglers are force-closed
+    // at the drain deadline.
+    std::vector<std::uint64_t> in_flight;
+    for (int i = 0; i < 8; ++i) {
+      const net::Endpoint src{dns::IPv4::from_octets(
+                                  203, 0, 113, static_cast<std::uint8_t>(i)),
+                              static_cast<std::uint16_t>(51'000 + i)};
+      const auto opened = ol_server.conn_open(src, ol_clock.now());
+      if (opened.accepted) in_flight.push_back(opened.id);
+    }
+    ol_server.begin_drain(ol_clock.now());
+    for (std::size_t i = 0; i < in_flight.size(); i += 2) {
+      ol_server.conn_data(
+          in_flight[i],
+          std::span(reinterpret_cast<const std::uint8_t*>(ol_request.data()),
+                    ol_request.size()),
+          ol_clock.now());
+    }
+    ol_clock.advance(guard.drain_deadline + 1);
+    ol_server.reap_expired(ol_clock.now());
+
+    honeypot::LoadSnapshot snapshot;
+    snapshot.add_overload("honeypot", ol_server.gate()->stats());
+    snapshot.add("recorder.records", ol_recorder.total());
+    snapshot.add("recorder.shed_connections", ol_recorder.shed_connections());
+    snapshot.add("recorder.expired_connections",
+                 ol_recorder.expired_connections());
+    snapshot.add("recorder.drained_connections",
+                 ol_recorder.drained_connections());
+    std::fputs(snapshot.to_text().c_str(), stdout);
+    std::printf("(drain complete: %s)\n",
+                ol_server.drain_complete() ? "yes" : "no");
   }
 
   if (!report_path.empty()) {

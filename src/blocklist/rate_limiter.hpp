@@ -4,36 +4,15 @@
 // "due to the rate limit of querying the blocklist database" (§5.2).  We
 // model that constraint explicitly so the Fig 8 bench reproduces the same
 // sample-then-classify pipeline, budget and all.
+//
+// The implementation is the shared util::TokenBucket — the same primitive
+// the honeypot overload guard and the DNS response-rate limiter run on.
 #pragma once
 
-#include <cstdint>
-
-#include "util/civil_time.hpp"
+#include "util/token_bucket.hpp"
 
 namespace nxd::blocklist {
 
-class TokenBucket {
- public:
-  /// `capacity` tokens, refilled at `refill_per_second`.
-  TokenBucket(double capacity, double refill_per_second)
-      : capacity_(capacity), tokens_(capacity), refill_(refill_per_second) {}
-
-  /// Try to take one token at simulated time `now`.
-  bool try_acquire(util::SimTime now) noexcept;
-
-  double tokens_at(util::SimTime now) const noexcept;
-  std::uint64_t granted() const noexcept { return granted_; }
-  std::uint64_t denied() const noexcept { return denied_; }
-
- private:
-  void refill_to(util::SimTime now) noexcept;
-
-  double capacity_;
-  double tokens_;
-  double refill_;
-  util::SimTime last_ = 0;
-  std::uint64_t granted_ = 0;
-  std::uint64_t denied_ = 0;
-};
+using TokenBucket = util::TokenBucket;
 
 }  // namespace nxd::blocklist

@@ -141,4 +141,36 @@ HttpResponse HttpResponse::header_fields_too_large() {
   return r;
 }
 
+HttpResponse HttpResponse::service_unavailable(int retry_after_seconds) {
+  HttpResponse r;
+  r.status = 503;
+  r.reason = "Service Unavailable";
+  r.headers["content-type"] = "text/plain";
+  r.headers["connection"] = "close";
+  r.headers["retry-after"] = std::to_string(retry_after_seconds);
+  r.body = "service unavailable\n";
+  return r;
+}
+
+HttpResponse HttpResponse::too_many_requests(int retry_after_seconds) {
+  HttpResponse r;
+  r.status = 429;
+  r.reason = "Too Many Requests";
+  r.headers["content-type"] = "text/plain";
+  r.headers["connection"] = "close";
+  r.headers["retry-after"] = std::to_string(retry_after_seconds);
+  r.body = "too many requests\n";
+  return r;
+}
+
+HttpResponse HttpResponse::request_timeout() {
+  HttpResponse r;
+  r.status = 408;
+  r.reason = "Request Timeout";
+  r.headers["content-type"] = "text/plain";
+  r.headers["connection"] = "close";
+  r.body = "request timeout\n";
+  return r;
+}
+
 }  // namespace nxd::honeypot

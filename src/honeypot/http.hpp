@@ -57,6 +57,13 @@ struct HttpResponse {
   static HttpResponse payload_too_large();
   /// 431 — the cap was hit before the header block even terminated.
   static HttpResponse header_fields_too_large();
+  /// 503 + Retry-After — load shedding: the connection limit is reached or
+  /// the server is draining for shutdown.
+  static HttpResponse service_unavailable(int retry_after_seconds);
+  /// 429 + Retry-After — the per-IP token bucket is empty.
+  static HttpResponse too_many_requests(int retry_after_seconds);
+  /// 408 — a deadline (header/body/idle) reaped the connection.
+  static HttpResponse request_timeout();
 };
 
 }  // namespace nxd::honeypot

@@ -1,0 +1,237 @@
+#include "honeypot/overload.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace nxd::honeypot {
+
+bool ConnectionGate::rate_admit(net::IPv4 source, util::SimTime now) {
+  if (config_.per_ip_rate <= 0) return true;
+  auto it = buckets_.find(source);
+  if (it == buckets_.end()) {
+    if (config_.max_tracked_ips != 0 &&
+        buckets_.size() >= config_.max_tracked_ips) {
+      // Sweep buckets that have fully refilled (idle long enough to hold no
+      // state worth keeping).  A spoofed flood of fresh sources therefore
+      // recycles table slots instead of growing memory.
+      for (auto victim = buckets_.begin(); victim != buckets_.end();) {
+        if (victim->second.tokens_at(now) >= victim->second.capacity()) {
+          victim = buckets_.erase(victim);
+          ++stats_.rate_sources_evicted;
+        } else {
+          ++victim;
+        }
+      }
+    }
+    if (config_.max_tracked_ips != 0 &&
+        buckets_.size() >= config_.max_tracked_ips) {
+      // Every tracked source is actively metered and the table is full:
+      // fail open for the newcomer (admitting one request is cheaper than
+      // letting an attacker evict real limiter state), but count it.
+      ++stats_.rate_table_overflow;
+      return true;
+    }
+    it = buckets_
+             .emplace(source, util::TokenBucket(config_.per_ip_burst,
+                                                config_.per_ip_rate))
+             .first;
+  }
+  return it->second.try_acquire(now);
+}
+
+ConnectionGate::Admission ConnectionGate::open(net::IPv4 source,
+                                               util::SimTime now) {
+  ++stats_.opened;
+  if (draining_) {
+    ++stats_.shed_draining;
+    return Admission{0, AdmitDecision::ShedDraining};
+  }
+  if (config_.max_connections != 0 &&
+      conns_.size() >= config_.max_connections) {
+    ++stats_.shed_capacity;
+    return Admission{0, AdmitDecision::ShedCapacity};
+  }
+  if (!rate_admit(source, now)) {
+    ++stats_.shed_rate;
+    return Admission{0, AdmitDecision::ShedRate};
+  }
+  ++stats_.accepted;
+  const std::uint64_t id = next_id_++;
+  Conn conn;
+  conn.source = source;
+  conn.opened = now;
+  conn.last_activity = now;
+  conns_.emplace(id, conn);
+  arm(id, conn);
+  return Admission{id, AdmitDecision::Accept};
+}
+
+std::optional<util::SimTime> ConnectionGate::effective_deadline(
+    const Conn& conn) const {
+  std::optional<util::SimTime> deadline;
+  const auto consider = [&deadline](util::SimTime candidate) {
+    if (!deadline || candidate < *deadline) deadline = candidate;
+  };
+  if (config_.idle_deadline > 0) {
+    consider(conn.last_activity + config_.idle_deadline);
+  }
+  const util::SimTime phase =
+      conn.headers_done ? config_.request_deadline : config_.header_deadline;
+  if (phase > 0) consider(conn.opened + phase);
+  if (draining_) consider(drain_started_ + config_.drain_deadline);
+  return deadline;
+}
+
+void ConnectionGate::arm(std::uint64_t id, const Conn& conn) {
+  if (const auto deadline = effective_deadline(conn)) {
+    deadlines_.set(id, *deadline);
+  } else {
+    deadlines_.erase(id);
+  }
+}
+
+ExpireReason ConnectionGate::classify(const Conn& conn) const {
+  const util::SimTime phase_limit =
+      conn.headers_done ? config_.request_deadline : config_.header_deadline;
+  const std::optional<util::SimTime> idle =
+      config_.idle_deadline > 0
+          ? std::optional(conn.last_activity + config_.idle_deadline)
+          : std::nullopt;
+  const std::optional<util::SimTime> phase =
+      phase_limit > 0 ? std::optional(conn.opened + phase_limit) : std::nullopt;
+  const std::optional<util::SimTime> drain =
+      draining_ ? std::optional(drain_started_ + config_.drain_deadline)
+                : std::nullopt;
+  // Priority on ties: the drain cap is the most specific event, then the
+  // phase (header/body) budget, then idleness.
+  const auto le = [](const std::optional<util::SimTime>& a,
+                     const std::optional<util::SimTime>& b) {
+    return a && (!b || *a <= *b);
+  };
+  if (drain && le(drain, phase) && le(drain, idle)) {
+    return ExpireReason::DrainForced;
+  }
+  if (le(phase, idle)) {
+    return conn.headers_done ? ExpireReason::Body : ExpireReason::Header;
+  }
+  return ExpireReason::Idle;
+}
+
+void ConnectionGate::activity(std::uint64_t id, util::SimTime now,
+                              bool headers_complete) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second.last_activity = now;
+  if (headers_complete) it->second.headers_done = true;
+  arm(id, it->second);
+}
+
+std::vector<ConnectionGate::Expired> ConnectionGate::reap(util::SimTime now) {
+  std::vector<Expired> out;
+  for (const std::uint64_t id : deadlines_.pop_expired(now)) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    const ExpireReason reason = classify(it->second);
+    switch (reason) {
+      case ExpireReason::Header: ++stats_.expired_header; break;
+      case ExpireReason::Body: ++stats_.expired_body; break;
+      case ExpireReason::Idle: ++stats_.expired_idle; break;
+      case ExpireReason::DrainForced: ++stats_.drain_forced_closes; break;
+    }
+    conns_.erase(it);
+    out.push_back(Expired{id, reason});
+  }
+  return out;
+}
+
+void ConnectionGate::close(std::uint64_t id, bool completed) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  conns_.erase(it);
+  deadlines_.erase(id);
+  if (completed) {
+    ++stats_.completed;
+    if (draining_) ++stats_.drained_completed;
+  } else {
+    ++stats_.aborted;
+  }
+}
+
+void ConnectionGate::begin_drain(util::SimTime now) {
+  if (draining_) return;
+  draining_ = true;
+  drain_started_ = now;
+  // Cap every in-flight deadline at the drain cutoff.  Re-arm in ascending
+  // id order so the queue's tie order — and therefore the reap order — does
+  // not depend on hash-map iteration.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) arm(id, conns_.at(id));
+}
+
+// ------------------------------------------------------------ LoadSnapshot
+
+void LoadSnapshot::add_overload(const std::string& prefix,
+                                const OverloadStats& stats) {
+  add(prefix + ".opened", stats.opened);
+  add(prefix + ".accepted", stats.accepted);
+  add(prefix + ".completed", stats.completed);
+  add(prefix + ".aborted", stats.aborted);
+  add(prefix + ".shed_capacity", stats.shed_capacity);
+  add(prefix + ".shed_rate", stats.shed_rate);
+  add(prefix + ".shed_draining", stats.shed_draining);
+  add(prefix + ".expired_header", stats.expired_header);
+  add(prefix + ".expired_body", stats.expired_body);
+  add(prefix + ".expired_idle", stats.expired_idle);
+  add(prefix + ".drained_completed", stats.drained_completed);
+  add(prefix + ".drain_forced_closes", stats.drain_forced_closes);
+  add(prefix + ".rate_sources_evicted", stats.rate_sources_evicted);
+  add(prefix + ".rate_table_overflow", stats.rate_table_overflow);
+}
+
+std::string LoadSnapshot::to_text() const {
+  std::string out = "nxd-load-snapshot v1\n";
+  for (const auto& [name, value] : counters) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<LoadSnapshot> LoadSnapshot::parse(std::string_view text) {
+  const auto header_end = text.find('\n');
+  if (header_end == std::string_view::npos) return std::nullopt;
+  if (util::trim(text.substr(0, header_end)) != "nxd-load-snapshot v1") {
+    return std::nullopt;
+  }
+  LoadSnapshot snapshot;
+  std::string_view rest = text.substr(header_end + 1);
+  while (!rest.empty()) {
+    const auto line_end = rest.find('\n');
+    const std::string_view line = util::trim(
+        line_end == std::string_view::npos ? rest : rest.substr(0, line_end));
+    rest = line_end == std::string_view::npos ? std::string_view{}
+                                              : rest.substr(line_end + 1);
+    if (line.empty()) continue;
+    const auto space = line.rfind(' ');
+    if (space == std::string_view::npos || space == 0) return std::nullopt;
+    const std::string_view name = util::trim(line.substr(0, space));
+    const std::string_view digits = line.substr(space + 1);
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      return std::nullopt;
+    }
+    snapshot.add(std::string(name), value);
+  }
+  return snapshot;
+}
+
+}  // namespace nxd::honeypot

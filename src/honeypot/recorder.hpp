@@ -61,6 +61,18 @@ class TrafficRecorder {
   std::size_t max_payload_bytes() const noexcept { return max_payload_bytes_; }
   std::uint64_t oversize_payloads() const noexcept { return oversize_payloads_; }
 
+  /// Overload-guard events on the serving side of the sensor (see
+  /// honeypot/overload.hpp).  Shed connections are refused before any work
+  /// and never stored; expired ones were reaped by a slowloris deadline
+  /// (their partial bytes are still captured); drained ones finished
+  /// in-flight during graceful shutdown.
+  void note_shed_connection() noexcept { ++shed_connections_; }
+  void note_expired_connection() noexcept { ++expired_connections_; }
+  void note_drained_connection() noexcept { ++drained_connections_; }
+  std::uint64_t shed_connections() const noexcept { return shed_connections_; }
+  std::uint64_t expired_connections() const noexcept { return expired_connections_; }
+  std::uint64_t drained_connections() const noexcept { return drained_connections_; }
+
   const std::vector<TrafficRecord>& records() const noexcept { return records_; }
   std::uint64_t total() const noexcept { return records_.size(); }
 
@@ -82,6 +94,9 @@ class TrafficRecorder {
   std::uint64_t capture_drops_ = 0;
   std::size_t max_payload_bytes_ = 0;
   std::uint64_t oversize_payloads_ = 0;
+  std::uint64_t shed_connections_ = 0;
+  std::uint64_t expired_connections_ = 0;
+  std::uint64_t drained_connections_ = 0;
 };
 
 }  // namespace nxd::honeypot

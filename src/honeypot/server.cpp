@@ -1,8 +1,11 @@
 #include "honeypot/server.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <thread>
+
+#include "util/strings.hpp"
 
 namespace nxd::honeypot {
 
@@ -27,7 +30,91 @@ void NxdHoneypot::set_route(std::string path, HttpResponse response) {
   routes_[std::move(path)] = std::move(response);
 }
 
+namespace {
+
+std::vector<std::uint8_t> wire_bytes(const HttpResponse& response) {
+  const std::string wire = response.serialize();
+  return std::vector<std::uint8_t>(wire.begin(), wire.end());
+}
+
+/// Offset one past the header terminator, or npos when the block is open.
+std::size_t header_block_end(std::string_view raw) {
+  if (const auto pos = raw.find("\r\n\r\n"); pos != std::string_view::npos) {
+    return pos + 4;
+  }
+  if (const auto pos = raw.find("\n\n"); pos != std::string_view::npos) {
+    return pos + 2;
+  }
+  return std::string_view::npos;
+}
+
+std::optional<std::size_t> content_length_of(std::string_view head) {
+  // Skip the request line, then scan header lines for Content-Length.
+  auto line_start = head.find('\n');
+  while (line_start != std::string_view::npos && line_start + 1 < head.size()) {
+    const std::string_view rest = head.substr(line_start + 1);
+    const auto line_end = rest.find('\n');
+    const std::string_view line =
+        line_end == std::string_view::npos ? rest : rest.substr(0, line_end);
+    const auto colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        util::to_lower(std::string(util::trim(line.substr(0, colon)))) ==
+            "content-length") {
+      const std::string_view digits = util::trim(line.substr(colon + 1));
+      std::size_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (ec == std::errc{} && ptr == digits.data() + digits.size()) {
+        return value;
+      }
+      return std::nullopt;  // unparseable length: treat as no body
+    }
+    line_start = line_end == std::string_view::npos
+                     ? std::string_view::npos
+                     : line_start + 1 + line_end;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool NxdHoneypot::headers_done(std::string_view raw) {
+  return header_block_end(raw) != std::string_view::npos;
+}
+
+bool NxdHoneypot::request_complete(std::string_view raw) {
+  const auto body_start = header_block_end(raw);
+  if (body_start == std::string_view::npos) return false;
+  if (const auto length = content_length_of(raw.substr(0, body_start))) {
+    return raw.size() - body_start >= *length;
+  }
+  return true;
+}
+
 std::optional<std::vector<std::uint8_t>> NxdHoneypot::handle_packet(
+    const net::SimPacket& packet, util::SimTime when) {
+  // One-shot admission: a whole request in one packet is a connection that
+  // opens and closes within this call, so only the rate/drain terms of the
+  // gate can shed it.  Shed requests are refused before any capture work —
+  // that is the point of shedding — and only counted.
+  if (gate_ != nullptr && packet.protocol == net::Protocol::TCP) {
+    const auto admission = gate_->open(packet.src.ip, when);
+    if (admission.decision != AdmitDecision::Accept) {
+      recorder_.note_shed_connection();
+      ++responses_;
+      return wire_bytes(
+          admission.decision == AdmitDecision::ShedRate
+              ? HttpResponse::too_many_requests(gate_->config().retry_after)
+              : HttpResponse::service_unavailable(gate_->config().retry_after));
+    }
+    auto reply = process_packet(packet, when);
+    gate_->close(admission.id, /*completed=*/true);
+    return reply;
+  }
+  return process_packet(packet, when);
+}
+
+std::optional<std::vector<std::uint8_t>> NxdHoneypot::process_packet(
     const net::SimPacket& packet, util::SimTime when) {
   TrafficRecord record;
   record.protocol = packet.protocol;
@@ -57,8 +144,7 @@ std::optional<std::vector<std::uint8_t>> NxdHoneypot::handle_packet(
                               ? HttpResponse::payload_too_large()
                               : HttpResponse::header_fields_too_large();
     ++responses_;
-    const std::string wire = response.serialize();
-    return std::vector<std::uint8_t>(wire.begin(), wire.end());
+    return wire_bytes(response);
   }
   const auto request = parse_http_request(raw);
   if (!request) return std::nullopt;
@@ -74,8 +160,123 @@ std::optional<std::vector<std::uint8_t>> NxdHoneypot::handle_packet(
     response = HttpResponse::not_found();
   }
   ++responses_;
-  const std::string wire = response.serialize();
-  return std::vector<std::uint8_t>(wire.begin(), wire.end());
+  return wire_bytes(response);
+}
+
+// --------------------------------------------------- streaming connections
+
+void NxdHoneypot::enable_overload(OverloadConfig config) {
+  gate_ = std::make_unique<ConnectionGate>(config);
+}
+
+void NxdHoneypot::begin_drain(util::SimTime now) {
+  if (!gate_) gate_ = std::make_unique<ConnectionGate>(OverloadConfig{});
+  gate_->begin_drain(now);
+}
+
+NxdHoneypot::ConnOpen NxdHoneypot::conn_open(const net::Endpoint& src,
+                                             util::SimTime now,
+                                             std::uint16_t dst_port) {
+  if (!gate_) gate_ = std::make_unique<ConnectionGate>(OverloadConfig{});
+  const auto admission = gate_->open(src.ip, now);
+  ConnOpen out;
+  if (admission.decision != AdmitDecision::Accept) {
+    recorder_.note_shed_connection();
+    ++responses_;
+    out.response = wire_bytes(
+        admission.decision == AdmitDecision::ShedRate
+            ? HttpResponse::too_many_requests(gate_->config().retry_after)
+            : HttpResponse::service_unavailable(gate_->config().retry_after));
+    return out;
+  }
+  out.id = admission.id;
+  out.accepted = true;
+  StreamConn conn;
+  conn.src = src;
+  conn.dst_port = dst_port;
+  streams_.emplace(admission.id, std::move(conn));
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> NxdHoneypot::conn_data(
+    std::uint64_t id, std::span<const std::uint8_t> bytes, util::SimTime now) {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return std::nullopt;
+  StreamConn& conn = it->second;
+
+  // Buffer at most one byte past the request cap — enough for the shared
+  // process_packet logic to see the overflow and answer 413/431, so a
+  // hostile writer can never grow this buffer beyond the cap.
+  const std::size_t cap = config_.max_request_bytes;
+  std::size_t take = bytes.size();
+  if (cap != 0 && conn.buffer.size() + take > cap + 1) {
+    take = cap + 1 - std::min(conn.buffer.size(), cap + 1);
+  }
+  conn.buffer.insert(conn.buffer.end(), bytes.begin(), bytes.begin() + take);
+
+  const std::string_view raw(reinterpret_cast<const char*>(conn.buffer.data()),
+                             conn.buffer.size());
+  gate_->activity(id, now, headers_done(raw));
+
+  const bool over_cap = cap != 0 && conn.buffer.size() > cap;
+  if (!over_cap && !request_complete(raw)) return std::nullopt;
+
+  // Complete (or over the cap): run the shared record-and-answer logic and
+  // retire the connection.
+  net::SimPacket packet;
+  packet.protocol = net::Protocol::TCP;
+  packet.src = conn.src;
+  packet.dst = net::Endpoint{net::IPv4{}, conn.dst_port};
+  packet.payload = std::move(conn.buffer);
+  streams_.erase(it);
+  const bool was_draining = gate_->draining();
+  auto reply = process_packet(packet, now);
+  gate_->close(id, /*completed=*/true);
+  if (was_draining) recorder_.note_drained_connection();
+  return reply;
+}
+
+void NxdHoneypot::record_partial(const StreamConn& conn, util::SimTime when) {
+  if (conn.buffer.empty()) return;
+  TrafficRecord record;
+  record.protocol = net::Protocol::TCP;
+  record.source = conn.src;
+  record.dst_port = conn.dst_port;
+  record.when = when;
+  record.platform = config_.platform;
+  record.domain = config_.domain;
+  record.payload.assign(conn.buffer.begin(), conn.buffer.end());
+  recorder_.record(std::move(record));
+}
+
+std::vector<NxdHoneypot::ReapedConn> NxdHoneypot::reap_expired(
+    util::SimTime now) {
+  std::vector<ReapedConn> out;
+  if (!gate_) return out;
+  for (const auto& expired : gate_->reap(now)) {
+    const auto it = streams_.find(expired.id);
+    if (it == streams_.end()) continue;
+    recorder_.note_expired_connection();
+    record_partial(it->second, now);  // keep the half-sent bytes as evidence
+    streams_.erase(it);
+    ReapedConn reaped;
+    reaped.id = expired.id;
+    reaped.reason = expired.reason;
+    if (expired.reason != ExpireReason::DrainForced) {
+      ++responses_;
+      reaped.response = wire_bytes(HttpResponse::request_timeout());
+    }
+    out.push_back(std::move(reaped));
+  }
+  return out;
+}
+
+void NxdHoneypot::conn_abort(std::uint64_t id, util::SimTime now) {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  record_partial(it->second, now);
+  streams_.erase(it);
+  gate_->close(id, /*completed=*/false);
 }
 
 void NxdHoneypot::attach_port(net::SimNetwork& network, net::IPv4 host_ip,
@@ -117,11 +318,27 @@ void TcpHoneypotFrontend::attach(net::EventLoop& loop) {
 
 void TcpHoneypotFrontend::on_acceptable() {
   while (auto stream = listener_.accept()) {
+    // Admission first: a guarded honeypot may shed the connection with
+    // 503/429 before any read work happens.
+    std::optional<std::uint64_t> conn_id;
+    if (honeypot_.gate() != nullptr) {
+      auto opened =
+          honeypot_.conn_open(stream->peer(), clock_.now(),
+                              listener_.local().port);
+      if (!opened.accepted) {
+        if (opened.response) {
+          stream->write(std::span<const std::uint8_t>(*opened.response));
+        }
+        continue;
+      }
+      conn_id = opened.id;
+    }
+
     // One-shot request/response: read what is available (brief retry for
     // slow writers), answer, close.  The read loop is bounded at the
-    // honeypot's request cap — one byte past it is enough for handle_packet
-    // to see the overflow and answer 413/431, so a hostile writer can never
-    // grow this buffer beyond the cap.
+    // honeypot's request cap — one byte past it is enough for the shared
+    // answer logic to see the overflow and reply 413/431 — and at 50
+    // attempts, the real-socket slowloris cap.
     const std::size_t cap = honeypot_.config().max_request_bytes;
     std::vector<std::uint8_t> buffer;
     for (int attempt = 0; attempt < 50; ++attempt) {
@@ -136,7 +353,23 @@ void TcpHoneypotFrontend::on_acceptable() {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
     }
-    if (buffer.empty()) continue;
+    if (buffer.empty()) {
+      if (conn_id) honeypot_.conn_abort(*conn_id, clock_.now());
+      continue;
+    }
+
+    if (conn_id) {
+      // Streaming path: the gate tracks the connection; a request that
+      // never completes is aborted (its bytes still captured).
+      const auto reply = honeypot_.conn_data(
+          *conn_id, std::span<const std::uint8_t>(buffer), clock_.now());
+      if (reply) {
+        stream->write(std::span<const std::uint8_t>(*reply));
+      } else if (honeypot_.open_connections() > 0) {
+        honeypot_.conn_abort(*conn_id, clock_.now());
+      }
+      continue;
+    }
 
     net::SimPacket packet;
     packet.protocol = net::Protocol::TCP;

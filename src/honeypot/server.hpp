@@ -5,12 +5,26 @@
 // Per the paper's ethics appendix, the web server only serves a static
 // landing page describing the study and a contact address; it never
 // interacts further with visitors.
+//
+// Two serving paths exist.  handle_packet() is the one-shot path (a whole
+// request arrives as one SimNetwork packet).  The conn_* streaming path
+// models real connection lifecycle — bytes trickle in over simulated time —
+// and is what the overload guard (honeypot/overload.hpp) protects: shed at
+// admission (503/429), reap at a slowloris deadline (408), finish in-flight
+// work during graceful drain.  Both paths consult the same ConnectionGate
+// once enable_overload() has been called; without it behaviour is exactly
+// the historical unguarded server.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "honeypot/overload.hpp"
 #include "honeypot/recorder.hpp"
 #include "net/sim_network.hpp"
 #include "net/socket.hpp"
@@ -50,9 +64,71 @@ class NxdHoneypot {
   std::size_t route_count() const noexcept { return routes_.size(); }
 
   /// Handle one captured packet: record it, and if it parses as an HTTP
-  /// request produce the landing-page (or 404) response bytes.
+  /// request produce the landing-page (or 404) response bytes.  With an
+  /// overload guard enabled, TCP packets pass admission first and may be
+  /// answered 503/429 instead (shed requests are counted, not recorded).
   std::optional<std::vector<std::uint8_t>> handle_packet(
       const net::SimPacket& packet, util::SimTime when);
+
+  // ----------------------------------------------------- overload guard
+
+  /// Install the overload-resilience layer.  Idempotent reconfiguration:
+  /// replaces any previous gate (and its stats).
+  void enable_overload(OverloadConfig config);
+  ConnectionGate* gate() noexcept { return gate_.get(); }
+  const ConnectionGate* gate() const noexcept { return gate_.get(); }
+
+  /// Stop admitting new connections (they shed 503) while in-flight
+  /// streaming requests finish; reap_expired() force-closes stragglers once
+  /// the configured drain deadline elapses.  Enables a default guard when
+  /// none is configured.
+  void begin_drain(util::SimTime now);
+  bool draining() const noexcept { return gate_ && gate_->draining(); }
+  /// True once draining and nothing is left in flight.
+  bool drain_complete() const noexcept {
+    return gate_ != nullptr && gate_->drain_complete();
+  }
+
+  // ------------------------------------------------ streaming connections
+
+  struct ConnOpen {
+    std::uint64_t id = 0;        // valid when accepted
+    bool accepted = false;
+    /// 503/429 wire bytes when the connection was shed at admission.
+    std::optional<std::vector<std::uint8_t>> response;
+  };
+
+  /// Open a streaming connection from `src` (destination port `dst_port`).
+  /// Enables a default overload guard when none is configured.
+  ConnOpen conn_open(const net::Endpoint& src, util::SimTime now,
+                     std::uint16_t dst_port = 80);
+
+  /// Feed received bytes.  Returns the response wire bytes once the request
+  /// is complete (landing page / 404 / 413 / 431), nullopt while the
+  /// request is still in flight or when a complete payload was capture-only
+  /// junk.  A completed connection is closed and its id retired.
+  std::optional<std::vector<std::uint8_t>> conn_data(
+      std::uint64_t id, std::span<const std::uint8_t> bytes,
+      util::SimTime now);
+
+  struct ReapedConn {
+    std::uint64_t id = 0;
+    ExpireReason reason = ExpireReason::Idle;
+    /// 408 wire bytes for deadline reaps; empty for drain-forced closes
+    /// (those connections are simply closed).
+    std::vector<std::uint8_t> response;
+  };
+
+  /// Kill every streaming connection whose deadline has passed (slowloris
+  /// defense) in deterministic order.  Partial request bytes are recorded
+  /// capture-only before the connection is dropped.
+  std::vector<ReapedConn> reap_expired(util::SimTime now);
+
+  /// Peer went away before completing a request; partial bytes are
+  /// recorded capture-only.
+  void conn_abort(std::uint64_t id, util::SimTime now);
+
+  std::size_t open_connections() const noexcept { return streams_.size(); }
 
   /// Attach to a simulated network on the standard ports (80/443 TCP plus a
   /// UDP capture on 53 — "accepts TCP and UDP packets from all well-known
@@ -67,15 +143,38 @@ class NxdHoneypot {
   std::uint64_t http_responses_sent() const noexcept { return responses_; }
 
  private:
+  struct StreamConn {
+    net::Endpoint src;
+    std::uint16_t dst_port = 80;
+    std::vector<std::uint8_t> buffer;
+  };
+
+  /// The original record-and-answer logic, shared by the one-shot and
+  /// streaming paths (admission already settled by the caller).
+  std::optional<std::vector<std::uint8_t>> process_packet(
+      const net::SimPacket& packet, util::SimTime when);
+
+  void record_partial(const StreamConn& conn, util::SimTime when);
+
+  static bool headers_done(std::string_view raw);
+  /// Whether `raw` holds a complete request: terminated header block plus,
+  /// when a Content-Length header is present, that many body bytes.
+  static bool request_complete(std::string_view raw);
+
   Config config_;
   TrafficRecorder& recorder_;
   std::map<std::string, HttpResponse> routes_;
   std::uint64_t responses_ = 0;
+  std::unique_ptr<ConnectionGate> gate_;
+  std::unordered_map<std::uint64_t, StreamConn> streams_;
 };
 
 /// Real-socket front end: accepts TCP connections on a loopback port,
 /// records each request into the recorder, and serves the landing page.
 /// Single-threaded, event-loop driven; used by examples/honeypot_demo.
+/// Connections run through the honeypot's streaming API, so the overload
+/// guard (when enabled) sheds and meters real sockets too; the bounded
+/// read loop is the real-socket slowloris cap.
 class TcpHoneypotFrontend {
  public:
   static std::unique_ptr<TcpHoneypotFrontend> create(

@@ -10,18 +10,52 @@ void ReverseDnsRegistry::add_block(Prefix prefix, std::string hostname_template)
                    [](const Block& a, const Block& b) {
                      return a.prefix.length > b.prefix.length;
                    });
+  invalidate_cache();
 }
 
 void ReverseDnsRegistry::add_host(IPv4 ip, std::string hostname) {
   hosts_[ip] = std::move(hostname);
+  invalidate_cache();
 }
 
-std::optional<std::string> ReverseDnsRegistry::lookup(IPv4 ip) const {
+std::optional<std::string> ReverseDnsRegistry::resolve(IPv4 ip) const {
   if (const auto it = hosts_.find(ip); it != hosts_.end()) return it->second;
   for (const auto& block : blocks_) {
     if (block.prefix.contains(ip)) return render(block.hostname_template, ip);
   }
   return std::nullopt;
+}
+
+std::optional<std::string> ReverseDnsRegistry::lookup(IPv4 ip) const {
+  if (cache_capacity_ == 0) return resolve(ip);
+
+  if (const auto it = cache_.find(ip); it != cache_.end()) {
+    ++cache_hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.result;
+  }
+  ++cache_misses_;
+  auto result = resolve(ip);
+  if (cache_.size() >= cache_capacity_) {
+    // Evict the least recently used entry (negative entries included — a
+    // spoofed-source flood churns the tail, never the working set).
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++cache_evictions_;
+  }
+  lru_.push_front(ip);
+  cache_.emplace(ip, CacheEntry{result, lru_.begin()});
+  return result;
+}
+
+void ReverseDnsRegistry::set_cache_capacity(std::size_t capacity) {
+  cache_capacity_ = capacity;
+  invalidate_cache();
+}
+
+void ReverseDnsRegistry::invalidate_cache() const {
+  cache_.clear();
+  lru_.clear();
 }
 
 std::string ReverseDnsRegistry::render(const std::string& tmpl, IPv4 ip) {

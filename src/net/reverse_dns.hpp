@@ -7,8 +7,16 @@
 // per CIDR block ("crawl-%d-%d-%d-%d.googlebot.com"), and lookups render the
 // matching template or fail (unresolvable), exactly the two outcomes the
 // categorizer distinguishes.
+//
+// Lookups memoize through a bounded LRU cache (positive and negative
+// results alike — "does not resolve" is the expensive common case for
+// botnet sources and is exactly what a real resolver would negative-cache).
+// The cache is capped so a flood of distinct spoofed sources cannot grow
+// categorizer memory without limit, and is invalidated wholesale by
+// registry mutations.
 #pragma once
 
+#include <list>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -34,6 +42,13 @@ class ReverseDnsRegistry {
 
   std::size_t block_count() const noexcept { return blocks_.size(); }
 
+  /// Bound on memoized lookups (LRU eviction past it); 0 disables caching.
+  void set_cache_capacity(std::size_t capacity);
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t cache_misses() const noexcept { return cache_misses_; }
+  std::uint64_t cache_evictions() const noexcept { return cache_evictions_; }
+
  private:
   struct Block {
     Prefix prefix;
@@ -42,8 +57,22 @@ class ReverseDnsRegistry {
 
   static std::string render(const std::string& tmpl, IPv4 ip);
 
+  std::optional<std::string> resolve(IPv4 ip) const;
+  void invalidate_cache() const;
+
   std::vector<Block> blocks_;  // kept sorted by descending prefix length
   std::unordered_map<IPv4, std::string, dns::IPv4Hash> hosts_;
+
+  struct CacheEntry {
+    std::optional<std::string> result;
+    std::list<IPv4>::iterator lru_pos;
+  };
+  std::size_t cache_capacity_ = 1024;
+  mutable std::list<IPv4> lru_;  // front = most recently used
+  mutable std::unordered_map<IPv4, CacheEntry, dns::IPv4Hash> cache_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+  mutable std::uint64_t cache_evictions_ = 0;
 };
 
 }  // namespace nxd::net

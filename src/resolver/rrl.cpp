@@ -1,0 +1,64 @@
+#include "resolver/rrl.hpp"
+
+namespace nxd::resolver {
+
+RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
+  ++stats_.checked;
+  if (config_.responses_per_second <= 0) {
+    ++stats_.passed;
+    return RrlVerdict::Pass;
+  }
+  auto it = sources_.find(source);
+  if (it == sources_.end()) {
+    if (config_.max_tracked_sources != 0 &&
+        sources_.size() >= config_.max_tracked_sources) {
+      // Sweep sources whose buckets have fully refilled — idle long enough
+      // that forgetting them changes no verdict.
+      for (auto victim = sources_.begin(); victim != sources_.end();) {
+        if (victim->second.bucket.tokens_at(now) >=
+            victim->second.bucket.capacity()) {
+          victim = sources_.erase(victim);
+          ++stats_.sources_evicted;
+        } else {
+          ++victim;
+        }
+      }
+    }
+    if (config_.max_tracked_sources != 0 &&
+        sources_.size() >= config_.max_tracked_sources) {
+      // Table full of actively metered sources: answer the newcomer
+      // unmetered rather than evicting live limiter state, but count it.
+      ++stats_.table_overflow;
+      ++stats_.passed;
+      return RrlVerdict::Pass;
+    }
+    it = sources_
+             .emplace(source,
+                      Source{util::TokenBucket(config_.burst,
+                                               config_.responses_per_second),
+                             0})
+             .first;
+  }
+  if (it->second.bucket.try_acquire(now)) {
+    ++stats_.passed;
+    return RrlVerdict::Pass;
+  }
+  // Limited: slip every `slip`-th limited response, drop the rest.
+  ++it->second.limited_count;
+  if (config_.slip != 0 && it->second.limited_count % config_.slip == 0) {
+    ++stats_.slipped;
+    return RrlVerdict::Slip;
+  }
+  ++stats_.dropped;
+  return RrlVerdict::Drop;
+}
+
+dns::Message slip_truncate(const dns::Message& response) {
+  dns::Message slipped;
+  slipped.header = response.header;
+  slipped.header.tc = true;
+  slipped.questions = response.questions;
+  return slipped;
+}
+
+}  // namespace nxd::resolver

@@ -61,6 +61,16 @@ void TcpDnsServer::on_acceptable() {
     const auto query = dns::decode(message);
     if (!query || query->header.qr) continue;
 
+    if (rrl_ != nullptr && rrl_clock_ != nullptr &&
+        rrl_->check(stream->peer().ip, rrl_clock_->now()) ==
+            RrlVerdict::Drop) {
+      // TCP already proved the return path, so a Slip verdict answers in
+      // full; Drop closes without answering — backpressure on a source that
+      // exhausted its UDP budget and moved to hammering TCP.
+      ++rrl_dropped_;
+      continue;
+    }
+
     const auto response = auth_.answer(*query);
     const auto wire = dns::encode(response);
     std::vector<std::uint8_t> framed;

@@ -12,6 +12,7 @@
 #include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "resolver/authoritative.hpp"
+#include "resolver/rrl.hpp"
 
 namespace nxd::resolver {
 
@@ -49,6 +50,18 @@ class TcpDnsServer {
   void set_fault_plan(net::FaultPlan* plan) noexcept { fault_plan_ = plan; }
   std::uint64_t faulted() const noexcept { return faulted_; }
 
+  /// Meter responses per source address (DNS RRL, resolver/rrl.hpp).  On
+  /// TCP the return path is proven, so Slip answers in full and Drop closes
+  /// the connection without answering (backpressure, not reflection
+  /// defense).  Limiter and clock must outlive the server; nullptr
+  /// disables.
+  void set_rrl(ResponseRateLimiter* rrl,
+               const util::SimClock* clock) noexcept {
+    rrl_ = rrl;
+    rrl_clock_ = clock;
+  }
+  std::uint64_t rrl_dropped() const noexcept { return rrl_dropped_; }
+
  private:
   TcpDnsServer(net::TcpListener listener, const AuthoritativeServer& auth)
       : listener_(std::move(listener)), auth_(auth) {}
@@ -58,8 +71,11 @@ class TcpDnsServer {
   net::TcpListener listener_;
   const AuthoritativeServer& auth_;
   net::FaultPlan* fault_plan_ = nullptr;
+  ResponseRateLimiter* rrl_ = nullptr;
+  const util::SimClock* rrl_clock_ = nullptr;
   std::uint64_t answered_ = 0;
   std::uint64_t faulted_ = 0;
+  std::uint64_t rrl_dropped_ = 0;
 };
 
 /// Client helper: query over TCP with the length-prefix framing.

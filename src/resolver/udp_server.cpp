@@ -46,6 +46,19 @@ void UdpDnsServer::handle_one(const net::Datagram& datagram) {
     return;
   }
   dns::Message response = auth_.answer(*query);
+  if (rrl_ != nullptr && rrl_clock_ != nullptr) {
+    switch (rrl_->check(datagram.from.ip, rrl_clock_->now())) {
+      case RrlVerdict::Pass:
+        break;
+      case RrlVerdict::Drop:
+        ++rrl_dropped_;
+        return;
+      case RrlVerdict::Slip:
+        ++rrl_slipped_;
+        response = slip_truncate(response);
+        break;
+    }
+  }
   // EDNS(0): a client advertising a larger payload raises the truncation
   // threshold (clamped to a sane ceiling); the server echoes an OPT with
   // its own capability either way (RFC 6891 §6.2.1).

@@ -10,6 +10,7 @@
 #include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "resolver/authoritative.hpp"
+#include "resolver/rrl.hpp"
 
 namespace nxd::resolver {
 
@@ -37,6 +38,18 @@ class UdpDnsServer {
   void set_fault_plan(net::FaultPlan* plan) noexcept { fault_plan_ = plan; }
   std::uint64_t faulted() const noexcept { return faulted_; }
 
+  /// Meter responses per source address (DNS RRL, resolver/rrl.hpp).  Drop
+  /// verdicts swallow the response; Slip verdicts send the genuine answer
+  /// truncated (TC=1) so a real client retries over TCP.  Limiter and clock
+  /// must outlive the server; nullptr disables.
+  void set_rrl(ResponseRateLimiter* rrl,
+               const util::SimClock* clock) noexcept {
+    rrl_ = rrl;
+    rrl_clock_ = clock;
+  }
+  std::uint64_t rrl_dropped() const noexcept { return rrl_dropped_; }
+  std::uint64_t rrl_slipped() const noexcept { return rrl_slipped_; }
+
  private:
   UdpDnsServer(net::UdpSocket socket, const AuthoritativeServer& auth)
       : socket_(std::move(socket)), auth_(auth) {}
@@ -46,9 +59,13 @@ class UdpDnsServer {
   net::UdpSocket socket_;
   const AuthoritativeServer& auth_;
   net::FaultPlan* fault_plan_ = nullptr;
+  ResponseRateLimiter* rrl_ = nullptr;
+  const util::SimClock* rrl_clock_ = nullptr;
   std::uint64_t answered_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t faulted_ = 0;
+  std::uint64_t rrl_dropped_ = 0;
+  std::uint64_t rrl_slipped_ = 0;
 };
 
 /// One-shot client helper: send `query` to `server` over UDP and wait up to

@@ -1,0 +1,43 @@
+#include "util/deadline_queue.hpp"
+
+namespace nxd::util {
+
+void DeadlineQueue::set(std::uint64_t id, SimTime deadline) {
+  if (const auto it = index_.find(id); it != index_.end()) {
+    by_deadline_.erase(it->second);
+    index_.erase(it);
+  }
+  const auto pos = by_deadline_.emplace(deadline, id);
+  index_.emplace(id, pos);
+}
+
+void DeadlineQueue::erase(std::uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  by_deadline_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<SimTime> DeadlineQueue::deadline_of(std::uint64_t id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second->first;
+}
+
+std::optional<SimTime> DeadlineQueue::next_deadline() const {
+  if (by_deadline_.empty()) return std::nullopt;
+  return by_deadline_.begin()->first;
+}
+
+std::vector<std::uint64_t> DeadlineQueue::pop_expired(SimTime now) {
+  std::vector<std::uint64_t> due;
+  auto it = by_deadline_.begin();
+  while (it != by_deadline_.end() && it->first <= now) {
+    due.push_back(it->second);
+    index_.erase(it->second);
+    it = by_deadline_.erase(it);
+  }
+  return due;
+}
+
+}  // namespace nxd::util

@@ -1,0 +1,52 @@
+// Deadline tracking on the simulated clock.
+//
+// The honeypot's overload guard arms one effective deadline per live
+// connection (idle, header, whole-request, or drain — whichever bites
+// first) and must reap every expired connection in a deterministic order.
+// DeadlineQueue is that structure: set/erase by id, pop everything due.
+// Expiry order is (deadline ascending, insertion order for ties), so a
+// seeded run reaps connections byte-reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/civil_time.hpp"
+
+namespace nxd::util {
+
+class DeadlineQueue {
+ public:
+  /// Arm (or re-arm) the deadline for `id`.  Re-arming moves the entry to
+  /// the back of its new deadline's tie group, matching "activity refreshes
+  /// the timer" semantics.
+  void set(std::uint64_t id, SimTime deadline);
+
+  /// Disarm `id`; no-op when absent.
+  void erase(std::uint64_t id);
+
+  bool contains(std::uint64_t id) const { return index_.contains(id); }
+  std::optional<SimTime> deadline_of(std::uint64_t id) const;
+
+  /// Earliest armed deadline; nullopt when empty.
+  std::optional<SimTime> next_deadline() const;
+
+  /// Remove and return every id whose deadline is <= now, in
+  /// (deadline, insertion) order.
+  std::vector<std::uint64_t> pop_expired(SimTime now);
+
+  std::size_t size() const noexcept { return index_.size(); }
+  bool empty() const noexcept { return index_.empty(); }
+
+ private:
+  // multimap keeps equal keys in insertion order (insert at upper bound),
+  // which is what makes pop_expired deterministic.
+  std::multimap<SimTime, std::uint64_t> by_deadline_;
+  std::unordered_map<std::uint64_t, std::multimap<SimTime, std::uint64_t>::iterator>
+      index_;
+};
+
+}  // namespace nxd::util

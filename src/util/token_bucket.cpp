@@ -1,20 +1,20 @@
-#include "blocklist/rate_limiter.hpp"
+#include "util/token_bucket.hpp"
 
 #include <algorithm>
 
-namespace nxd::blocklist {
+namespace nxd::util {
 
-void TokenBucket::refill_to(util::SimTime now) noexcept {
+void TokenBucket::refill_to(SimTime now) noexcept {
   if (now <= last_) return;
   tokens_ = std::min(capacity_,
                      tokens_ + refill_ * static_cast<double>(now - last_));
   last_ = now;
 }
 
-bool TokenBucket::try_acquire(util::SimTime now) noexcept {
+bool TokenBucket::try_acquire(SimTime now, double tokens) noexcept {
   refill_to(now);
-  if (tokens_ >= 1.0) {
-    tokens_ -= 1.0;
+  if (tokens_ >= tokens) {
+    tokens_ -= tokens;
     ++granted_;
     return true;
   }
@@ -22,10 +22,10 @@ bool TokenBucket::try_acquire(util::SimTime now) noexcept {
   return false;
 }
 
-double TokenBucket::tokens_at(util::SimTime now) const noexcept {
+double TokenBucket::tokens_at(SimTime now) const noexcept {
   if (now <= last_) return tokens_;
   return std::min(capacity_,
                   tokens_ + refill_ * static_cast<double>(now - last_));
 }
 
-}  // namespace nxd::blocklist
+}  // namespace nxd::util

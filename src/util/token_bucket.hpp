@@ -1,0 +1,48 @@
+// Token-bucket rate limiter on the simulated clock.
+//
+// One primitive, three consumers: the blocklist query budget (paper §5.2
+// could only cross-reference 20 M of 91 M names "due to the rate limit of
+// querying the blocklist database"), per-IP admission in the honeypot's
+// overload guard, and the per-source DNS response-rate limiter.  Time is an
+// injected `SimTime`, never the wall clock, so every limiter decision is
+// replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "util/civil_time.hpp"
+
+namespace nxd::util {
+
+class TokenBucket {
+ public:
+  /// `capacity` tokens, refilled at `refill_per_second`.  The bucket starts
+  /// full (a burst up to `capacity` is admitted immediately).
+  TokenBucket(double capacity, double refill_per_second) noexcept
+      : capacity_(capacity), tokens_(capacity), refill_(refill_per_second) {}
+
+  /// Try to take `tokens` at simulated time `now`.  Non-monotonic time is
+  /// safe: a `now` earlier than the last refill neither drains nor refills.
+  bool try_acquire(SimTime now, double tokens = 1.0) noexcept;
+
+  double tokens_at(SimTime now) const noexcept;
+  double capacity() const noexcept { return capacity_; }
+  std::uint64_t granted() const noexcept { return granted_; }
+  std::uint64_t denied() const noexcept { return denied_; }
+
+  /// Simulated time of the last refill — consumers that bound their bucket
+  /// tables use this as the staleness key for eviction.
+  SimTime last_refill() const noexcept { return last_; }
+
+ private:
+  void refill_to(SimTime now) noexcept;
+
+  double capacity_;
+  double tokens_;
+  double refill_;
+  SimTime last_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace nxd::util

@@ -12,8 +12,10 @@
 
 #include "dns/message.hpp"
 #include "honeypot/http.hpp"
+#include "honeypot/server.hpp"
 #include "net/fault.hpp"
 #include "net/sim_network.hpp"
+#include "resolver/rrl.hpp"
 #include "pdns/sie_channel.hpp"
 #include "pdns/snapshot.hpp"
 #include "pdns/store.hpp"
@@ -392,6 +394,126 @@ TEST_P(SnapshotFuzz, RandomByteSoupNeverCrashesTheLoader) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzz, ::testing::Values(31, 32, 33));
+
+// ------------------------------------------------ overload guard under fuzz
+
+class OverloadFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverloadFuzz, GarbageStreamsThroughDeadlinePathsNeverCrashOrLeak) {
+  // Random byte soup trickled through the streaming connection API with a
+  // randomly advancing clock: every header/body/idle deadline path and the
+  // reaper run against hostile framing.  Invariants: no crash, connection
+  // count bounded by config, and every request the gate acked (completed)
+  // produced a response — acked work is never lost.
+  util::Rng rng(GetParam() ^ 0x071);
+  honeypot::TrafficRecorder recorder;
+  honeypot::NxdHoneypot::Config config;
+  config.domain = "fuzz.test";
+  config.max_request_bytes = 2'048;
+  honeypot::NxdHoneypot server(config, recorder);
+  honeypot::OverloadConfig guard;
+  guard.max_connections = 24;
+  guard.per_ip_rate = 50;  // loose: the framing paths are under test
+  guard.per_ip_burst = 100;
+  server.enable_overload(guard);
+
+  util::SimClock clock;
+  std::vector<std::uint64_t> live;
+  std::uint64_t responses_seen = 0;
+  for (int iteration = 0; iteration < 4'000; ++iteration) {
+    const auto roll = rng.bounded(10);
+    if (roll < 4 || live.empty()) {
+      const auto opened = server.conn_open(
+          net::Endpoint{dns::IPv4{static_cast<std::uint32_t>(rng.bounded(64))},
+                        static_cast<std::uint16_t>(rng.bounded(65'536))},
+          clock.now());
+      if (opened.accepted) {
+        live.push_back(opened.id);
+      } else {
+        // A shed connection is always answered (503/429), never dropped.
+        ASSERT_TRUE(opened.response.has_value());
+        ++responses_seen;
+      }
+    } else if (roll < 8) {
+      const auto pick = rng.bounded(live.size());
+      std::vector<std::uint8_t> chunk(rng.bounded(96));
+      for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next());
+      if (rng.chance(0.3)) {
+        // Seed plausible HTTP so the complete/terminator paths also fire.
+        const std::string head = "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n";
+        chunk.insert(chunk.begin(), head.begin(), head.end());
+      }
+      if (server.conn_data(live[pick], chunk, clock.now())) ++responses_seen;
+      if (server.conn_data(live[pick], {}, clock.now())) {
+        // A retired id must stay retired: feeding it again returns nothing.
+        ADD_FAILURE() << "completed connection accepted more data";
+      }
+    } else if (roll == 8) {
+      clock.advance(rng.bounded(7));
+      responses_seen += server.reap_expired(clock.now()).size();
+    } else {
+      server.conn_abort(live[rng.bounded(live.size())], clock.now());
+    }
+    // Prune ids the server no longer tracks (completed/reaped/aborted).
+    if (live.size() > 64) live.clear();
+    ASSERT_LE(server.open_connections(), guard.max_connections);
+  }
+  clock.advance(guard.request_deadline + guard.idle_deadline + 1);
+  responses_seen += server.reap_expired(clock.now()).size();
+
+  const auto& stats = server.gate()->stats();
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_EQ(stats.opened, stats.accepted + stats.shed_total());
+  EXPECT_EQ(stats.accepted, stats.completed + stats.aborted +
+                                stats.expired_total() +
+                                stats.drain_forced_closes);
+  // Responses we saw (sheds + parseable completions + 408 reaps) can never
+  // exceed what the gate accounted for — no response without a ledger
+  // entry, and no acked request vanished: everything completed or reaped
+  // is capture-recorded or answered.
+  EXPECT_LE(responses_seen,
+            stats.shed_total() + stats.completed + stats.expired_total());
+  EXPECT_EQ(recorder.shed_connections(), stats.shed_total());
+  EXPECT_EQ(recorder.expired_connections(),
+            stats.expired_total() + stats.drain_forced_closes);
+}
+
+TEST_P(OverloadFuzz, RrlVerdictsStayConsistentUnderRandomFloods) {
+  // The slip path under fuzz: random sources, random (sometimes backward)
+  // clock reads.  The limiter must never crash, never lose a check, and
+  // never let the table outgrow its bound.
+  util::Rng rng(GetParam() ^ 0x5711);
+  resolver::RrlConfig config;
+  config.responses_per_second = 2;
+  config.burst = 3;
+  config.slip = 2;
+  config.max_tracked_sources = 32;
+  resolver::ResponseRateLimiter limiter(config);
+
+  util::SimTime now = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (rng.chance(0.1)) now += static_cast<util::SimTime>(rng.bounded(5));
+    const auto query_time =
+        rng.chance(0.05) ? now - static_cast<util::SimTime>(rng.bounded(10))
+                         : now;  // occasional stale timestamp
+    (void)limiter.check(
+        dns::IPv4{static_cast<std::uint32_t>(rng.bounded(256))}, query_time);
+    ASSERT_LE(limiter.tracked_sources(), config.max_tracked_sources);
+  }
+  const auto& stats = limiter.stats();
+  EXPECT_EQ(stats.checked,
+            stats.passed + stats.slipped + stats.dropped);
+  EXPECT_EQ(stats.checked, 20'000u);
+
+  // Slipped messages must stay rcode-faithful even for fuzzed responses.
+  const auto query = dns::make_query(9, dns::DomainName::must("x.fuzz.test"));
+  auto response = dns::make_response(query, dns::RCode::NXDomain);
+  const auto slipped = resolver::slip_truncate(response);
+  EXPECT_TRUE(slipped.header.tc);
+  EXPECT_EQ(slipped.header.rcode, dns::RCode::NXDomain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverloadFuzz, ::testing::Values(41, 42, 43));
 
 }  // namespace
 }  // namespace nxd

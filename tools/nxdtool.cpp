@@ -16,6 +16,9 @@
 //                                replay + fresh checkpoint) and print stats
 //   fsck <dir>                   read-only health report of a durable
 //                                ingest directory
+//   loadstats <file>             pretty-print an overload load snapshot
+//                                (written by bench/overload_shed or the
+//                                nx_pipeline --max-conns/--rate-limit run)
 //
 // Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when a check
 // subcommand found problems (e.g. zone errors, unclean durable dirs).
@@ -32,12 +35,14 @@
 #include "dns/punycode.hpp"
 #include "honeypot/capture_log.hpp"
 #include "honeypot/categorizer.hpp"
+#include "honeypot/overload.hpp"
 #include "pdns/durable_store.hpp"
 #include "resolver/recursive.hpp"
 #include "resolver/zone_file.hpp"
 #include "squat/detector.hpp"
 #include "synth/origin_model.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 using namespace nxd;
 
@@ -54,7 +59,8 @@ int usage() {
                "  capture stats <file.jsonl>  categorize a honeypot capture log\n"
                "  resolve <domain>...         resolve against the demo hierarchy\n"
                "  recover <dir>               recover + compact a durable ingest dir\n"
-               "  fsck <dir>                  read-only durable-dir health report\n");
+               "  fsck <dir>                  read-only durable-dir health report\n"
+               "  loadstats <file>            pretty-print an overload load snapshot\n");
   return 1;
 }
 
@@ -334,6 +340,51 @@ int cmd_fsck(int argc, char** argv) {
 
 }  // namespace
 
+int cmd_loadstats(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  const auto snapshot = honeypot::LoadSnapshot::parse(*text);
+  if (!snapshot) {
+    std::fprintf(stderr, "nxdtool: %s is not a load snapshot\n", argv[0]);
+    return 1;
+  }
+  std::printf("load snapshot: %s (%zu counters)\n", argv[0],
+              snapshot->counters.size());
+  const auto value_of =
+      [&snapshot](std::string_view name) -> std::uint64_t {
+    for (const auto& [counter, value] : snapshot->counters) {
+      if (counter == name) return value;
+    }
+    return 0;
+  };
+  for (const auto& [name, value] : snapshot->counters) {
+    std::printf("  %-36s %s\n", name.c_str(),
+                util::with_commas(value).c_str());
+  }
+  // Derived health lines for the conventional honeypot.* prefix the bench
+  // and pipeline emit.
+  const auto opened = value_of("honeypot.opened");
+  if (opened > 0) {
+    const auto shed = value_of("honeypot.shed_capacity") +
+                      value_of("honeypot.shed_rate") +
+                      value_of("honeypot.shed_draining");
+    const auto expired = value_of("honeypot.expired_header") +
+                         value_of("honeypot.expired_body") +
+                         value_of("honeypot.expired_idle");
+    std::printf("derived:\n");
+    std::printf("  accept rate  %s\n",
+                util::pct_str(value_of("honeypot.accepted"), opened).c_str());
+    std::printf("  shed rate    %s\n", util::pct_str(shed, opened).c_str());
+    std::printf("  reap rate    %s (of accepted)\n",
+                util::pct_str(expired, value_of("honeypot.accepted")).c_str());
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string_view command = argv[1];
@@ -345,5 +396,6 @@ int main(int argc, char** argv) {
   if (command == "resolve") return cmd_resolve(argc - 2, argv + 2);
   if (command == "recover") return cmd_recover(argc - 2, argv + 2);
   if (command == "fsck") return cmd_fsck(argc - 2, argv + 2);
+  if (command == "loadstats") return cmd_loadstats(argc - 2, argv + 2);
   return usage();
 }
