@@ -1,0 +1,192 @@
+// Observability overhead: what does nxd::obs instrumentation cost?
+//
+// Two questions decide whether the registry may stay bound on hot paths:
+//
+//   * end-to-end — one seeded NXDomain stream is ingested into a plain
+//     PassiveDnsStore and into one bound to a MetricsRegistry; the relative
+//     wall-clock difference is the real-world tax on the hottest loop in the
+//     repo (target: < 3%);
+//   * per-update — the p99 latency of a single Counter::inc(), measured as
+//     per-op time over many small batches so one clock read is amortised
+//     across a batch instead of polluting every sample (target: < 100 ns).
+//
+// Both measurements take the best of several repetitions (the usual defense
+// against scheduler noise on shared CI hardware).  Exit code 1 when either
+// target is missed, matching the other bench binaries' convention.
+//
+// Usage: metrics_overhead [--scale=1e-6] [--seed=42] [--json=BENCH_obs.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pdns/store.hpp"
+#include "synth/scale_models.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fixed(double v, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+  return buf;
+}
+
+constexpr int kIngestReps = 5;
+constexpr std::size_t kLatencyBatches = 10'000;
+constexpr std::size_t kLatencyBatchSize = 1'000;
+constexpr double kMaxOverheadPct = 3.0;
+constexpr double kMaxP99Ns = 100.0;
+
+/// One timed serial ingest of `observations`; binds the store to a fresh
+/// registry first when `instrumented`.
+double ingest_once(const std::vector<nxd::pdns::Observation>& observations,
+                   bool instrumented) {
+  nxd::obs::MetricsRegistry registry;
+  nxd::pdns::PassiveDnsStore store;
+  if (instrumented) store.bind_metrics(registry);
+  const auto start = Clock::now();
+  for (const auto& obs : observations) store.ingest(obs);
+  return seconds_since(start);
+}
+
+struct IngestPair {
+  double plain_seconds = 0;
+  double instrumented_seconds = 0;
+};
+
+/// Best-of-reps for both configs, interleaved (plain, instrumented, plain,
+/// ...) so background load drifts against both equally instead of biasing
+/// whichever block ran second.
+IngestPair ingest_pair(const std::vector<nxd::pdns::Observation>& observations) {
+  IngestPair best;
+  for (int rep = 0; rep < kIngestReps; ++rep) {
+    const double plain = ingest_once(observations, false);
+    const double instrumented = ingest_once(observations, true);
+    if (rep == 0 || plain < best.plain_seconds) best.plain_seconds = plain;
+    if (rep == 0 || instrumented < best.instrumented_seconds) {
+      best.instrumented_seconds = instrumented;
+    }
+  }
+  return best;
+}
+
+struct LatencyResult {
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double max_ns = 0;
+};
+
+/// Per-op Counter::inc() latency: one clock read per kLatencyBatchSize-op
+/// batch, percentile over the per-batch means.
+LatencyResult counter_latency() {
+  nxd::obs::MetricsRegistry registry;
+  nxd::obs::Counter counter =
+      registry.counter("nxd_bench_updates_total", "latency probe");
+  std::vector<double> per_op_ns;
+  per_op_ns.reserve(kLatencyBatches);
+  for (std::size_t b = 0; b < kLatencyBatches; ++b) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < kLatencyBatchSize; ++i) counter.inc();
+    per_op_ns.push_back(seconds_since(start) * 1e9 /
+                        static_cast<double>(kLatencyBatchSize));
+  }
+  std::sort(per_op_ns.begin(), per_op_ns.end());
+  LatencyResult r;
+  r.p50_ns = per_op_ns[per_op_ns.size() / 2];
+  r.p99_ns = per_op_ns[per_op_ns.size() * 99 / 100];
+  r.max_ns = per_op_ns.back();
+  // The handle must actually have counted, or the loop was dead-code
+  // eliminated and the numbers are fiction.
+  if (counter.value() != kLatencyBatches * kLatencyBatchSize) {
+    std::fprintf(stderr, "latency probe lost updates\n");
+    std::exit(2);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1e-6;
+  std::uint64_t seed = 42;
+  std::string json_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  using namespace nxd;
+
+  std::printf("=== metrics overhead: instrumented vs plain ingest (scale=%g seed=%llu) ===\n",
+              scale, static_cast<unsigned long long>(seed));
+
+  synth::HistoryStreamConfig history;
+  history.scale = scale;
+  history.seed = seed;
+  history.ok_fraction = 0.05;
+  history.servfail_fraction = 0.02;
+  const synth::NxHistoryStream stream(history);
+  const auto observations = stream.all();
+  std::printf("stream: %s observations (best of %d reps per config)\n\n",
+              util::with_commas(static_cast<std::uint64_t>(observations.size())).c_str(),
+              kIngestReps);
+
+  const auto [plain_seconds, instrumented_seconds] = ingest_pair(observations);
+  const double overhead_pct =
+      plain_seconds > 0
+          ? (instrumented_seconds - plain_seconds) / plain_seconds * 100.0
+          : 0;
+  const LatencyResult latency = counter_latency();
+
+  util::Table table({"measurement", "value", "target", "status"});
+  table.add_row({"plain ingest", fixed(plain_seconds, 3) + " s", "-", "baseline"});
+  table.add_row({"instrumented ingest", fixed(instrumented_seconds, 3) + " s", "-", "-"});
+  const bool overhead_ok = overhead_pct < kMaxOverheadPct;
+  table.add_row({"ingest overhead", fixed(overhead_pct, 2) + " %",
+                 "< " + fixed(kMaxOverheadPct, 1) + " %",
+                 overhead_ok ? "ok" : "EXCEEDED"});
+  table.add_row({"counter inc p50", fixed(latency.p50_ns, 1) + " ns", "-", "-"});
+  const bool p99_ok = latency.p99_ns < kMaxP99Ns;
+  table.add_row({"counter inc p99", fixed(latency.p99_ns, 1) + " ns",
+                 "< " + fixed(kMaxP99Ns, 0) + " ns", p99_ok ? "ok" : "EXCEEDED"});
+  table.add_row({"counter inc max batch", fixed(latency.max_ns, 1) + " ns", "-", "-"});
+  table.render(std::cout);
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"metrics_overhead\",\n");
+    std::fprintf(f, "  \"scale\": %g,\n  \"seed\": %llu,\n", scale,
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"observations\": %llu,\n",
+                 static_cast<unsigned long long>(observations.size()));
+    std::fprintf(f, "  \"plain_ingest_seconds\": %.6f,\n", plain_seconds);
+    std::fprintf(f, "  \"instrumented_ingest_seconds\": %.6f,\n",
+                 instrumented_seconds);
+    std::fprintf(f, "  \"ingest_overhead_pct\": %.3f,\n", overhead_pct);
+    std::fprintf(f, "  \"ingest_overhead_target_pct\": %.1f,\n", kMaxOverheadPct);
+    std::fprintf(f, "  \"counter_inc_p50_ns\": %.2f,\n", latency.p50_ns);
+    std::fprintf(f, "  \"counter_inc_p99_ns\": %.2f,\n", latency.p99_ns);
+    std::fprintf(f, "  \"counter_inc_p99_target_ns\": %.1f,\n", kMaxP99Ns);
+    std::fprintf(f, "  \"within_targets\": %s\n",
+                 overhead_ok && p99_ok ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  return overhead_ok && p99_ok ? 0 : 1;
+}

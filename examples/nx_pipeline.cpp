@@ -33,6 +33,16 @@
 //                   snapshot (pipe it to a file for `nxdtool loadstats`).
 //                   Any of the three flags enables the section; the default
 //                   run is untouched.
+//               [--metrics-every=N] [--metrics-out=<path>] [--trace=<path.jsonl>]
+//                   observability run: every module shares one obs registry +
+//                   query trace.  --metrics-every=N prints a live Prometheus
+//                   snapshot every N ingest batches of the §4 batched paths
+//                   (--durable / --threads>1) and once after the run;
+//                   --metrics-out writes the final snapshot in the
+//                   "nxd-metrics v1" text format (`nxdtool metrics <file>`
+//                   re-renders it); --trace dumps the query-trace ring as
+//                   JSONL.  All three default off — the default run's output
+//                   is byte-identical to a build without them.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +53,9 @@
 
 #include "analysis/origin.hpp"
 #include "analysis/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "honeypot/server.hpp"
 #include "analysis/scale.hpp"
 #include "analysis/security.hpp"
@@ -71,6 +84,9 @@ int main(int argc, char** argv) {
   double rate_limit = 2;
   std::int64_t drain_ms = 4'000;
   bool overload_run = false;
+  std::uint64_t metrics_every = 0;
+  std::string metrics_out;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
     if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -95,7 +111,25 @@ int main(int argc, char** argv) {
       drain_ms = std::strtoll(argv[i] + 11, nullptr, 10);
       overload_run = true;
     }
+    if (std::strncmp(argv[i], "--metrics-every=", 16) == 0) {
+      metrics_every = std::strtoull(argv[i] + 16, nullptr, 10);
+    }
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
+
+  // One registry + trace shared by every instrumented module; with all three
+  // flags off nothing binds to them and the run's output is untouched.
+  const bool obs_enabled =
+      metrics_every > 0 || !metrics_out.empty() || !trace_path.empty();
+  obs::MetricsRegistry registry;
+  obs::QueryTrace trace(65'536);
+  const auto emit_metrics = [&registry](const char* label) {
+    std::printf("# --- metrics: %s ---\n", label);
+    std::fputs(obs::render_prometheus(registry).c_str(), stdout);
+  };
 
   // ---------------------------------------------------------------- §4
   std::printf("=== §4 scale: passive-DNS NXDomain stream (2014-2022) ===\n");
@@ -121,6 +155,7 @@ int main(int argc, char** argv) {
                    durable_dir.c_str());
       return 1;
     }
+    if (obs_enabled) durable->bind_metrics(registry, &trace);
     const auto& recovery = durable->recovery();
     if (recovery.snapshot_loaded || recovery.replayed_batches > 0) {
       std::printf("(durable: recovered %llu checkpointed + %llu WAL batches"
@@ -131,11 +166,15 @@ int main(int argc, char** argv) {
                   durable_dir.c_str());
     }
     constexpr std::size_t kBatch = 10'000;
+    std::uint64_t batch_no = 0;
     for (std::size_t at = 0; at < observations.size(); at += kBatch) {
       const auto n = std::min(kBatch, observations.size() - at);
       if (!durable->ingest_batch(std::span(observations).subspan(at, n))) {
         std::fprintf(stderr, "nx_pipeline: durable ingest failed\n");
         return 1;
+      }
+      if (metrics_every > 0 && ++batch_no % metrics_every == 0) {
+        emit_metrics(("after batch " + std::to_string(batch_no)).c_str());
       }
     }
     if (!durable->checkpoint()) {
@@ -159,12 +198,29 @@ int main(int argc, char** argv) {
     util::WorkerPool pool(threads);
     const auto observations = stream.all_parallel(pool);
     pdns::ShardedStore sharded(threads);
-    sharded.ingest_batch(observations, pool);
+    if (obs_enabled) sharded.bind_metrics(registry, &trace);
+    if (metrics_every > 0) {
+      // Batched ingest so the periodic emission has batch boundaries to fire
+      // on; each shard still sees its observations in stream order, so the
+      // merged store is identical to the one-call ingest below.
+      constexpr std::size_t kBatch = 10'000;
+      std::uint64_t batch_no = 0;
+      for (std::size_t at = 0; at < observations.size(); at += kBatch) {
+        const auto n = std::min(kBatch, observations.size() - at);
+        sharded.ingest_batch(std::span(observations).subspan(at, n), pool);
+        if (++batch_no % metrics_every == 0) {
+          emit_metrics(("after batch " + std::to_string(batch_no)).c_str());
+        }
+      }
+    } else {
+      sharded.ingest_batch(observations, pool);
+    }
     store = sharded.merge();
     std::printf("(sharded ingest: %zu workers over %zu shards, %s observations)\n",
                 threads, sharded.shard_count(),
                 util::with_commas(store.total_observations()).c_str());
   } else {
+    if (obs_enabled) store.bind_metrics(registry);
     synth::fill_store_with_history(store, 5e-9, seed);
   }
   const analysis::ScaleAnalysis scale_analysis(store);
@@ -329,6 +385,11 @@ int main(int argc, char** argv) {
     resolver.use_network(network, {}, resolver::RetryPolicy{}, chaos_seed);
 
     pdns::PassiveDnsStore chaos_store;
+    if (obs_enabled) {
+      resolver.bind_metrics(registry, &trace);
+      network.bind_metrics(registry, &trace);
+      chaos_store.bind_metrics(registry, {{"stage", "chaos"}});
+    }
     resolver.set_observer([&chaos_store](const dns::Message& q,
                                          const dns::Message& r, bool,
                                          util::SimTime when) {
@@ -393,6 +454,10 @@ int main(int argc, char** argv) {
     guard.drain_deadline =
         std::max<util::SimTime>(1, (drain_ms + 999) / 1'000);
     ol_server.enable_overload(guard);
+    if (obs_enabled) {
+      ol_server.gate()->bind_metrics(registry, &trace);
+      ol_recorder.bind_metrics(registry, &trace);
+    }
 
     util::SimClock ol_clock;
     util::Rng flood(seed);
@@ -486,6 +551,23 @@ int main(int argc, char** argv) {
     std::ofstream out(report_path);
     out << analysis::render_markdown_report(inputs);
     std::printf("report written to %s\n", report_path.c_str());
+  }
+
+  if (metrics_every > 0) emit_metrics("end of run");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary);
+    out << registry.snapshot().to_text();
+    std::printf("metrics snapshot written to %s "
+                "(render with `nxdtool metrics %s`)\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    out << trace.to_jsonl();
+    std::printf("query trace written to %s (%llu events, %llu dropped)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(trace.total_emitted()),
+                static_cast<unsigned long long>(trace.dropped()));
   }
   return 0;
 }

@@ -7,6 +7,91 @@
 
 namespace nxd::honeypot {
 
+ConnectionGate::ConnectionGate(OverloadConfig config)
+    : config_(config), own_registry_(std::make_unique<obs::MetricsRegistry>()) {
+  acquire_metrics(*own_registry_);
+}
+
+void ConnectionGate::acquire_metrics(obs::MetricsRegistry& registry) {
+  m_.opened = registry.counter("nxd_honeypot_conns_opened_total",
+                               "Connections that reached the gate");
+  m_.accepted = registry.counter("nxd_honeypot_conns_accepted_total",
+                                 "Connections admitted");
+  m_.completed = registry.counter("nxd_honeypot_conns_completed_total",
+                                  "Connections closed after a full request");
+  m_.aborted = registry.counter("nxd_honeypot_conns_aborted_total",
+                                "Connections the peer closed early");
+  const std::string shed_help = "Connections shed, by reason";
+  m_.shed_capacity = registry.counter("nxd_honeypot_conns_shed_total",
+                                      shed_help, {{"reason", "capacity"}});
+  m_.shed_rate = registry.counter("nxd_honeypot_conns_shed_total", shed_help,
+                                  {{"reason", "rate"}});
+  m_.shed_draining = registry.counter("nxd_honeypot_conns_shed_total",
+                                      shed_help, {{"reason", "draining"}});
+  const std::string expired_help = "Connections reaped at a deadline, by phase";
+  m_.expired_header = registry.counter("nxd_honeypot_conns_expired_total",
+                                       expired_help, {{"phase", "header"}});
+  m_.expired_body = registry.counter("nxd_honeypot_conns_expired_total",
+                                     expired_help, {{"phase", "body"}});
+  m_.expired_idle = registry.counter("nxd_honeypot_conns_expired_total",
+                                     expired_help, {{"phase", "idle"}});
+  m_.drained_completed =
+      registry.counter("nxd_honeypot_drained_completed_total",
+                       "In-flight requests finished during drain");
+  m_.drain_forced_closes =
+      registry.counter("nxd_honeypot_drain_forced_closes_total",
+                       "Connections force-closed at the drain deadline");
+  m_.rate_sources_evicted =
+      registry.counter("nxd_honeypot_rate_sources_evicted_total",
+                       "Idle per-IP buckets swept");
+  m_.rate_table_overflow =
+      registry.counter("nxd_honeypot_rate_table_overflow_total",
+                       "Connections admitted unmetered: bucket table full");
+  m_.active = registry.gauge("nxd_honeypot_active_connections",
+                             "Connections currently in flight");
+}
+
+void ConnectionGate::bind_metrics(obs::MetricsRegistry& registry,
+                                  obs::QueryTrace* trace) {
+  const OverloadStats carried = stats();
+  acquire_metrics(registry);
+  m_.opened.inc(carried.opened);
+  m_.accepted.inc(carried.accepted);
+  m_.completed.inc(carried.completed);
+  m_.aborted.inc(carried.aborted);
+  m_.shed_capacity.inc(carried.shed_capacity);
+  m_.shed_rate.inc(carried.shed_rate);
+  m_.shed_draining.inc(carried.shed_draining);
+  m_.expired_header.inc(carried.expired_header);
+  m_.expired_body.inc(carried.expired_body);
+  m_.expired_idle.inc(carried.expired_idle);
+  m_.drained_completed.inc(carried.drained_completed);
+  m_.drain_forced_closes.inc(carried.drain_forced_closes);
+  m_.rate_sources_evicted.inc(carried.rate_sources_evicted);
+  m_.rate_table_overflow.inc(carried.rate_table_overflow);
+  m_.active.add(static_cast<std::int64_t>(conns_.size()));
+  own_registry_.reset();
+  trace_ = trace;
+}
+
+const OverloadStats& ConnectionGate::stats() const noexcept {
+  stats_.opened = m_.opened.value();
+  stats_.accepted = m_.accepted.value();
+  stats_.completed = m_.completed.value();
+  stats_.aborted = m_.aborted.value();
+  stats_.shed_capacity = m_.shed_capacity.value();
+  stats_.shed_rate = m_.shed_rate.value();
+  stats_.shed_draining = m_.shed_draining.value();
+  stats_.expired_header = m_.expired_header.value();
+  stats_.expired_body = m_.expired_body.value();
+  stats_.expired_idle = m_.expired_idle.value();
+  stats_.drained_completed = m_.drained_completed.value();
+  stats_.drain_forced_closes = m_.drain_forced_closes.value();
+  stats_.rate_sources_evicted = m_.rate_sources_evicted.value();
+  stats_.rate_table_overflow = m_.rate_table_overflow.value();
+  return stats_;
+}
+
 bool ConnectionGate::rate_admit(net::IPv4 source, util::SimTime now) {
   if (config_.per_ip_rate <= 0) return true;
   auto it = buckets_.find(source);
@@ -19,7 +104,7 @@ bool ConnectionGate::rate_admit(net::IPv4 source, util::SimTime now) {
       for (auto victim = buckets_.begin(); victim != buckets_.end();) {
         if (victim->second.tokens_at(now) >= victim->second.capacity()) {
           victim = buckets_.erase(victim);
-          ++stats_.rate_sources_evicted;
+          m_.rate_sources_evicted.inc();
         } else {
           ++victim;
         }
@@ -30,7 +115,7 @@ bool ConnectionGate::rate_admit(net::IPv4 source, util::SimTime now) {
       // Every tracked source is actively metered and the table is full:
       // fail open for the newcomer (admitting one request is cheaper than
       // letting an attacker evict real limiter state), but count it.
-      ++stats_.rate_table_overflow;
+      m_.rate_table_overflow.inc();
       return true;
     }
     it = buckets_
@@ -43,28 +128,39 @@ bool ConnectionGate::rate_admit(net::IPv4 source, util::SimTime now) {
 
 ConnectionGate::Admission ConnectionGate::open(net::IPv4 source,
                                                util::SimTime now) {
-  ++stats_.opened;
+  m_.opened.inc();
   if (draining_) {
-    ++stats_.shed_draining;
+    m_.shed_draining.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::ConnShed, 0, 0, "draining");
+    }
     return Admission{0, AdmitDecision::ShedDraining};
   }
   if (config_.max_connections != 0 &&
       conns_.size() >= config_.max_connections) {
-    ++stats_.shed_capacity;
+    m_.shed_capacity.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::ConnShed, 0, 0, "capacity");
+    }
     return Admission{0, AdmitDecision::ShedCapacity};
   }
   if (!rate_admit(source, now)) {
-    ++stats_.shed_rate;
+    m_.shed_rate.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::ConnShed, 0, 0, "rate");
+    }
     return Admission{0, AdmitDecision::ShedRate};
   }
-  ++stats_.accepted;
+  m_.accepted.inc();
   const std::uint64_t id = next_id_++;
   Conn conn;
   conn.source = source;
   conn.opened = now;
   conn.last_activity = now;
   conns_.emplace(id, conn);
+  m_.active.add(1);
   arm(id, conn);
+  if (trace_ != nullptr) trace_->emit(now, obs::TraceKind::ConnAdmit, id);
   return Admission{id, AdmitDecision::Accept};
 }
 
@@ -134,13 +230,21 @@ std::vector<ConnectionGate::Expired> ConnectionGate::reap(util::SimTime now) {
     const auto it = conns_.find(id);
     if (it == conns_.end()) continue;
     const ExpireReason reason = classify(it->second);
+    const char* label = "";
     switch (reason) {
-      case ExpireReason::Header: ++stats_.expired_header; break;
-      case ExpireReason::Body: ++stats_.expired_body; break;
-      case ExpireReason::Idle: ++stats_.expired_idle; break;
-      case ExpireReason::DrainForced: ++stats_.drain_forced_closes; break;
+      case ExpireReason::Header: m_.expired_header.inc(); label = "header"; break;
+      case ExpireReason::Body: m_.expired_body.inc(); label = "body"; break;
+      case ExpireReason::Idle: m_.expired_idle.inc(); label = "idle"; break;
+      case ExpireReason::DrainForced:
+        m_.drain_forced_closes.inc();
+        label = "drain_forced";
+        break;
     }
     conns_.erase(it);
+    m_.active.sub(1);
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::ConnReap, id, 0, label);
+    }
     out.push_back(Expired{id, reason});
   }
   return out;
@@ -151,11 +255,15 @@ void ConnectionGate::close(std::uint64_t id, bool completed) {
   if (it == conns_.end()) return;
   conns_.erase(it);
   deadlines_.erase(id);
+  m_.active.sub(1);
   if (completed) {
-    ++stats_.completed;
-    if (draining_) ++stats_.drained_completed;
+    m_.completed.inc();
+    if (draining_) m_.drained_completed.inc();
   } else {
-    ++stats_.aborted;
+    m_.aborted.inc();
+  }
+  if (trace_ != nullptr) {
+    trace_->emit(0, obs::TraceKind::ConnComplete, id, completed ? 1 : 0);
   }
 }
 

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "net/endpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/civil_time.hpp"
 #include "util/deadline_queue.hpp"
 #include "util/token_bucket.hpp"
@@ -97,7 +99,7 @@ struct OverloadStats {
 
 class ConnectionGate {
  public:
-  explicit ConnectionGate(OverloadConfig config = {}) : config_(config) {}
+  explicit ConnectionGate(OverloadConfig config = {});
 
   struct Admission {
     std::uint64_t id = 0;  // valid only when decision == Accept
@@ -134,7 +136,12 @@ class ConnectionGate {
   std::size_t active() const noexcept { return conns_.size(); }
   std::size_t tracked_sources() const noexcept { return buckets_.size(); }
   const OverloadConfig& config() const noexcept { return config_; }
-  const OverloadStats& stats() const noexcept { return stats_; }
+  const OverloadStats& stats() const noexcept;
+
+  /// Source the OverloadStats fields from a shared registry (current values
+  /// carry over) and optionally trace admit/shed/reap/complete events.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    obs::QueryTrace* trace = nullptr);
 
  private:
   struct Conn {
@@ -144,19 +151,41 @@ class ConnectionGate {
     bool headers_done = false;
   };
 
+  struct Metrics {
+    obs::Counter opened;
+    obs::Counter accepted;
+    obs::Counter completed;
+    obs::Counter aborted;
+    obs::Counter shed_capacity;
+    obs::Counter shed_rate;
+    obs::Counter shed_draining;
+    obs::Counter expired_header;
+    obs::Counter expired_body;
+    obs::Counter expired_idle;
+    obs::Counter drained_completed;
+    obs::Counter drain_forced_closes;
+    obs::Counter rate_sources_evicted;
+    obs::Counter rate_table_overflow;
+    obs::Gauge active;
+  };
+
   bool rate_admit(net::IPv4 source, util::SimTime now);
   std::optional<util::SimTime> effective_deadline(const Conn& conn) const;
   void arm(std::uint64_t id, const Conn& conn);
   ExpireReason classify(const Conn& conn) const;
+  void acquire_metrics(obs::MetricsRegistry& registry);
 
   OverloadConfig config_;
-  OverloadStats stats_;
+  mutable OverloadStats stats_;  // cache refreshed from handles by stats()
   std::unordered_map<std::uint64_t, Conn> conns_;
   util::DeadlineQueue deadlines_;
   std::unordered_map<net::IPv4, util::TokenBucket, dns::IPv4Hash> buckets_;
   std::uint64_t next_id_ = 1;
   bool draining_ = false;
   util::SimTime drain_started_ = 0;
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  Metrics m_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 /// Flat named-counter snapshot of the serving layer's load counters

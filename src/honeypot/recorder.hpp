@@ -10,6 +10,8 @@
 #include "honeypot/http.hpp"
 #include "net/endpoint.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/civil_time.hpp"
 #include "util/histogram.hpp"
 
@@ -66,9 +68,18 @@ class TrafficRecorder {
   /// and never stored; expired ones were reaped by a slowloris deadline
   /// (their partial bytes are still captured); drained ones finished
   /// in-flight during graceful shutdown.
-  void note_shed_connection() noexcept { ++shed_connections_; }
-  void note_expired_connection() noexcept { ++expired_connections_; }
-  void note_drained_connection() noexcept { ++drained_connections_; }
+  void note_shed_connection() noexcept {
+    ++shed_connections_;
+    m_.shed_connections.inc();
+  }
+  void note_expired_connection() noexcept {
+    ++expired_connections_;
+    m_.expired_connections.inc();
+  }
+  void note_drained_connection() noexcept {
+    ++drained_connections_;
+    m_.drained_connections.inc();
+  }
   std::uint64_t shed_connections() const noexcept { return shed_connections_; }
   std::uint64_t expired_connections() const noexcept { return expired_connections_; }
   std::uint64_t drained_connections() const noexcept { return drained_connections_; }
@@ -87,7 +98,24 @@ class TrafficRecorder {
 
   void clear();
 
+  /// Mirror capture-plane counters into a shared registry (current values
+  /// carry over) and optionally trace capture drops.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    obs::QueryTrace* trace = nullptr);
+
  private:
+  struct Metrics {
+    obs::Counter records;
+    obs::Counter capture_drops;
+    obs::Counter oversize_payloads;
+    obs::Counter shed_connections;
+    obs::Counter expired_connections;
+    obs::Counter drained_connections;
+    obs::LatencyHistogram payload_bytes;
+  };
+
+  Metrics m_;
+  obs::QueryTrace* trace_ = nullptr;
   std::vector<TrafficRecord> records_;
   util::Counter port_counts_;
   net::FaultPlan* fault_plan_ = nullptr;

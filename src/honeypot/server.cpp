@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/prometheus.hpp"
 #include "util/strings.hpp"
 
 namespace nxd::honeypot {
@@ -28,6 +29,12 @@ std::string landing_page(const std::string& domain,
 
 void NxdHoneypot::set_route(std::string path, HttpResponse response) {
   routes_[std::move(path)] = std::move(response);
+}
+
+void NxdHoneypot::expose_metrics(const obs::MetricsRegistry* registry,
+                                 std::string admin_token) {
+  metrics_ = registry;
+  admin_token_ = std::move(admin_token);
 }
 
 namespace {
@@ -116,6 +123,28 @@ std::optional<std::vector<std::uint8_t>> NxdHoneypot::handle_packet(
 
 std::optional<std::vector<std::uint8_t>> NxdHoneypot::process_packet(
     const net::SimPacket& packet, util::SimTime when) {
+  // Admin metrics scrape: answered before capture so telemetry never enters
+  // the traffic corpus.  The cheap prefix check keeps the hot path free of
+  // HTTP parsing; a wrong or missing token falls through and is treated —
+  // and recorded — exactly like any other visitor request.
+  if (metrics_ != nullptr && packet.protocol == net::Protocol::TCP) {
+    const std::string_view raw(
+        reinterpret_cast<const char*>(packet.payload.data()),
+        packet.payload.size());
+    if (raw.starts_with("GET /metrics")) {
+      if (const auto request = parse_http_request(raw);
+          request && request->path() == "/metrics" &&
+          !admin_token_.empty() &&
+          request->header("x-nxd-admin") == admin_token_) {
+        HttpResponse response;
+        response.headers["content-type"] =
+            "text/plain; version=0.0.4; charset=utf-8";
+        response.body = obs::render_prometheus(*metrics_);
+        ++responses_;
+        return wire_bytes(response);
+      }
+    }
+  }
   TrafficRecord record;
   record.protocol = packet.protocol;
   record.source = packet.src;

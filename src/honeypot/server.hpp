@@ -27,6 +27,7 @@
 #include "honeypot/overload.hpp"
 #include "honeypot/recorder.hpp"
 #include "net/sim_network.hpp"
+#include "obs/metrics.hpp"
 #include "net/socket.hpp"
 #include "net/event_loop.hpp"
 
@@ -62,6 +63,17 @@ class NxdHoneypot {
   /// and observe the follow-up behaviour.
   void set_route(std::string path, HttpResponse response);
   std::size_t route_count() const noexcept { return routes_.size(); }
+
+  /// Serve live Prometheus text on `GET /metrics` for requests carrying an
+  /// `x-nxd-admin: <token>` header that matches `admin_token`.  Admin scrapes
+  /// are answered before capture and never recorded — operator telemetry must
+  /// not pollute the study's traffic corpus.  Requests without the matching
+  /// token fall through to the ordinary record-and-404 path, so probing
+  /// visitors cannot distinguish the sensor from an unadorned honeypot.
+  /// nullptr disables (the default — wire output stays byte-identical).
+  /// The registry must outlive the honeypot.
+  void expose_metrics(const obs::MetricsRegistry* registry,
+                      std::string admin_token);
 
   /// Handle one captured packet: record it, and if it parses as an HTTP
   /// request produce the landing-page (or 404) response bytes.  With an
@@ -163,6 +175,8 @@ class NxdHoneypot {
 
   Config config_;
   TrafficRecorder& recorder_;
+  const obs::MetricsRegistry* metrics_ = nullptr;
+  std::string admin_token_;
   std::map<std::string, HttpResponse> routes_;
   std::uint64_t responses_ = 0;
   std::unique_ptr<ConnectionGate> gate_;

@@ -21,6 +21,8 @@
 
 #include "net/endpoint.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/civil_time.hpp"
 
 namespace nxd::net {
@@ -89,13 +91,38 @@ class SimNetwork {
   std::uint64_t delivered() const noexcept { return delivered_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
+  /// Mirror delivery and fault-injection counts into a shared registry and
+  /// optionally trace each injected fault.  Fault counters mirror per-send
+  /// deltas of the plan's own stats, so they stay monotonic even when a
+  /// caller reset_stats()s or swaps the plan mid-run.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    obs::QueryTrace* trace = nullptr);
+
  private:
+  struct Metrics {
+    obs::Counter delivered;
+    obs::Counter dropped;
+    obs::Counter fault_drops;
+    obs::Counter fault_duplicates;
+    obs::Counter fault_corruptions;
+    obs::Counter fault_truncations;
+    obs::Counter fault_delays;
+    obs::Counter outage_drops;
+    obs::Counter fault_delay_seconds;
+  };
+
+  /// Mirror the per-send change in the plan's FaultStats into the registry.
+  void mirror_faults(const FaultStats& before, const FaultStats& after);
+
   std::unordered_map<ServiceKey, Service, ServiceKeyHash> services_;
   FaultPlan fault_plan_;
   const util::SimClock* clock_ = nullptr;
   util::SimTime last_delay_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  bool metrics_bound_ = false;
+  Metrics m_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace nxd::net

@@ -1,0 +1,123 @@
+#include "obs/prometheus.hpp"
+
+#include <sstream>
+
+namespace nxd::obs {
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& v) {
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+/// {k="v",k2="v2"} with an optional extra label (used for le=).
+std::string label_block(const LabelSet& labels, const std::string& extra_key,
+                        const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(&out, v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped(&out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* prom_type(MetricType t) noexcept {
+  switch (t) {
+    case MetricType::Counter: return "counter";
+    case MetricType::Gauge: return "gauge";
+    case MetricType::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+void emit_header(std::ostringstream& out, const std::string& name,
+                 const std::string& help, MetricType type) {
+  if (!help.empty()) out << "# HELP " << name << ' ' << help << '\n';
+  out << "# TYPE " << name << ' ' << prom_type(type) << '\n';
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  const auto& series = snapshot.series;
+  for (std::size_t i = 0; i < series.size();) {
+    // Consume the run of series sharing one metric name (snapshot is sorted).
+    std::size_t end = i;
+    while (end < series.size() && series[end].name == series[i].name) ++end;
+    const SnapshotSeries& head = series[i];
+    emit_header(out, head.name, head.help, head.type);
+    for (std::size_t j = i; j < end; ++j) {
+      const SnapshotSeries& s = series[j];
+      if (s.type != head.type) continue;  // conflicting registration; skip
+      switch (s.type) {
+        case MetricType::Counter:
+          out << s.name << label_block(s.labels, "", "") << ' ' << s.counter
+              << '\n';
+          break;
+        case MetricType::Gauge:
+          out << s.name << label_block(s.labels, "", "") << ' ' << s.gauge
+              << '\n';
+          break;
+        case MetricType::Histogram: {
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+            cumulative += s.buckets[b];
+            const bool overflow = b + 1 == s.buckets.size();
+            const std::string le =
+                overflow ? "+Inf"
+                         : std::to_string(histogram_bucket_bound(b));
+            out << s.name << "_bucket" << label_block(s.labels, "le", le)
+                << ' ' << cumulative << '\n';
+          }
+          out << s.name << "_sum" << label_block(s.labels, "", "") << ' '
+              << s.hist_sum << '\n';
+          out << s.name << "_count" << label_block(s.labels, "", "") << ' '
+              << s.hist_count << '\n';
+          break;
+        }
+      }
+    }
+    if (head.type == MetricType::Histogram) {
+      // Auxiliary max series (Prometheus histograms cannot carry one).
+      emit_header(out, head.name + "_max", "", MetricType::Gauge);
+      for (std::size_t j = i; j < end; ++j) {
+        const SnapshotSeries& s = series[j];
+        if (s.type != MetricType::Histogram) continue;
+        out << s.name << "_max" << label_block(s.labels, "", "") << ' '
+            << s.hist_max << '\n';
+      }
+    }
+    i = end;
+  }
+  return out.str();
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  return render_prometheus(registry.snapshot());
+}
+
+}  // namespace nxd::obs

@@ -1,0 +1,24 @@
+// Prometheus text exposition (version 0.0.4) for a MetricsSnapshot.
+//
+// Rendering is deterministic: series come out in snapshot order (sorted by
+// name + labels), values are integers, and histogram buckets use the fixed
+// log2 bounds from metrics.hpp — so golden-text tests stay byte-stable.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace nxd::obs {
+
+/// Render the snapshot as Prometheus text format: one HELP/TYPE pair per
+/// metric name, then one sample line per series.  Histograms emit cumulative
+/// `_bucket{le="..."}` lines plus `_sum`, `_count`, and an auxiliary
+/// `<name>_max` gauge (Prometheus histograms have no max, we refuse to lose
+/// it).
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshot + render in one call.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+}  // namespace nxd::obs

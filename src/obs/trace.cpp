@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nxd::obs {
+
+namespace {
+
+void append_json_escaped(std::string* out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::IngestBatch: return "ingest_batch";
+    case TraceKind::WalAck: return "wal_ack";
+    case TraceKind::Checkpoint: return "checkpoint";
+    case TraceKind::QueryStart: return "query_start";
+    case TraceKind::QueryRetry: return "query_retry";
+    case TraceKind::QueryTimeout: return "query_timeout";
+    case TraceKind::QueryResponse: return "query_response";
+    case TraceKind::RrlPass: return "rrl_pass";
+    case TraceKind::RrlSlip: return "rrl_slip";
+    case TraceKind::RrlDrop: return "rrl_drop";
+    case TraceKind::ConnAdmit: return "conn_admit";
+    case TraceKind::ConnShed: return "conn_shed";
+    case TraceKind::ConnReap: return "conn_reap";
+    case TraceKind::ConnComplete: return "conn_complete";
+    case TraceKind::CaptureDrop: return "capture_drop";
+    case TraceKind::FaultInject: return "fault_inject";
+    case TraceKind::kCount_: break;
+  }
+  return "unknown";
+}
+
+QueryTrace::QueryTrace(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void QueryTrace::emit(util::SimTime t, TraceKind kind, std::uint64_t id,
+                      std::int64_t value, std::string detail) {
+  if (kind >= TraceKind::kCount_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& slot = ring_[next_seq_ % capacity_];
+  slot.seq = next_seq_;
+  slot.t = t;
+  slot.kind = kind;
+  slot.id = id;
+  slot.value = value;
+  slot.detail = std::move(detail);
+  ++next_seq_;
+  ++per_kind_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<TraceEvent> QueryTrace::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t resident = std::min<std::uint64_t>(next_seq_, capacity_);
+  std::vector<TraceEvent> out;
+  out.reserve(resident);
+  for (std::uint64_t seq = next_seq_ - resident; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t QueryTrace::total_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t QueryTrace::emitted(TraceKind k) const {
+  if (k >= TraceKind::kCount_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_kind_[static_cast<std::size_t>(k)];
+}
+
+std::uint64_t QueryTrace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t resident = std::min<std::uint64_t>(next_seq_, capacity_);
+  return next_seq_ - resident;
+}
+
+std::string QueryTrace::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& e : events()) {
+    out += "{\"seq\":";
+    out += std::to_string(e.seq);
+    out += ",\"t\":";
+    out += std::to_string(e.t);
+    out += ",\"kind\":\"";
+    out += trace_kind_name(e.kind);
+    out += "\",\"id\":";
+    out += std::to_string(e.id);
+    out += ",\"value\":";
+    out += std::to_string(e.value);
+    out += ",\"detail\":\"";
+    append_json_escaped(&out, e.detail);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+void QueryTrace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 0;
+  per_kind_.fill(0);
+  for (auto& slot : ring_) slot = TraceEvent{};
+}
+
+}  // namespace nxd::obs

@@ -1,0 +1,95 @@
+// dnstap-inspired per-query event tracing.
+//
+// Components emit small structured events (query start/retry/response, RRL
+// verdicts, connection admit/shed/reap, WAL acks, fault injections) into a
+// bounded ring buffer.  The ring overwrites oldest-first and counts what it
+// overwrote, and it additionally keeps a per-kind emitted counter that is
+// NOT bounded — so a trace always reconciles against the metrics registry:
+// `emitted(QueryStart)` equals `nxd_resolver_client_queries_total` even when
+// the ring itself wrapped (drops accounted).
+//
+// Timestamps are SimTime, so traces are deterministic under a fixed seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/civil_time.hpp"
+
+namespace nxd::obs {
+
+enum class TraceKind : std::uint8_t {
+  // pdns ingest path.
+  IngestBatch = 0,  // id=batch seq, value=observations in batch
+  WalAck,           // id=batch seq, value=bytes appended
+  Checkpoint,       // id=checkpoint seq, value=batches covered
+  // resolver path.
+  QueryStart,     // id=query seq, detail=qname
+  QueryRetry,     // id=query seq, value=attempt number
+  QueryTimeout,   // id=query seq, value=attempt number
+  QueryResponse,  // id=query seq, value=rcode, detail=source (cache/upstream)
+  RrlPass,        // id=source hash
+  RrlSlip,        // id=source hash
+  RrlDrop,        // id=source hash
+  // honeypot connection path.
+  ConnAdmit,     // id=conn id
+  ConnShed,      // id=conn id (0 if refused pre-open), detail=reason
+  ConnReap,      // id=conn id, detail=reason
+  ConnComplete,  // id=conn id, value=requests served
+  CaptureDrop,   // value=payload bytes lost
+  // net path.
+  FaultInject,  // value=count, detail=fault kind
+  kCount_,      // sentinel, keep last
+};
+
+constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::kCount_);
+
+/// Stable lowercase token for JSONL output ("query_start", "rrl_drop", ...).
+const char* trace_kind_name(TraceKind k) noexcept;
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  // global emit order, never reused
+  util::SimTime t = 0;
+  TraceKind kind = TraceKind::QueryStart;
+  std::uint64_t id = 0;     // query / connection / batch identifier
+  std::int64_t value = 0;   // kind-specific payload
+  std::string detail;       // short free text (qname, reason); may be empty
+};
+
+/// Bounded, drop-counted event ring.  Thread-safe; emit is a mutex-guarded
+/// copy into preallocated storage.
+class QueryTrace {
+ public:
+  explicit QueryTrace(std::size_t capacity = 4096);
+
+  void emit(util::SimTime t, TraceKind kind, std::uint64_t id,
+            std::int64_t value = 0, std::string detail = {});
+
+  /// Events still resident, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t total_emitted() const;
+  std::uint64_t emitted(TraceKind k) const;
+  /// Events overwritten by ring wraparound (total_emitted - resident).
+  std::uint64_t dropped() const;
+
+  /// One JSON object per line:
+  /// {"seq":N,"t":N,"kind":"...","id":N,"value":N,"detail":"..."}
+  std::string to_jsonl() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  // ring_[seq % capacity_]
+  std::uint64_t next_seq_ = 0;
+  std::array<std::uint64_t, kTraceKindCount> per_kind_{};
+};
+
+}  // namespace nxd::obs

@@ -142,16 +142,39 @@ std::optional<DurableStore> DurableStore::open(std::string dir, Config config,
   return std::optional<DurableStore>(std::move(store));
 }
 
+void DurableStore::bind_metrics(obs::MetricsRegistry& registry,
+                                obs::QueryTrace* trace) {
+  m_.wal_batches = registry.counter("nxd_pdns_wal_batches_total",
+                                    "Batches durably acked by the WAL");
+  m_.wal_failures = registry.counter("nxd_pdns_wal_append_failures_total",
+                                     "WAL appends that failed (collector dead)");
+  m_.checkpoints = registry.counter("nxd_pdns_checkpoints_total",
+                                    "Checkpoints committed");
+  m_.wal_batches.inc(committed_);
+  m_.checkpoints.inc(checkpoints_);
+  registry_ = &registry;
+  trace_ = trace;
+  // The tail provides the per-shard observation counters and the batch-size
+  // histogram; re-bound after every checkpoint (the tail is replaced there).
+  tail_.bind_metrics(registry, trace);
+}
+
 bool DurableStore::ingest_batch(std::span<const Observation> batch) {
   if (!ok_) return false;
   if (!wal_->append_batch(batch)) {
     ok_ = false;
+    m_.wal_failures.inc();
     return false;
   }
   // Durable from here on: apply and ack.  The in-memory fold cannot fail.
   tail_.ingest_batch(batch, *pool_);
   ++committed_;
   ++since_checkpoint_;
+  m_.wal_batches.inc();
+  if (trace_ != nullptr) {
+    trace_->emit(0, obs::TraceKind::WalAck, committed_,
+                 static_cast<std::int64_t>(batch.size()));
+  }
   if (config_.checkpoint_every_batches != 0 &&
       since_checkpoint_ >= config_.checkpoint_every_batches) {
     // A checkpoint crash latches ok_ but the batch above stays acked.
@@ -178,8 +201,14 @@ bool DurableStore::checkpoint() {
   // tail even if the cleanup below dies — recovery only needs the snapshot.
   base_ = std::move(merged);
   tail_ = ShardedStore(config_.shard_count, config_.store);
+  if (registry_ != nullptr) tail_.bind_metrics(*registry_, trace_);
   since_checkpoint_ = 0;
   ++checkpoints_;
+  m_.checkpoints.inc();
+  if (trace_ != nullptr) {
+    trace_->emit(0, obs::TraceKind::Checkpoint, checkpoints_,
+                 static_cast<std::int64_t>(committed_));
+  }
 
   // Cleanup, every unlink crash-guarded: older checkpoints, then the WAL
   // prefix the snapshot covers (rotate first so the live segment only ever

@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdns/sharded_store.hpp"
 #include "pdns/store.hpp"
 #include "pdns/wal.hpp"
@@ -130,7 +132,22 @@ class DurableStore {
   static std::string snapshot_path(const std::string& dir,
                                    std::uint64_t batches);
 
+  /// Mirror the durable-ingest counters into a shared registry (committed
+  /// batches and checkpoints carry over) and optionally trace WAL acks and
+  /// checkpoints.  Also binds the live tail shards, so per-shard observation
+  /// counters cover everything ingested from here on (plus whatever the
+  /// current tail already holds); the store re-binds the fresh tail after
+  /// every checkpoint, so the registry must outlive the store.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    obs::QueryTrace* trace = nullptr);
+
  private:
+  struct Metrics {
+    obs::Counter wal_batches;
+    obs::Counter wal_failures;
+    obs::Counter checkpoints;
+  };
+
   DurableStore(std::string dir, Config config, util::CrashPoint* crash)
       : dir_(std::move(dir)),
         config_(config),
@@ -152,6 +169,9 @@ class DurableStore {
   std::uint64_t since_checkpoint_ = 0;
   std::uint64_t checkpoints_ = 0;
   bool ok_ = true;
+  Metrics m_;  // null handles until bind_metrics()
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace nxd::pdns

@@ -20,12 +20,30 @@ std::size_t ShardedStore::shard_of(const dns::DomainName& name,
   return util::fnv1a(registered_domain_key(name, buf)) % shard_count;
 }
 
+void ShardedStore::bind_metrics(obs::MetricsRegistry& registry,
+                                obs::QueryTrace* trace) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].bind_metrics(registry, {{"shard", std::to_string(i)}});
+  }
+  m_.batches = registry.counter("nxd_pdns_ingest_batches_total",
+                                "Batches routed through ingest_batch");
+  m_.batch_observations = registry.histogram(
+      "nxd_pdns_batch_observations", "Observations per ingested batch");
+  trace_ = trace;
+}
+
 void ShardedStore::ingest(const Observation& obs) {
   shards_[shard_of(obs.name, shards_.size())].ingest(obs);
 }
 
 void ShardedStore::ingest_batch(std::span<const Observation> batch,
                                 util::WorkerPool& pool) {
+  m_.batches.inc();
+  m_.batch_observations.observe(batch.size());
+  if (trace_ != nullptr) {
+    trace_->emit(0, obs::TraceKind::IngestBatch, ++batch_seq_,
+                 static_cast<std::int64_t>(batch.size()));
+  }
   const std::size_t shard_count = shards_.size();
   if (shard_count == 1) {
     for (const auto& obs : batch) shards_[0].ingest(obs);

@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdns/store.hpp"
 #include "util/worker_pool.hpp"
 
@@ -63,9 +65,23 @@ class ShardedStore {
   std::uint64_t nx_responses() const noexcept;
   std::uint64_t servfail_responses() const noexcept;
 
+  /// Bind every shard's store counters under a {shard="i"} label, plus
+  /// batch-level counters (batches ingested, batch-size histogram) and an
+  /// IngestBatch trace event per ingest_batch call.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    obs::QueryTrace* trace = nullptr);
+
  private:
+  struct Metrics {
+    obs::Counter batches;
+    obs::LatencyHistogram batch_observations;
+  };
+
   StoreConfig config_;
   std::vector<PassiveDnsStore> shards_;
+  Metrics m_;  // null handles until bind_metrics()
+  obs::QueryTrace* trace_ = nullptr;
+  std::uint64_t batch_seq_ = 0;
 };
 
 }  // namespace nxd::pdns

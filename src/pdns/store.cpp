@@ -15,8 +15,27 @@ std::string_view tld_of_key(std::string_view key) {
 
 }  // namespace
 
+void PassiveDnsStore::bind_metrics(obs::MetricsRegistry& registry,
+                                   const obs::LabelSet& labels) {
+  m_.observations = registry.counter("nxd_pdns_observations_total",
+                                     "Observations ingested", labels);
+  m_.nx_responses = registry.counter("nxd_pdns_nx_responses_total",
+                                     "NXDomain observations ingested", labels);
+  m_.servfail_responses =
+      registry.counter("nxd_pdns_servfail_responses_total",
+                       "SERVFAIL observations ingested", labels);
+  m_.distinct_nxdomains =
+      registry.counter("nxd_pdns_distinct_nxdomains_total",
+                       "Domains first seen NXDomain during ingest", labels);
+  m_.observations.inc(total_);
+  m_.nx_responses.inc(nx_responses_);
+  m_.servfail_responses.inc(servfail_responses_);
+  m_.distinct_nxdomains.inc(distinct_nx_);
+}
+
 void PassiveDnsStore::ingest(const Observation& obs) {
   ++total_;
+  m_.observations.inc();
   sensor_volume_.add(sensor_class_label(obs.sensor.cls));
 
   if (obs.rcode == dns::RCode::ServFail) {
@@ -24,6 +43,7 @@ void PassiveDnsStore::ingest(const Observation& obs) {
     // out of the per-domain aggregates so selection thresholds see only
     // genuine answers.
     ++servfail_responses_;
+    m_.servfail_responses.inc();
     return;
   }
 
@@ -44,6 +64,7 @@ void PassiveDnsStore::ingest(const Observation& obs) {
   }
 
   ++nx_responses_;
+  m_.nx_responses.inc();
   ++agg.nx_queries;
   monthly_nx_[util::month_index(day)] += 1;
   if (config_.track_daily) {
@@ -60,6 +81,7 @@ void PassiveDnsStore::ingest(const Observation& obs) {
   if (agg.first_nx_seen == INT64_MAX) {
     agg.first_nx_seen = day;
     ++distinct_nx_;
+    m_.distinct_nxdomains.inc();
     ++tld_agg.distinct_nx_names;
   } else {
     agg.first_nx_seen = std::min(agg.first_nx_seen, day);

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pdns/observation.hpp"
 #include "util/histogram.hpp"
 
@@ -134,6 +135,16 @@ class PassiveDnsStore {
   // ---- per-sensor ---------------------------------------------------------
   const util::Counter& sensor_volume() const noexcept { return sensor_volume_; }
 
+  // ---- observability ------------------------------------------------------
+  /// Mirror ingest counts into a shared registry; current totals carry over.
+  /// Only ingest() feeds the handles — absorb() and snapshot loads bypass
+  /// them, so a sharded merge into an instrumented head store never double
+  /// counts what the shards already reported.  Handles are raw pointers into
+  /// the registry: bind (or re-bind) after any move/assign of the store.
+  /// `labels` distinguishes co-registered stores (e.g. {{"shard","3"}}).
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const obs::LabelSet& labels = {});
+
  private:
   // Snapshot (de)serialization rebuilds the private indexes directly.
   friend std::optional<PassiveDnsStore> load_snapshot(
@@ -155,6 +166,14 @@ class PassiveDnsStore {
   TldMap tlds_;
   std::map<std::int64_t, std::uint64_t> monthly_nx_;
   util::Counter sensor_volume_;
+
+  struct Metrics {
+    obs::Counter observations;
+    obs::Counter nx_responses;
+    obs::Counter servfail_responses;
+    obs::Counter distinct_nxdomains;
+  };
+  Metrics m_;  // null handles until bind_metrics()
 };
 
 }  // namespace nxd::pdns

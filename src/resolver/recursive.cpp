@@ -31,6 +31,65 @@ bool is_acceptable_reply(const dns::Message& query, const dns::Message& reply) {
 
 }  // namespace
 
+RecursiveResolver::RecursiveResolver(const DnsHierarchy& hierarchy,
+                                     ResolverCache::Config cache_config)
+    : hierarchy_(hierarchy),
+      cache_(cache_config),
+      own_registry_(std::make_unique<obs::MetricsRegistry>()) {
+  acquire_metrics(*own_registry_);
+}
+
+void RecursiveResolver::acquire_metrics(obs::MetricsRegistry& registry) {
+  m_.client_queries = registry.counter("nxd_resolver_client_queries_total",
+                                       "Queries received from clients");
+  m_.cache_hits =
+      registry.counter("nxd_resolver_cache_hits_total",
+                       "Client queries answered from the resolver cache");
+  m_.upstream_resolutions =
+      registry.counter("nxd_resolver_upstream_resolutions_total",
+                       "Queries that walked the hierarchy");
+  m_.nxdomain_responses = registry.counter(
+      "nxd_resolver_nxdomain_responses_total", "NXDomain answers returned");
+  m_.retries = registry.counter("nxd_resolver_retries_total",
+                                "Upstream attempts after the first");
+  m_.timeouts = registry.counter("nxd_resolver_timeouts_total",
+                                 "Upstream attempts that timed out");
+  m_.servfail_responses = registry.counter(
+      "nxd_resolver_servfail_responses_total", "SERVFAIL answers returned");
+  m_.upstream_seconds = registry.histogram(
+      "nxd_resolver_upstream_latency_seconds",
+      "Simulated seconds spent per upstream resolution (network path)");
+}
+
+void RecursiveResolver::bind_metrics(obs::MetricsRegistry& registry,
+                                     obs::QueryTrace* trace) {
+  // Carry current counts into the shared registry so a late bind never
+  // loses events.  (Histogram samples are not replayed; bind before traffic
+  // when the latency distribution matters.)
+  const RecursiveStats carried = stats();
+  acquire_metrics(registry);
+  m_.client_queries.inc(carried.client_queries);
+  m_.cache_hits.inc(carried.cache_hits);
+  m_.upstream_resolutions.inc(carried.upstream_resolutions);
+  m_.nxdomain_responses.inc(carried.nxdomain_responses);
+  m_.retries.inc(carried.retries);
+  m_.timeouts.inc(carried.timeouts);
+  m_.servfail_responses.inc(carried.servfail_responses);
+  own_registry_.reset();
+  trace_ = trace;
+}
+
+const RecursiveStats& RecursiveResolver::stats() const noexcept {
+  stats_.client_queries = m_.client_queries.value();
+  stats_.cache_hits = m_.cache_hits.value();
+  stats_.upstream_resolutions = m_.upstream_resolutions.value();
+  stats_.nxdomain_responses = m_.nxdomain_responses.value();
+  stats_.retries = m_.retries.value();
+  stats_.timeouts = m_.timeouts.value();
+  stats_.servfail_responses = m_.servfail_responses.value();
+  return stats_;
+}
+
 void RecursiveResolver::use_network(net::SimNetwork& network,
                                     HierarchyEndpoints endpoints,
                                     RetryPolicy policy,
@@ -48,7 +107,10 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
   for (int attempt = 0; attempt < std::max(1, net_.policy.attempts); ++attempt) {
     if (attempt > 0) {
       now += net_.policy.backoff_before(attempt, net_.rng);
-      ++stats_.retries;
+      m_.retries.inc();
+      if (trace_ != nullptr) {
+        trace_->emit(now, obs::TraceKind::QueryRetry, query_seq_, attempt);
+      }
     }
     net::SimPacket packet;
     packet.protocol = net::Protocol::UDP;
@@ -62,7 +124,10 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
       if (reply && is_acceptable_reply(query, *reply)) return reply;
       // Mangled or mismatched reply: treat like a lost packet and retry.
     }
-    ++stats_.timeouts;
+    m_.timeouts.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::QueryTimeout, query_seq_, attempt);
+    }
     now += net_.policy.try_timeout;
   }
   return std::nullopt;
@@ -89,29 +154,47 @@ dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
 
 ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
                                           util::SimTime now) {
-  ++stats_.client_queries;
+  m_.client_queries.inc();
+  ++query_seq_;
+  if (trace_ != nullptr) {
+    trace_->emit(now, obs::TraceKind::QueryStart, query_seq_, 0,
+                 query.questions.empty()
+                     ? std::string()
+                     : query.questions.front().name.to_string());
+  }
   if (query.questions.empty()) {
-    return ResolveOutcome{dns::make_response(query, dns::RCode::FormErr)};
+    ResolveOutcome out{dns::make_response(query, dns::RCode::FormErr)};
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::QueryResponse, query_seq_,
+                   static_cast<std::int64_t>(out.response.header.rcode),
+                   "formerr");
+    }
+    return out;
   }
   const auto& q = query.questions.front();
 
   if (auto hit = cache_.get(q.name, q.qtype, now)) {
-    ++stats_.cache_hits;
+    m_.cache_hits.inc();
     ResolveOutcome out;
     out.from_cache = true;
     if (hit->negative) {
       out.negative_cache_hit = true;
       out.response = dns::make_response(query, dns::RCode::NXDomain);
-      ++stats_.nxdomain_responses;
+      m_.nxdomain_responses.inc();
     } else {
       out.response = dns::make_response(query, dns::RCode::NoError);
       out.response.answers = std::move(hit->records);
+    }
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::QueryResponse, query_seq_,
+                   static_cast<std::int64_t>(out.response.header.rcode),
+                   "cache");
     }
     if (observer_) observer_(query, out.response, true, now);
     return out;
   }
 
-  ++stats_.upstream_resolutions;
+  m_.upstream_resolutions.inc();
   util::SimTime done = now;
   dns::Message response = net_.network != nullptr
                               ? resolve_via_network(query, done)
@@ -119,7 +202,7 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
   response.header.id = query.header.id;
 
   if (response.header.rcode == dns::RCode::NXDomain) {
-    ++stats_.nxdomain_responses;
+    m_.nxdomain_responses.inc();
     // RFC 2308: negative-cache using the SOA from the authority section.
     for (const auto& rr : response.authorities) {
       if (rr.type() == dns::RRType::SOA) {
@@ -133,12 +216,17 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
   } else if (response.header.rcode == dns::RCode::ServFail) {
     // Failure is transient: never cached, so the next client query retries
     // upstream instead of pinning the outage.
-    ++stats_.servfail_responses;
+    m_.servfail_responses.inc();
   }
 
+  if (trace_ != nullptr) {
+    trace_->emit(done, obs::TraceKind::QueryResponse, query_seq_,
+                 static_cast<std::int64_t>(response.header.rcode), "upstream");
+  }
   if (observer_) observer_(query, response, false, now);
   ResolveOutcome out{std::move(response)};
   out.elapsed = done - now;
+  m_.upstream_seconds.observe(static_cast<std::uint64_t>(out.elapsed));
   return out;
 }
 

@@ -17,6 +17,8 @@
 #include <optional>
 
 #include "net/sim_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "resolver/cache.hpp"
 #include "resolver/hierarchy.hpp"
 #include "resolver/retry.hpp"
@@ -75,8 +77,7 @@ class RecursiveResolver {
       std::function<void(const dns::Message& query, const dns::Message& response,
                          bool from_cache, util::SimTime when)>;
 
-  RecursiveResolver(const DnsHierarchy& hierarchy, ResolverCache::Config cache_config = {})
-      : hierarchy_(hierarchy), cache_(cache_config) {}
+  RecursiveResolver(const DnsHierarchy& hierarchy, ResolverCache::Config cache_config = {});
 
   void set_observer(ResponseObserver observer) { observer_ = std::move(observer); }
 
@@ -94,7 +95,14 @@ class RecursiveResolver {
   /// Convenience: resolve (name, A) and report only the rcode.
   dns::RCode resolve_rcode(const dns::DomainName& name, util::SimTime now);
 
-  const RecursiveStats& stats() const noexcept { return stats_; }
+  /// Re-home the resolver's counters in a shared registry (current values
+  /// carry over) and optionally start emitting per-query trace events.  The
+  /// public stats() struct keeps working either way — its fields are views
+  /// over the registry handles.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    obs::QueryTrace* trace = nullptr);
+
+  const RecursiveStats& stats() const noexcept;
   const ResolverCache& cache() const noexcept { return cache_; }
   void flush_cache() { cache_.clear(); }
 
@@ -117,12 +125,35 @@ class RecursiveResolver {
                                              const dns::Message& query,
                                              util::SimTime& now);
 
+  /// Registry handles behind the RecursiveStats fields, one per field.
+  struct Metrics {
+    obs::Counter client_queries;
+    obs::Counter cache_hits;
+    obs::Counter upstream_resolutions;
+    obs::Counter nxdomain_responses;
+    obs::Counter retries;
+    obs::Counter timeouts;
+    obs::Counter servfail_responses;
+    obs::LatencyHistogram upstream_seconds;
+  };
+
+  /// (Re-)acquire every handle in `registry`.
+  void acquire_metrics(obs::MetricsRegistry& registry);
+
   const DnsHierarchy& hierarchy_;
   ResolverCache cache_;
-  RecursiveStats stats_;
+  /// Cached struct refreshed from the handles by stats().
+  mutable RecursiveStats stats_;
   ResponseObserver observer_;
   NetworkPath net_;
   std::uint16_t next_id_ = 1;
+
+  /// Private fallback registry used until bind_metrics() re-homes the
+  /// handles; keeps the un-instrumented construction path self-contained.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  Metrics m_;
+  obs::QueryTrace* trace_ = nullptr;
+  std::uint64_t query_seq_ = 0;  // trace correlation id for the live query
 };
 
 }  // namespace nxd::resolver

@@ -2,10 +2,58 @@
 
 namespace nxd::resolver {
 
+ResponseRateLimiter::ResponseRateLimiter(RrlConfig config)
+    : config_(config), own_registry_(std::make_unique<obs::MetricsRegistry>()) {
+  acquire_metrics(*own_registry_);
+}
+
+void ResponseRateLimiter::acquire_metrics(obs::MetricsRegistry& registry) {
+  m_.checked = registry.counter("nxd_resolver_rrl_checked_total",
+                                "Responses run through RRL");
+  m_.passed = registry.counter("nxd_resolver_rrl_passed_total",
+                               "RRL verdicts: answer normally");
+  m_.slipped = registry.counter("nxd_resolver_rrl_slipped_total",
+                                "RRL verdicts: answer truncated (TC=1)");
+  m_.dropped = registry.counter("nxd_resolver_rrl_dropped_total",
+                                "RRL verdicts: response discarded");
+  m_.sources_evicted = registry.counter("nxd_resolver_rrl_sources_evicted_total",
+                                        "Idle source buckets swept");
+  m_.table_overflow = registry.counter(
+      "nxd_resolver_rrl_table_overflow_total",
+      "Checks admitted unmetered because the source table was full");
+}
+
+void ResponseRateLimiter::bind_metrics(obs::MetricsRegistry& registry,
+                                       obs::QueryTrace* trace) {
+  const RrlStats carried = stats();
+  acquire_metrics(registry);
+  m_.checked.inc(carried.checked);
+  m_.passed.inc(carried.passed);
+  m_.slipped.inc(carried.slipped);
+  m_.dropped.inc(carried.dropped);
+  m_.sources_evicted.inc(carried.sources_evicted);
+  m_.table_overflow.inc(carried.table_overflow);
+  own_registry_.reset();
+  trace_ = trace;
+}
+
+const RrlStats& ResponseRateLimiter::stats() const noexcept {
+  stats_.checked = m_.checked.value();
+  stats_.passed = m_.passed.value();
+  stats_.slipped = m_.slipped.value();
+  stats_.dropped = m_.dropped.value();
+  stats_.sources_evicted = m_.sources_evicted.value();
+  stats_.table_overflow = m_.table_overflow.value();
+  return stats_;
+}
+
 RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
-  ++stats_.checked;
+  m_.checked.inc();
   if (config_.responses_per_second <= 0) {
-    ++stats_.passed;
+    m_.passed.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::RrlPass, source.addr);
+    }
     return RrlVerdict::Pass;
   }
   auto it = sources_.find(source);
@@ -18,7 +66,7 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
         if (victim->second.bucket.tokens_at(now) >=
             victim->second.bucket.capacity()) {
           victim = sources_.erase(victim);
-          ++stats_.sources_evicted;
+          m_.sources_evicted.inc();
         } else {
           ++victim;
         }
@@ -28,8 +76,11 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
         sources_.size() >= config_.max_tracked_sources) {
       // Table full of actively metered sources: answer the newcomer
       // unmetered rather than evicting live limiter state, but count it.
-      ++stats_.table_overflow;
-      ++stats_.passed;
+      m_.table_overflow.inc();
+      m_.passed.inc();
+      if (trace_ != nullptr) {
+        trace_->emit(now, obs::TraceKind::RrlPass, source.addr);
+      }
       return RrlVerdict::Pass;
     }
     it = sources_
@@ -40,16 +91,25 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
              .first;
   }
   if (it->second.bucket.try_acquire(now)) {
-    ++stats_.passed;
+    m_.passed.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::RrlPass, source.addr);
+    }
     return RrlVerdict::Pass;
   }
   // Limited: slip every `slip`-th limited response, drop the rest.
   ++it->second.limited_count;
   if (config_.slip != 0 && it->second.limited_count % config_.slip == 0) {
-    ++stats_.slipped;
+    m_.slipped.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(now, obs::TraceKind::RrlSlip, source.addr);
+    }
     return RrlVerdict::Slip;
   }
-  ++stats_.dropped;
+  m_.dropped.inc();
+  if (trace_ != nullptr) {
+    trace_->emit(now, obs::TraceKind::RrlDrop, source.addr);
+  }
   return RrlVerdict::Drop;
 }
 

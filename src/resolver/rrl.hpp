@@ -32,6 +32,8 @@
 
 #include "dns/message.hpp"
 #include "net/endpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/civil_time.hpp"
 #include "util/token_bucket.hpp"
 
@@ -69,7 +71,7 @@ struct RrlStats {
 
 class ResponseRateLimiter {
  public:
-  explicit ResponseRateLimiter(RrlConfig config = {}) : config_(config) {}
+  explicit ResponseRateLimiter(RrlConfig config = {});
 
   /// Verdict for one about-to-be-sent response to `source` at simulated
   /// time `now`.
@@ -77,7 +79,12 @@ class ResponseRateLimiter {
 
   std::size_t tracked_sources() const noexcept { return sources_.size(); }
   const RrlConfig& config() const noexcept { return config_; }
-  const RrlStats& stats() const noexcept { return stats_; }
+  const RrlStats& stats() const noexcept;
+
+  /// Source the RrlStats fields from a shared registry (current values carry
+  /// over) and optionally trace every verdict (event id = source address).
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    obs::QueryTrace* trace = nullptr);
 
  private:
   struct Source {
@@ -85,9 +92,23 @@ class ResponseRateLimiter {
     std::uint32_t limited_count = 0;  // drives the slip cadence
   };
 
+  struct Metrics {
+    obs::Counter checked;
+    obs::Counter passed;
+    obs::Counter slipped;
+    obs::Counter dropped;
+    obs::Counter sources_evicted;
+    obs::Counter table_overflow;
+  };
+
+  void acquire_metrics(obs::MetricsRegistry& registry);
+
   RrlConfig config_;
-  RrlStats stats_;
+  mutable RrlStats stats_;  // cache refreshed from the handles by stats()
   std::unordered_map<net::IPv4, Source, dns::IPv4Hash> sources_;
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  Metrics m_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 /// The wire form of a Slip verdict: the genuine response's header with TC

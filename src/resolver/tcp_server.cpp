@@ -27,6 +27,21 @@ void TcpDnsServer::attach(net::EventLoop& loop) {
   loop.add_readable(listener_.fd(), [this] { on_acceptable(); });
 }
 
+void TcpDnsServer::bind_metrics(obs::MetricsRegistry& registry) {
+  const obs::LabelSet proto{{"proto", "tcp"}};
+  m_.answered = registry.counter("nxd_dns_server_answered_total",
+                                 "DNS responses sent", proto);
+  m_.faulted = registry.counter("nxd_dns_server_faulted_total",
+                                "Inbound messages eaten by the fault stage",
+                                proto);
+  m_.rrl_dropped = registry.counter("nxd_dns_server_rrl_dropped_total",
+                                    "Connections closed unanswered by RRL",
+                                    proto);
+  m_.answered.inc(answered_);
+  m_.faulted.inc(faulted_);
+  m_.rrl_dropped.inc(rrl_dropped_);
+}
+
 void TcpDnsServer::on_acceptable() {
   while (auto stream = listener_.accept()) {
     // Read the 2-byte length prefix plus the message (bounded retry for
@@ -53,6 +68,7 @@ void TcpDnsServer::on_acceptable() {
       const auto verdict = fault_plan_->apply(listener_.local(), message, 0);
       if (verdict.drop) {
         ++faulted_;
+        m_.faulted.inc();
         continue;
       }
       // A duplicate verdict is meaningless on a stream; ignore it.
@@ -68,6 +84,7 @@ void TcpDnsServer::on_acceptable() {
       // full; Drop closes without answering — backpressure on a source that
       // exhausted its UDP budget and moved to hammering TCP.
       ++rrl_dropped_;
+      m_.rrl_dropped.inc();
       continue;
     }
 
@@ -78,7 +95,10 @@ void TcpDnsServer::on_acceptable() {
     framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
     framed.push_back(static_cast<std::uint8_t>(wire.size()));
     framed.insert(framed.end(), wire.begin(), wire.end());
-    if (stream->write(framed) > 0) ++answered_;
+    if (stream->write(framed) > 0) {
+      ++answered_;
+      m_.answered.inc();
+    }
   }
 }
 

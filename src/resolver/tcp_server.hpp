@@ -11,6 +11,7 @@
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "resolver/authoritative.hpp"
 #include "resolver/rrl.hpp"
 
@@ -62,7 +63,17 @@ class TcpDnsServer {
   }
   std::uint64_t rrl_dropped() const noexcept { return rrl_dropped_; }
 
+  /// Mirror the server counters into a shared registry under
+  /// nxd_dns_server_*_total{proto=tcp}; current values carry over.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
+  struct Metrics {
+    obs::Counter answered;
+    obs::Counter faulted;
+    obs::Counter rrl_dropped;
+  };
+
   TcpDnsServer(net::TcpListener listener, const AuthoritativeServer& auth)
       : listener_(std::move(listener)), auth_(auth) {}
 
@@ -76,6 +87,7 @@ class TcpDnsServer {
   std::uint64_t answered_ = 0;
   std::uint64_t faulted_ = 0;
   std::uint64_t rrl_dropped_ = 0;
+  Metrics m_;
 };
 
 /// Client helper: query over TCP with the length-prefix framing.

@@ -20,6 +20,26 @@ void UdpDnsServer::attach(net::EventLoop& loop) {
   loop.add_readable(socket_.fd(), [this] { pump(); });
 }
 
+void UdpDnsServer::bind_metrics(obs::MetricsRegistry& registry) {
+  const obs::LabelSet proto{{"proto", "udp"}};
+  m_.answered = registry.counter("nxd_dns_server_answered_total",
+                                 "DNS responses sent", proto);
+  m_.malformed = registry.counter("nxd_dns_server_malformed_total",
+                                  "Datagrams that failed to parse", proto);
+  m_.faulted = registry.counter("nxd_dns_server_faulted_total",
+                                "Inbound datagrams eaten by the fault stage",
+                                proto);
+  m_.rrl_dropped = registry.counter("nxd_dns_server_rrl_dropped_total",
+                                    "Responses discarded by RRL", proto);
+  m_.rrl_slipped = registry.counter("nxd_dns_server_rrl_slipped_total",
+                                    "Responses slipped (TC=1) by RRL", proto);
+  m_.answered.inc(answered_);
+  m_.malformed.inc(malformed_);
+  m_.faulted.inc(faulted_);
+  m_.rrl_dropped.inc(rrl_dropped_);
+  m_.rrl_slipped.inc(rrl_slipped_);
+}
+
 std::size_t UdpDnsServer::pump() {
   std::size_t handled = 0;
   while (auto datagram = socket_.recv()) {
@@ -36,6 +56,7 @@ void UdpDnsServer::handle_one(const net::Datagram& datagram) {
     const auto verdict = fault_plan_->apply(socket_.local(), payload, 0);
     if (verdict.drop) {
       ++faulted_;
+      m_.faulted.inc();
       return;
     }
     duplicate = verdict.duplicate;
@@ -43,6 +64,7 @@ void UdpDnsServer::handle_one(const net::Datagram& datagram) {
   const auto query = dns::decode(payload);
   if (!query || query->header.qr) {
     ++malformed_;
+    m_.malformed.inc();
     return;
   }
   dns::Message response = auth_.answer(*query);
@@ -52,9 +74,11 @@ void UdpDnsServer::handle_one(const net::Datagram& datagram) {
         break;
       case RrlVerdict::Drop:
         ++rrl_dropped_;
+        m_.rrl_dropped.inc();
         return;
       case RrlVerdict::Slip:
         ++rrl_slipped_;
+        m_.rrl_slipped.inc();
         response = slip_truncate(response);
         break;
     }
@@ -75,8 +99,14 @@ void UdpDnsServer::handle_one(const net::Datagram& datagram) {
     response = truncate_for_udp(response, wire.size(), limit);
     wire = dns::encode(response);
   }
-  if (socket_.send_to(datagram.from, wire)) ++answered_;
-  if (duplicate && socket_.send_to(datagram.from, wire)) ++answered_;
+  if (socket_.send_to(datagram.from, wire)) {
+    ++answered_;
+    m_.answered.inc();
+  }
+  if (duplicate && socket_.send_to(datagram.from, wire)) {
+    ++answered_;
+    m_.answered.inc();
+  }
 }
 
 std::optional<dns::Message> udp_query(const net::Endpoint& server,

@@ -9,6 +9,7 @@
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "resolver/authoritative.hpp"
 #include "resolver/rrl.hpp"
 
@@ -50,7 +51,19 @@ class UdpDnsServer {
   std::uint64_t rrl_dropped() const noexcept { return rrl_dropped_; }
   std::uint64_t rrl_slipped() const noexcept { return rrl_slipped_; }
 
+  /// Mirror the server counters into a shared registry under
+  /// nxd_dns_server_*_total{proto=udp}; current values carry over.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
+  struct Metrics {
+    obs::Counter answered;
+    obs::Counter malformed;
+    obs::Counter faulted;
+    obs::Counter rrl_dropped;
+    obs::Counter rrl_slipped;
+  };
+
   UdpDnsServer(net::UdpSocket socket, const AuthoritativeServer& auth)
       : socket_(std::move(socket)), auth_(auth) {}
 
@@ -66,6 +79,7 @@ class UdpDnsServer {
   std::uint64_t faulted_ = 0;
   std::uint64_t rrl_dropped_ = 0;
   std::uint64_t rrl_slipped_ = 0;
+  Metrics m_;
 };
 
 /// One-shot client helper: send `query` to `server` over UDP and wait up to

@@ -33,9 +33,12 @@ namespace {
 using util::CrashPoint;
 
 /// Fresh scratch directory per scenario, wiped first so every simulated
-/// process starts from the same on-disk state.
+/// process starts from the same on-disk state.  Keyed by pid so the plain /
+/// ASan / TSan duplicates of this suite can run concurrently under
+/// `ctest -j` without wiping each other's live directories.
 std::string fresh_dir(const std::string& tag) {
-  const std::string dir = ::testing::TempDir() + "nxd_crash_" + tag;
+  const std::string dir = ::testing::TempDir() + "nxd_crash_" +
+                          std::to_string(::getpid()) + "_" + tag;
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;

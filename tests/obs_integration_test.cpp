@@ -1,0 +1,361 @@
+// Cross-module observability tests: every instrumented layer bound to ONE
+// shared MetricsRegistry + QueryTrace, then
+//   * the honeypot's admin-gated GET /metrics endpoint serves valid
+//     Prometheus text spanning pdns/resolver/honeypot/net,
+//   * the legacy stats structs (RecursiveStats, RrlStats, OverloadStats,
+//     recorder totals, LoadSnapshot) agree exactly with the registry,
+//   * a 10k-query run's trace reconciles against the counters even after the
+//     ring wrapped, and is byte-deterministic under a fixed seed,
+//   * the offline snapshot-text path (`nxdtool metrics`) re-renders the same
+//     exposition bytes as the live endpoint.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "honeypot/overload.hpp"
+#include "honeypot/recorder.hpp"
+#include "honeypot/server.hpp"
+#include "net/sim_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
+#include "pdns/observation.hpp"
+#include "pdns/store.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/rrl.hpp"
+#include "util/rng.hpp"
+
+namespace nxd {
+namespace {
+
+net::SimPacket http_packet(const std::string& payload, std::uint8_t src_octet,
+                           std::uint16_t src_port = 40'000) {
+  net::SimPacket packet;
+  packet.protocol = net::Protocol::TCP;
+  packet.src = net::Endpoint{dns::IPv4::from_octets(198, 51, 100, src_octet),
+                             src_port};
+  packet.dst = net::Endpoint{dns::IPv4::from_octets(203, 0, 113, 1), 80};
+  packet.payload.assign(payload.begin(), payload.end());
+  return packet;
+}
+
+std::string body_of(const std::vector<std::uint8_t>& wire) {
+  const std::string text(wire.begin(), wire.end());
+  const auto split = text.find("\r\n\r\n");
+  return split == std::string::npos ? "" : text.substr(split + 4);
+}
+
+std::string status_line(const std::vector<std::uint8_t>& wire) {
+  const std::string text(wire.begin(), wire.end());
+  return text.substr(0, text.find("\r\n"));
+}
+
+/// Drive every instrumented module against one registry/trace pair.
+struct ObservedWorld {
+  obs::MetricsRegistry registry;
+  obs::QueryTrace trace;
+
+  resolver::DnsHierarchy hierarchy;
+  net::SimNetwork network;
+  std::unique_ptr<resolver::RecursiveResolver> resolver;
+  resolver::ResponseRateLimiter rrl;
+  pdns::PassiveDnsStore store;
+  honeypot::TrafficRecorder recorder;
+  std::unique_ptr<honeypot::NxdHoneypot> honeypot;
+
+  explicit ObservedWorld(std::uint64_t seed, std::size_t trace_capacity = 4096)
+      : trace(trace_capacity),
+        // Near-zero refill so the limiter visibly trips even though the
+        // workload advances simulated time between checks.
+        rrl(resolver::RrlConfig{.responses_per_second = 0.001, .burst = 1.0}) {
+    hierarchy.register_domain(dns::DomainName::must("example.com"),
+                              dns::IPv4::from_octets(93, 184, 216, 34));
+    net::FaultPlan plan(seed);
+    net::FaultSpec spec;
+    spec.drop = 0.05;
+    spec.duplicate = 0.02;
+    plan.set_default(spec);
+    network.set_fault_plan(std::move(plan));
+    hierarchy.attach(network);
+    resolver = std::make_unique<resolver::RecursiveResolver>(hierarchy);
+    resolver->use_network(network, {}, resolver::RetryPolicy{}, seed);
+    resolver->set_observer([this](const dns::Message& q, const dns::Message& r,
+                                  bool, util::SimTime when) {
+      store.ingest(pdns::observe(q, r, when));
+    });
+
+    honeypot::NxdHoneypot::Config config;
+    config.domain = "obs-demo.com";
+    honeypot = std::make_unique<honeypot::NxdHoneypot>(config, recorder);
+    honeypot::OverloadConfig guard;
+    guard.max_connections = 4;
+    // One-token buckets with a near-zero refill: repeat visitors shed 429
+    // even though the workload advances simulated time between packets.
+    guard.per_ip_rate = 0.001;
+    guard.per_ip_burst = 1;
+    honeypot->enable_overload(guard);
+
+    resolver->bind_metrics(registry, &trace);
+    network.bind_metrics(registry, &trace);
+    rrl.bind_metrics(registry, &trace);
+    store.bind_metrics(registry);
+    recorder.bind_metrics(registry, &trace);
+    honeypot->gate()->bind_metrics(registry, &trace);
+  }
+
+  /// A deterministic mixed workload touching every instrumented path.
+  void run(std::size_t queries) {
+    util::Rng rng(99);
+    util::SimTime now = 0;
+    std::uint16_t id = 1;
+    for (std::size_t i = 0; i < queries; ++i, now += 2) {
+      const dns::DomainName name =
+          rng.chance(0.4)
+              ? dns::DomainName::must("example.com")
+              : dns::DomainName::must("ghost" + std::to_string(rng.bounded(64)) +
+                                      ".com");
+      const auto outcome =
+          resolver->resolve(dns::make_query(id++, name, dns::RRType::A), now);
+      now += outcome.elapsed;
+      rrl.check(dns::IPv4::from_octets(192, 0, 2,
+                                       static_cast<std::uint8_t>(i % 4)),
+                now);
+    }
+    const std::string request =
+        "GET / HTTP/1.1\r\nHost: obs-demo.com\r\n\r\n";
+    for (std::size_t i = 0; i < 32; ++i) {
+      honeypot->handle_packet(
+          http_packet(request, static_cast<std::uint8_t>(i % 3)), now);
+      now += (i % 8 == 7) ? 5 : 0;
+    }
+  }
+};
+
+TEST(ObsIntegration, MetricsEndpointServesWholePipeline) {
+  ObservedWorld world(7);
+  world.run(400);
+  world.honeypot->expose_metrics(&world.registry, "s3cret");
+  const std::uint64_t records_before = world.recorder.total();
+
+  const std::string scrape =
+      "GET /metrics HTTP/1.1\r\nHost: obs-demo.com\r\nx-nxd-admin: s3cret\r\n\r\n";
+  const auto reply = world.honeypot->handle_packet(http_packet(scrape, 9), 1000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(status_line(*reply), "HTTP/1.1 200 OK");
+  // Admin scrapes never enter the capture corpus.
+  EXPECT_EQ(world.recorder.total(), records_before);
+
+  const std::string body = body_of(*reply);
+  std::set<std::string> names;
+  bool saw_pdns = false, saw_resolver = false, saw_honeypot = false,
+       saw_net = false;
+  std::size_t line_start = 0;
+  while (line_start < body.size()) {
+    auto line_end = body.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = body.size();
+    const std::string_view line(body.data() + line_start,
+                                line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment lines must be HELP or TYPE.
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // Sample lines are "name[{labels}] <integer>".
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string_view::npos) << line;
+    const std::string_view value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    for (char c : value) EXPECT_TRUE((c >= '0' && c <= '9') || c == '-') << line;
+    std::string_view name = line.substr(0, space);
+    if (const auto brace = name.find('{'); brace != std::string_view::npos) {
+      name = name.substr(0, brace);
+    }
+    names.insert(std::string(name));
+    saw_pdns = saw_pdns || name.rfind("nxd_pdns_", 0) == 0;
+    saw_resolver = saw_resolver || name.rfind("nxd_resolver_", 0) == 0;
+    saw_honeypot = saw_honeypot || name.rfind("nxd_honeypot_", 0) == 0;
+    saw_net = saw_net || name.rfind("nxd_net_", 0) == 0;
+  }
+  EXPECT_GE(names.size(), 20u);
+  EXPECT_TRUE(saw_pdns);
+  EXPECT_TRUE(saw_resolver);
+  EXPECT_TRUE(saw_honeypot);
+  EXPECT_TRUE(saw_net);
+}
+
+TEST(ObsIntegration, MetricsEndpointIsAdminGated) {
+  ObservedWorld world(7);
+  world.honeypot->expose_metrics(&world.registry, "s3cret");
+
+  // Wrong token: falls through to the ordinary path — recorded, 404.
+  const std::string bad =
+      "GET /metrics HTTP/1.1\r\nHost: obs-demo.com\r\nx-nxd-admin: nope\r\n\r\n";
+  auto reply = world.honeypot->handle_packet(http_packet(bad, 1), 5);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(status_line(*reply), "HTTP/1.1 404 Not Found");
+  EXPECT_EQ(world.recorder.total(), 1u);
+
+  // Missing token: same.
+  const std::string missing =
+      "GET /metrics HTTP/1.1\r\nHost: obs-demo.com\r\n\r\n";
+  reply = world.honeypot->handle_packet(http_packet(missing, 2), 6);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(status_line(*reply), "HTTP/1.1 404 Not Found");
+  EXPECT_EQ(world.recorder.total(), 2u);
+}
+
+TEST(ObsIntegration, MetricsEndpointDefaultsOff) {
+  ObservedWorld world(7);
+  // No expose_metrics(): a /metrics probe is just another visitor request.
+  const std::string scrape =
+      "GET /metrics HTTP/1.1\r\nHost: obs-demo.com\r\nx-nxd-admin: s3cret\r\n\r\n";
+  const auto reply = world.honeypot->handle_packet(http_packet(scrape, 1), 5);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(status_line(*reply), "HTTP/1.1 404 Not Found");
+  EXPECT_EQ(world.recorder.total(), 1u);
+}
+
+TEST(ObsIntegration, LegacyStatsEqualRegistryCounters) {
+  ObservedWorld world(11);
+  world.run(600);
+  const auto snapshot = world.registry.snapshot();
+  const auto counter = [&snapshot](const std::string& name,
+                                   const obs::LabelSet& labels =
+                                       {}) -> std::uint64_t {
+    const auto* s = snapshot.find(name, labels);
+    return s != nullptr ? s->counter : 0;
+  };
+
+  const auto& rs = world.resolver->stats();
+  EXPECT_EQ(rs.client_queries, counter("nxd_resolver_client_queries_total"));
+  EXPECT_EQ(rs.cache_hits, counter("nxd_resolver_cache_hits_total"));
+  EXPECT_EQ(rs.upstream_resolutions,
+            counter("nxd_resolver_upstream_resolutions_total"));
+  EXPECT_EQ(rs.nxdomain_responses,
+            counter("nxd_resolver_nxdomain_responses_total"));
+  EXPECT_EQ(rs.retries, counter("nxd_resolver_retries_total"));
+  EXPECT_EQ(rs.timeouts, counter("nxd_resolver_timeouts_total"));
+  EXPECT_EQ(rs.servfail_responses,
+            counter("nxd_resolver_servfail_responses_total"));
+  EXPECT_GT(rs.client_queries, 0u);
+
+  const auto& rrl_stats = world.rrl.stats();
+  EXPECT_EQ(rrl_stats.checked, counter("nxd_resolver_rrl_checked_total"));
+  EXPECT_EQ(rrl_stats.passed, counter("nxd_resolver_rrl_passed_total"));
+  EXPECT_EQ(rrl_stats.slipped, counter("nxd_resolver_rrl_slipped_total"));
+  EXPECT_EQ(rrl_stats.dropped, counter("nxd_resolver_rrl_dropped_total"));
+  EXPECT_GT(rrl_stats.limited(), 0u);
+
+  EXPECT_EQ(world.store.total_observations(),
+            counter("nxd_pdns_observations_total"));
+  EXPECT_EQ(world.store.nx_responses(), counter("nxd_pdns_nx_responses_total"));
+  EXPECT_EQ(world.store.distinct_nxdomains(),
+            counter("nxd_pdns_distinct_nxdomains_total"));
+
+  const auto gate_stats = world.honeypot->gate()->stats();
+  EXPECT_EQ(gate_stats.opened, counter("nxd_honeypot_conns_opened_total"));
+  EXPECT_EQ(gate_stats.accepted, counter("nxd_honeypot_conns_accepted_total"));
+  EXPECT_EQ(gate_stats.completed,
+            counter("nxd_honeypot_conns_completed_total"));
+  EXPECT_EQ(gate_stats.shed_rate,
+            counter("nxd_honeypot_conns_shed_total", {{"reason", "rate"}}));
+  EXPECT_EQ(gate_stats.shed_capacity,
+            counter("nxd_honeypot_conns_shed_total", {{"reason", "capacity"}}));
+  EXPECT_GT(gate_stats.shed_total(), 0u);  // the workload trips the limiter
+
+  EXPECT_EQ(world.recorder.total(), counter("nxd_honeypot_records_total"));
+  EXPECT_EQ(world.recorder.shed_connections(),
+            counter("nxd_honeypot_recorder_shed_connections_total"));
+
+  const auto fault_stats = world.network.fault_stats();
+  EXPECT_EQ(fault_stats.injected_drops,
+            counter("nxd_net_faults_total", {{"kind", "drop"}}));
+  EXPECT_EQ(fault_stats.injected_duplicates,
+            counter("nxd_net_faults_total", {{"kind", "duplicate"}}));
+
+  // The LoadSnapshot text path reports the same numbers the registry holds.
+  honeypot::LoadSnapshot load;
+  load.add_overload("honeypot", gate_stats);
+  for (const auto& [name, value] : load.counters) {
+    if (name == "honeypot.opened") {
+      EXPECT_EQ(value, counter("nxd_honeypot_conns_opened_total"));
+    }
+    if (name == "honeypot.accepted") {
+      EXPECT_EQ(value, counter("nxd_honeypot_conns_accepted_total"));
+    }
+  }
+}
+
+TEST(ObsIntegration, TraceReconcilesWithCountersAfterWraparound) {
+  ObservedWorld world(13, /*trace_capacity=*/2048);
+  world.run(10'000);  // far past the ring capacity
+
+  const auto& rs = world.resolver->stats();
+  EXPECT_EQ(rs.client_queries, 10'000u);
+  // Unbounded per-kind counters reconcile exactly against the registry even
+  // though the resident ring only holds the newest 2048 events.
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::QueryStart), rs.client_queries);
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::QueryResponse),
+            rs.client_queries);
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::QueryRetry), rs.retries);
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::QueryTimeout), rs.timeouts);
+
+  const auto& rrl_stats = world.rrl.stats();
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::RrlPass), rrl_stats.passed);
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::RrlSlip), rrl_stats.slipped);
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::RrlDrop), rrl_stats.dropped);
+
+  const auto gate_stats = world.honeypot->gate()->stats();
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::ConnAdmit),
+            gate_stats.accepted);
+  EXPECT_EQ(world.trace.emitted(obs::TraceKind::ConnShed),
+            gate_stats.shed_total());
+
+  // Every event is accounted for: resident + dropped == emitted, and the
+  // JSONL export carries exactly the resident events.
+  const auto events = world.trace.events();
+  EXPECT_GT(world.trace.dropped(), 0u);
+  EXPECT_EQ(world.trace.total_emitted(), events.size() + world.trace.dropped());
+  const std::string jsonl = world.trace.to_jsonl();
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, events.size());
+}
+
+TEST(ObsIntegration, DeterministicUnderFixedSeed) {
+  const auto run_once = [] {
+    ObservedWorld world(21, 1024);
+    world.run(2'000);
+    return std::make_pair(world.trace.to_jsonl(),
+                          obs::render_prometheus(world.registry));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);    // identical JSONL trace
+  EXPECT_EQ(a.second, b.second);  // identical Prometheus text
+}
+
+TEST(ObsIntegration, OfflineSnapshotRendersSameExposition) {
+  ObservedWorld world(5);
+  world.run(300);
+  // The `nxdtool metrics` path: snapshot -> text -> parse -> render must be
+  // byte-identical to rendering the live registry.
+  const std::string text = world.registry.snapshot().to_text();
+  obs::MetricsSnapshot reparsed;
+  std::string error;
+  ASSERT_TRUE(obs::MetricsSnapshot::parse(text, &reparsed, &error)) << error;
+  EXPECT_EQ(obs::render_prometheus(reparsed),
+            obs::render_prometheus(world.registry));
+}
+
+}  // namespace
+}  // namespace nxd

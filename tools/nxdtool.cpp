@@ -19,6 +19,10 @@
 //   loadstats <file>             pretty-print an overload load snapshot
 //                                (written by bench/overload_shed or the
 //                                nx_pipeline --max-conns/--rate-limit run)
+//   metrics <file>               re-render a metrics snapshot (written by
+//                                nx_pipeline --metrics-out) as Prometheus
+//                                exposition text — the same bytes the live
+//                                GET /metrics endpoint serves
 //
 // Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when a check
 // subcommand found problems (e.g. zone errors, unclean durable dirs).
@@ -36,6 +40,8 @@
 #include "honeypot/capture_log.hpp"
 #include "honeypot/categorizer.hpp"
 #include "honeypot/overload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "pdns/durable_store.hpp"
 #include "resolver/recursive.hpp"
 #include "resolver/zone_file.hpp"
@@ -60,7 +66,8 @@ int usage() {
                "  resolve <domain>...         resolve against the demo hierarchy\n"
                "  recover <dir>               recover + compact a durable ingest dir\n"
                "  fsck <dir>                  read-only durable-dir health report\n"
-               "  loadstats <file>            pretty-print an overload load snapshot\n");
+               "  loadstats <file>            pretty-print an overload load snapshot\n"
+               "  metrics <file>              render a metrics snapshot as Prometheus text\n");
   return 1;
 }
 
@@ -385,6 +392,24 @@ int cmd_loadstats(int argc, char** argv) {
   return 0;
 }
 
+int cmd_metrics(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  obs::MetricsSnapshot snapshot;
+  std::string error;
+  if (!obs::MetricsSnapshot::parse(*text, &snapshot, &error)) {
+    std::fprintf(stderr, "nxdtool: %s is not a metrics snapshot: %s\n",
+                 argv[0], error.c_str());
+    return 1;
+  }
+  std::fputs(obs::render_prometheus(snapshot).c_str(), stdout);
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string_view command = argv[1];
@@ -397,5 +422,6 @@ int main(int argc, char** argv) {
   if (command == "recover") return cmd_recover(argc - 2, argv + 2);
   if (command == "fsck") return cmd_fsck(argc - 2, argv + 2);
   if (command == "loadstats") return cmd_loadstats(argc - 2, argv + 2);
+  if (command == "metrics") return cmd_metrics(argc - 2, argv + 2);
   return usage();
 }
