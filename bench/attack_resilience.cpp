@@ -1,0 +1,195 @@
+// Attack resilience: goodput + upstream amplification per attack shape,
+// before/after each defense (ablation ladder).
+//
+// Runs every src/attack generator (NXNS delegation bomb, water torture,
+// DGA-shaped water torture, chained CNAME bomb) against the recursive
+// resolver under every DefensePlan::ablation() posture and reports, per
+// (attack, plan):
+//
+//   * amplification — upstream packets per attack query (the attacker's
+//                     leverage; NXNS published up to 1620x, our undefended
+//                     sim shows 3(1+fanout)x);
+//   * goodput       — interleaved legitimate answers per 1000 resolver
+//                     capacity units (upstream round-trips cost 10x a
+//                     client query, see attack/harness.hpp);
+//   * soundness     — spurious NXDomain count for legit names (must be 0).
+//
+// The headline acceptance numbers — defended goodput >= 5x undefended for
+// every attack, NXNS amplification cut >= 10x by delegation budgets — are
+// computed at the bottom and embedded in the JSON for regression tracking.
+//
+// Usage: attack_resilience [--seed=1] [--queries=1000]
+//                          [--json=BENCH_attack.json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attack/cname_bomb.hpp"
+#include "attack/harness.hpp"
+#include "attack/nxns.hpp"
+#include "attack/water_torture.hpp"
+
+namespace {
+
+std::string fixed(double v, int places) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int queries = 1000;
+  std::string json_path = "BENCH_attack.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (std::strncmp(argv[i], "--queries=", 10) == 0) queries = std::atoi(argv[i] + 10);
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (queries <= 0) queries = 1000;
+
+  using namespace nxd;
+  using attack::AttackGenerator;
+  using attack::AttackRunReport;
+  using attack::DefensePlan;
+
+  attack::HarnessConfig config;
+  config.seed = seed;
+  config.attack_queries = queries;
+  attack::AttackHarness harness(config);
+
+  attack::NxnsConfig nxns_config;
+  nxns_config.seed = seed;
+  nxns_config.subzones = queries;  // zero cache dedupe: worst case
+  const attack::NxnsAttack nxns(nxns_config);
+  attack::WaterTortureConfig torture_config;
+  torture_config.seed = seed;
+  const attack::WaterTortureAttack torture(torture_config);
+  attack::WaterTortureConfig dga_config;
+  dga_config.seed = seed;
+  dga_config.dga_shaped = true;
+  const attack::WaterTortureAttack torture_dga(dga_config);
+  attack::CnameBombConfig cname_config;
+  cname_config.seed = seed;
+  const attack::CnameBombAttack cname(cname_config);
+
+  const AttackGenerator* attacks[] = {&nxns, &torture, &torture_dga, &cname};
+  const auto plans = DefensePlan::ablation();
+
+  std::printf(
+      "=== attack resilience: goodput + amplification per defense "
+      "(seed=%llu queries=%d) ===\n\n",
+      static_cast<unsigned long long>(seed), queries);
+  std::printf("%-12s %-12s %12s %12s %10s %10s %9s\n", "attack", "plan",
+              "upstream", "amplif.", "goodput", "deleg.cap", "spurious");
+
+  std::vector<AttackRunReport> reports;
+  for (const auto* attack : attacks) {
+    for (const auto& plan : plans) {
+      const auto report = harness.run(*attack, plan);
+      std::printf("%-12s %-12s %12llu %12s %10s %10llu %9llu\n",
+                  report.attack.c_str(), report.plan.c_str(),
+                  static_cast<unsigned long long>(report.upstream_sends),
+                  fixed(report.amplification(), 2).c_str(),
+                  fixed(report.goodput(), 2).c_str(),
+                  static_cast<unsigned long long>(
+                      report.resolver_stats.delegation_capped),
+                  static_cast<unsigned long long>(
+                      report.legit_spurious_nxdomain));
+      reports.push_back(report);
+    }
+    std::printf("\n");
+  }
+
+  // Headline ratios: undefended vs the all-defenses posture, per attack.
+  const auto find = [&](const std::string& attack_name,
+                        const std::string& plan_name) -> const AttackRunReport* {
+    for (const auto& r : reports) {
+      if (r.attack == attack_name && r.plan == plan_name) return &r;
+    }
+    return nullptr;
+  };
+
+  std::printf("--- defended (all) vs undefended ---\n");
+  bool all_pass = true;
+  struct Headline {
+    std::string attack;
+    double goodput_ratio = 0;
+    double amplification_ratio = 0;
+  };
+  std::vector<Headline> headlines;
+  for (const auto* attack : attacks) {
+    const auto* base = find(attack->name(), "undefended");
+    const auto* all = find(attack->name(), "all");
+    if (base == nullptr || all == nullptr) continue;
+    Headline h;
+    h.attack = attack->name();
+    h.goodput_ratio =
+        base->goodput() > 0 ? all->goodput() / base->goodput() : 0;
+    h.amplification_ratio = all->amplification() > 0
+                                ? base->amplification() / all->amplification()
+                                : 0;
+    std::printf("  %-12s goodput x%-8s amplification cut x%s\n",
+                h.attack.c_str(), fixed(h.goodput_ratio, 1).c_str(),
+                fixed(h.amplification_ratio, 1).c_str());
+    all_pass = all_pass && h.goodput_ratio >= 5.0;
+    headlines.push_back(h);
+  }
+  const auto* nxns_headline = &headlines.front();
+  const bool nxns_amp_pass = nxns_headline->amplification_ratio >= 10.0;
+  std::printf("\n  goodput >= 5x on every attack: %s\n",
+              all_pass ? "PASS" : "FAIL");
+  std::printf("  nxns amplification cut >= 10x: %s\n\n",
+              nxns_amp_pass ? "PASS" : "FAIL");
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"seed\": %llu,\n  \"attack_queries\": %d,\n",
+                 static_cast<unsigned long long>(seed), queries);
+    std::fprintf(json, "  \"upstream_cost\": %s,\n",
+                 fixed(AttackRunReport::kUpstreamCost, 1).c_str());
+    std::fprintf(json, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto& r = reports[i];
+      std::fprintf(
+          json,
+          "    {\"attack\": \"%s\", \"plan\": \"%s\", "
+          "\"upstream_sends\": %llu, \"amplification\": %s, "
+          "\"goodput\": %s, \"legit_answered\": %llu, "
+          "\"legit_spurious_nxdomain\": %llu, "
+          "\"delegation_fetches\": %llu, \"delegation_capped\": %llu, "
+          "\"cname_capped\": %llu, \"aggressive_hits\": %llu}%s\n",
+          r.attack.c_str(), r.plan.c_str(),
+          static_cast<unsigned long long>(r.upstream_sends),
+          fixed(r.amplification(), 4).c_str(), fixed(r.goodput(), 4).c_str(),
+          static_cast<unsigned long long>(r.legit_answered),
+          static_cast<unsigned long long>(r.legit_spurious_nxdomain),
+          static_cast<unsigned long long>(r.resolver_stats.delegation_fetches),
+          static_cast<unsigned long long>(r.resolver_stats.delegation_capped),
+          static_cast<unsigned long long>(r.resolver_stats.cname_capped),
+          static_cast<unsigned long long>(r.cache_stats.aggressive_hits),
+          i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"headline\": {\n");
+    for (std::size_t i = 0; i < headlines.size(); ++i) {
+      const auto& h = headlines[i];
+      std::fprintf(json,
+                   "    \"%s\": {\"goodput_ratio\": %s, "
+                   "\"amplification_ratio\": %s}%s\n",
+                   h.attack.c_str(), fixed(h.goodput_ratio, 2).c_str(),
+                   fixed(h.amplification_ratio, 2).c_str(),
+                   i + 1 < headlines.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  },\n  \"goodput_5x_all_attacks\": %s,\n"
+                 "  \"nxns_amplification_cut_10x\": %s\n}\n",
+                 all_pass ? "true" : "false", nxns_amp_pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return all_pass && nxns_amp_pass ? 0 : 1;
+}

@@ -43,15 +43,27 @@
 //                   re-renders it); --trace dumps the query-trace ring as
 //                   JSONL.  All three default off — the default run's output
 //                   is byte-identical to a build without them.
+//               [--attack=<nxns|torture|torture-dga|cname>]
+//                   adversarial demo: run that src/attack generator against
+//                   the resolver under the full defense-ablation ladder
+//                   (undefended, each defense alone, all together) and print
+//                   goodput + upstream amplification per posture.  Replaces
+//                   the normal pipeline run; see bench/attack_resilience for
+//                   the regression-tracked version (BENCH_attack.json).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 
 #include <fstream>
+#include <memory>
 #include <span>
 
 #include "analysis/origin.hpp"
+#include "attack/cname_bomb.hpp"
+#include "attack/harness.hpp"
+#include "attack/nxns.hpp"
+#include "attack/water_torture.hpp"
 #include "analysis/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
@@ -87,6 +99,7 @@ int main(int argc, char** argv) {
   std::uint64_t metrics_every = 0;
   std::string metrics_out;
   std::string trace_path;
+  std::string attack_mode;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
     if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -118,6 +131,61 @@ int main(int argc, char** argv) {
       metrics_out = argv[i] + 14;
     }
     if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--attack=", 9) == 0) attack_mode = argv[i] + 9;
+  }
+
+  // ---------------------------------------------------------------- attack
+  // Adversarial demo mode: one generator through the whole ablation ladder.
+  if (!attack_mode.empty()) {
+    std::unique_ptr<attack::AttackGenerator> generator;
+    if (attack_mode == "nxns") {
+      attack::NxnsConfig config;
+      config.seed = seed;
+      generator = std::make_unique<attack::NxnsAttack>(config);
+    } else if (attack_mode == "torture" || attack_mode == "torture-dga") {
+      attack::WaterTortureConfig config;
+      config.seed = seed;
+      config.dga_shaped = attack_mode == "torture-dga";
+      generator = std::make_unique<attack::WaterTortureAttack>(config);
+    } else if (attack_mode == "cname") {
+      attack::CnameBombConfig config;
+      config.seed = seed;
+      generator = std::make_unique<attack::CnameBombAttack>(config);
+    } else {
+      std::fprintf(stderr,
+                   "unknown --attack=%s (want nxns|torture|torture-dga|cname)\n",
+                   attack_mode.c_str());
+      return 2;
+    }
+
+    std::printf("=== adversarial demo: %s attack vs the defense ladder "
+                "(seed %llu) ===\n\n",
+                generator->name().c_str(),
+                static_cast<unsigned long long>(seed));
+    attack::HarnessConfig harness_config;
+    harness_config.seed = seed;
+    harness_config.attack_queries = 600;
+    attack::AttackHarness harness(harness_config);
+    std::printf("%-12s %12s %12s %12s %10s %9s\n", "plan", "upstream",
+                "amplif.", "goodput", "capped", "spurious");
+    for (const auto& plan : attack::DefensePlan::ablation()) {
+      const auto report = harness.run(*generator, plan);
+      std::printf("%-12s %12llu %12.2f %12.2f %10llu %9llu\n",
+                  report.plan.c_str(),
+                  static_cast<unsigned long long>(report.upstream_sends),
+                  report.amplification(), report.goodput(),
+                  static_cast<unsigned long long>(
+                      report.resolver_stats.delegation_capped +
+                      report.resolver_stats.cname_capped),
+                  static_cast<unsigned long long>(
+                      report.legit_spurious_nxdomain));
+    }
+    std::printf(
+        "\namplification = upstream packets per attack query; goodput = "
+        "legit answers per 1000 capacity units\n(upstream send costs %.0fx a "
+        "client query).  'spurious' legit-name NXDomains must stay 0.\n",
+        attack::AttackRunReport::kUpstreamCost);
+    return 0;
   }
 
   // One registry + trace shared by every instrumented module; with all three

@@ -1,0 +1,44 @@
+#include "attack/cname_bomb.hpp"
+
+namespace nxd::attack {
+
+namespace {
+
+dns::DomainName bomb_domain(int chain, int link) {
+  return dns::DomainName::must("bomb-" + std::to_string(chain) + "-" +
+                               std::to_string(link) + ".com");
+}
+
+}  // namespace
+
+CnameBombAttack::CnameBombAttack(CnameBombConfig config)
+    : config_(std::move(config)) {}
+
+dns::DomainName CnameBombAttack::link_name(int chain, int link) const {
+  return *bomb_domain(chain, link).child("hop");
+}
+
+void CnameBombAttack::install(resolver::DnsHierarchy& hierarchy) const {
+  const auto addr = dns::IPv4::from_octets(203, 0, 113, 99);
+  const auto sink = dns::DomainName::must("cname-sink.com");
+  hierarchy.register_domain(sink, addr);
+  for (int c = 0; c < config_.chains; ++c) {
+    for (int l = 0; l < config_.chain_length; ++l) {
+      hierarchy.register_domain(bomb_domain(c, l), addr);
+      resolver::Zone* zone = hierarchy.zone_of(bomb_domain(c, l));
+      const dns::DomainName target =
+          l + 1 < config_.chain_length
+              ? link_name(c, l + 1)
+              : *sink.child("gone-" + std::to_string(c));
+      zone->add(dns::make_cname(link_name(c, l), target, /*ttl=*/0));
+    }
+  }
+}
+
+dns::DomainName CnameBombAttack::qname(std::uint64_t i) const {
+  const auto c = static_cast<int>(
+      i % static_cast<std::uint64_t>(std::max(1, config_.chains)));
+  return link_name(c, 0);
+}
+
+}  // namespace nxd::attack

@@ -1,0 +1,41 @@
+// Chained-CNAME bomb generator (see generator.hpp).
+#pragma once
+
+#include "attack/generator.hpp"
+
+namespace nxd::attack {
+
+struct CnameBombConfig {
+  std::uint64_t seed = 1;
+  /// Links per chain.  Each link lives in its own registered domain, so
+  /// the authoritative farm (which only chases aliases within one zone)
+  /// hands the resolver exactly one link per full hierarchy walk.
+  int chain_length = 32;
+  /// Independent chains; queries cycle across them.
+  int chains = 4;
+};
+
+/// Registers `chains` x `chain_length` single-link zones.  Link l of chain
+/// c maps hop.bomb-<c>-<l>.com -> hop.bomb-<c>-<l+1>.com with TTL 0 (the
+/// attacker controls the TTL, and 0 makes every link a guaranteed cache
+/// miss).  The final link points at a non-existent name in a registered
+/// sink zone, so an un-capped chase ends in a genuine NXDomain after
+/// walking the full hierarchy once per link.
+class CnameBombAttack final : public AttackGenerator {
+ public:
+  explicit CnameBombAttack(CnameBombConfig config = {});
+
+  std::string name() const override { return "cname"; }
+  void install(resolver::DnsHierarchy& hierarchy) const override;
+  dns::DomainName qname(std::uint64_t i) const override;
+
+  const CnameBombConfig& config() const noexcept { return config_; }
+
+  /// Owner name of link l in chain c.
+  dns::DomainName link_name(int chain, int link) const;
+
+ private:
+  CnameBombConfig config_;
+};
+
+}  // namespace nxd::attack

@@ -1,0 +1,54 @@
+// Adversarial NXDomain workload generators.
+//
+// The paper measures NXDomain floods from the victim's side; these
+// generators produce the attacker's side, so the resolver's defenses can be
+// exercised and measured in a closed loop.  Three classic shapes:
+//
+//   - NXNS delegation bombs (NxnsAttack, nxns.hpp): attacker zones whose
+//     referrals fan out N unresolvable NS names, multiplying every client
+//     query into N glueless-NS fetches at the resolver (Afek, Bremler-Barr
+//     & Shafir, USENIX Sec'20 — up to 1620x packet amplification).
+//   - Water torture (WaterTortureAttack, water_torture.hpp): random-label
+//     prefixes under a real victim zone, each a guaranteed NXDomain and a
+//     guaranteed cache miss; optionally DGA-shaped via src/dga so the
+//     labels evade entropy-only filters.
+//   - Chained CNAME bombs (CnameBombAttack, cname_bomb.hpp): TTL-0
+//     cross-zone alias chains that force the resolver to restart a full
+//     hierarchy walk per link.
+//
+// Every generator is seeded and deterministic: query(i) is a pure function
+// of (config, i), so runs replay bit-for-bit and sanitizer suites stay
+// stable.  Generators install their zones into a DnsHierarchy and emit
+// plain dns::Message queries, so the existing SimNetwork / FaultPlan /
+// SimTime machinery composes unchanged (see harness.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dns/message.hpp"
+#include "resolver/hierarchy.hpp"
+
+namespace nxd::attack {
+
+class AttackGenerator {
+ public:
+  virtual ~AttackGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Create the attacker-controlled (and, for water torture, victim) zones
+  /// in the hierarchy.  Call exactly once per hierarchy.
+  virtual void install(resolver::DnsHierarchy& hierarchy) const = 0;
+
+  /// The i-th attack qname.  Deterministic: same (config, i) -> same name.
+  virtual dns::DomainName qname(std::uint64_t i) const = 0;
+
+  /// The i-th attack query message (A query for qname(i) by default).
+  dns::Message query(std::uint64_t i) const {
+    return dns::make_query(static_cast<std::uint16_t>(i + 1), qname(i),
+                           dns::RRType::A);
+  }
+};
+
+}  // namespace nxd::attack

@@ -1,0 +1,116 @@
+#include "attack/harness.hpp"
+
+#include "net/sim_network.hpp"
+
+namespace nxd::attack {
+
+DefensePlan DefensePlan::undefended() { return DefensePlan{}; }
+
+DefensePlan DefensePlan::all_defenses() {
+  DefensePlan plan;
+  plan.name = "all";
+  plan.range_proofs = true;
+  plan.defenses.aggressive_negative = true;
+  plan.defenses.max_fetch_per_delegation = 1;
+  plan.defenses.zone_fetch_budget = 64;
+  plan.defenses.qname_minimization = true;
+  plan.defenses.max_cname_chase = 4;
+  return plan;
+}
+
+std::vector<DefensePlan> DefensePlan::ablation() {
+  std::vector<DefensePlan> plans;
+  plans.push_back(undefended());
+
+  DefensePlan negcache;
+  negcache.name = "negcache";
+  negcache.range_proofs = true;
+  negcache.defenses.aggressive_negative = true;
+  plans.push_back(negcache);
+
+  DefensePlan budget;
+  budget.name = "budget";
+  budget.defenses.max_fetch_per_delegation = 1;
+  budget.defenses.zone_fetch_budget = 64;
+  plans.push_back(budget);
+
+  DefensePlan chase;
+  chase.name = "chase-cap";
+  chase.defenses.max_cname_chase = 4;
+  plans.push_back(chase);
+
+  DefensePlan qmin;
+  qmin.name = "qmin";
+  qmin.defenses.qname_minimization = true;
+  plans.push_back(qmin);
+
+  plans.push_back(all_defenses());
+  return plans;
+}
+
+AttackHarness::AttackHarness(HarnessConfig config)
+    : config_(std::move(config)) {}
+
+AttackRunReport AttackHarness::run(const AttackGenerator& attack,
+                                   const DefensePlan& plan) {
+  // Fresh world per run: ablation plans never share cache or budget state.
+  resolver::DnsHierarchy hierarchy;
+  hierarchy.enable_range_proofs(plan.range_proofs);
+  attack.install(hierarchy);
+
+  std::vector<dns::DomainName> legit;
+  for (int d = 0; d < config_.legit_domains; ++d) {
+    const auto name =
+        dns::DomainName::must("legit-" + std::to_string(d) + ".org");
+    hierarchy.register_domain(
+        name, dns::IPv4::from_octets(
+                  198, 51, 100, static_cast<std::uint8_t>(1 + d % 250)));
+    legit.push_back(name);
+  }
+
+  net::SimNetwork network;
+  network.set_fault_plan(config_.fault_plan);
+  hierarchy.attach(network);
+
+  resolver::RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network, {}, {}, config_.seed);
+  resolver.set_defenses(plan.defenses);
+
+  AttackRunReport report;
+  report.attack = attack.name();
+  report.plan = plan.name;
+
+  util::SimTime now = 0;
+  std::uint64_t legit_ix = 0;
+  const int legit_every = std::max(1, config_.legit_every);
+  for (int i = 0; i < config_.attack_queries; ++i) {
+    const auto outcome = resolver.resolve(attack.query(
+                                              static_cast<std::uint64_t>(i)),
+                                          now);
+    now += outcome.elapsed;
+    ++report.attack_queries;
+    if ((i + 1) % legit_every == 0) {
+      const auto& name = legit[legit_ix++ % legit.size()];
+      const auto legit_outcome = resolver.resolve(
+          dns::make_query(static_cast<std::uint16_t>(40'000 + legit_ix), name,
+                          dns::RRType::A),
+          now);
+      now += legit_outcome.elapsed;
+      ++report.legit_queries;
+      if (legit_outcome.response.header.rcode == dns::RCode::NoError) {
+        ++report.legit_answered;
+      } else if (legit_outcome.response.header.rcode ==
+                 dns::RCode::NXDomain) {
+        ++report.legit_spurious_nxdomain;
+      }
+    }
+  }
+
+  report.resolver_stats = resolver.stats();
+  report.cache_stats = resolver.cache().stats();
+  report.upstream_sends = report.resolver_stats.upstream_sends;
+  report.packets_delivered = network.delivered();
+  return report;
+}
+
+}  // namespace nxd::attack

@@ -1,0 +1,103 @@
+// Attack/defense measurement harness.
+//
+// Runs one AttackGenerator against a RecursiveResolver under a named
+// DefensePlan and reports the two numbers the whole suite is about:
+//
+//   - upstream amplification: resolver packets sent upstream per attack
+//     query — the attacker's leverage over the infrastructure;
+//   - goodput: legitimate answers per unit of resolver capacity, where one
+//     unit handles one client query and an upstream round-trip costs
+//     kUpstreamCost units (upstream work dominates a resolver's budget —
+//     wire parsing, socket churn, retry state — which is why NXNS-style
+//     attacks hurt: they convert cheap client queries into expensive
+//     upstream fan-out).
+//
+// Every run builds a fresh hierarchy + network + resolver, so plans are
+// ablation-comparable and runs are deterministic under the harness seed.
+// A FaultPlan can be installed on the simulated wire to combine packet
+// chaos with adversarial load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/generator.hpp"
+#include "net/fault.hpp"
+#include "resolver/recursive.hpp"
+
+namespace nxd::attack {
+
+/// A named defense posture: resolver-side toggles plus the zone-side
+/// range-proof switch that aggressive negative caching consumes.
+struct DefensePlan {
+  std::string name = "undefended";
+  resolver::ResolverDefenses defenses;
+  bool range_proofs = false;
+
+  /// The canonical ablation ladder used by bench/attack_resilience and the
+  /// property suite: undefended, each defense alone, then all together.
+  static std::vector<DefensePlan> ablation();
+  static DefensePlan undefended();
+  static DefensePlan all_defenses();
+};
+
+struct HarnessConfig {
+  std::uint64_t seed = 1;
+  int attack_queries = 1000;
+  /// One legitimate query is interleaved after every `legit_every` attack
+  /// queries (the traffic whose goodput the defenses protect).
+  int legit_every = 5;
+  int legit_domains = 16;
+  /// Optional packet-level chaos on the simulated wire.
+  net::FaultPlan fault_plan;
+};
+
+struct AttackRunReport {
+  std::string attack;
+  std::string plan;
+  std::uint64_t attack_queries = 0;
+  std::uint64_t legit_queries = 0;
+  /// Legit queries answered NoError — the goodput numerator.
+  std::uint64_t legit_answered = 0;
+  /// Legit queries answered NXDomain: must be zero under every plan (the
+  /// suite's core soundness invariant — defenses may slow resolution down,
+  /// never deny existing names).
+  std::uint64_t legit_spurious_nxdomain = 0;
+  std::uint64_t upstream_sends = 0;
+  std::uint64_t packets_delivered = 0;
+  resolver::RecursiveStats resolver_stats;
+  resolver::CacheStats cache_stats;
+
+  /// Upstream packets per attack query.
+  double amplification() const noexcept {
+    return attack_queries == 0
+               ? 0.0
+               : static_cast<double>(upstream_sends) /
+                     static_cast<double>(attack_queries);
+  }
+
+  /// Cost of one upstream packet relative to handling one client query.
+  static constexpr double kUpstreamCost = 10.0;
+
+  /// Legit answers per 1000 capacity units.
+  double goodput() const noexcept {
+    const double cost =
+        static_cast<double>(attack_queries + legit_queries) +
+        kUpstreamCost * static_cast<double>(upstream_sends);
+    return cost <= 0 ? 0.0
+                     : 1000.0 * static_cast<double>(legit_answered) / cost;
+  }
+};
+
+class AttackHarness {
+ public:
+  explicit AttackHarness(HarnessConfig config = {});
+
+  /// Run `attack` under `plan` in a fresh world.
+  AttackRunReport run(const AttackGenerator& attack, const DefensePlan& plan);
+
+ private:
+  HarnessConfig config_;
+};
+
+}  // namespace nxd::attack

@@ -1,0 +1,37 @@
+#include "attack/nxns.hpp"
+
+namespace nxd::attack {
+
+NxnsAttack::NxnsAttack(NxnsConfig config) : config_(std::move(config)) {}
+
+dns::DomainName NxnsAttack::ns_target(int subzone, int k) const {
+  // Unique per (subzone, k) so the resolver's cache can never dedupe
+  // across queries; seeded so two generators with different seeds do not
+  // collide in a shared hierarchy.
+  const auto label = "ns-" + std::to_string(config_.seed % 997) + "-" +
+                     std::to_string(subzone) + "-" + std::to_string(k);
+  return *config_.ns_target_domain.child(label);
+}
+
+void NxnsAttack::install(resolver::DnsHierarchy& hierarchy) const {
+  const auto addr = dns::IPv4::from_octets(203, 0, 113, 66);
+  hierarchy.register_domain(config_.attacker_domain, addr);
+  hierarchy.register_domain(config_.ns_target_domain, addr);
+  resolver::Zone* zone = hierarchy.zone_of(config_.attacker_domain);
+  for (int j = 0; j < config_.subzones; ++j) {
+    const auto cut =
+        *config_.attacker_domain.child("sub" + std::to_string(j));
+    for (int k = 0; k < config_.fanout; ++k) {
+      zone->add(dns::make_ns(cut, ns_target(j, k)));
+    }
+  }
+}
+
+dns::DomainName NxnsAttack::qname(std::uint64_t i) const {
+  const auto j = static_cast<int>(
+      i % static_cast<std::uint64_t>(std::max(1, config_.subzones)));
+  const auto cut = *config_.attacker_domain.child("sub" + std::to_string(j));
+  return *cut.child("www");
+}
+
+}  // namespace nxd::attack

@@ -1,0 +1,46 @@
+// NXNS delegation-bomb generator (see generator.hpp).
+#pragma once
+
+#include "attack/generator.hpp"
+
+namespace nxd::attack {
+
+struct NxnsConfig {
+  std::uint64_t seed = 1;
+  /// Attacker's delegation zone: referrals for names under it fan out.
+  dns::DomainName attacker_domain = dns::DomainName::must("attacker.com");
+  /// Registered domain the unresolvable NS targets live under.  It exists
+  /// (so every target fetch walks all three tiers before failing) but
+  /// hosts none of the target names.
+  dns::DomainName ns_target_domain = dns::DomainName::must("attacker-ns.net");
+  /// NS records per delegation — the per-query amplification factor.
+  int fanout = 12;
+  /// Distinct sub-delegations.  Every subzone's NS targets are unique, so
+  /// a run of up to `subzones` queries gets zero dedupe from the cache —
+  /// the attacker's counter to negative caching.
+  int subzones = 1024;
+};
+
+/// Installs `attacker_domain` with `subzones` internal zone cuts, each
+/// delegating to `fanout` unique glueless NS names under
+/// `ns_target_domain`.  qname(i) probes below cut i (mod subzones), forcing
+/// the resolver to receive the referral and fetch every NS target.
+class NxnsAttack final : public AttackGenerator {
+ public:
+  explicit NxnsAttack(NxnsConfig config = {});
+
+  std::string name() const override { return "nxns"; }
+  void install(resolver::DnsHierarchy& hierarchy) const override;
+  dns::DomainName qname(std::uint64_t i) const override;
+
+  const NxnsConfig& config() const noexcept { return config_; }
+
+  /// The k-th NS target of subzone j (what install() wires up) — exposed so
+  /// reconciliation tests can enumerate the expected fetch set.
+  dns::DomainName ns_target(int subzone, int k) const;
+
+ private:
+  NxnsConfig config_;
+};
+
+}  // namespace nxd::attack

@@ -1,0 +1,47 @@
+#include "attack/water_torture.hpp"
+
+#include "dga/families.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::attack {
+
+WaterTortureAttack::WaterTortureAttack(WaterTortureConfig config)
+    : config_(std::move(config)) {}
+
+void WaterTortureAttack::install(resolver::DnsHierarchy& hierarchy) const {
+  hierarchy.register_domain(config_.victim_domain,
+                            dns::IPv4::from_octets(203, 0, 113, 80));
+}
+
+std::string WaterTortureAttack::label(std::uint64_t i) const {
+  if (config_.dga_shaped) {
+    // Batch-generate pronounceable SLDs with the Markov family; the pool is
+    // deterministic in (seed, i) because generation is day- and
+    // count-driven only.
+    constexpr std::size_t kBlock = 256;
+    const dga::MarkovDga markov(config_.seed);
+    while (dga_labels_.size() <= i) {
+      const auto day =
+          static_cast<util::Day>(20'000 + dga_labels_.size() / kBlock);
+      for (const auto& name : markov.generate(day, kBlock)) {
+        dga_labels_.emplace_back(name.sld());
+      }
+    }
+    return dga_labels_[i];
+  }
+  // Uniform style: SplitMix64(seed, i) keyed letters — qname(i) is a pure
+  // function, no shared stream to advance.
+  util::SplitMix64 sm(config_.seed ^ (i * 0x9e3779b97f4a7c15ULL));
+  std::string out;
+  out.reserve(static_cast<std::size_t>(config_.label_length));
+  for (int c = 0; c < config_.label_length; ++c) {
+    out.push_back(static_cast<char>('a' + sm.next() % 26));
+  }
+  return out;
+}
+
+dns::DomainName WaterTortureAttack::qname(std::uint64_t i) const {
+  return *config_.victim_domain.child(label(i));
+}
+
+}  // namespace nxd::attack

@@ -1,0 +1,46 @@
+// Water-torture (random-subdomain) flood generator (see generator.hpp).
+#pragma once
+
+#include <vector>
+
+#include "attack/generator.hpp"
+
+namespace nxd::attack {
+
+struct WaterTortureConfig {
+  std::uint64_t seed = 1;
+  /// The victim: a genuinely registered domain whose authoritative server
+  /// the flood is designed to exhaust (every random prefix is an NXDomain
+  /// the resolver's exact-name cache has never seen).
+  dns::DomainName victim_domain = dns::DomainName::must("victim.com");
+  /// Random-label length for the uniform style.
+  int label_length = 12;
+  /// Shape labels with the Markov DGA from src/dga instead of uniform
+  /// random letters: pronounceable prefixes that defeat entropy filters,
+  /// modeling the botnet-sourced floods the paper attributes to DGAs.
+  bool dga_shaped = false;
+};
+
+class WaterTortureAttack final : public AttackGenerator {
+ public:
+  explicit WaterTortureAttack(WaterTortureConfig config = {});
+
+  std::string name() const override {
+    return config_.dga_shaped ? "torture-dga" : "torture";
+  }
+  void install(resolver::DnsHierarchy& hierarchy) const override;
+  dns::DomainName qname(std::uint64_t i) const override;
+
+  const WaterTortureConfig& config() const noexcept { return config_; }
+
+  /// The random prefix label alone (shape assertions in tests).
+  std::string label(std::uint64_t i) const;
+
+ private:
+  WaterTortureConfig config_;
+  // Lazily grown DGA label pool (dga_shaped only); mutable because qname()
+  // is logically const — the pool is a pure function of (seed, i).
+  mutable std::vector<std::string> dga_labels_;
+};
+
+}  // namespace nxd::attack

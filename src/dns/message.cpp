@@ -30,6 +30,7 @@ std::string to_string(RRType t) {
     case RRType::TXT: return "TXT";
     case RRType::AAAA: return "AAAA";
     case RRType::OPT: return "OPT";
+    case RRType::NSEC: return "NSEC";
   }
   return "TYPE" + std::to_string(static_cast<int>(t));
 }
@@ -112,6 +113,21 @@ void write_rr(util::ByteWriter& w, NameEncoder& names, const ResourceRecord& rr)
       } while (!rest.empty());
     }
     void operator()(const AaaaData& d) const { w.bytes(d.addr); }
+    void operator()(const NsecData& d) const {
+      // RFC 4034 §4.1: next domain name (never compressed) + type bitmap.
+      // We carry one bit of the bitmap — NS present at the owner — encoded
+      // as window block 0, length 1, bit 2 set (0x80 >> 2 = 0x20).
+      for (const auto& label : d.next.labels()) {
+        w.u8(static_cast<std::uint8_t>(label.size()));
+        w.bytes(label);
+      }
+      w.u8(0);
+      if (d.owner_is_delegation) {
+        w.u8(0x00);  // window block 0
+        w.u8(0x01);  // bitmap length
+        w.u8(0x20);  // NS (type 2)
+      }
+    }
   };
   std::visit(Visitor{w, names}, rr.rdata);
   w.patch_u16(rdlength_at, static_cast<std::uint16_t>(w.size() - rdata_start));
@@ -228,6 +244,29 @@ std::optional<ResourceRecord> read_rr(util::ByteReader& r,
       if (bytes.size() != 16) return std::nullopt;
       std::copy(bytes.begin(), bytes.end(), aaaa.addr.begin());
       rdata = std::move(aaaa);
+      break;
+    }
+    case RRType::NSEC: {
+      auto next = read_name(r, whole);
+      if (!next) return std::nullopt;
+      NsecData nsec;
+      nsec.next = *std::move(next);
+      // Scan the type bitmap (window, length, bytes)* for the NS bit; any
+      // other bits are ignored — we model only the delegation caveat.
+      while (r.ok() && r.pos() < rdata_end) {
+        const std::uint8_t window = r.u8();
+        const std::uint8_t len = r.u8();
+        if (!r.ok() || len == 0 || len > 32 ||
+            r.pos() + len > rdata_end) {
+          return std::nullopt;
+        }
+        const auto bytes = r.bytes(len);
+        if (bytes.size() != len) return std::nullopt;
+        if (window == 0 && len >= 1 && (bytes[0] & 0x20) != 0) {
+          nsec.owner_is_delegation = true;
+        }
+      }
+      rdata = std::move(nsec);
       break;
     }
     default:

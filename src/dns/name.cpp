@@ -126,4 +126,23 @@ std::size_t DomainNameHash::operator()(const DomainName& n) const noexcept {
   return static_cast<std::size_t>(h);
 }
 
+int canonical_compare(const DomainName& a, const DomainName& b) noexcept {
+  // RFC 4034 §6.1: compare label-by-label starting from the rightmost
+  // (most significant) label.  Labels are already lowercased at
+  // construction, so a plain byte compare is the canonical one.
+  const auto& la = a.labels();
+  const auto& lb = b.labels();
+  const std::size_t n = std::min(la.size(), lb.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int c = la[la.size() - i].compare(lb[lb.size() - i]);
+    if (c != 0) return c < 0 ? -1 : 1;
+  }
+  if (la.size() != lb.size()) return la.size() < lb.size() ? -1 : 1;
+  return 0;
+}
+
+bool canonical_less(const DomainName& a, const DomainName& b) noexcept {
+  return canonical_compare(a, b) < 0;
+}
+
 }  // namespace nxd::dns

@@ -78,4 +78,16 @@ struct DomainNameHash {
   std::size_t operator()(const DomainName& n) const noexcept;
 };
 
+/// DNSSEC canonical ordering (RFC 4034 §6.1): names compare by label from the
+/// *rightmost* (TLD) label leftwards, so every name sorts directly after its
+/// ancestors and a contiguous span covers exactly one subtree slice.  This is
+/// the order NSEC chains are built in — and therefore the order the
+/// aggressive negative cache (RFC 8198) needs to test "does this proven-empty
+/// span cover the queried name".  Distinct from operator<=>, which compares
+/// labels left-to-right and is only a container ordering.
+bool canonical_less(const DomainName& a, const DomainName& b) noexcept;
+
+/// Three-way form of canonical_less: <0, 0, >0.
+int canonical_compare(const DomainName& a, const DomainName& b) noexcept;
+
 }  // namespace nxd::dns

@@ -48,6 +48,7 @@ RRType rdata_type(const RData& rdata) noexcept {
     RRType operator()(const MxData&) const { return RRType::MX; }
     RRType operator()(const TxtData&) const { return RRType::TXT; }
     RRType operator()(const AaaaData&) const { return RRType::AAAA; }
+    RRType operator()(const NsecData&) const { return RRType::NSEC; }
   };
   return std::visit(Visitor{}, rdata);
 }
@@ -69,6 +70,9 @@ std::string ResourceRecord::to_string() const {
     }
     std::string operator()(const TxtData& d) const { return "\"" + d.text + "\""; }
     std::string operator()(const AaaaData&) const { return "<aaaa>"; }
+    std::string operator()(const NsecData& d) const {
+      return d.next.to_string() + (d.owner_is_delegation ? " NS" : "");
+    }
   };
   return name.to_string() + " " + std::to_string(ttl) + " IN " +
          nxd::dns::to_string(type()) + " " + std::visit(Visitor{}, rdata);
@@ -100,6 +104,12 @@ ResourceRecord make_ptr(const DomainName& rev_name, const DomainName& target,
 ResourceRecord make_txt(const DomainName& name, std::string text,
                         std::uint32_t ttl) {
   return ResourceRecord{name, RRClass::IN, ttl, TxtData{std::move(text)}};
+}
+
+ResourceRecord make_nsec(const DomainName& owner, const DomainName& next,
+                         bool owner_is_delegation, std::uint32_t ttl) {
+  return ResourceRecord{owner, RRClass::IN, ttl,
+                        NsecData{next, owner_is_delegation}};
 }
 
 }  // namespace nxd::dns

@@ -90,8 +90,20 @@ struct TxtData {
   friend bool operator==(const TxtData&, const TxtData&) = default;
 };
 
-using RData =
-    std::variant<IPv4, NsData, CnameData, SoaData, PtrData, MxData, TxtData, AaaaData>;
+/// Authenticated denial of existence (RFC 4034 §4), reduced to what the
+/// aggressive negative cache (RFC 8198) needs: the canonically-next owner
+/// name, which together with the record's owner name proves the span
+/// (owner, next) holds no names — plus one bit of the type bitmap, "does the
+/// owner itself have NS", so a resolver never synthesizes answers for names
+/// below a delegation cut (RFC 8198 §5.4 caveat).
+struct NsecData {
+  DomainName next;
+  bool owner_is_delegation = false;
+  friend bool operator==(const NsecData&, const NsecData&) = default;
+};
+
+using RData = std::variant<IPv4, NsData, CnameData, SoaData, PtrData, MxData,
+                           TxtData, AaaaData, NsecData>;
 
 RRType rdata_type(const RData& rdata) noexcept;
 
@@ -119,5 +131,8 @@ ResourceRecord make_ptr(const DomainName& rev_name, const DomainName& target,
                         std::uint32_t ttl = 3600);
 ResourceRecord make_txt(const DomainName& name, std::string text,
                         std::uint32_t ttl = 300);
+ResourceRecord make_nsec(const DomainName& owner, const DomainName& next,
+                         bool owner_is_delegation = false,
+                         std::uint32_t ttl = 300);
 
 }  // namespace nxd::dns

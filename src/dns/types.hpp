@@ -31,7 +31,8 @@ enum class RRType : std::uint16_t {
   MX = 15,
   TXT = 16,
   AAAA = 28,
-  OPT = 41,  // EDNS(0) pseudo-RR (RFC 6891)
+  OPT = 41,   // EDNS(0) pseudo-RR (RFC 6891)
+  NSEC = 47,  // authenticated denial / range proof (RFC 4034 §4)
 };
 
 std::string to_string(RRType t);

@@ -62,9 +62,11 @@ dns::Message AuthoritativeServer::answer(const dns::Message& query) const {
         response.answers.push_back(result.records.front());
         const auto& target =
             std::get<dns::CnameData>(result.records.front().rdata).target;
-        const Zone* next = find_zone(target);
-        if (next == nullptr) return response;  // alias leaves our data
-        zone = next;
+        // Chase only within the answering zone.  A target in another zone —
+        // even one this server hosts — is the resolver's problem to restart
+        // (RFC 1034 §3.6.2 servers answer from one zone of authority);
+        // chasing it here would silently absorb cross-zone alias chains.
+        if (!target.is_subdomain_of(zone->origin())) return response;
         lookup_name = target;
         continue;
       }
@@ -81,6 +83,13 @@ dns::Message AuthoritativeServer::answer(const dns::Message& query) const {
         ++nxdomains_;
         response.header.rcode = dns::RCode::NXDomain;
         response.authorities.push_back(zone->soa_record());
+        if (range_proofs_) {
+          if (const auto cover = zone->nsec_cover(lookup_name)) {
+            response.authorities.push_back(
+                dns::make_nsec(cover->owner, cover->next,
+                               cover->owner_is_delegation, zone->soa().minimum));
+          }
+        }
         return response;
     }
   }

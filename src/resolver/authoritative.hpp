@@ -26,11 +26,19 @@ class AuthoritativeServer {
   /// SOA in the authority section; CNAMEs are chased within the same zone).
   dns::Message answer(const dns::Message& query) const;
 
+  /// When on, NXDomain responses also carry an NSEC range proof from the
+  /// answering zone (the span of non-existence around the qname), enabling
+  /// RFC 8198 aggressive negative caching downstream.  Off by default: the
+  /// classic single-SOA authority section stays the baseline shape.
+  void set_range_proofs(bool on) noexcept { range_proofs_ = on; }
+  bool range_proofs() const noexcept { return range_proofs_; }
+
   std::uint64_t queries_served() const noexcept { return queries_; }
   std::uint64_t nxdomains_served() const noexcept { return nxdomains_; }
 
  private:
   std::vector<std::unique_ptr<Zone>> zones_;
+  bool range_proofs_ = false;
   mutable std::uint64_t queries_ = 0;
   mutable std::uint64_t nxdomains_ = 0;
 };

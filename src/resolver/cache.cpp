@@ -22,13 +22,88 @@ void ResolverCache::put_positive(const dns::DomainName& name, dns::RRType type,
   ++stats_.insertions;
 }
 
+void ResolverCache::evict_negative_down_to(std::size_t limit) {
+  while (negative_.size() > limit && !negative_fifo_.empty()) {
+    const dns::DomainName victim = std::move(negative_fifo_.front());
+    negative_fifo_.pop_front();
+    if (negative_.erase(victim) > 0) ++stats_.negative_evictions;
+    // else: stale fifo entry for a lazily-expired name — skip silently.
+  }
+}
+
 void ResolverCache::put_negative(const dns::DomainName& name,
                                  const dns::SoaData& soa, util::SimTime now) {
   if (!config_.enable_negative) return;
   const std::uint32_t ttl = std::min(soa.minimum, config_.max_negative_ttl);
-  if (negative_.size() >= config_.max_entries) negative_.clear();
-  negative_[name] = NegativeEntry{now + static_cast<util::SimTime>(ttl)};
+  const auto [it, inserted] = negative_.try_emplace(
+      name, NegativeEntry{now + static_cast<util::SimTime>(ttl)});
+  if (inserted) {
+    negative_fifo_.push_back(name);
+    if (negative_.size() > config_.max_negative_entries) {
+      evict_negative_down_to(config_.max_negative_entries);
+    }
+    if (negative_fifo_.size() > 2 * negative_.size() + 16) {
+      // Compact stale (expired-and-reaped) names out of the order queue.
+      std::deque<dns::DomainName> live;
+      for (auto& n : negative_fifo_) {
+        if (negative_.contains(n)) live.push_back(std::move(n));
+      }
+      negative_fifo_ = std::move(live);
+    }
+  } else {
+    it->second.expires = now + static_cast<util::SimTime>(ttl);
+  }
   ++stats_.insertions;
+}
+
+void ResolverCache::put_negative_range(const dns::DomainName& zone,
+                                       const dns::DomainName& lower,
+                                       const dns::DomainName& upper,
+                                       bool lower_is_cut,
+                                       const dns::SoaData& soa,
+                                       util::SimTime now) {
+  if (!config_.enable_negative) return;
+  const std::uint32_t ttl = std::min(soa.minimum, config_.max_negative_ttl);
+  while (range_count_ >= config_.max_range_entries && !range_fifo_.empty()) {
+    const dns::DomainName victim_zone = std::move(range_fifo_.front());
+    range_fifo_.pop_front();
+    const auto it = ranges_.find(victim_zone);
+    if (it == ranges_.end() || it->second.empty()) continue;
+    it->second.erase(it->second.begin());
+    if (it->second.empty()) ranges_.erase(it);
+    --range_count_;
+    ++stats_.negative_evictions;
+  }
+  auto& spans = ranges_[zone];
+  // Refresh rather than duplicate an identical span (the common case when a
+  // flood keeps re-proving the same empty interval).
+  for (auto& span : spans) {
+    if (span.lower == lower && span.upper == upper) {
+      span.lower_is_cut = lower_is_cut;
+      span.expires = now + static_cast<util::SimTime>(ttl);
+      ++stats_.range_insertions;
+      return;
+    }
+  }
+  spans.push_back(NegativeRange{lower, upper, lower_is_cut,
+                                now + static_cast<util::SimTime>(ttl)});
+  range_fifo_.push_back(zone);
+  ++range_count_;
+  ++stats_.range_insertions;
+}
+
+bool ResolverCache::range_covers(const NegativeRange& range,
+                                 const dns::DomainName& zone,
+                                 const dns::DomainName& name) {
+  // Covered when canonically lower < name and (name < upper, or the span
+  // wraps to the apex).  Names below a delegation cut are excluded: the
+  // parent's proof cannot speak for the child zone.
+  if (dns::canonical_compare(range.lower, name) >= 0) return false;
+  if (range.upper != zone && dns::canonical_compare(name, range.upper) >= 0) {
+    return false;
+  }
+  if (range.lower_is_cut && name.is_subdomain_of(range.lower)) return false;
+  return true;
 }
 
 std::optional<ResolverCache::Hit> ResolverCache::get(const dns::DomainName& name,
@@ -40,7 +115,7 @@ std::optional<ResolverCache::Hit> ResolverCache::get(const dns::DomainName& name
     if (nit != negative_.end()) {
       if (nit->second.expires > now) {
         ++stats_.negative_hits;
-        return Hit{true, {}};
+        return Hit{true, false, {}};
       }
       negative_.erase(nit);
       ++stats_.expirations;
@@ -50,10 +125,34 @@ std::optional<ResolverCache::Hit> ResolverCache::get(const dns::DomainName& name
   if (it != positive_.end()) {
     if (it->second.expires > now) {
       ++stats_.positive_hits;
-      return Hit{false, it->second.records};
+      return Hit{false, false, it->second.records};
     }
     positive_.erase(it);
     ++stats_.expirations;
+  }
+  // Aggressive synthesis (RFC 8198): walk the name's ancestors looking for a
+  // zone with a live proven-empty span covering it.
+  if (config_.enable_negative && range_count_ > 0) {
+    for (dns::DomainName walk = name.parent(); !walk.is_root();
+         walk = walk.parent()) {
+      const auto rit = ranges_.find(walk);
+      if (rit == ranges_.end()) continue;
+      auto& spans = rit->second;
+      for (std::size_t i = 0; i < spans.size();) {
+        if (spans[i].expires <= now) {
+          spans.erase(spans.begin() + static_cast<std::ptrdiff_t>(i));
+          --range_count_;
+          ++stats_.expirations;
+          continue;
+        }
+        if (range_covers(spans[i], walk, name)) {
+          ++stats_.aggressive_hits;
+          return Hit{true, true, {}};
+        }
+        ++i;
+      }
+      if (spans.empty()) ranges_.erase(rit);
+    }
   }
   ++stats_.misses;
   return std::nullopt;
@@ -62,6 +161,10 @@ std::optional<ResolverCache::Hit> ResolverCache::get(const dns::DomainName& name
 void ResolverCache::clear() {
   positive_.clear();
   negative_.clear();
+  negative_fifo_.clear();
+  ranges_.clear();
+  range_fifo_.clear();
+  range_count_ = 0;
 }
 
 }  // namespace nxd::resolver

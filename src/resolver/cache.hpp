@@ -5,9 +5,21 @@
 // multi-vantage collection still records massive NXDomain volume — caches
 // expire, and many clients bypass shared resolvers.  The ablation bench
 // (micro_ablation) toggles this cache to quantify the damping.
+//
+// Two hardening features matter under adversarial load (src/attack):
+//   - The negative store is size-bounded with FIFO eviction.  Water-torture
+//     floods insert one NXDomain entry per random qname; an unbounded map is
+//     a memory-exhaustion primitive, so entries beyond
+//     `max_negative_entries` evict oldest-first (`negative_evictions` stat).
+//   - Aggressive negative synthesis (RFC 8198): NSEC-style range proofs
+//     stored via `put_negative_range` let `get` answer NXDomain for names
+//     never queried before, as long as they fall in a proven-empty span.
+//     One proof then absorbs the entire random-label keyspace of a
+//     water-torture attack.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,9 +32,12 @@ namespace nxd::resolver {
 struct CacheStats {
   std::uint64_t positive_hits = 0;
   std::uint64_t negative_hits = 0;
+  std::uint64_t aggressive_hits = 0;   // NXDomain synthesized from a range
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
+  std::uint64_t range_insertions = 0;
   std::uint64_t expirations = 0;
+  std::uint64_t negative_evictions = 0;
 };
 
 struct CacheConfig {
@@ -30,6 +45,9 @@ struct CacheConfig {
   std::uint32_t max_ttl = 86'400;          // clamp absurd TTLs
   std::uint32_t max_negative_ttl = 3'600;  // RFC 2308 recommends <= 3h
   std::size_t max_entries = 1 << 20;
+  // Separate caps for the attack-sensitive stores.
+  std::size_t max_negative_entries = 65'536;
+  std::size_t max_range_entries = 4'096;
 };
 
 class ResolverCache {
@@ -44,16 +62,30 @@ class ResolverCache {
                     util::SimTime now);
 
   /// Store a negative (NXDomain) entry; TTL comes from the SOA minimum
-  /// field per RFC 2308 §5.
+  /// field per RFC 2308 §5.  Bounded by `max_negative_entries` with FIFO
+  /// eviction (oldest insertion goes first).
   void put_negative(const dns::DomainName& name, const dns::SoaData& soa,
                     util::SimTime now);
 
+  /// Store an NSEC-style proof that the canonical span (lower, upper) under
+  /// `zone` holds no names (RFC 8198).  `upper == zone` means the span wraps
+  /// to the apex (covers everything canonically after `lower`).  When
+  /// `lower_is_cut`, names below `lower` are NOT covered — they live in a
+  /// child zone the proof says nothing about (RFC 8198 §5.4).
+  void put_negative_range(const dns::DomainName& zone,
+                          const dns::DomainName& lower,
+                          const dns::DomainName& upper, bool lower_is_cut,
+                          const dns::SoaData& soa, util::SimTime now);
+
   struct Hit {
     bool negative = false;
+    bool synthesized = false;  // negative hit proven by a range, not an entry
     std::vector<dns::ResourceRecord> records;  // empty for negative hits
   };
 
   /// Lookup; expired entries are treated as misses (and reaped lazily).
+  /// Checks, in order: exact negative entry, positive entry, covering
+  /// negative range (aggressive synthesis).
   std::optional<Hit> get(const dns::DomainName& name, dns::RRType type,
                          util::SimTime now);
 
@@ -61,6 +93,8 @@ class ResolverCache {
   std::size_t size() const noexcept {
     return positive_.size() + negative_.size();
   }
+  std::size_t negative_size() const noexcept { return negative_.size(); }
+  std::size_t range_size() const noexcept { return range_count_; }
   void clear();
 
  private:
@@ -69,6 +103,12 @@ class ResolverCache {
     util::SimTime expires;
   };
   struct NegativeEntry {
+    util::SimTime expires;
+  };
+  struct NegativeRange {
+    dns::DomainName lower;
+    dns::DomainName upper;
+    bool lower_is_cut = false;
     util::SimTime expires;
   };
   struct Key {
@@ -83,10 +123,27 @@ class ResolverCache {
     }
   };
 
+  /// True when `name` (absent from `zone`) falls inside the proven span.
+  static bool range_covers(const NegativeRange& range,
+                           const dns::DomainName& zone,
+                           const dns::DomainName& name);
+
+  void evict_negative_down_to(std::size_t limit);
+
   Config config_;
   CacheStats stats_;
   std::unordered_map<Key, PositiveEntry, KeyHash> positive_;
   std::unordered_map<dns::DomainName, NegativeEntry, dns::DomainNameHash> negative_;
+  // Insertion order of negative entries; may hold stale names (lazily
+  // expired entries), which eviction skips.  Compacted when it outgrows the
+  // live map by 2x.
+  std::deque<dns::DomainName> negative_fifo_;
+  // zone apex -> proven-empty spans, each vector in insertion order.
+  std::unordered_map<dns::DomainName, std::vector<NegativeRange>,
+                     dns::DomainNameHash>
+      ranges_;
+  std::deque<dns::DomainName> range_fifo_;  // zone key per inserted range
+  std::size_t range_count_ = 0;
 };
 
 }  // namespace nxd::resolver

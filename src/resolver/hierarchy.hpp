@@ -77,6 +77,10 @@ class DnsHierarchy {
   /// subdomain records, ...); nullptr when not registered.
   Zone* zone_of(const dns::DomainName& domain);
 
+  /// Forwarded to the authoritative farm: attach NSEC range proofs to zone
+  /// NXDomain responses (see AuthoritativeServer::set_range_proofs).
+  void enable_range_proofs(bool on) noexcept { auth_.set_range_proofs(on); }
+
   /// Answer `query` as the given tier's server would: a referral toward the
   /// next tier, an authoritative answer, or NXDomain with the SOA that
   /// proves non-existence.

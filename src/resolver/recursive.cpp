@@ -56,6 +56,24 @@ void RecursiveResolver::acquire_metrics(obs::MetricsRegistry& registry) {
                                  "Upstream attempts that timed out");
   m_.servfail_responses = registry.counter(
       "nxd_resolver_servfail_responses_total", "SERVFAIL answers returned");
+  m_.upstream_sends = registry.counter(
+      "nxd_resolver_upstream_sends_total",
+      "Packets sent upstream (network path), including retries");
+  m_.delegation_fetches = registry.counter(
+      "nxd_resolver_delegation_fetches_total",
+      "Glueless NS target fetches triggered by referrals");
+  m_.delegation_capped = registry.counter(
+      "nxd_resolver_delegation_capped_total",
+      "NS target fetches suppressed by the per-referral cap or zone budget");
+  m_.cname_chases = registry.counter(
+      "nxd_resolver_cname_chases_total",
+      "Alias-chain hops chased by the resolver");
+  m_.cname_capped = registry.counter(
+      "nxd_resolver_cname_capped_total",
+      "Alias chains cut off at the chase ceiling");
+  m_.minimized_queries = registry.counter(
+      "nxd_resolver_minimized_queries_total",
+      "Minimized (RFC 7816-style) sub-queries sent to root/TLD tiers");
   m_.upstream_seconds = registry.histogram(
       "nxd_resolver_upstream_latency_seconds",
       "Simulated seconds spent per upstream resolution (network path)");
@@ -75,6 +93,12 @@ void RecursiveResolver::bind_metrics(obs::MetricsRegistry& registry,
   m_.retries.inc(carried.retries);
   m_.timeouts.inc(carried.timeouts);
   m_.servfail_responses.inc(carried.servfail_responses);
+  m_.upstream_sends.inc(carried.upstream_sends);
+  m_.delegation_fetches.inc(carried.delegation_fetches);
+  m_.delegation_capped.inc(carried.delegation_capped);
+  m_.cname_chases.inc(carried.cname_chases);
+  m_.cname_capped.inc(carried.cname_capped);
+  m_.minimized_queries.inc(carried.minimized_queries);
   own_registry_.reset();
   trace_ = trace;
 }
@@ -87,6 +111,12 @@ const RecursiveStats& RecursiveResolver::stats() const noexcept {
   stats_.retries = m_.retries.value();
   stats_.timeouts = m_.timeouts.value();
   stats_.servfail_responses = m_.servfail_responses.value();
+  stats_.upstream_sends = m_.upstream_sends.value();
+  stats_.delegation_fetches = m_.delegation_fetches.value();
+  stats_.delegation_capped = m_.delegation_capped.value();
+  stats_.cname_chases = m_.cname_chases.value();
+  stats_.cname_capped = m_.cname_capped.value();
+  stats_.minimized_queries = m_.minimized_queries.value();
   return stats_;
 }
 
@@ -117,6 +147,7 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
     packet.src = kResolverSource;
     packet.dst = server;
     packet.payload = wire;
+    m_.upstream_sends.inc();
     const auto raw = net_.network->send(packet);
     now += net_.network->last_injected_delay();
     if (raw) {
@@ -135,10 +166,29 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
 
 dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
                                                     util::SimTime& now) {
+  const auto& q = query.questions.front();
+  // Qname minimization (RFC 7816 style): the root only needs to see the
+  // TLD, the TLD only the registered domain.  Only the final tier receives
+  // the full qname — a water-torture flood's random labels never reach the
+  // upper tiers' logs.
+  const bool minimize =
+      defenses_.qname_minimization && q.name.label_count() >= 2;
   const net::Endpoint chain[] = {net_.endpoints.root, net_.endpoints.tld,
                                  net_.endpoints.auth};
   for (std::size_t hop = 0; hop < std::size(chain); ++hop) {
-    auto reply = query_endpoint(chain[hop], query, now);
+    dns::Message sent = query;
+    if (minimize && hop == 0) {
+      sent = dns::make_query(query.header.id,
+                             dns::DomainName::must(std::string(q.name.tld())),
+                             dns::RRType::NS);
+    } else if (minimize && hop == 1) {
+      sent = dns::make_query(query.header.id, q.name.registered_domain(),
+                             dns::RRType::NS);
+    }
+    const bool minimized =
+        !(sent.questions.front() == query.questions.front());
+    if (minimized) m_.minimized_queries.inc();
+    auto reply = query_endpoint(chain[hop], sent, now);
     if (!reply) {
       // Every attempt at this tier exhausted: degrade to SERVFAIL.  Loss
       // must never manufacture an NXDomain — non-existence requires a
@@ -146,10 +196,163 @@ dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
       return dns::make_response(query, dns::RCode::ServFail);
     }
     if (hop + 1 == std::size(chain) || !is_referral(*reply)) {
-      return *std::move(reply);
+      if (!minimized) return *std::move(reply);
+      // A terminal outcome for a minimized sub-query (NXDomain for the
+      // ancestor proves NXDomain for the full name, RFC 8020) is re-shaped
+      // onto the original question; proofs in the authority section carry
+      // over, answers to the minimized question do not.
+      dns::Message out = dns::make_response(query, reply->header.rcode);
+      out.authorities = std::move(reply->authorities);
+      return out;
     }
   }
   return dns::make_response(query, dns::RCode::ServFail);  // unreachable
+}
+
+dns::Message RecursiveResolver::upstream_walk(const dns::Message& query,
+                                              util::SimTime& now) {
+  if (net_.network != nullptr) return resolve_via_network(query, now);
+  return hierarchy_.resolve_iterative(query);
+}
+
+void RecursiveResolver::cache_nxdomain(const dns::DomainName& qname,
+                                       const dns::Message& response,
+                                       util::SimTime now) {
+  const dns::SoaData* soa = nullptr;
+  const dns::DomainName* soa_owner = nullptr;
+  for (const auto& rr : response.authorities) {
+    if (rr.type() == dns::RRType::SOA) {
+      soa = &std::get<dns::SoaData>(rr.rdata);
+      soa_owner = &rr.name;
+      break;
+    }
+  }
+  if (soa == nullptr) return;
+  // RFC 2308: exact-name entry under the SOA minimum TTL.
+  cache_.put_negative(qname, *soa, now);
+  if (!defenses_.aggressive_negative) return;
+  // RFC 8198: store the NSEC-proven span, if one rode along and survives
+  // bailiwick scrutiny.  A hostile or confused authority must not be able
+  // to blanket someone else's namespace: the proving zone must be an
+  // ancestor of the qname, the span endpoints must sit inside that zone,
+  // and the span must actually cover the qname.
+  for (const auto& rr : response.authorities) {
+    if (rr.type() != dns::RRType::NSEC) continue;
+    const auto& nsec = std::get<dns::NsecData>(rr.rdata);
+    const dns::DomainName& zone = *soa_owner;
+    if (!qname.is_subdomain_of(zone) || qname == zone) continue;
+    if (!rr.name.is_subdomain_of(zone)) continue;
+    if (!nsec.next.is_subdomain_of(zone)) continue;
+    if (dns::canonical_compare(rr.name, qname) >= 0) continue;
+    if (nsec.next != zone && dns::canonical_compare(qname, nsec.next) >= 0) {
+      continue;
+    }
+    cache_.put_negative_range(zone, rr.name, nsec.next,
+                              nsec.owner_is_delegation, *soa, now);
+    break;
+  }
+}
+
+dns::Message RecursiveResolver::internal_resolve(const dns::DomainName& name,
+                                                 dns::RRType type,
+                                                 util::SimTime& now) {
+  const auto query = dns::make_query(next_id_++, name, type);
+  if (auto hit = cache_.get(name, type, now)) {
+    if (hit->negative) return dns::make_response(query, dns::RCode::NXDomain);
+    dns::Message out = dns::make_response(query, dns::RCode::NoError);
+    out.answers = std::move(hit->records);
+    return out;
+  }
+  dns::Message response = upstream_walk(query, now);
+  if (response.header.rcode == dns::RCode::NXDomain) {
+    cache_nxdomain(name, response, now);
+  } else if (response.header.rcode == dns::RCode::NoError &&
+             !response.answers.empty()) {
+    cache_.put_positive(name, type, response.answers, now);
+  }
+  return response;
+}
+
+dns::Message RecursiveResolver::handle_referral(const dns::Message& query,
+                                                const dns::Message& referral,
+                                                util::SimTime& now) {
+  // The NXNS hot path.  A referral whose NS targets carry no glue forces
+  // the resolver to resolve every target name itself — with F names per
+  // referral that is F full hierarchy walks per client query, the
+  // NXNSAttack amplifier.  Defenses: a per-referral fetch cap (Max1Fetch
+  // style) and a windowed per-registered-domain budget.
+  int fetched_here = 0;
+  for (const auto& rr : referral.authorities) {
+    if (rr.type() != dns::RRType::NS) continue;
+    const auto& target = std::get<dns::NsData>(rr.rdata).ns;
+    if (defenses_.max_fetch_per_delegation > 0 &&
+        fetched_here >= defenses_.max_fetch_per_delegation) {
+      m_.delegation_capped.inc();
+      continue;
+    }
+    if (defenses_.zone_fetch_budget > 0) {
+      auto& budget = zone_budgets_[rr.name.registered_domain()];
+      if (now >= budget.window_start + defenses_.budget_window) {
+        budget.window_start = now;
+        budget.spent = 0;
+      }
+      if (budget.spent >= defenses_.zone_fetch_budget) {
+        m_.delegation_capped.inc();
+        continue;
+      }
+      ++budget.spent;
+    }
+    // Cache dedupe: a target already known (either way) costs nothing.
+    if (cache_.get(target, dns::RRType::A, now)) continue;
+    ++fetched_here;
+    m_.delegation_fetches.inc();
+    const auto fetch_query = dns::make_query(next_id_++, target, dns::RRType::A);
+    const dns::Message fetched = upstream_walk(fetch_query, now);
+    if (fetched.header.rcode == dns::RCode::NXDomain) {
+      cache_nxdomain(target, fetched, now);
+    } else if (fetched.header.rcode == dns::RCode::NoError &&
+               !fetched.answers.empty()) {
+      cache_.put_positive(target, dns::RRType::A, fetched.answers, now);
+    }
+  }
+  // Whatever the fetches learned, this simulation hosts no servers at the
+  // child zone's addresses — resolution cannot proceed past the cut.
+  return dns::make_response(query, dns::RCode::ServFail);
+}
+
+void RecursiveResolver::chase_cname_tail(const dns::Message& query,
+                                         dns::Message& response,
+                                         util::SimTime& now) {
+  const auto& q = query.questions.front();
+  if (q.qtype == dns::RRType::CNAME) return;
+  int chased = 0;
+  while (response.header.rcode == dns::RCode::NoError &&
+         !response.answers.empty() &&
+         response.answers.back().type() == dns::RRType::CNAME) {
+    if (chased >= std::max(1, defenses_.max_cname_chase)) {
+      m_.cname_capped.inc();
+      response = dns::make_response(query, dns::RCode::ServFail);
+      return;
+    }
+    ++chased;
+    m_.cname_chases.inc();
+    const auto target =
+        std::get<dns::CnameData>(response.answers.back().rdata).target;
+    const dns::Message hop = internal_resolve(target, q.qtype, now);
+    if (hop.header.rcode == dns::RCode::NXDomain) {
+      // RFC 2308 §2.1: a chain ending in a non-existent name answers
+      // NXDomain, keeping the alias records in the answer section.
+      response.header.rcode = dns::RCode::NXDomain;
+      response.authorities = hop.authorities;
+      return;
+    }
+    if (hop.header.rcode != dns::RCode::NoError) {
+      response = dns::make_response(query, dns::RCode::ServFail);
+      return;
+    }
+    if (hop.answers.empty()) return;  // NoData at the target: chain is done
+    for (const auto& rr : hop.answers) response.answers.push_back(rr);
+  }
 }
 
 ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
@@ -173,46 +376,47 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
   }
   const auto& q = query.questions.front();
 
+  bool from_cache = false;
+  bool negative_hit = false;
+  util::SimTime done = now;
+  dns::Message response;
+
   if (auto hit = cache_.get(q.name, q.qtype, now)) {
     m_.cache_hits.inc();
-    ResolveOutcome out;
-    out.from_cache = true;
+    from_cache = true;
     if (hit->negative) {
-      out.negative_cache_hit = true;
-      out.response = dns::make_response(query, dns::RCode::NXDomain);
-      m_.nxdomain_responses.inc();
+      negative_hit = true;
+      response = dns::make_response(query, dns::RCode::NXDomain);
     } else {
-      out.response = dns::make_response(query, dns::RCode::NoError);
-      out.response.answers = std::move(hit->records);
+      response = dns::make_response(query, dns::RCode::NoError);
+      response.answers = std::move(hit->records);
     }
-    if (trace_ != nullptr) {
-      trace_->emit(now, obs::TraceKind::QueryResponse, query_seq_,
-                   static_cast<std::int64_t>(out.response.header.rcode),
-                   "cache");
+  } else {
+    m_.upstream_resolutions.inc();
+    response = upstream_walk(query, done);
+    response.header.id = query.header.id;
+    if (is_referral(response)) {
+      response = handle_referral(query, response, done);
     }
-    if (observer_) observer_(query, out.response, true, now);
-    return out;
   }
 
-  m_.upstream_resolutions.inc();
-  util::SimTime done = now;
-  dns::Message response = net_.network != nullptr
-                              ? resolve_via_network(query, done)
-                              : hierarchy_.resolve_iterative(query);
-  response.header.id = query.header.id;
+  // Resolver-side alias chasing — applies to cached chains too, since a
+  // cached entry may end in a CNAME whose target was never resolved (or
+  // has expired).
+  if (!negative_hit) chase_cname_tail(query, response, done);
 
   if (response.header.rcode == dns::RCode::NXDomain) {
     m_.nxdomain_responses.inc();
-    // RFC 2308: negative-cache using the SOA from the authority section.
-    for (const auto& rr : response.authorities) {
-      if (rr.type() == dns::RRType::SOA) {
-        cache_.put_negative(q.name, std::get<dns::SoaData>(rr.rdata), now);
-        break;
-      }
+    // RFC 2308: negative-cache from the SOA proof.  Only for an upstream
+    // answer about the query name itself — when a *chased* chain ended in
+    // NXDomain the qname exists (as an alias) and must not be negative
+    // cached; the dead target already was, inside internal_resolve.
+    if (!from_cache && response.answers.empty()) {
+      cache_nxdomain(q.name, response, now);
     }
   } else if (response.header.rcode == dns::RCode::NoError &&
              !response.answers.empty()) {
-    cache_.put_positive(q.name, q.qtype, response.answers, now);
+    if (!from_cache) cache_.put_positive(q.name, q.qtype, response.answers, now);
   } else if (response.header.rcode == dns::RCode::ServFail) {
     // Failure is transient: never cached, so the next client query retries
     // upstream instead of pinning the outage.
@@ -221,12 +425,17 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
 
   if (trace_ != nullptr) {
     trace_->emit(done, obs::TraceKind::QueryResponse, query_seq_,
-                 static_cast<std::int64_t>(response.header.rcode), "upstream");
+                 static_cast<std::int64_t>(response.header.rcode),
+                 from_cache ? "cache" : "upstream");
   }
-  if (observer_) observer_(query, response, false, now);
+  if (observer_) observer_(query, response, from_cache, now);
   ResolveOutcome out{std::move(response)};
+  out.from_cache = from_cache;
+  out.negative_cache_hit = negative_hit;
   out.elapsed = done - now;
-  m_.upstream_seconds.observe(static_cast<std::uint64_t>(out.elapsed));
+  if (!from_cache) {
+    m_.upstream_seconds.observe(static_cast<std::uint64_t>(out.elapsed));
+  }
   return out;
 }
 

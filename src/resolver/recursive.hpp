@@ -35,6 +35,29 @@ struct ResolveOutcome {
   util::SimTime elapsed = 0;
 };
 
+/// Toggles for the adversarial-workload defenses (see DESIGN.md §4g and
+/// src/attack).  All default to the *undefended* posture so the baseline
+/// resolver keeps its historical behavior; the bench flips them one at a
+/// time to measure each defense's contribution.
+struct ResolverDefenses {
+  /// Consume NSEC range proofs from NXDomain responses and synthesize
+  /// NXDomain for any later name in a proven-empty span (RFC 8198).
+  bool aggressive_negative = false;
+  /// Max NS targets fetched per received referral (0 = fetch all, the
+  /// NXNSAttack-vulnerable posture; BIND's post-CVE-2020-8616 limit is 5).
+  int max_fetch_per_delegation = 0;
+  /// Max delegation fetches charged to one registered domain per
+  /// `budget_window` simulated seconds (0 = unlimited).
+  int zone_fetch_budget = 0;
+  util::SimTime budget_window = 60;
+  /// Send minimized qnames to root/TLD tiers (RFC 7816 style).
+  bool qname_minimization = false;
+  /// Ceiling on resolver-side CNAME chain chasing before SERVFAIL.  The
+  /// default is a deliberately generous undefended posture; the defended
+  /// configuration drops it to single digits.
+  int max_cname_chase = 64;
+};
+
 struct RecursiveStats {
   std::uint64_t client_queries = 0;
   std::uint64_t cache_hits = 0;
@@ -45,6 +68,17 @@ struct RecursiveStats {
   std::uint64_t retries = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t servfail_responses = 0;
+  // Adversarial-workload counters (attack suite).  upstream_sends counts
+  // every packet the resolver puts on the wire — the denominator of the
+  // amplification factor; delegation_* and cname_* expose the NXNS and
+  // CNAME-bomb hot paths; minimized_queries counts RFC 7816-style
+  // minimized sub-queries sent upstream.
+  std::uint64_t upstream_sends = 0;
+  std::uint64_t delegation_fetches = 0;
+  std::uint64_t delegation_capped = 0;
+  std::uint64_t cname_chases = 0;
+  std::uint64_t cname_capped = 0;
+  std::uint64_t minimized_queries = 0;
 
   /// Exact fold for per-worker resolver fleets: every field is a plain sum,
   /// so stats from N resolvers combine to what one resolver serving the
@@ -57,6 +91,12 @@ struct RecursiveStats {
     retries += other.retries;
     timeouts += other.timeouts;
     servfail_responses += other.servfail_responses;
+    upstream_sends += other.upstream_sends;
+    delegation_fetches += other.delegation_fetches;
+    delegation_capped += other.delegation_capped;
+    cname_chases += other.cname_chases;
+    cname_capped += other.cname_capped;
+    minimized_queries += other.minimized_queries;
     return *this;
   }
 
@@ -89,6 +129,14 @@ class RecursiveResolver {
                    RetryPolicy policy = {}, std::uint64_t jitter_seed = 1);
 
   const RetryPolicy& retry_policy() const noexcept { return net_.policy; }
+
+  /// Install (or reset) the adversarial-workload defense posture.  Takes
+  /// effect on the next query; flipping a defense never invalidates cached
+  /// data.
+  void set_defenses(ResolverDefenses defenses) noexcept {
+    defenses_ = defenses;
+  }
+  const ResolverDefenses& defenses() const noexcept { return defenses_; }
 
   ResolveOutcome resolve(const dns::Message& query, util::SimTime now);
 
@@ -125,6 +173,39 @@ class RecursiveResolver {
                                              const dns::Message& query,
                                              util::SimTime& now);
 
+  /// One upstream walk (network or direct), qname-minimized when the
+  /// defense is on.  Does not touch the cache or client-facing stats.
+  dns::Message upstream_walk(const dns::Message& query, util::SimTime& now);
+
+  /// Cache-through resolution used for the resolver's *own* follow-up
+  /// queries (delegation NS fetches, CNAME chase hops).  Checks the cache,
+  /// walks upstream on a miss, and stores the outcome — but never counts
+  /// client_queries, never fires the observer, and never chases referrals
+  /// or aliases itself (the caller owns that loop).
+  dns::Message internal_resolve(const dns::DomainName& name, dns::RRType type,
+                                util::SimTime& now);
+
+  /// Process a referral that reached the client path: fetch the glueless NS
+  /// targets subject to the per-referral cap and per-zone budget.  Returns
+  /// the response handed to the client (SERVFAIL — the child zone's servers
+  /// are unreachable in this simulation, which is exactly the NXNS setup).
+  dns::Message handle_referral(const dns::Message& query,
+                               const dns::Message& referral,
+                               util::SimTime& now);
+
+  /// Chase a dangling CNAME tail in `response` (alias whose target is not
+  /// answered in the same message), bounded by the chase cap.  Mutates the
+  /// response in place: appends chased records, and rewrites the rcode when
+  /// the chain ends in NXDomain or is cut off.
+  void chase_cname_tail(const dns::Message& query, dns::Message& response,
+                        util::SimTime& now);
+
+  /// Store negative knowledge from an NXDomain response: the exact-name
+  /// entry (RFC 2308) plus — when aggressive synthesis is on and the
+  /// response carries an in-bailiwick NSEC — the proven-empty range.
+  void cache_nxdomain(const dns::DomainName& qname,
+                      const dns::Message& response, util::SimTime now);
+
   /// Registry handles behind the RecursiveStats fields, one per field.
   struct Metrics {
     obs::Counter client_queries;
@@ -134,6 +215,12 @@ class RecursiveResolver {
     obs::Counter retries;
     obs::Counter timeouts;
     obs::Counter servfail_responses;
+    obs::Counter upstream_sends;
+    obs::Counter delegation_fetches;
+    obs::Counter delegation_capped;
+    obs::Counter cname_chases;
+    obs::Counter cname_capped;
+    obs::Counter minimized_queries;
     obs::LatencyHistogram upstream_seconds;
   };
 
@@ -146,6 +233,14 @@ class RecursiveResolver {
   mutable RecursiveStats stats_;
   ResponseObserver observer_;
   NetworkPath net_;
+  ResolverDefenses defenses_;
+  /// Per-registered-domain delegation-fetch budget windows.
+  struct ZoneBudget {
+    util::SimTime window_start = 0;
+    int spent = 0;
+  };
+  std::unordered_map<dns::DomainName, ZoneBudget, dns::DomainNameHash>
+      zone_budgets_;
   std::uint16_t next_id_ = 1;
 
   /// Private fallback registry used until bind_metrics() re-homes the

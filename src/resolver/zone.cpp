@@ -1,6 +1,7 @@
 #include "resolver/zone.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace nxd::resolver {
 
@@ -84,6 +85,46 @@ LookupResult Zone::lookup(const dns::DomainName& name, dns::RRType type) const {
   }
   out.kind = LookupKind::NoData;
   return out;
+}
+
+std::optional<NsecCover> Zone::nsec_cover(const dns::DomainName& qname) const {
+  if (!qname.is_subdomain_of(origin_)) return std::nullopt;
+  // Only sound for names the zone is authoritative over: if lookup would
+  // refer the query away (below a cut) there is no proof to give.
+  if (lookup(qname, dns::RRType::A).kind != LookupKind::NxDomain) {
+    return std::nullopt;
+  }
+
+  // The chain spans every *existing* name: apex, stored owners, and the
+  // empty non-terminals implied by deeper owners.  Sorted canonically so a
+  // single adjacent pair brackets the absent qname.
+  struct CanonicalLess {
+    bool operator()(const dns::DomainName& a, const dns::DomainName& b) const {
+      return dns::canonical_less(a, b);
+    }
+  };
+  std::set<dns::DomainName, CanonicalLess> chain;
+  chain.insert(origin_);
+  for (const auto& [name, records] : nodes_) {
+    for (auto walk = name; walk != origin_ && walk.is_subdomain_of(origin_);
+         walk = walk.parent()) {
+      chain.insert(walk);
+    }
+  }
+
+  const auto upper = chain.upper_bound(qname);
+  // qname is under the origin and absent, so the apex — canonically minimal
+  // in its own subtree — is always strictly below it: upper != begin().
+  const auto& next = upper == chain.end() ? origin_ : *upper;
+  const auto& owner = *std::prev(upper);
+  const auto owner_records = nodes_.find(owner);
+  const bool is_delegation =
+      owner != origin_ && owner_records != nodes_.end() &&
+      std::any_of(owner_records->second.begin(), owner_records->second.end(),
+                  [](const dns::ResourceRecord& rr) {
+                    return rr.type() == dns::RRType::NS;
+                  });
+  return NsecCover{owner, next, is_delegation};
 }
 
 std::size_t Zone::record_count() const noexcept {

@@ -33,6 +33,18 @@ struct LookupResult {
   std::vector<dns::ResourceRecord> records;  // answers, alias, or NS set
 };
 
+/// An NSEC-style range proof: the canonically adjacent pair of existing
+/// names around a non-existent qname.  `owner < qname < next` in RFC 4034
+/// §6.1 order, except at the end of the chain where `next` wraps to the
+/// zone apex.  `owner_is_delegation` carries the NS bit of the owner's type
+/// bitmap so consumers can honor the RFC 8198 §5.4 caveat (names below a
+/// zone cut are not provably absent from the parent's chain).
+struct NsecCover {
+  dns::DomainName owner;
+  dns::DomainName next;
+  bool owner_is_delegation = false;
+};
+
 class Zone {
  public:
   Zone(dns::DomainName origin, dns::SoaData soa);
@@ -50,6 +62,14 @@ class Zone {
   void remove_name(const dns::DomainName& name);
 
   LookupResult lookup(const dns::DomainName& name, dns::RRType type) const;
+
+  /// Range proof for a name that does NOT exist in the zone: the adjacent
+  /// (owner, next) pair in canonical order over every existing name — the
+  /// apex, every stored owner name, and every empty non-terminal (ENTs
+  /// exist per RFC 8020, so a sound chain must include them).  Returns
+  /// nullopt when `name` exists, lies outside the zone, or falls under a
+  /// delegation cut (the parent chain proves nothing there).
+  std::optional<NsecCover> nsec_cover(const dns::DomainName& name) const;
 
   std::size_t record_count() const noexcept;
 

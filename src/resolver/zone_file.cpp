@@ -318,6 +318,10 @@ std::string to_zone_file(const Zone& zone) {
         out += "TXT \"" + d.text + "\"";
       }
       void operator()(const dns::SoaData&) const { out += "; inline SOA"; }
+      void operator()(const dns::NsecData& d) const {
+        out += "NSEC " + abs(d.next);
+        if (d.owner_is_delegation) out += " NS";
+      }
       void operator()(const dns::AaaaData& d) const {
         out += "AAAA ";
         char buf[6];

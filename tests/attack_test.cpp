@@ -1,0 +1,597 @@
+// Adversarial NXDomain workload suite (src/attack) and the resolver
+// defenses it exercises: canonical ordering + NSEC range proofs, aggressive
+// negative caching (RFC 8198), delegation-fetch budgets (NXNS), CNAME chase
+// caps, qname minimization, and the bounded negative cache.
+//
+// The property suite at the bottom is the soundness core: for every attack
+// shape x defense plan x seed, the resolver must never return a spurious
+// NXDomain for a name that genuinely exists.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attack/cname_bomb.hpp"
+#include "attack/harness.hpp"
+#include "attack/nxns.hpp"
+#include "attack/water_torture.hpp"
+#include "dns/message.hpp"
+#include "dns/name.hpp"
+#include "dns/record.hpp"
+#include "net/sim_network.hpp"
+#include "resolver/cache.hpp"
+#include "resolver/hierarchy.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/zone.hpp"
+#include "util/rng.hpp"
+
+namespace nxd::attack {
+namespace {
+
+using dns::DomainName;
+using dns::IPv4;
+using dns::RCode;
+using dns::RRType;
+using resolver::DnsHierarchy;
+using resolver::RecursiveResolver;
+using resolver::ResolverCache;
+using resolver::ResolverDefenses;
+
+dns::SoaData test_soa(std::uint32_t minimum = 300) {
+  dns::SoaData soa;
+  soa.mname = DomainName::must("ns1.example.com");
+  soa.rname = DomainName::must("admin.example.com");
+  soa.minimum = minimum;
+  return soa;
+}
+
+// ------------------------------------------------- RFC 4034 canonical order
+
+TEST(CanonicalOrder, RightmostLabelIsMostSignificant) {
+  // RFC 4034 §6.1: sort by label from the right.  z.example < a.z.example
+  // because the shorter name is a proper prefix of the longer.
+  const auto apex = DomainName::must("example.com");
+  const auto a = DomainName::must("a.example.com");
+  const auto z = DomainName::must("z.example.com");
+  const auto az = DomainName::must("a.z.example.com");
+  EXPECT_LT(dns::canonical_compare(apex, a), 0);
+  EXPECT_LT(dns::canonical_compare(a, z), 0);
+  EXPECT_LT(dns::canonical_compare(z, az), 0);
+  EXPECT_GT(dns::canonical_compare(az, a), 0);
+  EXPECT_EQ(dns::canonical_compare(a, a), 0);
+  EXPECT_TRUE(dns::canonical_less(apex, az));
+  // Cross-TLD: rightmost label decides before anything else.
+  EXPECT_LT(dns::canonical_compare(DomainName::must("zzz.aaa"),
+                                   DomainName::must("aaa.zzz")),
+            0);
+}
+
+// --------------------------------------------------------- NSEC wire codec
+
+TEST(NsecCodec, RoundTripsThroughWireFormat) {
+  auto query = dns::make_query(7, DomainName::must("miss.example.com"), RRType::A);
+  auto response = dns::make_response(query, RCode::NXDomain);
+  response.authorities.push_back(
+      dns::make_soa(DomainName::must("example.com"), test_soa()));
+  response.authorities.push_back(
+      dns::make_nsec(DomainName::must("mail.example.com"),
+                     DomainName::must("www.example.com"),
+                     /*owner_is_delegation=*/false, 300));
+  response.authorities.push_back(
+      dns::make_nsec(DomainName::must("child.example.com"),
+                     DomainName::must("example.com"),
+                     /*owner_is_delegation=*/true, 300));
+
+  const auto wire = dns::encode(response);
+  const auto decoded = dns::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->authorities.size(), 3u);
+  const auto& plain = std::get<dns::NsecData>(decoded->authorities[1].rdata);
+  EXPECT_EQ(plain.next, DomainName::must("www.example.com"));
+  EXPECT_FALSE(plain.owner_is_delegation);
+  const auto& cut = std::get<dns::NsecData>(decoded->authorities[2].rdata);
+  EXPECT_EQ(cut.next, DomainName::must("example.com"));
+  EXPECT_TRUE(cut.owner_is_delegation);
+}
+
+// ------------------------------------------------------- Zone range proofs
+
+using resolver::Zone;
+
+Zone make_proof_zone() {
+  resolver::Zone zone(DomainName::must("example.com"), test_soa());
+  zone.add(dns::make_a(DomainName::must("example.com"), *IPv4::parse("192.0.2.1")));
+  zone.add(dns::make_a(DomainName::must("deep.tree.example.com"),
+                       *IPv4::parse("192.0.2.2")));
+  zone.add(dns::make_ns(DomainName::must("child.example.com"),
+                        DomainName::must("ns1.elsewhere.net")));
+  zone.add(dns::make_a(DomainName::must("zed.example.com"),
+                       *IPv4::parse("192.0.2.3")));
+  return zone;
+}
+
+TEST(ZoneNsecCover, ExistingNameHasNoCover) {
+  const Zone zone = make_proof_zone();
+  EXPECT_FALSE(zone.nsec_cover(DomainName::must("zed.example.com")).has_value());
+  // Empty non-terminal: exists for NSEC purposes, not NXDomain.
+  EXPECT_FALSE(zone.nsec_cover(DomainName::must("tree.example.com")).has_value());
+}
+
+TEST(ZoneNsecCover, EmptyNonTerminalAppearsInChain) {
+  const Zone zone = make_proof_zone();
+  // Canonical chain: example.com < child < deep.tree? No: child < tree
+  // branch < zed.  "aaa" falls between the apex and child.
+  const auto cover = zone.nsec_cover(DomainName::must("aaa.example.com"));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->owner, DomainName::must("example.com"));
+  EXPECT_EQ(cover->next, DomainName::must("child.example.com"));
+  EXPECT_FALSE(cover->owner_is_delegation);
+  // Between the ENT "tree" and its child "deep.tree": the ENT is the owner.
+  const auto ent = zone.nsec_cover(DomainName::must("aaa.tree.example.com"));
+  ASSERT_TRUE(ent.has_value());
+  EXPECT_EQ(ent->owner, DomainName::must("tree.example.com"));
+  EXPECT_EQ(ent->next, DomainName::must("deep.tree.example.com"));
+}
+
+TEST(ZoneNsecCover, WrapsToApexPastTheLastName) {
+  const Zone zone = make_proof_zone();
+  const auto cover = zone.nsec_cover(DomainName::must("zzz.example.com"));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->owner, DomainName::must("zed.example.com"));
+  EXPECT_EQ(cover->next, DomainName::must("example.com"));
+}
+
+TEST(ZoneNsecCover, DelegationOwnerIsFlagged) {
+  const Zone zone = make_proof_zone();
+  // "cz" sorts after the "child" cut and before "tree": the proof's lower
+  // bound is a zone cut, which RFC 8198 §5.4 forbids synthesizing below.
+  const auto cover = zone.nsec_cover(DomainName::must("cz.example.com"));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->owner, DomainName::must("child.example.com"));
+  EXPECT_TRUE(cover->owner_is_delegation);
+}
+
+TEST(RangeProofs, AttachedToNxDomainOnlyWhenEnabled) {
+  DnsHierarchy hierarchy;
+  hierarchy.register_domain(DomainName::must("example.com"),
+                            *IPv4::parse("192.0.2.1"));
+  const auto query =
+      dns::make_query(1, DomainName::must("miss.example.com"), RRType::A);
+  auto off = hierarchy.answer_at(resolver::ServerTier::Authoritative, query);
+  EXPECT_EQ(off.header.rcode, RCode::NXDomain);
+  for (const auto& rr : off.authorities) EXPECT_NE(rr.type(), RRType::NSEC);
+
+  hierarchy.enable_range_proofs(true);
+  auto on = hierarchy.answer_at(resolver::ServerTier::Authoritative, query);
+  EXPECT_EQ(on.header.rcode, RCode::NXDomain);
+  bool saw_nsec = false;
+  for (const auto& rr : on.authorities) saw_nsec |= rr.type() == RRType::NSEC;
+  EXPECT_TRUE(saw_nsec);
+}
+
+// --------------------------------------------- aggressive negative caching
+
+TEST(AggressiveCache, SynthesizesInsideProvenSpan) {
+  ResolverCache cache;
+  const auto zone = DomainName::must("example.com");
+  cache.put_negative_range(zone, DomainName::must("example.com"),
+                           DomainName::must("mail.example.com"),
+                           /*lower_is_cut=*/false, test_soa(), 0);
+  EXPECT_EQ(cache.stats().range_insertions, 1u);
+
+  auto hit = cache.get(DomainName::must("aaa.example.com"), RRType::A, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative);
+  EXPECT_TRUE(hit->synthesized);
+  EXPECT_EQ(cache.stats().aggressive_hits, 1u);
+
+  // Outside the span: a miss, not a synthesized denial.
+  EXPECT_FALSE(cache.get(DomainName::must("zzz.example.com"), RRType::A, 0)
+                   .has_value());
+  // Another zone entirely: never covered.
+  EXPECT_FALSE(
+      cache.get(DomainName::must("aaa.example.org"), RRType::A, 0).has_value());
+}
+
+TEST(AggressiveCache, WrapSpanCoversEverythingAfterLower) {
+  ResolverCache cache;
+  const auto zone = DomainName::must("example.com");
+  cache.put_negative_range(zone, DomainName::must("zed.example.com"), zone,
+                           /*lower_is_cut=*/false, test_soa(), 0);
+  auto hit = cache.get(DomainName::must("zzz.example.com"), RRType::A, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->synthesized);
+}
+
+TEST(AggressiveCache, NeverSynthesizesBelowZoneCut) {
+  ResolverCache cache;
+  const auto zone = DomainName::must("example.com");
+  cache.put_negative_range(zone, DomainName::must("child.example.com"),
+                           DomainName::must("www.example.com"),
+                           /*lower_is_cut=*/true, test_soa(), 0);
+  // Sibling inside the span: covered.
+  EXPECT_TRUE(
+      cache.get(DomainName::must("cz.example.com"), RRType::A, 0).has_value());
+  // Below the cut: the proof says nothing about the child zone.
+  EXPECT_FALSE(cache.get(DomainName::must("x.child.example.com"), RRType::A, 0)
+                   .has_value());
+}
+
+TEST(AggressiveCache, RangesExpireWithSoaMinimum) {
+  ResolverCache cache;
+  const auto zone = DomainName::must("example.com");
+  cache.put_negative_range(zone, zone, DomainName::must("mail.example.com"),
+                           false, test_soa(60), 100);
+  EXPECT_TRUE(
+      cache.get(DomainName::must("aaa.example.com"), RRType::A, 150).has_value());
+  EXPECT_FALSE(
+      cache.get(DomainName::must("aaa.example.com"), RRType::A, 161).has_value());
+}
+
+TEST(AggressiveCache, RangeStoreIsBounded) {
+  resolver::CacheConfig config;
+  config.max_range_entries = 8;
+  ResolverCache cache(config);
+  const auto zone = DomainName::must("example.com");
+  for (int i = 0; i < 40; ++i) {
+    cache.put_negative_range(
+        zone, DomainName::must("l" + std::to_string(i) + ".example.com"),
+        DomainName::must("m" + std::to_string(i) + ".example.com"), false,
+        test_soa(), 0);
+  }
+  EXPECT_LE(cache.range_size(), 8u);
+}
+
+// --------------------------------- negative cache size bound (regression)
+
+TEST(NegativeCacheCap, WaterTortureFloodStaysBounded) {
+  resolver::CacheConfig config;
+  config.max_negative_entries = 64;
+  ResolverCache cache(config);
+  const auto soa = test_soa();
+  for (int i = 0; i < 200; ++i) {
+    cache.put_negative(
+        DomainName::must("r" + std::to_string(i) + ".victim.com"), soa, 0);
+  }
+  EXPECT_LE(cache.negative_size(), 64u);
+  EXPECT_EQ(cache.stats().negative_evictions, 200u - 64u);
+  // Oldest entries went first; the newest survive.
+  EXPECT_FALSE(cache.get(DomainName::must("r0.victim.com"), RRType::A, 0)
+                   .has_value());
+  auto newest = cache.get(DomainName::must("r199.victim.com"), RRType::A, 0);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_TRUE(newest->negative);
+  // Re-inserting an existing name refreshes, never evicts.
+  const auto before = cache.stats().negative_evictions;
+  cache.put_negative(DomainName::must("r199.victim.com"), soa, 0);
+  EXPECT_EQ(cache.stats().negative_evictions, before);
+}
+
+// ------------------------------------------------- generator determinism
+
+TEST(Generators, SameSeedSameQueryStream) {
+  const NxnsAttack n1{NxnsConfig{}}, n2{NxnsConfig{}};
+  const WaterTortureAttack w1{WaterTortureConfig{}}, w2{WaterTortureConfig{}};
+  const CnameBombAttack c1{CnameBombConfig{}}, c2{CnameBombConfig{}};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(n1.qname(i), n2.qname(i));
+    EXPECT_EQ(w1.qname(i), w2.qname(i));
+    EXPECT_EQ(c1.qname(i), c2.qname(i));
+  }
+}
+
+TEST(Generators, DifferentSeedsDiverge) {
+  WaterTortureConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const WaterTortureAttack wa(a), wb(b);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) differing += wa.qname(i) != wb.qname(i);
+  EXPECT_GT(differing, 40);
+}
+
+TEST(Generators, TortureLabelsHaveAttackShape) {
+  WaterTortureConfig config;
+  config.label_length = 10;
+  const WaterTortureAttack attack(config);
+  std::set<std::string> distinct;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto label = attack.label(i);
+    EXPECT_EQ(label.size(), 10u);
+    for (char ch : label) {
+      EXPECT_GE(ch, 'a');
+      EXPECT_LE(ch, 'z');
+    }
+    distinct.insert(label);
+    EXPECT_TRUE(attack.qname(i).is_subdomain_of(config.victim_domain));
+  }
+  EXPECT_GT(distinct.size(), 95u);  // collisions are ~impossible at 26^10
+}
+
+TEST(Generators, DgaShapedLabelsAreDeterministicAndDistinct) {
+  WaterTortureConfig config;
+  config.dga_shaped = true;
+  const WaterTortureAttack a(config), b(config);
+  const WaterTortureAttack uniform{WaterTortureConfig{}};
+  int same_as_uniform = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_FALSE(a.label(i).empty());
+    same_as_uniform += a.label(i) == uniform.label(i);
+  }
+  EXPECT_LT(same_as_uniform, 5);
+}
+
+// ----------------------------------------------------- defense efficacy
+
+TEST(DefenseEfficacy, DelegationBudgetsDefuseNxns) {
+  AttackHarness harness(HarnessConfig{.seed = 3, .attack_queries = 400});
+  const NxnsAttack attack{NxnsConfig{}};
+  const auto undefended = harness.run(attack, DefensePlan::undefended());
+  const auto defended = harness.run(attack, DefensePlan::all_defenses());
+
+  EXPECT_EQ(undefended.resolver_stats.delegation_capped, 0u);
+  EXPECT_GT(defended.resolver_stats.delegation_capped, 0u);
+  EXPECT_GE(undefended.amplification(), 10.0 * defended.amplification());
+  EXPECT_GE(defended.goodput(), 5.0 * undefended.goodput());
+  // The attack never denies legit names under either posture.
+  EXPECT_EQ(undefended.legit_spurious_nxdomain, 0u);
+  EXPECT_EQ(defended.legit_spurious_nxdomain, 0u);
+}
+
+TEST(DefenseEfficacy, AggressiveNegativeCachingAbsorbsWaterTorture) {
+  AttackHarness harness(HarnessConfig{.seed = 5, .attack_queries = 240});
+  const WaterTortureAttack attack{WaterTortureConfig{}};
+  const auto undefended = harness.run(attack, DefensePlan::undefended());
+  const auto defended = harness.run(attack, DefensePlan::all_defenses());
+
+  // A handful of range proofs cover the whole random-label keyspace.
+  EXPECT_GT(defended.cache_stats.aggressive_hits, 200u);
+  EXPECT_EQ(undefended.cache_stats.aggressive_hits, 0u);
+  EXPECT_LT(defended.upstream_sends * 5, undefended.upstream_sends);
+  EXPECT_GE(defended.goodput(), 5.0 * undefended.goodput());
+  EXPECT_EQ(defended.legit_spurious_nxdomain, 0u);
+}
+
+TEST(DefenseEfficacy, ChaseCapDefusesCnameBombs) {
+  AttackHarness harness(HarnessConfig{.seed = 7, .attack_queries = 60});
+  CnameBombConfig config;
+  config.chains = 2;
+  const CnameBombAttack attack(config);
+  const auto undefended = harness.run(attack, DefensePlan::undefended());
+  const auto defended = harness.run(attack, DefensePlan::all_defenses());
+
+  EXPECT_EQ(undefended.resolver_stats.cname_capped, 0u);
+  EXPECT_GT(defended.resolver_stats.cname_capped, 0u);
+  EXPECT_GT(undefended.resolver_stats.cname_chases,
+            defended.resolver_stats.cname_chases);
+  EXPECT_GE(defended.goodput(), 5.0 * undefended.goodput());
+  EXPECT_EQ(defended.legit_spurious_nxdomain, 0u);
+}
+
+TEST(DefenseEfficacy, QnameMinimizationPreservesAnswers) {
+  DnsHierarchy hierarchy;
+  hierarchy.register_domain(DomainName::must("example.com"),
+                            *IPv4::parse("192.0.2.1"));
+  net::SimNetwork network;
+  hierarchy.attach(network);
+  RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network);
+  ResolverDefenses defenses;
+  defenses.qname_minimization = true;
+  resolver.set_defenses(defenses);
+
+  util::SimTime now = 0;
+  EXPECT_EQ(resolver.resolve_rcode(DomainName::must("www.example.com"), now),
+            RCode::NoError);
+  EXPECT_EQ(resolver.resolve_rcode(DomainName::must("miss.example.com"), now),
+            RCode::NXDomain);
+  EXPECT_EQ(resolver.resolve_rcode(DomainName::must("www.example.org"), now),
+            RCode::NXDomain);  // unregistered TLD entry
+  EXPECT_GT(resolver.stats().minimized_queries, 0u);
+}
+
+// ------------------------------------------------ soundness property test
+
+// Every attack x every ablation plan x three seeds: interleaved legitimate
+// traffic is answered, and never answered NXDomain.  This is the invariant
+// that separates a defense from an outage.
+TEST(DefenseSoundness, NoSpuriousNxdomainForExistingNames) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    HarnessConfig config;
+    config.seed = seed;
+    config.attack_queries = 36;
+    config.legit_every = 3;
+    config.legit_domains = 6;
+    AttackHarness harness(config);
+
+    NxnsConfig nxns;
+    nxns.seed = seed;
+    nxns.fanout = 4;
+    nxns.subzones = 64;
+    WaterTortureConfig torture;
+    torture.seed = seed;
+    WaterTortureConfig torture_dga;
+    torture_dga.seed = seed;
+    torture_dga.dga_shaped = true;
+    CnameBombConfig cname;
+    cname.seed = seed;
+    cname.chains = 2;
+    cname.chain_length = 8;
+
+    const NxnsAttack nxns_attack(nxns);
+    const WaterTortureAttack torture_attack(torture);
+    const WaterTortureAttack torture_dga_attack(torture_dga);
+    const CnameBombAttack cname_attack(cname);
+    const AttackGenerator* attacks[] = {&nxns_attack, &torture_attack,
+                                        &torture_dga_attack, &cname_attack};
+
+    for (const auto* attack : attacks) {
+      for (const auto& plan : DefensePlan::ablation()) {
+        const auto report = harness.run(*attack, plan);
+        EXPECT_EQ(report.legit_spurious_nxdomain, 0u)
+            << report.attack << "/" << plan.name << " seed=" << seed;
+        EXPECT_EQ(report.legit_answered, report.legit_queries)
+            << report.attack << "/" << plan.name << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------- hostile-response hardening
+
+// A hostile authoritative server returns NXDomain with an out-of-bailiwick
+// NSEC claiming a span inside someone else's zone.  The resolver must
+// refuse the proof: the victim name keeps resolving and no range is cached.
+TEST(HostileResponses, OutOfBailiwickNsecIsRejected) {
+  DnsHierarchy hierarchy;
+  hierarchy.register_domain(DomainName::must("legit.org"),
+                            *IPv4::parse("192.0.2.10"));
+  hierarchy.register_domain(DomainName::must("attacker.com"),
+                            *IPv4::parse("203.0.113.1"));
+  net::SimNetwork network;
+  const resolver::HierarchyEndpoints endpoints;
+  hierarchy.attach(network, endpoints);
+
+  // Hostile service shadowing the authoritative tier.
+  network.attach(endpoints.auth, net::Protocol::UDP,
+                 [&](const net::SimPacket& packet)
+                     -> std::optional<std::vector<std::uint8_t>> {
+                   const auto query = dns::decode(packet.payload);
+                   if (!query) return std::nullopt;
+                   auto response = dns::make_response(*query, RCode::NXDomain);
+                   dns::SoaData soa = test_soa();
+                   response.authorities.push_back(
+                       dns::make_soa(DomainName::must("attacker.com"), soa));
+                   // The poison: a proof spanning (legit.org, zzz.legit.org).
+                   response.authorities.push_back(dns::make_nsec(
+                       DomainName::must("legit.org"),
+                       DomainName::must("zzz.legit.org"), false, 3600));
+                   return dns::encode(response);
+                 });
+
+  RecursiveResolver resolver(hierarchy);
+  resolver.use_network(network, endpoints);
+  ResolverDefenses defenses;
+  defenses.aggressive_negative = true;
+  resolver.set_defenses(defenses);
+
+  util::SimTime now = 0;
+  EXPECT_EQ(resolver.resolve_rcode(DomainName::must("x.attacker.com"), now),
+            RCode::NXDomain);
+  EXPECT_EQ(resolver.cache().range_size(), 0u);
+
+  // Restore the honest tier; the claimed-dead name must still resolve.
+  hierarchy.attach(network, endpoints);
+  EXPECT_EQ(resolver.resolve_rcode(DomainName::must("www.legit.org"), now),
+            RCode::NoError);
+  EXPECT_EQ(resolver.cache().stats().aggressive_hits, 0u);
+}
+
+// Seeded mutation fuzz over the delegation-budget and negative-synthesis
+// paths: the authoritative tier's replies (referrals with NS fan-out,
+// NXDomains with NSEC proofs) are truncated, bit-flipped, or dropped.  The
+// resolver must neither crash nor let a mangled proof poison legit names.
+TEST(HostileResponses, MutatedReferralsAndProofsAreSurvivable) {
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    DnsHierarchy hierarchy;
+    hierarchy.enable_range_proofs(true);
+    NxnsConfig nxns_config;
+    nxns_config.seed = seed;
+    nxns_config.fanout = 4;
+    nxns_config.subzones = 64;
+    const NxnsAttack nxns(nxns_config);
+    WaterTortureConfig torture_config;
+    torture_config.seed = seed;
+    const WaterTortureAttack torture(torture_config);
+    nxns.install(hierarchy);
+    torture.install(hierarchy);
+    hierarchy.register_domain(DomainName::must("legit.org"),
+                              *IPv4::parse("192.0.2.10"));
+
+    net::SimNetwork network;
+    const resolver::HierarchyEndpoints endpoints;
+    hierarchy.attach(network, endpoints);
+
+    util::Rng rng(seed);
+    network.attach(
+        endpoints.auth, net::Protocol::UDP,
+        [&](const net::SimPacket& packet)
+            -> std::optional<std::vector<std::uint8_t>> {
+          const auto query = dns::decode(packet.payload);
+          if (!query) return std::nullopt;
+          auto wire = dns::encode(hierarchy.answer_at(
+              resolver::ServerTier::Authoritative, *query));
+          const auto roll = rng.bounded(10);
+          if (roll < 2) return std::nullopt;  // swallowed
+          if (roll < 5 && !wire.empty()) {    // truncated mid-record
+            wire.resize(1 + rng.bounded(static_cast<std::uint64_t>(wire.size())));
+          } else if (roll < 8) {  // bit-flipped garbage
+            const int flips = 1 + static_cast<int>(rng.bounded(8));
+            for (int f = 0; f < flips; ++f) {
+              wire[rng.bounded(static_cast<std::uint64_t>(wire.size()))] ^=
+                  static_cast<std::uint8_t>(1u << rng.bounded(8));
+            }
+          }
+          return wire;
+        });
+
+    RecursiveResolver resolver(hierarchy);
+    resolver.use_network(network, endpoints, {}, seed);
+    auto plan = DefensePlan::all_defenses();
+    resolver.set_defenses(plan.defenses);
+
+    util::SimTime now = 0;
+    for (std::uint64_t i = 0; i < 120; ++i) {
+      const auto& attack = (i % 2 == 0)
+                               ? static_cast<const AttackGenerator&>(nxns)
+                               : static_cast<const AttackGenerator&>(torture);
+      const auto outcome = resolver.resolve(attack.query(i), now);
+      now += outcome.elapsed;
+      // Whatever the wire did, the answer is a DNS answer.
+      const auto rcode = outcome.response.header.rcode;
+      EXPECT_TRUE(rcode == RCode::NoError || rcode == RCode::NXDomain ||
+                  rcode == RCode::ServFail);
+    }
+
+    // Honest tier back: no mangled proof may have poisoned the legit name.
+    hierarchy.attach(network, endpoints);
+    EXPECT_EQ(resolver.resolve_rcode(DomainName::must("www.legit.org"), now),
+              RCode::NoError)
+        << "seed=" << seed;
+  }
+}
+
+// Raw decoder fuzz on an NSEC-bearing NXDomain message: mutated wire bytes
+// must never crash the decoder, and whatever decodes must re-encode.
+TEST(HostileResponses, NsecDecoderSurvivesMutatedWire) {
+  auto query = dns::make_query(9, DomainName::must("miss.example.com"), RRType::A);
+  auto response = dns::make_response(query, RCode::NXDomain);
+  response.authorities.push_back(
+      dns::make_soa(DomainName::must("example.com"), test_soa()));
+  response.authorities.push_back(
+      dns::make_nsec(DomainName::must("mail.example.com"),
+                     DomainName::must("www.example.com"), true, 300));
+  const auto pristine = dns::encode(response);
+
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    util::Rng rng(seed);
+    for (int iter = 0; iter < 1500; ++iter) {
+      auto wire = pristine;
+      if (rng.bounded(4) == 0) {
+        wire.resize(rng.bounded(static_cast<std::uint64_t>(wire.size())) + 1);
+      }
+      const int flips = 1 + static_cast<int>(rng.bounded(6));
+      for (int f = 0; f < flips; ++f) {
+        wire[rng.bounded(static_cast<std::uint64_t>(wire.size()))] ^=
+            static_cast<std::uint8_t>(1u << rng.bounded(8));
+      }
+      const auto decoded = dns::decode(wire);
+      if (decoded) dns::encode(*decoded);  // must not crash either
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nxd::attack
