@@ -46,6 +46,27 @@ DomainName DomainName::must(std::string_view text) {
   return *std::move(parsed);
 }
 
+bool DomainName::is_canonical_text(std::string_view text) noexcept {
+  if (text == ".") return true;  // the root's one canonical spelling
+  if (text.empty()) return false;       // parses to root, reserializes as "."
+  if (text.back() == '.') return false;  // to_string() never emits one
+  if (text.size() > kMaxNameLength) return false;
+  std::size_t label_len = 0;
+  for (const char c : text) {
+    if (c == '.') {
+      if (label_len == 0) return false;  // empty label
+      label_len = 0;
+      continue;
+    }
+    // Mirrors valid_label(), plus the lowercase requirement: parse() folds
+    // case, so any uppercase byte cannot round-trip.
+    if (c <= ' ' || c > '~') return false;
+    if (c >= 'A' && c <= 'Z') return false;
+    if (++label_len > kMaxLabelLength) return false;
+  }
+  return label_len > 0;
+}
+
 std::optional<DomainName> DomainName::from_labels(
     std::vector<std::string> labels) {
   std::size_t total = 0;

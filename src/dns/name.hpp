@@ -32,6 +32,15 @@ class DomainName {
   /// and table-driven code where the input is known-good.
   static DomainName must(std::string_view text);
 
+  /// True iff `text` is canonical presentation form — exactly the texts for
+  /// which `parse(text)` succeeds AND `parse(text)->to_string() == text`
+  /// (lowercase, no trailing dot except the bare root ".", no empty labels,
+  /// length limits respected).  Allocation-free; the zero-copy SIE frame
+  /// decoder (pdns/frame_view) validates names in place with this, so it
+  /// must stay in exact lockstep with parse()/to_string() — the seeded
+  /// differential fuzz suite in tests/ingest_fastpath_test pins that.
+  static bool is_canonical_text(std::string_view text) noexcept;
+
   /// Build from already-validated labels (lowercased by the constructor).
   static std::optional<DomainName> from_labels(std::vector<std::string> labels);
 

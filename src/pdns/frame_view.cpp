@@ -1,0 +1,102 @@
+#include "pdns/frame_view.hpp"
+
+#include "dns/name.hpp"
+
+namespace nxd::pdns {
+
+namespace {
+
+// Fixed bytes per record beyond the name: qtype u16 + rcode u8 + when u64 +
+// sensor class u8 + sensor index u16.
+constexpr std::size_t kRecordFixedBytes = 14;
+
+std::uint16_t read_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) << 8 |
+                                    p[1]);
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(read_u32(p)) << 32) | read_u32(p + 4);
+}
+
+bool known_rcode(std::uint8_t v) noexcept {
+  return v <= static_cast<std::uint8_t>(dns::RCode::Refused);
+}
+
+bool known_sensor_class(std::uint8_t v) noexcept {
+  return v <= static_cast<std::uint8_t>(SensorClass::Research);
+}
+
+/// Decode the record at `p` (already validated) without any checks.
+ObservationView decode_record(const std::uint8_t* p) noexcept {
+  const std::uint8_t name_len = p[0];
+  ObservationView v;
+  v.name = std::string_view{reinterpret_cast<const char*>(p + 1), name_len};
+  const std::uint8_t* q = p + 1 + name_len;
+  v.qtype = static_cast<dns::RRType>(read_u16(q));
+  v.rcode = static_cast<dns::RCode>(q[2]);
+  v.when = static_cast<util::SimTime>(read_u64(q + 3) - kSieTimeBias);
+  v.sensor.cls = static_cast<SensorClass>(q[11]);
+  v.sensor.index = read_u16(q + 12);
+  return v;
+}
+
+}  // namespace
+
+Observation ObservationView::materialize() const {
+  Observation obs;
+  obs.name = dns::DomainName::must(name);  // views only exist post-validation
+  obs.qtype = qtype;
+  obs.rcode = rcode;
+  obs.when = when;
+  obs.sensor = sensor;
+  return obs;
+}
+
+std::optional<FrameView> FrameView::parse(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < 10) return std::nullopt;  // magic + version + count
+  const std::uint8_t* p = frame.data();
+  if (read_u32(p) != kSieFrameMagic) return std::nullopt;
+  if (read_u16(p + 4) != kSieFrameVersion) return std::nullopt;
+  const std::uint32_t count = read_u32(p + 6);
+
+  const std::uint8_t* records = p + 10;
+  const std::uint8_t* cursor = records;
+  std::size_t remaining = frame.size() - 10;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (remaining < 1) return std::nullopt;
+    const std::uint8_t name_len = cursor[0];
+    const std::size_t record = 1 + static_cast<std::size_t>(name_len) +
+                               kRecordFixedBytes;
+    if (remaining < record) return std::nullopt;
+    const std::string_view name{reinterpret_cast<const char*>(cursor + 1),
+                                name_len};
+    if (!dns::DomainName::is_canonical_text(name)) return std::nullopt;
+    const std::uint8_t* q = cursor + 1 + name_len;
+    if (!known_rcode(q[2]) || !known_sensor_class(q[11])) return std::nullopt;
+    cursor += record;
+    remaining -= record;
+  }
+  if (remaining != 0) return std::nullopt;  // trailing bytes
+  return FrameView{records, count};
+}
+
+ObservationView FrameView::const_iterator::operator*() const noexcept {
+  return decode_record(p_);
+}
+
+FrameView::const_iterator& FrameView::const_iterator::operator++() noexcept {
+  p_ += 1 + static_cast<std::size_t>(p_[0]) + kRecordFixedBytes;
+  --remaining_;
+  return *this;
+}
+
+}  // namespace nxd::pdns

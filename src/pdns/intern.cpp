@@ -1,0 +1,67 @@
+#include "pdns/intern.hpp"
+
+namespace nxd::pdns {
+
+namespace {
+constexpr std::size_t kInitialCapacity = 64;  // power of two
+}  // namespace
+
+InternTable::Slot& InternTable::probe(std::uint64_t hash,
+                                      std::string_view name) noexcept {
+  std::size_t i = hash & mask_;
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (slot.id == kInvalidId) return slot;
+    if (slot.hash == hash &&
+        std::string_view(slot.data, slot.len) == name) {
+      return slot;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void InternTable::grow() {
+  const std::size_t capacity = slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  for (const Slot& slot : old) {
+    if (slot.id == kInvalidId) continue;
+    std::size_t i = slot.hash & mask_;
+    while (slots_[i].id != kInvalidId) i = (i + 1) & mask_;
+    slots_[i] = slot;
+  }
+}
+
+InternTable::Result InternTable::intern(std::string_view name) {
+  // Keep load factor under 1/2 so probe chains stay short.
+  if (slots_.empty() || (names_.size() + 1) * 2 > slots_.size()) grow();
+  const std::uint64_t hash = util::fnv1a(name);
+  Slot& slot = probe(hash, name);
+  if (slot.id != kInvalidId) return {slot.id, false};
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  const std::string_view stored = arena_.store(name);
+  names_.push_back(stored);
+  slot.hash = hash;
+  slot.data = stored.data();
+  slot.len = static_cast<std::uint32_t>(stored.size());
+  slot.id = id;
+  return {id, true};
+}
+
+std::uint32_t InternTable::find(std::string_view name) const {
+  if (slots_.empty()) return kInvalidId;
+  const std::uint64_t hash = util::fnv1a(name);
+  // const probe (same walk as probe(), without handing out a mutable slot)
+  std::size_t i = hash & mask_;
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (slot.id == kInvalidId) return kInvalidId;
+    if (slot.hash == hash && std::string_view(slot.data, slot.len) == name) {
+      return slot.id;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+}  // namespace nxd::pdns

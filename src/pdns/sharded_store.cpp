@@ -1,8 +1,10 @@
 #include "pdns/sharded_store.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace nxd::pdns {
 
@@ -13,11 +15,17 @@ ShardedStore::ShardedStore(std::size_t shard_count, StoreConfig config)
   for (std::size_t i = 0; i < shard_count; ++i) shards_.emplace_back(config_);
 }
 
+std::size_t ShardedStore::shard_of_key(std::string_view registered_key,
+                                       std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  return util::fnv1a(registered_key) % shard_count;
+}
+
 std::size_t ShardedStore::shard_of(const dns::DomainName& name,
                                    std::size_t shard_count) noexcept {
   if (shard_count <= 1) return 0;
   std::array<char, 160> buf;
-  return util::fnv1a(registered_domain_key(name, buf)) % shard_count;
+  return shard_of_key(registered_domain_key(name, buf), shard_count);
 }
 
 void ShardedStore::bind_metrics(obs::MetricsRegistry& registry,
@@ -45,10 +53,45 @@ void ShardedStore::ingest_batch(std::span<const Observation> batch,
                  static_cast<std::int64_t>(batch.size()));
   }
   const std::size_t shard_count = shards_.size();
-  if (shard_count == 1) {
-    for (const auto& obs : batch) shards_[0].ingest(obs);
+  if (shard_count == 1 || pool.thread_count() == 0) {
+    for (const auto& obs : batch) {
+      shards_[shard_of(obs.name, shard_count)].ingest(obs);
+    }
     return;
   }
+  if (pool.thread_count() < shard_count) {
+    // Not enough workers to dedicate one per shard: pipelining would leave a
+    // ring without its consumer scheduled while the producer blocks on it.
+    ingest_batch_twopass(batch, pool);
+    return;
+  }
+
+  // Pipelined path: caller routes (single producer), one worker folds per
+  // shard (single consumer per ring).  Decode order is preserved per shard.
+  using Ring = util::SpscRing<const Observation*>;
+  std::vector<std::unique_ptr<Ring>> rings;
+  rings.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    rings.push_back(std::make_unique<Ring>(kRingCapacity));
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    Ring* ring = rings[s].get();
+    PassiveDnsStore* store = &shards_[s];
+    pool.submit([ring, store] {
+      const Observation* obs = nullptr;
+      while (ring->pop_wait(obs)) store->ingest(*obs);
+    });
+  }
+  for (const auto& obs : batch) {
+    rings[shard_of(obs.name, shard_count)]->push(&obs);
+  }
+  for (auto& ring : rings) ring->close();
+  pool.wait_idle();
+}
+
+void ShardedStore::ingest_batch_twopass(std::span<const Observation> batch,
+                                        util::WorkerPool& pool) {
+  const std::size_t shard_count = shards_.size();
 
   // Pass 1: route table.  Sliced so partitioning itself parallelizes.
   std::vector<std::uint8_t> route(batch.size());
@@ -73,6 +116,67 @@ void ShardedStore::ingest_batch(std::span<const Observation> batch,
       if (route[i] == want) store.ingest(batch[i]);
     }
   });
+}
+
+ShardedStore::FrameIngestStats ShardedStore::ingest_frames(
+    std::span<const std::vector<std::uint8_t>> frames,
+    util::WorkerPool& pool) {
+  FrameIngestStats stats;
+  const std::size_t shard_count = shards_.size();
+
+  const bool pipelined =
+      shard_count > 1 && pool.thread_count() >= shard_count;
+
+  using Ring = util::SpscRing<ObservationView>;
+  std::vector<std::unique_ptr<Ring>> rings;
+  if (pipelined) {
+    rings.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      rings.push_back(std::make_unique<Ring>(kRingCapacity));
+    }
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      Ring* ring = rings[s].get();
+      PassiveDnsStore* store = &shards_[s];
+      pool.submit([ring, store] {
+        ObservationView view;
+        while (ring->pop_wait(view)) store->ingest_view(view);
+      });
+    }
+  }
+
+  for (const auto& frame : frames) {
+    const auto parsed = FrameView::parse(frame);
+    if (!parsed) {
+      // Reject-whole: a frame that fails any structural check contributes
+      // nothing — partial ingest would double-count on retransmit.
+      ++stats.rejected_frames;
+      continue;
+    }
+    ++stats.accepted_frames;
+    stats.observations += parsed->size();
+    m_.batches.inc();
+    m_.batch_observations.observe(parsed->size());
+    if (trace_ != nullptr) {
+      trace_->emit(0, obs::TraceKind::IngestBatch, ++batch_seq_,
+                   static_cast<std::int64_t>(parsed->size()));
+    }
+    if (pipelined) {
+      for (const ObservationView view : *parsed) {
+        rings[shard_of_key(view.registered_key(), shard_count)]->push(view);
+      }
+    } else {
+      for (const ObservationView view : *parsed) {
+        shards_[shard_of_key(view.registered_key(), shard_count)]
+            .ingest_view(view);
+      }
+    }
+  }
+
+  if (pipelined) {
+    for (auto& ring : rings) ring->close();
+    pool.wait_idle();
+  }
+  return stats;
 }
 
 PassiveDnsStore ShardedStore::merge() const {

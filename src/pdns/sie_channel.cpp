@@ -1,15 +1,18 @@
 #include "pdns/sie_channel.hpp"
 
+#include "pdns/frame_view.hpp"
 #include "util/bytes.hpp"
 
 namespace nxd::pdns {
 
 namespace {
 
-constexpr std::uint32_t kFrameMagic = 0x53494542;  // "SIEB"
-constexpr std::uint16_t kFrameVersion = 1;
-// SimTime can be negative (pre-epoch civil dates); bias like the snapshot.
-constexpr std::uint64_t kTimeBias = 1ULL << 62;
+// Wire constants live in frame_view.hpp, shared with the zero-copy decoder.
+// This codec stays a fully independent *implementation* so the seeded
+// differential fuzz suite compares two codepaths, not one with itself.
+constexpr std::uint32_t kFrameMagic = kSieFrameMagic;
+constexpr std::uint16_t kFrameVersion = kSieFrameVersion;
+constexpr std::uint64_t kTimeBias = kSieTimeBias;
 
 void put_u64(util::ByteWriter& w, std::uint64_t v) {
   w.u32(static_cast<std::uint32_t>(v >> 32));

@@ -35,6 +35,9 @@ std::vector<std::uint8_t> encode_batch_frame(
 /// Strict decode of one frame.  Rejects (nullopt): bad magic or version,
 /// truncated payload, trailing bytes, unparseable names, unknown rcode or
 /// sensor class.  All-or-nothing: no partial batch is ever returned.
+/// This is the allocating reference codec; the ingest hot path uses the
+/// zero-copy pdns::FrameView (frame_view.hpp), which accepts exactly the
+/// same frames (pinned by differential fuzz in tests/ingest_fastpath_test).
 std::optional<std::vector<Observation>> decode_batch_frame(
     std::span<const std::uint8_t> bytes);
 

@@ -15,6 +15,28 @@ std::string_view tld_of_key(std::string_view key) {
 
 }  // namespace
 
+PassiveDnsStore::PassiveDnsStore(const PassiveDnsStore& other)
+    : config_(other.config_),
+      total_(other.total_),
+      nx_responses_(other.nx_responses_),
+      distinct_nx_(other.distinct_nx_),
+      servfail_responses_(other.servfail_responses_),
+      domains_(other.domains_),
+      tlds_(other.tlds_),
+      monthly_nx_(other.monthly_nx_),
+      sensor_volume_(other.sensor_volume_),
+      intern_hits_(other.intern_hits_),
+      intern_misses_(other.intern_misses_),
+      m_(other.m_) {
+  // intern_/slots_/cached_month_slot_/sensor_slots_ deliberately not copied:
+  // they point into `other`'s maps.  The caches rebuild lazily on ingest.
+}
+
+PassiveDnsStore& PassiveDnsStore::operator=(const PassiveDnsStore& other) {
+  if (this != &other) *this = PassiveDnsStore(other);  // copy, then move-in
+  return *this;
+}
+
 void PassiveDnsStore::bind_metrics(obs::MetricsRegistry& registry,
                                    const obs::LabelSet& labels) {
   m_.observations = registry.counter("nxd_pdns_observations_total",
@@ -27,18 +49,42 @@ void PassiveDnsStore::bind_metrics(obs::MetricsRegistry& registry,
   m_.distinct_nxdomains =
       registry.counter("nxd_pdns_distinct_nxdomains_total",
                        "Domains first seen NXDomain during ingest", labels);
+  m_.intern_hits = registry.counter(
+      "nxd_pdns_intern_hits_total",
+      "Registered-domain keys resolved via the intern table", labels);
+  m_.intern_misses = registry.counter(
+      "nxd_pdns_intern_misses_total",
+      "Registered-domain keys interned for the first time", labels);
   m_.observations.inc(total_);
   m_.nx_responses.inc(nx_responses_);
   m_.servfail_responses.inc(servfail_responses_);
   m_.distinct_nxdomains.inc(distinct_nx_);
+  m_.intern_hits.inc(intern_hits_);
+  m_.intern_misses.inc(intern_misses_);
 }
 
 void PassiveDnsStore::ingest(const Observation& obs) {
+  std::array<char, 160> key_buf;
+  ingest_keyed(registered_domain_key(obs.name, key_buf), obs.rcode, obs.when,
+               obs.sensor.cls);
+}
+
+void PassiveDnsStore::ingest_view(const ObservationView& view) {
+  ingest_keyed(view.registered_key(), view.rcode, view.when, view.sensor.cls);
+}
+
+void PassiveDnsStore::ingest_keyed(std::string_view key, dns::RCode rcode,
+                                   util::SimTime when, SensorClass cls) {
   ++total_;
   m_.observations.inc();
-  sensor_volume_.add(sensor_class_label(obs.sensor.cls));
+  const auto ci = std::min<std::size_t>(static_cast<std::size_t>(cls), 4);
+  std::uint64_t*& sensor_cell = sensor_slots_[ci];
+  if (sensor_cell == nullptr) {
+    sensor_cell = &sensor_volume_.slot(sensor_class_label(cls));
+  }
+  ++*sensor_cell;
 
-  if (obs.rcode == dns::RCode::ServFail) {
+  if (rcode == dns::RCode::ServFail) {
     // A resolution failure says nothing about the name's existence; keep it
     // out of the per-domain aggregates so selection thresholds see only
     // genuine answers.
@@ -47,18 +93,34 @@ void PassiveDnsStore::ingest(const Observation& obs) {
     return;
   }
 
-  std::array<char, 160> key_buf;
-  const std::string_view key = registered_domain_key(obs.name, key_buf);
-  auto domain_it = domains_.find(key);
-  if (domain_it == domains_.end()) {
-    domain_it = domains_.try_emplace(std::string(key)).first;
+  // One intern probe replaces the string-keyed domain lookup on every hit;
+  // the per-id slot carries direct pointers to the aggregates (heap nodes —
+  // stable across rehash, insertion, and absorb).
+  const auto [id, inserted] = intern_.intern(key);
+  if (inserted) {
+    ++intern_misses_;
+    m_.intern_misses.inc();
+    auto domain_it = domains_.find(key);
+    if (domain_it == domains_.end()) {
+      // Not in the intern table but possibly already in the map: stores
+      // rebuilt from snapshots or filled by absorb() start with an empty
+      // intern cache over a populated domain index.
+      domain_it = domains_.try_emplace(std::string(key)).first;
+    }
+    if (slots_.size() <= id) slots_.resize(id + 1);
+    slots_[id].domain = &domain_it->second;
+    slots_[id].tld = nullptr;
+  } else {
+    ++intern_hits_;
+    m_.intern_hits.inc();
   }
-  DomainAggregate& agg = domain_it->second;
-  const util::Day day = obs.day();
+  InternSlot& slot = slots_[id];
+  DomainAggregate& agg = *slot.domain;
+  const util::Day day = when / util::kSecondsPerDay;
   agg.first_seen = std::min(agg.first_seen, day);
   agg.last_seen = std::max(agg.last_seen, day);
 
-  if (!obs.is_nxdomain()) {
+  if (rcode != dns::RCode::NXDomain) {
     ++agg.ok_queries;
     return;
   }
@@ -66,17 +128,34 @@ void PassiveDnsStore::ingest(const Observation& obs) {
   ++nx_responses_;
   m_.nx_responses.inc();
   ++agg.nx_queries;
-  monthly_nx_[util::month_index(day)] += 1;
+  const std::int64_t month = util::month_index(day);
+  if (cached_month_slot_ == nullptr || month != cached_month_) {
+    cached_month_slot_ = &monthly_nx_[month];
+    cached_month_ = month;
+  }
+  *cached_month_slot_ += 1;
   if (config_.track_daily) {
-    agg.daily_nx[day] += 1;
+    if (slot.daily_day == day) {
+      ++*slot.daily_cell;
+    } else {
+      slot.daily_cell = &agg.daily_nx[day];
+      ++*slot.daily_cell;
+      slot.daily_day = day;
+    }
   }
 
-  const std::string_view tld = obs.name.tld();
-  auto tld_it = tlds_.find(tld);
-  if (tld_it == tlds_.end()) {
-    tld_it = tlds_.try_emplace(std::string(tld)).first;
+  if (slot.tld == nullptr) {
+    // The TLD is only needed once per domain (first NX response); derive it
+    // lazily from the registered key instead of paying for it per
+    // observation.  The key's last label is the name's TLD by construction.
+    const std::string_view tld = tld_of_key(key);
+    auto tld_it = tlds_.find(tld);
+    if (tld_it == tlds_.end()) {
+      tld_it = tlds_.try_emplace(std::string(tld)).first;
+    }
+    slot.tld = &tld_it->second;
   }
-  TldAggregate& tld_agg = tld_it->second;
+  TldAggregate& tld_agg = *slot.tld;
   ++tld_agg.nx_queries;
   if (agg.first_nx_seen == INT64_MAX) {
     agg.first_nx_seen = day;
@@ -129,6 +208,14 @@ void PassiveDnsStore::absorb(const PassiveDnsStore& other) {
 
   for (const auto& [sensor, count] : other.sensor_volume_.raw()) {
     sensor_volume_.add(sensor, count);
+  }
+
+  // The daily merges above may have reallocated series storage; the cached
+  // day cells can dangle.  The domain/TLD pointers stay valid (map nodes
+  // never move), as do the month and sensor cells (node-stable maps).
+  for (InternSlot& slot : slots_) {
+    slot.daily_day = INT64_MIN;
+    slot.daily_cell = nullptr;
   }
 }
 

@@ -1,0 +1,30 @@
+#include "util/arena.hpp"
+
+#include <cstring>
+
+namespace nxd::util {
+
+char* Arena::alloc(std::size_t n) {
+  if (n > block_remaining_) {
+    std::size_t size = next_block_size_;
+    while (size < n) size *= 2;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    block_cursor_ = blocks_.back().get();
+    block_remaining_ = size;
+    next_block_size_ = size * 2;
+  }
+  char* out = block_cursor_;
+  block_cursor_ += n;
+  block_remaining_ -= n;
+  return out;
+}
+
+std::string_view Arena::store(std::string_view bytes) {
+  if (bytes.empty()) return {};
+  char* dst = alloc(bytes.size());
+  std::memcpy(dst, bytes.data(), bytes.size());
+  bytes_stored_ += bytes.size();
+  return std::string_view{dst, bytes.size()};
+}
+
+}  // namespace nxd::util

@@ -1,0 +1,47 @@
+// Bump-allocator arena for small immutable byte strings.
+//
+// The domain-name intern tables (pdns/intern) store every distinct
+// registered-domain key once; the arena gives them stable storage: a block
+// is never reallocated or freed until the arena is destroyed, so a
+// string_view handed out by store() stays valid across any amount of later
+// growth.  Blocks double in size (starting from `first_block_size`) so a
+// table holding millions of keys does O(log n) mallocs total.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace nxd::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultFirstBlock = 4096;
+
+  explicit Arena(std::size_t first_block_size = kDefaultFirstBlock)
+      : next_block_size_(first_block_size < 16 ? 16 : first_block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Copy `bytes` into the arena; the returned view is stable for the
+  /// arena's lifetime.
+  std::string_view store(std::string_view bytes);
+
+  std::size_t bytes_stored() const noexcept { return bytes_stored_; }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  char* alloc(std::size_t n);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::size_t block_remaining_ = 0;
+  char* block_cursor_ = nullptr;
+  std::size_t next_block_size_;
+  std::size_t bytes_stored_ = 0;
+};
+
+}  // namespace nxd::util

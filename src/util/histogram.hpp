@@ -15,6 +15,12 @@ class Counter {
  public:
   void add(const std::string& key, std::uint64_t n = 1) { counts_[key] += n; }
 
+  /// Direct reference to a key's count cell, for hot paths that update the
+  /// same few keys repeatedly.  unordered_map values are heap nodes, so the
+  /// reference stays valid across later insertions (but not across a copy
+  /// of the Counter — re-fetch after copying).
+  std::uint64_t& slot(const std::string& key) { return counts_[key]; }
+
   std::uint64_t get(const std::string& key) const {
     const auto it = counts_.find(key);
     return it == counts_.end() ? 0 : it->second;

@@ -1,11 +1,32 @@
 #include "util/worker_pool.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace nxd::util {
 
-WorkerPool::WorkerPool(std::size_t threads) {
+bool pin_thread_to_cpu(std::size_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+WorkerPool::WorkerPool(std::size_t threads, bool pin_threads) {
+  const std::size_t hw = std::thread::hardware_concurrency();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i, pin_threads, hw] {
+      if (pin_threads && hw > 0) pin_thread_to_cpu(i % hw);
+      worker_loop();
+    });
   }
 }
 

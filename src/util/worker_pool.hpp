@@ -23,10 +23,19 @@
 
 namespace nxd::util {
 
+/// Best-effort: pin the calling thread to one CPU so benchmark stage
+/// timings are not polluted by migration.  Returns false when the platform
+/// does not support affinity (or the call fails); callers must treat
+/// pinning as an optimization, never a correctness requirement.
+bool pin_thread_to_cpu(std::size_t cpu);
+
 class WorkerPool {
  public:
   /// `threads == 0` means "no worker threads": submitted tasks run inline.
-  explicit WorkerPool(std::size_t threads);
+  /// With `pin_threads`, worker i is pinned to CPU `i % hardware_concurrency`
+  /// (best effort; ignored where unsupported) — the ingest benchmark uses
+  /// this so per-stage numbers are attributable to one core each.
+  explicit WorkerPool(std::size_t threads, bool pin_threads = false);
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;

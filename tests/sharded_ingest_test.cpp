@@ -341,5 +341,44 @@ TEST(BatchFrames, RejectsStructurallyBrokenFrames) {
   EXPECT_EQ(delivered, 1u);
 }
 
+TEST(BatchFrames, ShardedFrameIngestMatchesSerialStore) {
+  // Golden check for the zero-copy frame front end: frames routed through
+  // ShardedStore::ingest_frames and merged must be byte-identical to a
+  // serial PassiveDnsStore fed the same stream.
+  const auto stream = seeded_stream(21, 5e-8);
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::size_t i = 0; i < stream.size(); i += 777) {
+    const auto n = std::min<std::size_t>(777, stream.size() - i);
+    frames.push_back(pdns::encode_batch_frame(std::span(stream).subspan(i, n)));
+  }
+
+  util::WorkerPool pool(4);
+  pdns::ShardedStore sharded(4);
+  const auto stats = sharded.ingest_frames(frames, pool);
+  EXPECT_EQ(stats.rejected_frames, 0u);
+  EXPECT_EQ(stats.accepted_frames, frames.size());
+  EXPECT_EQ(stats.observations, stream.size());
+
+  pdns::PassiveDnsStore serial;
+  for (const auto& obs : stream) serial.ingest(obs);
+  EXPECT_EQ(pdns::save_snapshot(sharded.merge()), pdns::save_snapshot(serial));
+}
+
+TEST(BatchFrames, ShardedFrameIngestRejectsWholeFrames) {
+  const auto stream = seeded_stream(22, 2e-9);
+  auto good = pdns::encode_batch_frame(stream);
+  auto bad = good;
+  bad[5] ^= 0xFF;  // corrupt the version field
+
+  util::WorkerPool pool(2);
+  pdns::ShardedStore sharded(2);
+  const std::vector<std::vector<std::uint8_t>> frames = {bad};
+  const auto stats = sharded.ingest_frames(frames, pool);
+  EXPECT_EQ(stats.rejected_frames, 1u);
+  EXPECT_EQ(stats.accepted_frames, 0u);
+  EXPECT_EQ(stats.observations, 0u);
+  EXPECT_EQ(sharded.total_observations(), 0u);
+}
+
 }  // namespace
 }  // namespace nxd
