@@ -4,33 +4,55 @@
 // observations on a crash silently skews every downstream figure).
 //
 // A DurableStore wraps the in-memory PassiveDnsStore/ShardedStore pair with
-// a write-ahead log (pdns/wal.hpp) and checksummed, atomically committed
-// checkpoints:
+// a group-committed write-ahead log (pdns/wal.hpp) and incremental,
+// background checkpoints pinned by a checksummed recovery manifest
+// (pdns/manifest.hpp):
 //
-//   ingest_batch:  WAL append (flush+fsync)  →  apply to shards  →  ack
-//   checkpoint:    merged snapshot → atomic commit → WAL rotate+truncate
-//   open/recover:  newest valid checkpoint + strict WAL tail replay
+//   ingest:      producers encode a batch frame and queue it; a dedicated
+//                WAL writer coalesces everything queued into one group —
+//                one append run, ONE fsync — applies the group zero-copy
+//                (FrameView straight from the record payloads), then acks
+//                every rider.  The group window (max bytes / max batches /
+//                linger deadline) bounds how long a rider can wait.
+//   checkpoint:  every `delta_every_batches` acked batches the writer moves
+//                the tail shards out (copy-on-checkpoint: the live tail is
+//                replaced, the frozen shards become an immutable snapshot)
+//                and hands them to a background worker, which writes one
+//                delta file per non-empty shard, then commits a manifest
+//                pinning {base image, delta chain, WAL floor}.  Ingest never
+//                waits for serialization.  Every `compact_every_deltas`
+//                rounds the worker folds the chain into a fresh full base.
+//   open:        newest manifest whose whole chain validates wins; its
+//                frontier is restored byte-exactly, then the WAL tail
+//                (seq > frontier) replays zero-copy on top.  A corrupt
+//                manifest, base, or delta file degrades recovery to the
+//                previous manifest plus a longer WAL replay — the retention
+//                rule (keep two manifests, keep WAL segments back to the
+//                OLDER one's floor) makes that fallback always sufficient
+//                under a single fault.  Never data loss, never a partial
+//                image.
 //
-// Invariants (pinned by tests/crash_recovery_test.cpp at every enumerated
-// injection point):
-//   - all-or-nothing per batch: a torn WAL tail is truncated on recovery; a
-//     partially appended batch is never partially visible;
-//   - acked ⊆ recovered: every batch whose append_batch returned true
-//     survives any later crash;
-//   - at most one in-flight batch: recovery yields exactly the acked
+// Invariants (pinned by tests/crash_recovery_test.cpp across the full
+// CrashPoint matrix — kill, torn write, bit flip, short write, fsync stall,
+// ENOSPC — at every enumerated injection point):
+//   - no acked batch is ever lost: acked ⊆ recovered;
+//   - no unacked batch is ever partially applied: recovery admits whole
+//     batches only (a torn group record truncates at a batch boundary), and
+//     recovered ⊆ submitted;
+//   - in synchronous mode (groups of one) recovery yields exactly the acked
 //     batches, or acked+1 when the crash hit after the record reached the
-//     file but before the ack (crash-during-commit ambiguity, the same
-//     contract databases give);
+//     file but before the ack — the same contract databases give;
 //   - byte-exactness: the recovered store's v2 snapshot equals, byte for
 //     byte, an uninterrupted serial ingest of the recovered batch prefix.
 //
-// Checkpoint files are named "snapshot-<batches>.nxs"; their checked payload
-// is  magic "NXCP" u32 | version u16 | batches u64 | v2 snapshot bytes.
-// Because the covered batch count is inside the checkpoint, recovery never
-// depends on WAL truncation having completed: stale records (seq ≤ covered)
-// are simply skipped.
+// `Config::synchronous` runs the identical commit/checkpoint protocol
+// inline on the caller's thread (groups of one, checkpoints synchronous) so
+// the crash harness can enumerate injection points deterministically; the
+// default threaded mode is covered by the TSan duplicate suites and the
+// differential byte-identity tests.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -40,6 +62,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pdns/manifest.hpp"
 #include "pdns/sharded_store.hpp"
 #include "pdns/store.hpp"
 #include "pdns/wal.hpp"
@@ -50,61 +73,139 @@ namespace nxd::pdns {
 
 class DurableStore {
  public:
+  /// Bounds on a single commit group, so one straggler batch can never
+  /// starve the acks of everything queued behind it.
+  struct GroupWindow {
+    /// Close the group once it holds this many batches.
+    std::size_t max_batches = 64;
+    /// ... or this many frame bytes.
+    std::uint64_t max_bytes = 8u << 20;
+    /// After the first batch is taken, linger up to this long for more
+    /// riders before paying the fsync.  0 = commit whatever is queued
+    /// immediately (riders still coalesce naturally while an fsync is in
+    /// flight, which is where group commit earns its keep).
+    std::uint32_t linger_us = 0;
+  };
+
   struct Config {
     /// >1 routes every batch through a ShardedStore + worker pool (the PR 2
     /// parallel path); 1 keeps ingest inline.  Either way the persisted
     /// snapshot is byte-identical to serial ingest.
     std::size_t shard_count = 1;
-    /// Automatic checkpoint every N acked batches; 0 = manual only.
-    std::uint64_t checkpoint_every_batches = 0;
+    /// Hand the tail to a background delta checkpoint every N acked
+    /// batches; 0 = manual checkpoints only.
+    std::uint64_t delta_every_batches = 0;
+    /// Fold the delta chain into a fresh full base every N delta rounds
+    /// (bounds recovery's chain-walk length); 0 = never auto-compact.
+    std::uint64_t compact_every_deltas = 8;
+    GroupWindow group_window;
+    /// Run the commit and checkpoint protocol inline on the caller's thread
+    /// (no writer/checkpoint threads): groups of one, deterministic file-op
+    /// ordering — the crash-enumeration harness mode.
+    bool synchronous = false;
     Wal::Config wal;
     StoreConfig store;
   };
 
   struct RecoveryInfo {
-    bool snapshot_loaded = false;
-    std::uint64_t snapshot_batches = 0;     ///< batches covered by it
+    bool snapshot_loaded = false;  ///< a manifest chain or legacy base was restored
+    std::uint64_t snapshot_batches = 0;     ///< frontier it covered
     std::uint64_t replayed_batches = 0;     ///< WAL tail applied on top
-    std::uint64_t stale_batches_skipped = 0;  ///< seq ≤ snapshot (truncation raced a crash)
-    std::uint64_t invalid_snapshots = 0;    ///< corrupt checkpoint files skipped
+    std::uint64_t stale_batches_skipped = 0;  ///< seq ≤ frontier (truncation raced a crash)
+    std::uint64_t invalid_manifests = 0;    ///< corrupt/unusable manifests skipped
+    std::uint64_t corrupt_chain_files = 0;  ///< base/delta files that failed validation
+    std::uint64_t invalid_snapshots = 0;    ///< corrupt legacy full snapshots skipped
+    std::uint64_t deltas_absorbed = 0;      ///< chain files folded into the base
+    std::uint64_t orphaned_chain_files = 0; ///< chain files no valid manifest references
     std::uint64_t discarded_wal_bytes = 0;  ///< torn/corrupt tail dropped
     std::uint64_t removed_tmp_files = 0;    ///< uncommitted temporaries swept
     bool wal_tail_truncated = false;
+    /// The newest manifest was unusable and recovery fell back to an older
+    /// frontier (single-fault degradation: same batches, longer replay).
+    bool frontier_degraded = false;
+    /// Replay found seq > frontier+1 before reaching the frontier — only
+    /// possible under multiple independent faults.  Replay stops at the gap
+    /// so the state is still an exact serial prefix.
+    bool wal_gap_detected = false;
   };
 
-  /// Open-or-recover: loads the newest valid checkpoint, replays the WAL
-  /// tail, and arms a fresh WAL segment for new batches.  On a fresh
+  /// Open-or-recover: restores the newest fully-valid manifest frontier
+  /// (or the newest legacy snapshot), replays the WAL tail, and arms a
+  /// fresh WAL segment plus the writer/checkpoint machinery.  On a fresh
   /// directory this is simply "create".  nullopt only when the directory is
   /// unusable (or the injected crash fires during setup).
   static std::optional<DurableStore> open(std::string dir, Config config,
                                           util::CrashPoint* crash = nullptr);
 
+  DurableStore(DurableStore&&) noexcept;
+  DurableStore& operator=(DurableStore&&) noexcept;
+  /// Drains the submission queue (remaining riders are committed) and joins
+  /// the background threads.
+  ~DurableStore();
+
   /// False once a (simulated or real) I/O failure killed the collector;
   /// every later ingest/checkpoint refuses.
-  bool ok() const noexcept { return ok_; }
-  const std::string& dir() const noexcept { return dir_; }
-  const Config& config() const noexcept { return config_; }
-  const RecoveryInfo& recovery() const noexcept { return recovery_; }
+  bool ok() const noexcept;
+  const std::string& dir() const noexcept;
+  const Config& config() const noexcept;
+  const RecoveryInfo& recovery() const noexcept;
 
   /// Durable (acked or recovered) batches so far.
-  std::uint64_t committed_batches() const noexcept { return committed_; }
-  std::uint64_t checkpoints_taken() const noexcept { return checkpoints_; }
+  std::uint64_t committed_batches() const noexcept;
+  std::uint64_t checkpoints_taken() const noexcept;
 
-  /// WAL-append (durable), then apply.  True == acked: the batch survives
-  /// any crash from here on.  All-or-nothing: false means the batch is
-  /// uncommitted — recovery may admit it only if the record reached the file
-  /// intact before the death (never a partial batch).
+  /// Encode, queue, and wait for the group commit: true == acked, the batch
+  /// survives any crash from here on.  All-or-nothing: false means the
+  /// batch is uncommitted — recovery may admit it only if its record
+  /// reached the file intact before the death (never a partial batch).
   bool ingest_batch(std::span<const Observation> batch);
 
-  /// Write a checksummed snapshot atomically, then rotate and truncate the
-  /// WAL.  Idempotent per committed prefix.
+  /// Zero-copy durable ingest of an already-encoded SIE batch frame: the
+  /// frame is strictly validated (reject-whole — an invalid frame must
+  /// never reach the log, where it would read as corruption), written as
+  /// the WAL record payload, and applied through the FrameView fast path
+  /// without ever materializing Observations.
+  bool ingest_frame(std::span<const std::uint8_t> frame);
+
+  /// Pipelined submission: queue a batch and return its ticket without
+  /// waiting.  A single producer that keeps a few batches in flight lets
+  /// the writer form real multi-batch groups (one fsync for all of them).
+  /// Returns 0 when the store is dead or the frame invalid.
+  std::uint64_t submit_batch(std::span<const Observation> batch);
+  std::uint64_t submit_frame(std::span<const std::uint8_t> frame);
+  /// Wait for a submitted ticket; true == that batch is durably acked.
+  bool wait_batch(std::uint64_t ticket);
+  /// Wait until everything submitted so far is decided (acked or failed).
+  bool wait_durable();
+
+  /// Forced full compaction: fold everything committed into a fresh base
+  /// image and commit a manifest with an empty delta chain (then truncate
+  /// retired WAL segments).  Synchronous — returns once the manifest is
+  /// durable.  Idempotent per committed prefix.
   bool checkpoint();
 
-  /// The full store: checkpoint base + everything since, folded exactly.
+  /// The full store: base + in-flight checkpoint shards + live tail,
+  /// folded exactly.
   PassiveDnsStore materialize() const;
   /// save_snapshot(materialize()) — the byte-equivalence currency the crash
   /// harness and the property tests compare.
   std::vector<std::uint8_t> snapshot_bytes() const;
+
+  // ---- per-stage accounting (bench/wal_throughput) ------------------------
+  struct StageStats {
+    std::uint64_t groups = 0;        ///< commit groups (== fsyncs paid)
+    std::uint64_t batches = 0;       ///< batches those groups carried
+    std::uint64_t observations = 0;  ///< observations applied
+    std::uint64_t append_ns = 0;     ///< buffered WAL record writes
+    std::uint64_t fsync_ns = 0;      ///< group durability barriers
+    std::uint64_t apply_ns = 0;      ///< zero-copy tail ingest
+    std::uint64_t checkpoint_ns = 0; ///< background delta/compaction work
+    std::uint64_t deltas_written = 0;
+    std::uint64_t compactions = 0;
+    /// group_size_log2[i] counts groups of 2^i .. 2^(i+1)-1 batches.
+    std::array<std::uint64_t, 18> group_size_log2{};
+  };
+  StageStats stage_stats() const;
 
   // ---- read-only inspection (nxdtool fsck) -------------------------------
   struct FsckSnapshot {
@@ -112,19 +213,34 @@ class DurableStore {
     std::uint64_t batches = 0;
     bool valid = false;
   };
+  struct FsckManifest {
+    std::string path;
+    std::uint64_t frontier = 0;
+    bool decodable = false;  ///< record + header parse
+    bool usable = false;     ///< every chain file it references validates
+    std::uint64_t chain_deltas = 0;
+  };
   struct FsckReport {
-    std::vector<FsckSnapshot> snapshots;  ///< newest first
-    std::uint64_t best_snapshot_batches = 0;
+    std::vector<FsckManifest> manifests;  ///< newest first
+    std::vector<FsckSnapshot> snapshots;  ///< base images, newest first
+    std::uint64_t frontier = 0;  ///< best recoverable manifest/base frontier
+    std::uint64_t best_snapshot_batches = 0;  ///< best valid full base image
+    std::uint64_t chain_deltas = 0;  ///< delta files behind `frontier`
+    std::uint64_t orphaned_chain_files = 0;  ///< referenced by no valid manifest
     std::uint64_t wal_segments = 0;
     std::uint64_t wal_records = 0;
-    std::uint64_t replayable_batches = 0;  ///< WAL batches past the snapshot
+    std::uint64_t replayable_batches = 0;  ///< WAL batches past the frontier
     std::uint64_t stale_batches = 0;
-    std::uint64_t recoverable_batches = 0;  ///< snapshot + replayable
+    std::uint64_t recoverable_batches = 0;  ///< frontier + replayable
+    /// Recovery work accumulated since the last full base: delta files to
+    /// absorb plus WAL batches to replay.  What `nxdtool recover` (forced
+    /// compaction) would reduce to zero.
+    std::uint64_t compaction_debt = 0;
     std::uint64_t discarded_wal_bytes = 0;
     std::uint64_t tmp_files = 0;  ///< leftover uncommitted temporaries
     bool wal_tail_truncated = false;
-    /// True when nothing needs repair: no corrupt checkpoints, no torn WAL
-    /// tail, no leftover temporaries.
+    /// True when nothing needs repair: no corrupt manifests or chain files,
+    /// no orphans, no torn WAL tail, no leftover temporaries.
     bool clean = true;
   };
   static FsckReport fsck(const std::string& dir);
@@ -133,45 +249,20 @@ class DurableStore {
                                    std::uint64_t batches);
 
   /// Mirror the durable-ingest counters into a shared registry (committed
-  /// batches and checkpoints carry over) and optionally trace WAL acks and
-  /// checkpoints.  Also binds the live tail shards, so per-shard observation
-  /// counters cover everything ingested from here on (plus whatever the
-  /// current tail already holds); the store re-binds the fresh tail after
-  /// every checkpoint, so the registry must outlive the store.
+  /// batches, groups, checkpoints carry over) and optionally trace WAL acks
+  /// and checkpoints.  Also binds the live tail shards, so per-shard
+  /// observation counters cover everything ingested from here on; the store
+  /// re-binds the fresh tail after every checkpoint hand-off, so the
+  /// registry must outlive the store.
   void bind_metrics(obs::MetricsRegistry& registry,
                     obs::QueryTrace* trace = nullptr);
 
  private:
-  struct Metrics {
-    obs::Counter wal_batches;
-    obs::Counter wal_failures;
-    obs::Counter checkpoints;
-  };
+  struct Core;
 
-  DurableStore(std::string dir, Config config, util::CrashPoint* crash)
-      : dir_(std::move(dir)),
-        config_(config),
-        crash_(crash),
-        base_(config.store),
-        tail_(config.shard_count, config.store),
-        pool_(std::make_unique<util::WorkerPool>(
-            config.shard_count > 1 ? config.shard_count : 0)) {}
+  explicit DurableStore(std::unique_ptr<Core> core);
 
-  std::string dir_;
-  Config config_;
-  util::CrashPoint* crash_ = nullptr;
-  PassiveDnsStore base_;  ///< checkpoint image
-  ShardedStore tail_;     ///< committed batches since the checkpoint
-  std::unique_ptr<util::WorkerPool> pool_;
-  std::optional<Wal> wal_;
-  RecoveryInfo recovery_;
-  std::uint64_t committed_ = 0;
-  std::uint64_t since_checkpoint_ = 0;
-  std::uint64_t checkpoints_ = 0;
-  bool ok_ = true;
-  Metrics m_;  // null handles until bind_metrics()
-  obs::MetricsRegistry* registry_ = nullptr;
-  obs::QueryTrace* trace_ = nullptr;
+  std::unique_ptr<Core> core_;
 };
 
 }  // namespace nxd::pdns

@@ -121,6 +121,26 @@ void ShardedStore::ingest_batch_twopass(std::span<const Observation> batch,
 ShardedStore::FrameIngestStats ShardedStore::ingest_frames(
     std::span<const std::vector<std::uint8_t>> frames,
     util::WorkerPool& pool) {
+  std::vector<std::span<const std::uint8_t>> spans;
+  spans.reserve(frames.size());
+  for (const auto& frame : frames) spans.emplace_back(frame);
+  return ingest_frames(std::span<const std::span<const std::uint8_t>>(spans),
+                       pool);
+}
+
+std::vector<PassiveDnsStore> ShardedStore::take_shards() {
+  std::vector<PassiveDnsStore> out;
+  out.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    out.push_back(std::move(shard));
+    shard = PassiveDnsStore(config_);
+  }
+  return out;
+}
+
+ShardedStore::FrameIngestStats ShardedStore::ingest_frames(
+    std::span<const std::span<const std::uint8_t>> frames,
+    util::WorkerPool& pool) {
   FrameIngestStats stats;
   const std::size_t shard_count = shards_.size();
 

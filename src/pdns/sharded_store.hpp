@@ -89,6 +89,19 @@ class ShardedStore {
       std::span<const std::vector<std::uint8_t>> frames,
       util::WorkerPool& pool);
 
+  /// Same zero-copy path over borrowed frame bytes — the WAL group-commit
+  /// writer applies a group straight from its record payloads without
+  /// copying them into vectors first.
+  FrameIngestStats ingest_frames(
+      std::span<const std::span<const std::uint8_t>> frames,
+      util::WorkerPool& pool);
+
+  /// Copy-on-checkpoint hand-off: move every shard store out (the immutable
+  /// snapshot a background delta checkpoint serializes) and replace it with
+  /// a fresh empty shard.  Metrics bindings do not survive the swap —
+  /// callers that bound metrics must re-bind afterwards.
+  std::vector<PassiveDnsStore> take_shards();
+
   /// Fold all shards into a single store; snapshot byte-identical to serial
   /// ingest of the same observation stream.
   PassiveDnsStore merge() const;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "pdns/frame_view.hpp"
 #include "pdns/sie_channel.hpp"
 #include "util/bytes.hpp"
 
@@ -73,21 +74,36 @@ bool Wal::open_segment() {
   return true;
 }
 
-bool Wal::append_batch(std::span<const Observation> batch) {
+bool Wal::append_frame(std::span<const std::uint8_t> frame) {
   if (!ok_) return false;
   if (writer_->bytes_written() >= config_.segment_max_bytes) {
+    // rotate() closes with a flush, so a group may span segments; the acks
+    // still wait for the final sync().
     if (!rotate()) return false;
   }
   util::ByteWriter payload;
   payload.u32(static_cast<std::uint32_t>(next_seq_ >> 32));
   payload.u32(static_cast<std::uint32_t>(next_seq_));
-  payload.bytes(encode_batch_frame(batch));
-  if (!writer_->append_record(payload.view()) || !writer_->flush()) {
+  payload.bytes(frame);
+  if (!writer_->append_record(payload.view())) {
     ok_ = false;
     return false;
   }
   ++next_seq_;
   return true;
+}
+
+bool Wal::sync() {
+  if (!ok_) return false;
+  if (!writer_->flush()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Wal::append_batch(std::span<const Observation> batch) {
+  return append_frame(encode_batch_frame(batch)) && sync();
 }
 
 bool Wal::rotate() {
@@ -102,12 +118,18 @@ bool Wal::rotate() {
 
 bool Wal::drop_segments_below(std::uint64_t keep_from) {
   if (!ok_) return false;
-  for (const auto& [index, path] : list_segments(dir_)) {
+  if (!drop_segments_below(dir_, keep_from, crash_)) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Wal::drop_segments_below(const std::string& dir, std::uint64_t keep_from,
+                              util::CrashPoint* crash) {
+  for (const auto& [index, path] : list_segments(dir)) {
     if (index >= keep_from) continue;
-    if (!util::remove_file(path, crash_)) {
-      ok_ = false;
-      return false;
-    }
+    if (!util::remove_file(path, crash)) return false;
   }
   return true;
 }
@@ -135,17 +157,20 @@ Wal::Replay Wal::replay(const std::string& dir) {
       util::ByteReader r(record);
       const std::uint64_t hi = r.u32();
       const std::uint64_t seq = (hi << 32) | r.u32();
-      auto frame = r.ok() ? decode_batch_frame(record.size() >= 8
-                                                   ? std::span(record).subspan(8)
-                                                   : std::span(record))
-                          : std::nullopt;
-      if (!r.ok() || !frame || (last_seq != 0 && seq <= last_seq) || seq == 0) {
+      const auto frame_bytes = record.size() >= 8
+                                   ? std::span(record).subspan(8)
+                                   : std::span<const std::uint8_t>{};
+      const auto view = r.ok() ? FrameView::parse(frame_bytes) : std::nullopt;
+      if (!r.ok() || !view || (last_seq != 0 && seq <= last_seq) || seq == 0) {
         out.discarded_bytes += record.size();
         stopped = true;
         continue;
       }
       last_seq = seq;
-      out.batches.push_back({seq, std::move(*frame)});
+      out.batches.push_back(
+          {seq,
+           std::vector<std::uint8_t>(frame_bytes.begin(), frame_bytes.end()),
+           view->size()});
     }
     if (scan.truncated_tail) {
       out.discarded_bytes += scan.total_bytes - scan.valid_bytes;

@@ -8,17 +8,26 @@
 //   batch seq u64 (big-endian) | SIE batch frame bytes (pdns/sie_channel)
 //
 // so the log reuses the exact strict frame codec the feed plane already
-// pins with fuzz tests.  Batch sequence numbers are global and consecutive
-// starting at 1; the committed state of a collector is fully described by
-// "batches 1..N applied".
+// pins with fuzz tests, and a replayed record can be applied zero-copy
+// through pdns::FrameView without re-materializing observations.  Batch
+// sequence numbers are global and consecutive starting at 1; the committed
+// state of a collector is fully described by "batches 1..N applied".
+//
+// Group commit: append_frame() only buffers a record; nothing is durable
+// until sync() returns true.  DurableStore's writer thread appends a whole
+// group of batches and pays one fsync for all of them — the acks ride that
+// single barrier.  append_batch() remains as the one-batch convenience
+// (append + sync), used by tools and tests.
 //
 // Recovery semantics are strict and asymmetric, like the frame decoder's:
 //   - a torn/corrupt record truncates the tail — everything from the first
 //     invalid byte on is discarded, so a batch whose append was interrupted
-//     is never partially visible (all-or-nothing per batch);
-//   - a record that passes its CRC but fails strict frame decoding, or whose
-//     sequence number does not increase, also stops the replay (conservative
-//     corruption handling — nothing after a damaged point is trusted).
+//     is never partially visible (all-or-nothing per batch, and a torn
+//     group record drops whole batches, never fractions of one);
+//   - a record that passes its CRC but fails strict frame validation, or
+//     whose sequence number does not increase, also stops the replay
+//     (conservative corruption handling — nothing after a damaged point is
+//     trusted).
 #pragma once
 
 #include <cstdint>
@@ -54,9 +63,19 @@ class Wal {
   std::uint64_t next_seq() const noexcept { return next_seq_; }
   std::uint64_t segment_index() const noexcept { return segment_index_; }
 
-  /// Append one batch as a single record and flush+fsync it.  True == the
-  /// batch is durable (the caller may ack it); false == the collector died
-  /// mid-append and the batch must be considered uncommitted.
+  /// Buffer one batch (an already-encoded, valid SIE batch frame) as the
+  /// next record.  NOT durable until sync() — the group-commit building
+  /// block.  The caller guarantees the frame is strictly valid
+  /// (encode_batch_frame output or FrameView-validated); an invalid frame
+  /// in the log would read as corruption and truncate the tail on replay.
+  bool append_frame(std::span<const std::uint8_t> frame);
+
+  /// Durability barrier: flush + fsync everything appended so far.  True ==
+  /// every batch appended since the last sync is durable and may be acked.
+  bool sync();
+
+  /// Append one batch as a single record and make it durable (a group of
+  /// one: append_frame + sync).
   bool append_batch(std::span<const Observation> batch);
 
   /// Close the current segment and start the next one (checkpoint boundary).
@@ -67,10 +86,20 @@ class Wal {
   /// number on replay.
   bool drop_segments_below(std::uint64_t keep_from);
 
+  /// Segment truncation without a live Wal (background checkpoint cleanup
+  /// runs off the writer thread and must not touch its appender state).
+  static bool drop_segments_below(const std::string& dir,
+                                  std::uint64_t keep_from,
+                                  util::CrashPoint* crash = nullptr);
+
   // ---- recovery ----------------------------------------------------------
   struct ReplayedBatch {
     std::uint64_t seq = 0;
-    std::vector<Observation> batch;
+    /// The raw SIE batch frame, strictly validated (FrameView::parse
+    /// accepted it) — apply it zero-copy or decode it with the reference
+    /// codec; both see identical observations.
+    std::vector<std::uint8_t> frame;
+    std::uint32_t observations = 0;
   };
   struct Replay {
     std::vector<ReplayedBatch> batches;  ///< valid prefix, seq ascending

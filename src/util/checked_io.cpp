@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -19,10 +20,10 @@ constexpr std::size_t kRecordHeaderBytes = 12;      // magic + len + crc
 // ---------------------------------------------------------------- CrashPoint
 
 std::size_t CrashPoint::on_write(std::vector<std::uint8_t>& buf) noexcept {
-  if (crashed_) return 0;
-  const std::uint64_t op = ops_++;
+  if (crashed_.load(std::memory_order_relaxed)) return 0;
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
   if (mode_ == Mode::None || op != trigger_) return buf.size();
-  crashed_ = true;
+  crashed_.store(true, std::memory_order_relaxed);
   // Seed the mutation from (seed, trigger) so every enumerated crash point
   // tears/flips at a different, reproducible position.
   Rng rng(SplitMix64{seed_ ^ (trigger_ * 0x9e3779b97f4a7c15ULL)}.next());
@@ -37,29 +38,53 @@ std::size_t CrashPoint::on_write(std::vector<std::uint8_t>& buf) noexcept {
             static_cast<std::uint8_t>(1u << rng.bounded(8));
       }
       return buf.size();
+    case Mode::ShortWrite: {
+      // A partial write(2) return: all but the last 1..16 bytes land, so
+      // record headers survive while the payload tail is cut.
+      if (buf.empty()) return 0;
+      const std::size_t cut =
+          1 + static_cast<std::size_t>(rng.bounded(std::min<std::uint64_t>(
+                  16, static_cast<std::uint64_t>(buf.size()))));
+      return buf.size() - std::min(cut, buf.size());
+    }
+    case Mode::FsyncStall:
+      // The write itself completes; the death happens before the caller can
+      // observe success (write_guarded still reports failure).
+      return buf.size();
+    case Mode::Enospc:
+      // Device full: a small prefix lands, the rest is refused.
+      return static_cast<std::size_t>(rng.bounded(buf.size() / 2 + 1));
     case Mode::None:
       break;
   }
   return buf.size();
 }
 
-bool CrashPoint::on_barrier() noexcept {
-  if (crashed_) return false;
-  const std::uint64_t op = ops_++;
-  if (mode_ != Mode::None && op == trigger_) {
-    crashed_ = true;
-    return false;
-  }
-  return true;
+CrashPoint::Barrier CrashPoint::on_barrier() noexcept {
+  if (crashed_.load(std::memory_order_relaxed)) return Barrier::Die;
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == Mode::None || op != trigger_) return Barrier::Proceed;
+  crashed_.store(true, std::memory_order_relaxed);
+  // FsyncStall is the "durable but unobserved" failure: the barrier op
+  // (fsync, rename, unlink) reaches the kernel, then the process dies.  All
+  // other modes kill the process before the op takes effect.
+  return mode_ == Mode::FsyncStall ? Barrier::DieAfter : Barrier::Die;
 }
 
 // ------------------------------------------------------------- CheckedWriter
 
 std::optional<CheckedWriter> CheckedWriter::open(std::string path,
                                                  CrashPoint* crash) {
-  if (crash != nullptr && !crash->on_barrier()) return std::nullopt;
+  const auto barrier =
+      crash != nullptr ? crash->on_barrier() : CrashPoint::Barrier::Proceed;
+  if (barrier == CrashPoint::Barrier::Die) return std::nullopt;
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return std::nullopt;
+  if (barrier == CrashPoint::Barrier::DieAfter) {
+    // The (empty) file was created, but the process died holding the handle.
+    std::fclose(f);
+    return std::nullopt;
+  }
   return CheckedWriter(std::move(path), f, crash);
 }
 
@@ -103,11 +128,23 @@ bool CheckedWriter::append_record(std::span<const std::uint8_t> payload) {
 
 bool CheckedWriter::flush() {
   if (!ok_ || file_ == nullptr) return false;
-  if (crash_ != nullptr && !crash_->on_barrier()) {
+  const auto barrier =
+      crash_ != nullptr ? crash_->on_barrier() : CrashPoint::Barrier::Proceed;
+  if (barrier == CrashPoint::Barrier::Die) {
+    // Died before the fsync: buffered bytes may still reach the file (the
+    // kernel owns the stdio buffer's destiny only after fflush; model the
+    // conservative case where they do land but were never made durable).
+    std::fflush(file_.get());
     ok_ = false;
     return false;
   }
   if (std::fflush(file_.get()) != 0 || ::fsync(fileno(file_.get())) != 0) {
+    ok_ = false;
+    return false;
+  }
+  if (barrier == CrashPoint::Barrier::DieAfter) {
+    // The fsync completed — the data IS durable — but the process stalled in
+    // the syscall and died before returning success to the caller.
     ok_ = false;
     return false;
   }
@@ -175,8 +212,12 @@ bool write_file_atomic(const std::string& path,
   if (!writer) return false;
   if (!writer->append_record(payload)) return false;
   if (!writer->close()) return false;
-  if (crash != nullptr && !crash->on_barrier()) return false;
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  const auto barrier =
+      crash != nullptr ? crash->on_barrier() : CrashPoint::Barrier::Proceed;
+  if (barrier == CrashPoint::Barrier::Die) return false;
+  const bool renamed = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (barrier == CrashPoint::Barrier::DieAfter) return false;
+  return renamed;
 }
 
 std::optional<std::vector<std::uint8_t>> read_file_checked(
@@ -189,9 +230,11 @@ std::optional<std::vector<std::uint8_t>> read_file_checked(
 }
 
 bool remove_file(const std::string& path, CrashPoint* crash) {
-  if (crash != nullptr && !crash->on_barrier()) return false;
+  const auto barrier =
+      crash != nullptr ? crash->on_barrier() : CrashPoint::Barrier::Proceed;
+  if (barrier == CrashPoint::Barrier::Die) return false;
   std::remove(path.c_str());
-  return true;
+  return barrier != CrashPoint::Barrier::DieAfter;
 }
 
 }  // namespace nxd::util

@@ -15,13 +15,30 @@
 // write, a flush, a file open, a rename, or an unlink.  Every boundary asks
 // the CrashPoint (when armed) whether to proceed; a triggered crash latches,
 // so every later operation fails too, exactly like code running after the
-// kill would never run.  A write-boundary crash can additionally tear the
-// buffer (a seeded strict prefix reaches the file) or flip a seeded bit
-// before dying — the torn/short-write and media-corruption cases.  The same
-// object in Mode::None is a pure counter, which is how the crash harness
-// discovers how many injection points a scripted run has.
+// kill would never run.  Failure modes cover both sides of an operation:
+//
+//   Kill        die before the op takes effect (classic power cut);
+//   Torn        write op: a seeded strict prefix reaches the file, then die;
+//   BitFlip     write op: flip one seeded bit, write fully, then die
+//               (media corruption);
+//   ShortWrite  write op: a near-complete prefix reaches the file (the
+//               classic partial write(2) return), then die — headers land,
+//               payload tails are cut;
+//   FsyncStall  the op COMPLETES (the fsync/rename/unlink happened, the
+//               kernel owns the result) but the process dies before it can
+//               observe success — the durable-but-unacked window group
+//               commit must survive;
+//   Enospc      write op: a seeded small prefix lands, then the write fails
+//               (out of space) and the process dies.
+//
+// The same object in Mode::None is a pure counter, which is how the crash
+// harness discovers how many injection points a scripted run has.  The
+// op/crash bookkeeping is atomic so a CrashPoint may be *observed* from any
+// thread; deterministic enumeration additionally requires that all guarded
+// I/O runs on one thread (DurableStore::Config::synchronous).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -39,10 +56,25 @@ inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;  // 64 MiB
 class CrashPoint {
  public:
   enum class Mode : std::uint8_t {
-    None,     ///< never crash; count operations (discovery pass)
-    Kill,     ///< die before the trigger op takes effect
-    Torn,     ///< write op: a seeded strict prefix reaches the file, then die
-    BitFlip,  ///< write op: flip one seeded bit, write fully, then die
+    None,        ///< never crash; count operations (discovery pass)
+    Kill,        ///< die before the trigger op takes effect
+    Torn,        ///< write op: a seeded strict prefix reaches the file, then die
+    BitFlip,     ///< write op: flip one seeded bit, write fully, then die
+    ShortWrite,  ///< write op: near-complete prefix (partial write), then die
+    FsyncStall,  ///< op completes, process dies before observing success
+    Enospc,      ///< write op: small prefix lands, write fails (no space), die
+  };
+
+  /// Every injectable failure mode, in a stable order (test matrices).
+  static constexpr Mode kAllModes[] = {Mode::Kill,       Mode::Torn,
+                                       Mode::BitFlip,    Mode::ShortWrite,
+                                       Mode::FsyncStall, Mode::Enospc};
+
+  /// What a non-data boundary (open, flush, rename, unlink) must do.
+  enum class Barrier : std::uint8_t {
+    Proceed,   ///< op happens, process lives
+    Die,       ///< process is dead; the op must NOT happen
+    DieAfter,  ///< perform the op, then report failure (died before the ack)
   };
 
   /// Disabled hook: counts boundaries, never crashes.
@@ -52,8 +84,12 @@ class CrashPoint {
              std::uint64_t seed = 0) noexcept
       : trigger_(trigger_op), seed_(seed), mode_(mode) {}
 
-  std::uint64_t ops_seen() const noexcept { return ops_; }
-  bool crashed() const noexcept { return crashed_; }
+  std::uint64_t ops_seen() const noexcept {
+    return ops_.load(std::memory_order_relaxed);
+  }
+  bool crashed() const noexcept {
+    return crashed_.load(std::memory_order_relaxed);
+  }
 
   // ---- hooks called by the I/O layer ------------------------------------
   /// Write boundary.  `buf` is the exact byte sequence about to reach the
@@ -62,16 +98,18 @@ class CrashPoint {
   /// proceeds normally, 0 for every op after the crash.
   std::size_t on_write(std::vector<std::uint8_t>& buf) noexcept;
 
-  /// Non-data boundary (open, flush, rename, unlink).  False = the simulated
-  /// process is dead and the operation must not happen.
-  bool on_barrier() noexcept;
+  /// Non-data boundary (open, flush, rename, unlink).  Die = the simulated
+  /// process is dead and the operation must not happen; DieAfter = perform
+  /// the operation, then fail (FsyncStall: the barrier landed on disk but
+  /// nobody lived to see it).
+  Barrier on_barrier() noexcept;
 
  private:
   std::uint64_t trigger_ = 0;
   std::uint64_t seed_ = 0;
-  std::uint64_t ops_ = 0;
+  std::atomic<std::uint64_t> ops_{0};
   Mode mode_ = Mode::None;
-  bool crashed_ = false;
+  std::atomic<bool> crashed_{false};
 };
 
 /// Append-only writer of CRC32C-framed records, every operation guarded by
@@ -90,7 +128,8 @@ class CheckedWriter {
   const std::string& path() const noexcept { return path_; }
   std::uint64_t bytes_written() const noexcept { return bytes_; }
 
-  /// Frame `payload` and write it as one operation.
+  /// Frame `payload` and write it as one operation (buffered — not durable
+  /// until flush()).
   bool append_record(std::span<const std::uint8_t> payload);
 
   /// fflush + fsync — the durability barrier an ack rides on.
@@ -134,7 +173,9 @@ std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
 
 /// Atomic commit: write `payload` as a single framed record to `path.tmp`,
 /// flush, fsync, then rename over `path`.  Either the old file or the
-/// complete new one survives a crash — never a torn mixture.
+/// complete new one survives a crash — never a torn mixture.  (Under
+/// Mode::FsyncStall at the rename boundary the new file IS committed; the
+/// false return models the death before the caller could record success.)
 bool write_file_atomic(const std::string& path,
                        std::span<const std::uint8_t> payload,
                        CrashPoint* crash = nullptr);

@@ -96,4 +96,64 @@ void WorkerPool::worker_loop() {
   }
 }
 
+// --------------------------------------------------------------- SerialWorker
+
+SerialWorker::SerialWorker(bool inline_mode) : inline_mode_(inline_mode) {
+  if (!inline_mode_) thread_ = std::thread([this] { loop(); });
+}
+
+SerialWorker::~SerialWorker() {
+  if (inline_mode_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  thread_.join();
+}
+
+void SerialWorker::submit(std::function<void()> task) {
+  if (inline_mode_) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void SerialWorker::drain() {
+  if (inline_mode_) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && !running_task_; });
+}
+
+std::size_t SerialWorker::pending() const {
+  if (inline_mode_) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + (running_task_ ? 1 : 0);
+}
+
+void SerialWorker::loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      running_task_ = true;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_task_ = false;
+      if (queue_.empty()) idle_.notify_all();
+    }
+  }
+}
+
 }  // namespace nxd::util

@@ -71,4 +71,44 @@ class WorkerPool {
   std::vector<std::thread> workers_;
 };
 
+/// One dedicated thread draining a FIFO of tasks in submission order — the
+/// shape background durability stages need (delta checkpoints, manifest
+/// commits must land in frontier order, so a pool is the wrong tool).
+///
+/// In `inline_mode` no thread exists and submit() runs the task on the
+/// calling thread before returning; DurableStore's deterministic crash
+/// harness uses this so every file operation happens at a reproducible
+/// point in program order.
+class SerialWorker {
+ public:
+  explicit SerialWorker(bool inline_mode = false);
+
+  SerialWorker(const SerialWorker&) = delete;
+  SerialWorker& operator=(const SerialWorker&) = delete;
+
+  /// Drains the queue (runs every pending task), then joins.
+  ~SerialWorker();
+
+  /// Enqueue one task (or run it inline).  Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished running.
+  void drain();
+
+  /// Queued + currently running tasks.
+  std::size_t pending() const;
+
+ private:
+  void loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  bool running_task_ = false;
+  bool stopping_ = false;
+  bool inline_mode_ = false;
+  std::thread thread_;
+};
+
 }  // namespace nxd::util

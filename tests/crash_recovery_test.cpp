@@ -1,13 +1,19 @@
 // Crash-safe durable ingest: checked_io framing / atomic-commit primitives,
-// WAL append-rotate-replay, DurableStore checkpoint + recovery — and the
-// deterministic crash-point harness, which enumerates EVERY I/O boundary of
-// a scripted ingest, simulates a kill / torn write / bit flip there,
+// WAL group commit + append-rotate-replay, DurableStore delta checkpoints,
+// manifest recovery — and the deterministic crash-point harness, which
+// enumerates EVERY I/O boundary of a scripted ingest, simulates a failure
+// there (kill, torn write, bit flip, short write, fsync stall, ENOSPC),
 // recovers, and asserts byte-exact equivalence with an uninterrupted serial
-// ingest of the committed batch prefix.  Everything is seeded and
+// ingest of the recovered batch prefix.  Everything is seeded and
 // byte-reproducible.
+//
+// The tier-1 run samples the injection matrix with a stride; set
+// NXD_CRASH_EXHAUSTIVE=1 to sweep every (op, mode) pair (the `crash_matrix`
+// ctest entry does).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <span>
@@ -17,6 +23,7 @@
 
 #include "dns/name.hpp"
 #include "pdns/durable_store.hpp"
+#include "pdns/manifest.hpp"
 #include "pdns/observation.hpp"
 #include "pdns/sie_channel.hpp"
 #include "pdns/snapshot.hpp"
@@ -31,6 +38,10 @@ namespace nxd {
 namespace {
 
 using util::CrashPoint;
+
+bool exhaustive_matrix() {
+  return std::getenv("NXD_CRASH_EXHAUSTIVE") != nullptr;
+}
 
 /// Fresh scratch directory per scenario, wiped first so every simulated
 /// process starts from the same on-disk state.  Keyed by pid so the plain /
@@ -87,10 +98,25 @@ std::vector<std::uint8_t> serial_snapshot(
   return pdns::save_snapshot(store);
 }
 
-pdns::DurableStore::Config script_config(std::size_t shards) {
+/// Config for the plain (non-crash) round-trip tests: async group commit,
+/// manual checkpoints only.
+pdns::DurableStore::Config plain_config(std::size_t shards) {
   pdns::DurableStore::Config config;
   config.shard_count = shards;
   config.wal.segment_max_bytes = 4096;  // small, to exercise rotation
+  return config;
+}
+
+/// Config the crash harness enumerates: synchronous (all guarded I/O on one
+/// thread → deterministic op numbering) with the full delta-checkpoint
+/// protocol exercised every two batches and a compaction every second round.
+pdns::DurableStore::Config script_config(std::size_t shards) {
+  pdns::DurableStore::Config config;
+  config.shard_count = shards;
+  config.synchronous = true;
+  config.delta_every_batches = 2;
+  config.compact_every_deltas = 2;
+  config.wal.segment_max_bytes = 4096;
   return config;
 }
 
@@ -99,9 +125,10 @@ struct ScriptResult {
   std::uint64_t acked = 0;
 };
 
-/// The scripted ingest the harness enumerates: open, ingest every batch,
-/// checkpoint once in the middle.  Stops at the first failed ack (the
-/// simulated process is dead from there on).
+/// The scripted ingest the harness enumerates: open, ingest every batch
+/// (delta checkpoints fire on their own), one manual full checkpoint in the
+/// middle.  Stops at the first failed ack (the simulated process is dead
+/// from there on).
 ScriptResult run_script(
     const std::string& dir,
     std::span<const std::vector<pdns::Observation>> batches, std::size_t shards,
@@ -116,6 +143,32 @@ ScriptResult run_script(
     if (b + 1 == batches.size() / 2) store->checkpoint();
   }
   return result;
+}
+
+/// Flip one seeded byte somewhere in `path` — the CRC32C framing must turn
+/// any such mutation into a detected, recoverable fault.
+void flip_byte_in_file(const std::string& path, std::uint64_t seed) {
+  auto bytes = util::read_file(path);
+  ASSERT_TRUE(bytes.has_value()) << path;
+  ASSERT_FALSE(bytes->empty()) << path;
+  util::Rng rng(seed);
+  (*bytes)[rng.bounded(bytes->size())] ^= 0xFF;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes->data()),
+            static_cast<std::streamsize>(bytes->size()));
+}
+
+/// Every checkpoint-chain file (manifests, bases, deltas) currently in `dir`.
+std::vector<std::string> chain_files(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& [frontier, path] : pdns::list_manifests(dir)) {
+    files.push_back(path);
+  }
+  for (const auto& [batches, path] : pdns::list_bases(dir)) {
+    files.push_back(path);
+  }
+  for (const auto& delta : pdns::list_deltas(dir)) files.push_back(delta.path);
+  return files;
 }
 
 // -------------------------------------------------------------- checked_io
@@ -228,9 +281,13 @@ TEST(CheckedIo, AtomicCommitCrashAtEveryOpKeepsOldOrNothing) {
   const std::uint64_t total_ops = probe.ops_seen();
   ASSERT_GE(total_ops, 4u);  // open, record write, flush, rename
 
+  // Every failure mode that dies before (or instead of) the rename must
+  // leave the previously committed file byte-identical.
   for (std::uint64_t op = 0; op < total_ops; ++op) {
-    for (const auto mode : {CrashPoint::Mode::Kill, CrashPoint::Mode::Torn,
-                            CrashPoint::Mode::BitFlip}) {
+    for (const auto mode :
+         {CrashPoint::Mode::Kill, CrashPoint::Mode::Torn,
+          CrashPoint::Mode::BitFlip, CrashPoint::Mode::ShortWrite,
+          CrashPoint::Mode::Enospc}) {
       std::filesystem::remove(path + ".tmp");
       ASSERT_TRUE(util::write_file_atomic(path, old_payload));
       CrashPoint crash(op, mode, /*seed=*/1000 + op);
@@ -243,8 +300,42 @@ TEST(CheckedIo, AtomicCommitCrashAtEveryOpKeepsOldOrNothing) {
   }
 
   // And an uninterrupted retry lands the new state.
+  std::filesystem::remove(path + ".tmp");
   ASSERT_TRUE(util::write_file_atomic(path, new_payload));
   EXPECT_EQ(util::read_file_checked(path), new_payload);
+}
+
+TEST(CheckedIo, FsyncStallCommitsTheOpButReportsFailure) {
+  // FsyncStall models the durable-but-unacked window: the operation REACHES
+  // the kernel (the rename lands, the fsync completes) but the process dies
+  // before observing success.  Atomic commit under it must read back as
+  // either the complete old file or the complete new one — and at the
+  // rename boundary specifically, the new one.
+  const std::string dir = fresh_dir("ckio_stall");
+  const std::string path = dir + "/state.bin";
+  const auto old_payload = bytes_of("old committed state");
+  const auto new_payload = bytes_of("replacement state, longer than before");
+
+  ASSERT_TRUE(util::write_file_atomic(path, old_payload));
+  CrashPoint probe;
+  ASSERT_TRUE(util::write_file_atomic(path, new_payload, &probe));
+  const std::uint64_t total_ops = probe.ops_seen();
+
+  std::size_t landed_new = 0;
+  for (std::uint64_t op = 0; op < total_ops; ++op) {
+    std::filesystem::remove(path + ".tmp");
+    ASSERT_TRUE(util::write_file_atomic(path, old_payload));
+    CrashPoint crash(op, CrashPoint::Mode::FsyncStall, /*seed=*/2000 + op);
+    EXPECT_FALSE(util::write_file_atomic(path, new_payload, &crash));
+    EXPECT_TRUE(crash.crashed());
+    const auto readback = util::read_file_checked(path);
+    ASSERT_TRUE(readback.has_value()) << "op=" << op;
+    EXPECT_TRUE(*readback == old_payload || *readback == new_payload)
+        << "op=" << op;
+    if (*readback == new_payload) ++landed_new;
+  }
+  // The rename boundary exists, so at least one stall committed the new file.
+  EXPECT_GE(landed_new, 1u);
 }
 
 // --------------------------------------------------------------------- Wal
@@ -267,11 +358,61 @@ TEST(Wal, AppendRotateReplayRoundTrip) {
   ASSERT_EQ(replay.batches.size(), batches.size());
   for (std::size_t i = 0; i < batches.size(); ++i) {
     EXPECT_EQ(replay.batches[i].seq, i + 1);
-    // Frame-codec byte equality is the strongest cheap comparison.
-    EXPECT_EQ(pdns::encode_batch_frame(replay.batches[i].batch),
-              pdns::encode_batch_frame(batches[i]))
+    // Replay hands back the raw frame bytes — byte equality with the codec
+    // output is the strongest cheap comparison.
+    EXPECT_EQ(replay.batches[i].frame, pdns::encode_batch_frame(batches[i]))
         << i;
+    EXPECT_EQ(replay.batches[i].observations, batches[i].size()) << i;
   }
+}
+
+TEST(Wal, GroupAppendIsOneBarrierAndReplaysWhole) {
+  const std::string dir = fresh_dir("wal_group");
+  const auto batches = make_batches(42, 4, 12);
+  auto wal = pdns::Wal::create(dir, {}, 0, 1);
+  ASSERT_TRUE(wal.has_value());
+  // A whole group buffered, ONE sync: the group-commit building block.
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(wal->append_frame(pdns::encode_batch_frame(batch)));
+  }
+  ASSERT_TRUE(wal->sync());
+  EXPECT_EQ(wal->next_seq(), 5u);
+
+  const auto replay = pdns::Wal::replay(dir);
+  ASSERT_EQ(replay.batches.size(), 4u);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(replay.batches[i].seq, i + 1);
+    EXPECT_EQ(replay.batches[i].frame, pdns::encode_batch_frame(batches[i]));
+  }
+}
+
+TEST(Wal, TornGroupRecordDropsWholeBatchesNeverFractions) {
+  const std::string dir = fresh_dir("wal_torn_group");
+  const auto batches = make_batches(11, 3, 15);
+  auto wal = pdns::Wal::create(dir, {}, 0, 1);
+  ASSERT_TRUE(wal.has_value());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(wal->append_frame(pdns::encode_batch_frame(batch)));
+  }
+  ASSERT_TRUE(wal->sync());
+
+  // Tear the file inside the SECOND record of the group: replay must admit
+  // exactly batch 1 — whole batches are dropped, never fractions of one.
+  const auto segments = pdns::Wal::list_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto record_bytes = [&](std::size_t i) {
+    // CKR1 framing: 12-byte header + (8-byte seq + frame) payload.
+    return 12 + 8 + pdns::encode_batch_frame(batches[i]).size();
+  };
+  std::filesystem::resize_file(segments[0].second,
+                               record_bytes(0) + record_bytes(1) - 5);
+
+  const auto replay = pdns::Wal::replay(dir);
+  ASSERT_EQ(replay.batches.size(), 1u);
+  EXPECT_EQ(replay.batches[0].seq, 1u);
+  EXPECT_EQ(replay.batches[0].frame, pdns::encode_batch_frame(batches[0]));
+  EXPECT_TRUE(replay.tail_truncated);
+  EXPECT_GT(replay.discarded_bytes, 0u);
 }
 
 TEST(Wal, ReplayStopsAtNonIncreasingSequence) {
@@ -340,7 +481,7 @@ TEST(DurableStore, CheckpointRecoverRoundTrip) {
   const auto batches = make_batches(55, 6, 40);
 
   {
-    auto store = pdns::DurableStore::open(dir, script_config(1));
+    auto store = pdns::DurableStore::open(dir, plain_config(1));
     ASSERT_TRUE(store.has_value());
     for (std::size_t b = 0; b < batches.size(); ++b) {
       ASSERT_TRUE(store->ingest_batch(batches[b]));
@@ -352,13 +493,16 @@ TEST(DurableStore, CheckpointRecoverRoundTrip) {
     EXPECT_EQ(store->checkpoints_taken(), 1u);
   }  // drop the store: simulate a clean shutdown without a final checkpoint
 
-  auto recovered = pdns::DurableStore::open(dir, script_config(1));
+  auto recovered = pdns::DurableStore::open(dir, plain_config(1));
   ASSERT_TRUE(recovered.has_value());
   EXPECT_EQ(recovered->committed_batches(), 6u);
   EXPECT_TRUE(recovered->recovery().snapshot_loaded);
   EXPECT_EQ(recovered->recovery().snapshot_batches, 3u);
   EXPECT_EQ(recovered->recovery().replayed_batches, 3u);
-  EXPECT_EQ(recovered->recovery().stale_batches_skipped, 0u);
+  // Retention keeps WAL back to the previous frontier's floor, so the
+  // batches the manifest already covers replay as stale skips — by design.
+  EXPECT_EQ(recovered->recovery().stale_batches_skipped, 3u);
+  EXPECT_FALSE(recovered->recovery().frontier_degraded);
   EXPECT_FALSE(recovered->recovery().wal_tail_truncated);
   EXPECT_EQ(recovered->snapshot_bytes(), serial_snapshot(batches, 6));
 }
@@ -367,7 +511,7 @@ TEST(DurableStore, RecoverySkipsWalRecordsTheCheckpointAlreadyCovers) {
   const std::string dir = fresh_dir("ds_stale");
   const auto batches = make_batches(77, 4, 30);
   {
-    auto store = pdns::DurableStore::open(dir, script_config(1));
+    auto store = pdns::DurableStore::open(dir, plain_config(1));
     ASSERT_TRUE(store.has_value());
     for (const auto& batch : batches) ASSERT_TRUE(store->ingest_batch(batch));
     ASSERT_TRUE(store->checkpoint());
@@ -381,19 +525,57 @@ TEST(DurableStore, RecoverySkipsWalRecordsTheCheckpointAlreadyCovers) {
     ASSERT_TRUE(stale->append_batch(batches[0]));
   }
 
-  auto recovered = pdns::DurableStore::open(dir, script_config(1));
+  auto recovered = pdns::DurableStore::open(dir, plain_config(1));
   ASSERT_TRUE(recovered.has_value());
   EXPECT_EQ(recovered->committed_batches(), 4u);
-  EXPECT_EQ(recovered->recovery().stale_batches_skipped, 1u);
+  // Retained segments carry seqs 1..4 (all stale) plus the injected seq-1
+  // straggler, which also breaks the ascending-seq rule and ends the scan.
+  EXPECT_EQ(recovered->recovery().stale_batches_skipped, 4u);
   EXPECT_EQ(recovered->recovery().replayed_batches, 0u);
   EXPECT_EQ(recovered->snapshot_bytes(), serial_snapshot(batches, 4));
+}
+
+TEST(DurableStore, PipelinedSubmitCoalescesGroupsAndStaysExact) {
+  const std::string dir = fresh_dir("ds_group");
+  const auto batches = make_batches(99, 40, 20);
+
+  auto config = plain_config(1);
+  config.group_window.max_batches = 8;
+  config.group_window.linger_us = 50'000;  // collect until the window fills
+  {
+    auto store = pdns::DurableStore::open(dir, config);
+    ASSERT_TRUE(store.has_value());
+    std::vector<std::uint64_t> tickets;
+    for (const auto& batch : batches) {
+      const auto ticket = store->submit_batch(batch);
+      ASSERT_NE(ticket, 0u);
+      tickets.push_back(ticket);
+    }
+    ASSERT_TRUE(store->wait_durable());
+    for (const auto ticket : tickets) EXPECT_TRUE(store->wait_batch(ticket));
+    EXPECT_EQ(store->committed_batches(), 40u);
+
+    const auto stats = store->stage_stats();
+    EXPECT_EQ(stats.batches, 40u);
+    EXPECT_GE(stats.groups, 5u);   // 40 batches / window of 8
+    EXPECT_LE(stats.groups, 12u);  // …but far fewer barriers than batches
+    std::uint64_t hist_total = 0;
+    for (const auto count : stats.group_size_log2) hist_total += count;
+    EXPECT_EQ(hist_total, stats.groups);
+    EXPECT_EQ(store->snapshot_bytes(), serial_snapshot(batches, 40));
+  }
+
+  auto recovered = pdns::DurableStore::open(dir, config);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->committed_batches(), 40u);
+  EXPECT_EQ(recovered->snapshot_bytes(), serial_snapshot(batches, 40));
 }
 
 TEST(DurableStore, FsckReportsCleanAndDirtyDirectories) {
   const std::string dir = fresh_dir("ds_fsck");
   const auto batches = make_batches(88, 4, 25);
   {
-    auto store = pdns::DurableStore::open(dir, script_config(1));
+    auto store = pdns::DurableStore::open(dir, plain_config(1));
     ASSERT_TRUE(store.has_value());
     for (std::size_t b = 0; b < batches.size(); ++b) {
       ASSERT_TRUE(store->ingest_batch(batches[b]));
@@ -404,10 +586,15 @@ TEST(DurableStore, FsckReportsCleanAndDirtyDirectories) {
   }
   auto report = pdns::DurableStore::fsck(dir);
   EXPECT_TRUE(report.clean);
+  ASSERT_EQ(report.manifests.size(), 1u);
+  EXPECT_TRUE(report.manifests[0].usable);
+  EXPECT_EQ(report.frontier, 2u);
   EXPECT_EQ(report.best_snapshot_batches, 2u);
+  EXPECT_EQ(report.chain_deltas, 0u);
+  EXPECT_EQ(report.orphaned_chain_files, 0u);
+  EXPECT_EQ(report.stale_batches, 2u);  // retained pre-checkpoint segments
   EXPECT_EQ(report.replayable_batches, 2u);
   EXPECT_EQ(report.recoverable_batches, 4u);
-  EXPECT_EQ(report.stale_batches, 0u);
 
   // Dirt: a leftover commit temp and a torn WAL tail.
   std::ofstream(dir + "/snapshot-999.nxs.tmp", std::ios::binary) << "junk";
@@ -423,16 +610,139 @@ TEST(DurableStore, FsckReportsCleanAndDirtyDirectories) {
   EXPECT_EQ(report.recoverable_batches, 3u);  // all-or-nothing on the tail
 }
 
+// ------------------------------------------- manifest / delta-chain faults
+
+/// Delta-only lineage (no compactions): corrupting the newest manifest must
+/// degrade recovery to a longer WAL replay, never to data loss.
+TEST(DurableStore, CorruptNewestManifestDegradesToLongerReplay) {
+  const std::string dir = fresh_dir("ds_badmanifest");
+  const auto batches = make_batches(101, 6, 30);
+  auto config = script_config(1);
+  config.compact_every_deltas = 0;  // keep every checkpoint a delta
+  {
+    auto store = pdns::DurableStore::open(dir, config);
+    ASSERT_TRUE(store.has_value());
+    for (const auto& batch : batches) ASSERT_TRUE(store->ingest_batch(batch));
+    EXPECT_GE(store->checkpoints_taken(), 2u);
+  }
+  const auto manifests = pdns::list_manifests(dir);
+  ASSERT_FALSE(manifests.empty());
+  flip_byte_in_file(manifests.front().second, /*seed=*/404);
+
+  auto recovered = pdns::DurableStore::open(dir, config);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->committed_batches(), 6u);  // nothing lost
+  EXPECT_TRUE(recovered->recovery().frontier_degraded);
+  EXPECT_GE(recovered->recovery().invalid_manifests, 1u);
+  EXPECT_EQ(recovered->snapshot_bytes(), serial_snapshot(batches, 6));
+}
+
+TEST(DurableStore, CorruptDeltaInChainDegradesToLongerReplay) {
+  const std::string dir = fresh_dir("ds_baddelta");
+  const auto batches = make_batches(202, 6, 30);
+  auto config = script_config(1);
+  config.compact_every_deltas = 0;
+  {
+    auto store = pdns::DurableStore::open(dir, config);
+    ASSERT_TRUE(store.has_value());
+    for (const auto& batch : batches) ASSERT_TRUE(store->ingest_batch(batch));
+  }
+  const auto deltas = pdns::list_deltas(dir);
+  ASSERT_FALSE(deltas.empty());
+  flip_byte_in_file(deltas.front().path, /*seed=*/405);
+
+  auto recovered = pdns::DurableStore::open(dir, config);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->committed_batches(), 6u);
+  EXPECT_TRUE(recovered->recovery().frontier_degraded);
+  EXPECT_GE(recovered->recovery().corrupt_chain_files, 1u);
+  EXPECT_EQ(recovered->snapshot_bytes(), serial_snapshot(batches, 6));
+}
+
+/// Seeded single-fault fuzz over the whole chain (manifests, bases, deltas,
+/// including compacted lineages): retention keeps the previous distinct-base
+/// manifest and the WAL back to its floor, so ANY one mutated chain file
+/// still recovers every acked batch.
+TEST(DurableStore, ChainFileMutationFuzzNeverLosesAckedData) {
+  const auto batches = make_batches(303, 8, 25);
+  const auto want = serial_snapshot(batches, 8);
+  for (const std::uint64_t seed : {7ULL, 77ULL, 777ULL, 7777ULL}) {
+    const std::string dir = fresh_dir("ds_fuzz_" + std::to_string(seed));
+    const auto config = script_config(1);  // deltas every 2, compact every 2
+    {
+      auto store = pdns::DurableStore::open(dir, config);
+      ASSERT_TRUE(store.has_value());
+      for (const auto& batch : batches) {
+        ASSERT_TRUE(store->ingest_batch(batch));
+      }
+    }
+    const auto files = chain_files(dir);
+    ASSERT_GE(files.size(), 3u) << "seed=" << seed;
+    util::Rng rng(seed);
+    const auto& victim = files[rng.bounded(files.size())];
+    flip_byte_in_file(victim, seed * 31 + 1);
+
+    auto recovered = pdns::DurableStore::open(dir, config);
+    ASSERT_TRUE(recovered.has_value()) << "seed=" << seed;
+    EXPECT_EQ(recovered->committed_batches(), 8u)
+        << "seed=" << seed << " victim=" << victim;
+    EXPECT_EQ(recovered->snapshot_bytes(), want)
+        << "seed=" << seed << " victim=" << victim;
+  }
+}
+
+/// Multi-fault: every manifest AND every base mutated.  Full recovery is no
+/// longer promised, but open() must still succeed with an exact serial
+/// prefix (possibly empty), and fsck must flag the directory.
+TEST(DurableStore, MultiFaultCorruptionStillYieldsExactPrefix) {
+  const std::string dir = fresh_dir("ds_multifault");
+  const auto batches = make_batches(404, 8, 25);
+  std::vector<std::vector<std::uint8_t>> want;
+  for (std::uint64_t r = 0; r <= batches.size(); ++r) {
+    want.push_back(serial_snapshot(batches, r));
+  }
+  const auto config = script_config(1);
+  {
+    auto store = pdns::DurableStore::open(dir, config);
+    ASSERT_TRUE(store.has_value());
+    for (const auto& batch : batches) ASSERT_TRUE(store->ingest_batch(batch));
+  }
+  std::uint64_t mutated = 0;
+  for (const auto& [frontier, path] : pdns::list_manifests(dir)) {
+    flip_byte_in_file(path, 500 + mutated++);
+  }
+  for (const auto& [count, path] : pdns::list_bases(dir)) {
+    flip_byte_in_file(path, 500 + mutated++);
+  }
+  ASSERT_GE(mutated, 2u);
+
+  auto recovered = pdns::DurableStore::open(dir, config);
+  ASSERT_TRUE(recovered.has_value());
+  const std::uint64_t r = recovered->committed_batches();
+  ASSERT_LE(r, batches.size());
+  EXPECT_EQ(recovered->snapshot_bytes(), want[r]);
+  // Either the WAL alone reconstructed everything, or the truncated-WAL gap
+  // was detected and replay stopped at an exact prefix.
+  EXPECT_TRUE(r == batches.size() ||
+              recovered->recovery().wal_gap_detected);
+
+  const auto report = pdns::DurableStore::fsck(dir);
+  EXPECT_FALSE(report.clean);
+}
+
 // ----------------------------------------------------------- crash harness
 
 /// The tentpole property.  For every I/O boundary `op` of the scripted
 /// ingest and every failure mode, kill the collector there, recover, and
 /// require:
 ///   - recovery always succeeds (a crashed directory is never unreadable);
-///   - acked ⊆ recovered, and at most one unacked in-flight batch is
-///     admitted (it must have reached the file intact before the death);
+///   - no acked batch is ever lost, and at most one unacked in-flight batch
+///     is admitted (it must have become durable before the death —
+///     FsyncStall's durable-but-unacked window);
 ///   - the recovered store's snapshot is byte-identical to an uninterrupted
 ///     serial ingest of exactly the recovered batch prefix.
+/// The scripted run exercises group commit (synchronous groups of one),
+/// delta checkpoints, compaction, manifest commits, and retention cleanup.
 void enumerate_crash_points(const std::string& tag, std::size_t shards,
                             std::size_t batch_count, std::size_t per_batch) {
   const auto batches = make_batches(0xC0FFEE + shards, batch_count, per_batch);
@@ -456,9 +766,15 @@ void enumerate_crash_points(const std::string& tag, std::size_t shards,
   const std::uint64_t total_ops = probe.ops_seen();
   ASSERT_GT(total_ops, 15u) << "scripted run has suspiciously few boundaries";
 
-  for (std::uint64_t op = 0; op < total_ops; ++op) {
-    for (const auto mode : {CrashPoint::Mode::Kill, CrashPoint::Mode::Torn,
-                            CrashPoint::Mode::BitFlip}) {
+  // Tier-1 samples the matrix with a stride (offset per mode, so together
+  // the modes cover different residues); NXD_CRASH_EXHAUSTIVE=1 sweeps all.
+  const std::uint64_t step =
+      exhaustive_matrix() ? 1
+                          : std::max<std::uint64_t>(1, total_ops / 24);
+  std::size_t mode_index = 0;
+  for (const auto mode : CrashPoint::kAllModes) {
+    const std::uint64_t first = exhaustive_matrix() ? 0 : mode_index++;
+    for (std::uint64_t op = first; op < total_ops; op += step) {
       const auto dir = fresh_dir(tag + "_" + std::to_string(op) + "_" +
                                  std::to_string(static_cast<int>(mode)));
       CrashPoint crash(op, mode, /*seed=*/0x5EED + op);
@@ -469,9 +785,11 @@ void enumerate_crash_points(const std::string& tag, std::size_t shards,
       ASSERT_TRUE(recovered.has_value())
           << "op=" << op << " mode=" << static_cast<int>(mode);
       const std::uint64_t r = recovered->committed_batches();
-      ASSERT_GE(r, result.acked) << "acked batch lost at op=" << op;
+      ASSERT_GE(r, result.acked) << "acked batch lost at op=" << op
+                                 << " mode=" << static_cast<int>(mode);
       ASSERT_LE(r, result.acked + 1)
-          << "more than one unacked batch admitted at op=" << op;
+          << "more than one unacked batch admitted at op=" << op
+          << " mode=" << static_cast<int>(mode);
       ASSERT_LE(r, batches.size());
       EXPECT_EQ(recovered->snapshot_bytes(), want[r])
           << "op=" << op << " mode=" << static_cast<int>(mode)
@@ -488,6 +806,56 @@ TEST(CrashHarness, EveryInjectionPointRecoversExactly) {
 TEST(CrashHarness, ShardedIngestRecoversExactlyToo) {
   enumerate_crash_points("sharded", /*shards=*/4, /*batch_count=*/4,
                          /*per_batch=*/30);
+}
+
+/// Group commit under fire: the asynchronous writer coalesces pipelined
+/// submissions while the CrashPoint kills the collector at a sampled op.
+/// Op interleaving is not deterministic here (that is what the synchronous
+/// matrix is for) — but the ack-safety invariants must hold regardless:
+/// acked prefix ⊆ recovered ⊆ submitted, byte-exact at whatever prefix the
+/// recovery lands on.
+TEST(CrashHarness, AsyncGroupCommitCrashKeepsAckedPrefixExact) {
+  const auto batches = make_batches(0xFACADE, 24, 20);
+  std::vector<std::vector<std::uint8_t>> want;
+  for (std::uint64_t r = 0; r <= batches.size(); ++r) {
+    want.push_back(serial_snapshot(batches, r));
+  }
+  auto config = plain_config(1);
+  config.delta_every_batches = 3;
+  config.compact_every_deltas = 2;
+
+  for (const std::uint64_t trigger : {2ULL, 5ULL, 11ULL, 23ULL, 47ULL}) {
+    for (const auto mode :
+         {CrashPoint::Mode::Kill, CrashPoint::Mode::FsyncStall}) {
+      const auto dir = fresh_dir("async_" + std::to_string(trigger) + "_" +
+                                 std::to_string(static_cast<int>(mode)));
+      CrashPoint crash(trigger, mode, /*seed=*/0xA5 + trigger);
+      std::uint64_t acked = 0;
+      {
+        auto store = pdns::DurableStore::open(dir, config, &crash);
+        if (store.has_value()) {
+          std::vector<std::uint64_t> tickets;
+          for (const auto& batch : batches) {
+            tickets.push_back(store->submit_batch(batch));
+          }
+          for (const auto ticket : tickets) {
+            if (ticket == 0 || !store->wait_batch(ticket)) break;
+            ++acked;  // acks land in submission order: a strict prefix
+          }
+        }
+      }
+
+      auto recovered = pdns::DurableStore::open(dir, config);
+      ASSERT_TRUE(recovered.has_value())
+          << "trigger=" << trigger << " mode=" << static_cast<int>(mode);
+      const std::uint64_t r = recovered->committed_batches();
+      ASSERT_GE(r, acked) << "acked batch lost, trigger=" << trigger;
+      ASSERT_LE(r, batches.size());
+      EXPECT_EQ(recovered->snapshot_bytes(), want[r])
+          << "trigger=" << trigger << " mode=" << static_cast<int>(mode)
+          << " acked=" << acked << " recovered=" << r;
+    }
+  }
 }
 
 }  // namespace

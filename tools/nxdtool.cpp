@@ -266,19 +266,36 @@ int cmd_recover(int argc, char** argv) {
   }
   const auto& r = store->recovery();
   std::printf("recovered %s\n", dir.c_str());
-  std::printf("  checkpoint:        %s (%llu batches)\n",
-              r.snapshot_loaded ? "loaded" : "none",
-              static_cast<unsigned long long>(r.snapshot_batches));
+  std::printf("  frontier:          %s at %llu batches (%llu deltas absorbed)\n",
+              r.snapshot_loaded ? "manifest/base" : "none",
+              static_cast<unsigned long long>(r.snapshot_batches),
+              static_cast<unsigned long long>(r.deltas_absorbed));
   std::printf("  wal replayed:      %llu batches (%llu stale skipped)\n",
               static_cast<unsigned long long>(r.replayed_batches),
               static_cast<unsigned long long>(r.stale_batches_skipped));
+  if (r.frontier_degraded) {
+    std::printf("  DEGRADED:          newest manifest unusable "
+                "(%llu invalid manifests, %llu corrupt chain files) — "
+                "recovered through the previous frontier + longer replay\n",
+                static_cast<unsigned long long>(r.invalid_manifests),
+                static_cast<unsigned long long>(r.corrupt_chain_files));
+  }
+  if (r.wal_gap_detected) {
+    std::printf("  WAL GAP:           replay stopped at a sequence gap "
+                "(multi-fault damage); state is an exact shorter prefix\n");
+  }
   if (r.wal_tail_truncated) {
     std::printf("  torn tail:         %llu bytes discarded\n",
                 static_cast<unsigned long long>(r.discarded_wal_bytes));
   }
   if (r.invalid_snapshots > 0) {
-    std::printf("  corrupt ckpts:     %llu skipped\n",
+    std::printf("  corrupt bases:     %llu skipped\n",
                 static_cast<unsigned long long>(r.invalid_snapshots));
+  }
+  if (r.orphaned_chain_files > 0) {
+    std::printf("  orphaned chain:    %llu files (checkpoint died before its "
+                "manifest; retired at the next checkpoint)\n",
+                static_cast<unsigned long long>(r.orphaned_chain_files));
   }
   if (r.removed_tmp_files > 0) {
     std::printf("  temporaries:       %llu swept\n",
@@ -307,13 +324,26 @@ int cmd_fsck(int argc, char** argv) {
   }
   const auto report = pdns::DurableStore::fsck(dir);
   std::printf("fsck %s\n", dir.c_str());
+  std::uint64_t corrupt_manifests = 0;
+  for (const auto& m : report.manifests) {
+    if (!m.usable) ++corrupt_manifests;
+    std::printf("  manifest   %-40s %s (frontier %llu, %llu deltas)\n",
+                m.path.c_str(),
+                m.usable ? "ok" : (m.decodable ? "BROKEN CHAIN" : "CORRUPT"),
+                static_cast<unsigned long long>(m.frontier),
+                static_cast<unsigned long long>(m.chain_deltas));
+  }
   std::uint64_t corrupt_snapshots = 0;
   for (const auto& snap : report.snapshots) {
     if (!snap.valid) ++corrupt_snapshots;
-    std::printf("  checkpoint %-40s %s (%llu batches)\n", snap.path.c_str(),
+    std::printf("  base image %-40s %s (%llu batches)\n", snap.path.c_str(),
                 snap.valid ? "ok" : "CORRUPT",
                 static_cast<unsigned long long>(snap.batches));
   }
+  std::printf("  frontier: %llu batches (%llu base + %llu chain deltas)\n",
+              static_cast<unsigned long long>(report.frontier),
+              static_cast<unsigned long long>(report.best_snapshot_batches),
+              static_cast<unsigned long long>(report.chain_deltas));
   std::printf("  wal: %llu segments, %llu records "
               "(%llu replayable, %llu stale)\n",
               static_cast<unsigned long long>(report.wal_segments),
@@ -324,22 +354,32 @@ int cmd_fsck(int argc, char** argv) {
     std::printf("  torn wal tail: %llu bytes would be discarded\n",
                 static_cast<unsigned long long>(report.discarded_wal_bytes));
   }
+  if (report.orphaned_chain_files > 0) {
+    std::printf("  orphaned chain files: %llu (no valid manifest references "
+                "them)\n",
+                static_cast<unsigned long long>(report.orphaned_chain_files));
+  }
   if (report.tmp_files > 0) {
     std::printf("  leftover temporaries: %llu\n",
                 static_cast<unsigned long long>(report.tmp_files));
   }
-  std::printf("  recoverable: %llu batches (%llu checkpointed + %llu wal)\n",
+  std::printf("  recoverable: %llu batches (%llu frontier + %llu wal)\n",
               static_cast<unsigned long long>(report.recoverable_batches),
-              static_cast<unsigned long long>(report.best_snapshot_batches),
+              static_cast<unsigned long long>(report.frontier),
               static_cast<unsigned long long>(report.replayable_batches));
+  std::printf("  compaction debt: %llu (deltas to absorb + wal batches to "
+              "replay at next open)\n",
+              static_cast<unsigned long long>(report.compaction_debt));
   if (report.clean) {
     std::printf("  clean\n");
     return 0;
   }
-  std::printf("  NOT CLEAN (%llu corrupt checkpoints%s%s) — "
-              "run `nxdtool recover %s`\n",
+  std::printf("  NOT CLEAN (%llu corrupt manifests, %llu corrupt bases"
+              "%s%s%s) — run `nxdtool recover %s`\n",
+              static_cast<unsigned long long>(corrupt_manifests),
               static_cast<unsigned long long>(corrupt_snapshots),
               report.wal_tail_truncated ? ", torn wal tail" : "",
+              report.orphaned_chain_files > 0 ? ", orphaned chain files" : "",
               report.tmp_files > 0 ? ", leftover temporaries" : "",
               dir.c_str());
   return 2;
