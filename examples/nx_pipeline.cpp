@@ -43,6 +43,16 @@
 //                   re-renders it); --trace dumps the query-trace ring as
 //                   JSONL.  All three default off — the default run's output
 //                   is byte-identical to a build without them.
+//               [--chaos-upstream=<flap|outage|slow>] [--chaos-seed=7]
+//                   upstream-health demo: resolve a query stream against a
+//                   three-replica authoritative farm whose primary flaps,
+//                   blackholes, or slow-drips, with the adaptive health
+//                   model (SRTT selection, circuit breakers, hedged
+//                   queries) enabled.  Prints the rcode mix, breaker/hedge
+//                   stats, and the per-upstream health table.  Seeded and
+//                   byte-reproducible; the default run is untouched.  See
+//                   bench/upstream_resilience for the regression-tracked
+//                   version (BENCH_health.json).
 //               [--attack=<nxns|torture|torture-dga|cname>]
 //                   adversarial demo: run that src/attack generator against
 //                   the resolver under the full defense-ablation ladder
@@ -74,6 +84,8 @@
 #include "pdns/durable_store.hpp"
 #include "pdns/observation.hpp"
 #include "pdns/sharded_store.hpp"
+#include "resolver/health.hpp"
+#include "resolver/hierarchy.hpp"
 #include "resolver/recursive.hpp"
 #include "synth/origin_model.hpp"
 #include "synth/scale_models.hpp"
@@ -100,6 +112,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_path;
   std::string attack_mode;
+  std::string chaos_upstream;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
     if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -132,6 +145,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
     if (std::strncmp(argv[i], "--attack=", 9) == 0) attack_mode = argv[i] + 9;
+    if (std::strncmp(argv[i], "--chaos-upstream=", 17) == 0) {
+      chaos_upstream = argv[i] + 17;
+    }
   }
 
   // ---------------------------------------------------------------- attack
@@ -515,6 +531,119 @@ int main(int argc, char** argv) {
                 util::with_commas(chaos_store.nx_responses()).c_str(),
                 util::with_commas(chaos_store.distinct_nxdomains()).c_str(),
                 util::with_commas(chaos_store.servfail_responses()).c_str());
+  }
+
+  // ------------------------------------------------------- chaos-upstream
+  // Adaptive upstream-health demo: one degraded replica out of three, the
+  // health model steering around it.  Seeded and byte-reproducible.
+  if (!chaos_upstream.empty()) {
+    if (chaos_upstream != "flap" && chaos_upstream != "outage" &&
+        chaos_upstream != "slow") {
+      std::fprintf(stderr,
+                   "unknown --chaos-upstream=%s (want flap|outage|slow)\n",
+                   chaos_upstream.c_str());
+      return 2;
+    }
+    std::printf("\n=== chaos-upstream: %s primary, adaptive health on "
+                "(seed %llu) ===\n",
+                chaos_upstream.c_str(),
+                static_cast<unsigned long long>(chaos_seed));
+
+    resolver::DnsHierarchy hierarchy;
+    std::vector<dns::DomainName> registered;
+    for (int d = 0; d < 12; ++d) {
+      auto name = dns::DomainName::must("host" + std::to_string(d) + ".com");
+      hierarchy.register_domain(
+          name,
+          dns::IPv4::from_octets(203, 0, 113, static_cast<std::uint8_t>(d)));
+      registered.push_back(std::move(name));
+    }
+    net::SimNetwork network;
+    network.set_fault_plan(net::FaultPlan(chaos_seed));
+    const auto farm = resolver::HierarchyEndpoints::with_replicas(3);
+    hierarchy.attach(network, farm);
+
+    resolver::RecursiveResolver resolver(hierarchy);
+    resolver.use_network(network, farm, resolver::RetryPolicy{}, chaos_seed);
+    if (obs_enabled) {
+      resolver.bind_metrics(registry, &trace);
+      network.bind_metrics(registry, &trace);
+    }
+    resolver::HealthConfig health;
+    health.breaker.failure_threshold = 2;
+    health.breaker.open_duration = 8;
+    health.breaker.max_open_duration = 64;
+    health.hedge_min_samples = 4;
+    resolver.enable_health(health);
+
+    const auto primary_spec = [&](int i) {
+      net::FaultSpec spec;
+      if (chaos_upstream == "outage" ||
+          (chaos_upstream == "flap" && (i / 20) % 2 == 1)) {
+        spec.drop = 1.0;
+      } else if (chaos_upstream == "slow" && i >= 40) {
+        spec.delay = 1.0;
+        spec.delay_min = 5;
+        spec.delay_max = 5;
+      }
+      return spec;
+    };
+
+    util::Rng stream(chaos_seed);
+    std::uint16_t id = 1;
+    std::uint64_t noerror = 0, nxdomain = 0, servfail = 0, spurious = 0;
+    util::SimTime busy = 0;
+    for (int i = 0; i < 240; ++i) {
+      network.fault_plan().set_for(farm.auth, primary_spec(i));
+      const bool absent = stream.chance(0.25);
+      const dns::DomainName name =
+          absent ? dns::DomainName::must("ghost" + std::to_string(i) + ".com")
+                 : registered[stream.bounded(registered.size())];
+      const auto outcome = resolver.resolve(
+          dns::make_query(id++, name, dns::RRType::A), i * 10);
+      busy += outcome.elapsed;
+      switch (outcome.response.header.rcode) {
+        case dns::RCode::NoError: ++noerror; break;
+        case dns::RCode::NXDomain:
+          ++nxdomain;
+          if (!absent) ++spurious;
+          break;
+        default: ++servfail; break;
+      }
+      resolver.flush_cache();
+    }
+
+    const auto& rs = resolver.stats();
+    const auto hs = resolver.health()->stats();
+    std::printf("responses: %llu NOERROR, %llu NXDOMAIN, %llu SERVFAIL "
+                "(%llu spurious NXDomains — must be 0) in %llu busy seconds\n",
+                static_cast<unsigned long long>(noerror),
+                static_cast<unsigned long long>(nxdomain),
+                static_cast<unsigned long long>(servfail),
+                static_cast<unsigned long long>(spurious),
+                static_cast<unsigned long long>(busy));
+    std::printf("health: %llu timeouts, %llu hedged (%llu won), breakers "
+                "opened %llu / reclosed %llu, %llu probe sends, %llu "
+                "breaker skips\n",
+                static_cast<unsigned long long>(rs.timeouts),
+                static_cast<unsigned long long>(rs.hedged_queries),
+                static_cast<unsigned long long>(rs.hedge_wins),
+                static_cast<unsigned long long>(hs.breaker_opened),
+                static_cast<unsigned long long>(hs.breaker_reclosed),
+                static_cast<unsigned long long>(hs.breaker_probes),
+                static_cast<unsigned long long>(rs.breaker_skips));
+    std::printf("%-18s %10s %10s %9s %7s %7s %6s\n", "upstream", "srtt_ms",
+                "p95_s", "success%", "ok", "fail", "state");
+    for (const auto& h : resolver.health()->snapshot()) {
+      const char* state = h.breaker == util::BreakerState::Closed ? "closed"
+                          : h.breaker == util::BreakerState::Open ? "open"
+                                                                  : "half";
+      std::printf("%-18s %10.2f %10lld %8.1f%% %7llu %7llu %6s\n",
+                  h.server.to_string().c_str(), h.srtt_us / 1'000.0,
+                  static_cast<long long>(h.p95), 100.0 * h.success_rate,
+                  static_cast<unsigned long long>(h.successes),
+                  static_cast<unsigned long long>(h.failures), state);
+    }
   }
 
   // ------------------------------------------------------------- overload

@@ -28,6 +28,8 @@ void ConnectionGate::acquire_metrics(obs::MetricsRegistry& registry) {
                                   {{"reason", "rate"}});
   m_.shed_draining = registry.counter("nxd_honeypot_conns_shed_total",
                                       shed_help, {{"reason", "draining"}});
+  m_.shed_pressure = registry.counter("nxd_honeypot_conns_shed_total",
+                                      shed_help, {{"reason", "pressure"}});
   const std::string expired_help = "Connections reaped at a deadline, by phase";
   m_.expired_header = registry.counter("nxd_honeypot_conns_expired_total",
                                        expired_help, {{"phase", "header"}});
@@ -62,6 +64,7 @@ void ConnectionGate::bind_metrics(obs::MetricsRegistry& registry,
   m_.shed_capacity.inc(carried.shed_capacity);
   m_.shed_rate.inc(carried.shed_rate);
   m_.shed_draining.inc(carried.shed_draining);
+  m_.shed_pressure.inc(carried.shed_pressure);
   m_.expired_header.inc(carried.expired_header);
   m_.expired_body.inc(carried.expired_body);
   m_.expired_idle.inc(carried.expired_idle);
@@ -82,6 +85,7 @@ const OverloadStats& ConnectionGate::stats() const noexcept {
   stats_.shed_capacity = m_.shed_capacity.value();
   stats_.shed_rate = m_.shed_rate.value();
   stats_.shed_draining = m_.shed_draining.value();
+  stats_.shed_pressure = m_.shed_pressure.value();
   stats_.expired_header = m_.expired_header.value();
   stats_.expired_body = m_.expired_body.value();
   stats_.expired_idle = m_.expired_idle.value();
@@ -143,6 +147,20 @@ ConnectionGate::Admission ConnectionGate::open(net::IPv4 source,
       trace_->emit(now, obs::TraceKind::ConnShed, 0, 0, "capacity");
     }
     return Admission{0, AdmitDecision::ShedCapacity};
+  }
+  if (pressure_ != nullptr && config_.max_connections != 0) {
+    // Degradation ladder: the effective cap shrinks with the pressure
+    // level, shedding *before* the hard cap is reached.
+    const auto cap = static_cast<std::size_t>(obs::PressureSignal::scale_capacity(
+        static_cast<std::int64_t>(config_.max_connections),
+        pressure_->level_index()));
+    if (conns_.size() >= cap) {
+      m_.shed_pressure.inc();
+      if (trace_ != nullptr) {
+        trace_->emit(now, obs::TraceKind::ConnShed, 0, 0, "pressure");
+      }
+      return Admission{0, AdmitDecision::ShedPressure};
+    }
   }
   if (!rate_admit(source, now)) {
     m_.shed_rate.inc();
@@ -292,6 +310,7 @@ void LoadSnapshot::add_overload(const std::string& prefix,
   add(prefix + ".shed_capacity", stats.shed_capacity);
   add(prefix + ".shed_rate", stats.shed_rate);
   add(prefix + ".shed_draining", stats.shed_draining);
+  add(prefix + ".shed_pressure", stats.shed_pressure);
   add(prefix + ".expired_header", stats.expired_header);
   add(prefix + ".expired_body", stats.expired_body);
   add(prefix + ".expired_idle", stats.expired_idle);

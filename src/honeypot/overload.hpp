@@ -31,6 +31,7 @@
 
 #include "net/endpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pressure.hpp"
 #include "obs/trace.hpp"
 #include "util/civil_time.hpp"
 #include "util/deadline_queue.hpp"
@@ -67,6 +68,7 @@ enum class AdmitDecision : std::uint8_t {
   ShedCapacity,  // 503: max_connections reached
   ShedRate,      // 429: source bucket empty
   ShedDraining,  // 503: server is draining for shutdown
+  ShedPressure,  // 503: degradation ladder tightened the admission cap
 };
 
 enum class ExpireReason : std::uint8_t { Header, Body, Idle, DrainForced };
@@ -79,6 +81,7 @@ struct OverloadStats {
   std::uint64_t shed_capacity = 0;
   std::uint64_t shed_rate = 0;
   std::uint64_t shed_draining = 0;
+  std::uint64_t shed_pressure = 0;  // cap tightened by the degradation ladder
   std::uint64_t expired_header = 0;
   std::uint64_t expired_body = 0;
   std::uint64_t expired_idle = 0;
@@ -88,7 +91,7 @@ struct OverloadStats {
   std::uint64_t rate_table_overflow = 0; // admitted unmetered, table full
 
   std::uint64_t shed_total() const noexcept {
-    return shed_capacity + shed_rate + shed_draining;
+    return shed_capacity + shed_rate + shed_draining + shed_pressure;
   }
   std::uint64_t expired_total() const noexcept {
     return expired_header + expired_body + expired_idle;
@@ -143,6 +146,15 @@ class ConnectionGate {
   void bind_metrics(obs::MetricsRegistry& registry,
                     obs::QueryTrace* trace = nullptr);
 
+  /// Subscribe to the system-wide degradation ladder: at pressure level L
+  /// the admission cap shrinks to max_connections*(4-L)/4, shedding early
+  /// (503, counted under shed_pressure) so ingest debt never becomes an
+  /// edge blowup.  nullptr (the default) restores full capacity.  The
+  /// signal must outlive the gate.
+  void set_pressure(const obs::PressureSignal* pressure) noexcept {
+    pressure_ = pressure;
+  }
+
  private:
   struct Conn {
     net::IPv4 source;
@@ -159,6 +171,7 @@ class ConnectionGate {
     obs::Counter shed_capacity;
     obs::Counter shed_rate;
     obs::Counter shed_draining;
+    obs::Counter shed_pressure;
     obs::Counter expired_header;
     obs::Counter expired_body;
     obs::Counter expired_idle;
@@ -183,6 +196,7 @@ class ConnectionGate {
   std::uint64_t next_id_ = 1;
   bool draining_ = false;
   util::SimTime drain_started_ = 0;
+  const obs::PressureSignal* pressure_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
   Metrics m_;
   obs::QueryTrace* trace_ = nullptr;

@@ -935,6 +935,26 @@ void DurableStore::bind_metrics(obs::MetricsRegistry& registry,
   core_->do_bind(registry, trace);
 }
 
+obs::PressureInputs DurableStore::pressure_inputs() const {
+  obs::PressureInputs in;
+  {
+    // Lag = batches submitted but not yet decided (queued + in the group
+    // the writer is currently fsyncing).
+    std::lock_guard<std::mutex> lock(core_->queue_mutex);
+    in.wal_lag_batches = (core_->next_seq - 1) - core_->done_seq;
+  }
+  std::uint64_t chain = 0;
+  {
+    std::lock_guard<std::mutex> lock(core_->base_mutex);
+    chain = core_->current.deltas.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(core_->apply_mutex);
+    in.checkpoint_debt = core_->since_delta + chain;
+  }
+  return in;
+}
+
 // ------------------------------------------------------------------- fsck
 
 DurableStore::FsckReport DurableStore::fsck(const std::string& dir) {

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/pressure.hpp"
 #include "obs/trace.hpp"
 #include "pdns/manifest.hpp"
 #include "pdns/sharded_store.hpp"
@@ -256,6 +257,21 @@ class DurableStore {
   /// registry must outlive the store.
   void bind_metrics(obs::MetricsRegistry& registry,
                     obs::QueryTrace* trace = nullptr);
+
+  // ---- degradation ladder (obs::PressureSignal) ---------------------------
+  /// Inputs for the system-wide pressure signal: WAL group-commit lag
+  /// (batches submitted but not yet decided) and checkpoint debt (batches
+  /// applied since the last delta checkpoint plus the delta-chain length a
+  /// recovery would replay through).  Safe from any thread; takes each
+  /// internal lock briefly and never nested.
+  obs::PressureInputs pressure_inputs() const;
+
+  /// pressure_inputs() fed straight into `signal` — the one-call ladder
+  /// pump front-ends poll between batches.
+  obs::PressureLevel feed_pressure(obs::PressureSignal& signal,
+                                   util::SimTime now) const {
+    return signal.update(pressure_inputs(), now);
+  }
 
  private:
   struct Core;

@@ -19,6 +19,40 @@ bool is_referral(const dns::Message& response) {
                      });
 }
 
+std::vector<net::Endpoint> HierarchyEndpoints::tier_servers(
+    ServerTier tier) const {
+  std::vector<net::Endpoint> out;
+  switch (tier) {
+    case ServerTier::Root:
+      out.push_back(root);
+      out.insert(out.end(), root_replicas.begin(), root_replicas.end());
+      break;
+    case ServerTier::Tld:
+      out.push_back(tld);
+      out.insert(out.end(), tld_replicas.begin(), tld_replicas.end());
+      break;
+    case ServerTier::Authoritative:
+      out.push_back(auth);
+      out.insert(out.end(), auth_replicas.begin(), auth_replicas.end());
+      break;
+  }
+  return out;
+}
+
+HierarchyEndpoints HierarchyEndpoints::with_replicas(int per_tier) {
+  HierarchyEndpoints endpoints;
+  const auto sibling = [](const net::Endpoint& primary, int offset) {
+    const std::uint32_t addr = primary.ip.addr + static_cast<std::uint32_t>(offset);
+    return net::Endpoint{dns::IPv4{addr}, primary.port};
+  };
+  for (int i = 1; i < per_tier; ++i) {
+    endpoints.root_replicas.push_back(sibling(endpoints.root, i));
+    endpoints.tld_replicas.push_back(sibling(endpoints.tld, i));
+    endpoints.auth_replicas.push_back(sibling(endpoints.auth, i));
+  }
+  return endpoints;
+}
+
 DnsHierarchy::DnsHierarchy() {
   for (const auto& tld : kDefaultTlds) add_tld(tld);
 }
@@ -143,21 +177,21 @@ dns::Message DnsHierarchy::answer_at(ServerTier tier,
 
 void DnsHierarchy::attach(net::SimNetwork& network,
                           const HierarchyEndpoints& endpoints) const {
-  const std::pair<ServerTier, net::Endpoint> tiers[] = {
-      {ServerTier::Root, endpoints.root},
-      {ServerTier::Tld, endpoints.tld},
-      {ServerTier::Authoritative, endpoints.auth},
-  };
-  for (const auto& [tier, endpoint] : tiers) {
-    network.attach(endpoint, net::Protocol::UDP,
-                   [this, tier](const net::SimPacket& packet)
-                       -> std::optional<std::vector<std::uint8_t>> {
-                     const auto query = dns::decode(packet.payload);
-                     // A corrupted/truncated query never reaches the DNS
-                     // logic: real servers drop what they cannot parse.
-                     if (!query || query->header.qr) return std::nullopt;
-                     return dns::encode(answer_at(tier, *query));
-                   });
+  // Every replica of a tier answers identically — one shared farm behind
+  // several addresses, so fault plans can hit replicas individually.
+  for (const ServerTier tier : {ServerTier::Root, ServerTier::Tld,
+                                ServerTier::Authoritative}) {
+    for (const net::Endpoint& endpoint : endpoints.tier_servers(tier)) {
+      network.attach(endpoint, net::Protocol::UDP,
+                     [this, tier](const net::SimPacket& packet)
+                         -> std::optional<std::vector<std::uint8_t>> {
+                       const auto query = dns::decode(packet.payload);
+                       // A corrupted/truncated query never reaches the DNS
+                       // logic: real servers drop what they cannot parse.
+                       if (!query || query->header.qr) return std::nullopt;
+                       return dns::encode(answer_at(tier, *query));
+                     });
+    }
   }
 }
 

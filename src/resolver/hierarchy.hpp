@@ -41,10 +41,28 @@ enum class ServerTier : std::uint8_t { Root, Tld, Authoritative };
 /// Where each tier listens when the hierarchy is attached to a SimNetwork.
 /// Defaults are recognizable stand-ins (a.root-servers.net, a.gtld-servers
 /// and a TEST-NET-1 authoritative farm), all on UDP port 53.
+///
+/// Each tier may additionally list replica endpoints — sibling servers that
+/// answer identically (real tiers are always served by a farm).  Replicas
+/// are what make adaptive server *selection* meaningful: a FaultPlan can
+/// kill or slow one replica while its siblings stay healthy, and the
+/// resolver's HealthModel steers around the damage.  Empty replica lists
+/// keep the historical single-server-per-tier behavior bit-for-bit.
 struct HierarchyEndpoints {
   net::Endpoint root{dns::IPv4::from_octets(198, 41, 0, 4), 53};
   net::Endpoint tld{dns::IPv4::from_octets(192, 5, 6, 30), 53};
   net::Endpoint auth{dns::IPv4::from_octets(192, 0, 2, 53), 53};
+  std::vector<net::Endpoint> root_replicas;
+  std::vector<net::Endpoint> tld_replicas;
+  std::vector<net::Endpoint> auth_replicas;
+
+  /// Every server of `tier`, primary first — the resolver's candidate set.
+  std::vector<net::Endpoint> tier_servers(ServerTier tier) const;
+
+  /// The layout the chaos suites and bench use: `per_tier` servers per tier,
+  /// replicas at consecutive addresses after each primary (e.g. the
+  /// authoritative farm at 192.0.2.53/.54/.55).
+  static HierarchyEndpoints with_replicas(int per_tier = 3);
 };
 
 /// True when `response` is a referral: NoError, no answers, and an NS

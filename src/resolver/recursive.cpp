@@ -74,6 +74,18 @@ void RecursiveResolver::acquire_metrics(obs::MetricsRegistry& registry) {
   m_.minimized_queries = registry.counter(
       "nxd_resolver_minimized_queries_total",
       "Minimized (RFC 7816-style) sub-queries sent to root/TLD tiers");
+  m_.hedged_queries = registry.counter(
+      "nxd_resolver_hedged_queries_total",
+      "Speculative duplicate sends raced against a slow primary try");
+  m_.hedge_wins = registry.counter(
+      "nxd_resolver_hedge_wins_total",
+      "Hedged sends whose reply served the client");
+  m_.hedge_losses = registry.counter(
+      "nxd_resolver_hedge_losses_total",
+      "Hedged sends wasted: the primary answered first");
+  m_.breaker_skips = registry.counter(
+      "nxd_resolver_breaker_skips_total",
+      "Candidate servers bypassed because their breaker refused the send");
   m_.upstream_seconds = registry.histogram(
       "nxd_resolver_upstream_latency_seconds",
       "Simulated seconds spent per upstream resolution (network path)");
@@ -99,8 +111,19 @@ void RecursiveResolver::bind_metrics(obs::MetricsRegistry& registry,
   m_.cname_chases.inc(carried.cname_chases);
   m_.cname_capped.inc(carried.cname_capped);
   m_.minimized_queries.inc(carried.minimized_queries);
+  m_.hedged_queries.inc(carried.hedged_queries);
+  m_.hedge_wins.inc(carried.hedge_wins);
+  m_.hedge_losses.inc(carried.hedge_losses);
+  m_.breaker_skips.inc(carried.breaker_skips);
   own_registry_.reset();
   trace_ = trace;
+  bound_registry_ = &registry;
+  if (health_ != nullptr) health_->bind_metrics(registry);
+}
+
+void RecursiveResolver::enable_health(HealthConfig config) {
+  health_ = std::make_unique<HealthModel>(config);
+  if (bound_registry_ != nullptr) health_->bind_metrics(*bound_registry_);
 }
 
 const RecursiveStats& RecursiveResolver::stats() const noexcept {
@@ -117,6 +140,10 @@ const RecursiveStats& RecursiveResolver::stats() const noexcept {
   stats_.cname_chases = m_.cname_chases.value();
   stats_.cname_capped = m_.cname_capped.value();
   stats_.minimized_queries = m_.minimized_queries.value();
+  stats_.hedged_queries = m_.hedged_queries.value();
+  stats_.hedge_wins = m_.hedge_wins.value();
+  stats_.hedge_losses = m_.hedge_losses.value();
+  stats_.breaker_skips = m_.breaker_skips.value();
   return stats_;
 }
 
@@ -164,6 +191,164 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
   return std::nullopt;
 }
 
+std::optional<dns::Message> RecursiveResolver::query_tier(
+    const std::vector<net::Endpoint>& servers, const dns::Message& query,
+    util::SimTime& now) {
+  if (health_ == nullptr) {
+    // Historical fixed ordering: each server gets the full retry budget.
+    for (const auto& server : servers) {
+      if (auto reply = query_endpoint(server, query, now)) return reply;
+    }
+    return std::nullopt;
+  }
+  const std::vector<net::Endpoint> ranked = health_->rank(servers, now);
+  for (const auto& server : ranked) {
+    if (!health_->allow(server, now)) {
+      // Breaker open: skipping is the whole point — the server costs
+      // nothing until its cooldown grants a probe.
+      m_.breaker_skips.inc();
+      continue;
+    }
+    if (auto reply = query_endpoint_adaptive(server, ranked, query, now)) {
+      return reply;
+    }
+  }
+  // Every candidate exhausted or breaker-blocked.  The caller degrades to
+  // SERVFAIL — an open breaker can never manufacture an NXDomain.
+  return std::nullopt;
+}
+
+std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
+    const net::Endpoint& server, const std::vector<net::Endpoint>& ranked,
+    const dns::Message& query, util::SimTime& now) {
+  const auto wire = dns::encode(query);
+  for (int attempt = 0; attempt < std::max(1, net_.policy.attempts); ++attempt) {
+    if (attempt > 0) {
+      now += net_.policy.backoff_before(attempt, net_.rng);
+      m_.retries.inc();
+      if (trace_ != nullptr) {
+        trace_->emit(now, obs::TraceKind::QueryRetry, query_seq_, attempt);
+      }
+    }
+    const util::SimTime try_timeout =
+        health_->adaptive_timeout(server, net_.policy.try_timeout);
+
+    net::SimPacket packet;
+    packet.protocol = net::Protocol::UDP;
+    packet.src = kResolverSource;
+    packet.dst = server;
+    packet.payload = wire;
+    m_.upstream_sends.inc();
+    const auto raw = net_.network->send(packet);
+    const util::SimTime rtt = net_.network->last_injected_delay();
+    std::optional<dns::Message> primary;
+    if (raw) {
+      auto reply = dns::decode(*raw);
+      if (reply && is_acceptable_reply(query, *reply)) {
+        primary = std::move(reply);
+      }
+    }
+    // When this try completes: the reply's transit delay, or the adaptive
+    // timeout when nothing (acceptable) came back.
+    const util::SimTime primary_done = primary ? rtt : try_timeout;
+
+    // Hedge: once the try has been in flight past the server's tracked p95,
+    // race the best breaker-closed sibling.  Probe slots are never spent on
+    // hedges (closed() has no half-open semantics).
+    const util::SimTime hedge_after = health_->hedge_delay(server);
+    const net::Endpoint* hedge_server = nullptr;
+    if (hedge_after > 0 && primary_done > hedge_after) {
+      for (const auto& other : ranked) {
+        if (other == server) continue;
+        if (!health_->closed(other)) continue;
+        hedge_server = &other;
+        break;
+      }
+    }
+
+    if (hedge_server == nullptr) {
+      if (primary) {
+        health_->on_success(server, rtt, now + primary_done);
+        now += primary_done;
+        return primary;
+      }
+      m_.timeouts.inc();
+      if (trace_ != nullptr) {
+        trace_->emit(now + try_timeout, obs::TraceKind::QueryTimeout,
+                     query_seq_, attempt);
+      }
+      health_->on_failure(server, now + try_timeout);
+      now += try_timeout;
+    } else {
+      m_.hedged_queries.inc();
+      net::SimPacket dup = packet;
+      dup.dst = *hedge_server;
+      m_.upstream_sends.inc();
+      const auto raw2 = net_.network->send(dup);
+      const util::SimTime rtt2 = net_.network->last_injected_delay();
+      std::optional<dns::Message> hedged;
+      if (raw2) {
+        auto reply2 = dns::decode(*raw2);
+        if (reply2 && is_acceptable_reply(query, *reply2)) {
+          hedged = std::move(reply2);
+        }
+      }
+      const util::SimTime hedge_timeout =
+          health_->adaptive_timeout(*hedge_server, net_.policy.try_timeout);
+      const util::SimTime hedged_done =
+          hedge_after + (hedged ? rtt2 : hedge_timeout);
+
+      // The hedge's own outcome always feeds its server's estimate.
+      if (hedged) {
+        health_->on_success(*hedge_server, rtt2, now + hedged_done);
+      } else {
+        m_.timeouts.inc();
+        if (trace_ != nullptr) {
+          trace_->emit(now + hedged_done, obs::TraceKind::QueryTimeout,
+                       query_seq_, attempt);
+        }
+        health_->on_failure(*hedge_server, now + hedged_done);
+      }
+
+      if (hedged && (!primary || hedged_done < primary_done)) {
+        // The hedge served the client.  A primary reply still in flight
+        // lands later and feeds its estimate; a dead primary is charged its
+        // timeout.
+        m_.hedge_wins.inc();
+        if (primary) {
+          health_->on_success(server, rtt, now + primary_done);
+        } else {
+          m_.timeouts.inc();
+          if (trace_ != nullptr) {
+            trace_->emit(now + primary_done, obs::TraceKind::QueryTimeout,
+                         query_seq_, attempt);
+          }
+          health_->on_failure(server, now + primary_done);
+        }
+        now += hedged_done;
+        return hedged;
+      }
+      if (primary) {
+        // Primary answered first — the hedge was wasted bandwidth.
+        if (hedged) m_.hedge_losses.inc();
+        health_->on_success(server, rtt, now + primary_done);
+        now += primary_done;
+        return primary;
+      }
+      // Both sides died: wait out the slower deadline, then retry.
+      m_.timeouts.inc();
+      if (trace_ != nullptr) {
+        trace_->emit(now + primary_done, obs::TraceKind::QueryTimeout,
+                     query_seq_, attempt);
+      }
+      health_->on_failure(server, now + primary_done);
+      now += std::max(primary_done, hedged_done);
+    }
+    if (!health_->closed(server)) break;  // breaker tripped mid-retries
+  }
+  return std::nullopt;
+}
+
 dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
                                                     util::SimTime& now) {
   const auto& q = query.questions.front();
@@ -173,8 +358,8 @@ dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
   // upper tiers' logs.
   const bool minimize =
       defenses_.qname_minimization && q.name.label_count() >= 2;
-  const net::Endpoint chain[] = {net_.endpoints.root, net_.endpoints.tld,
-                                 net_.endpoints.auth};
+  const ServerTier chain[] = {ServerTier::Root, ServerTier::Tld,
+                              ServerTier::Authoritative};
   for (std::size_t hop = 0; hop < std::size(chain); ++hop) {
     dns::Message sent = query;
     if (minimize && hop == 0) {
@@ -188,7 +373,7 @@ dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
     const bool minimized =
         !(sent.questions.front() == query.questions.front());
     if (minimized) m_.minimized_queries.inc();
-    auto reply = query_endpoint(chain[hop], sent, now);
+    auto reply = query_tier(net_.endpoints.tier_servers(chain[hop]), sent, now);
     if (!reply) {
       // Every attempt at this tier exhausted: degrade to SERVFAIL.  Loss
       // must never manufacture an NXDomain — non-existence requires a

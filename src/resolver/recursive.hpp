@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "resolver/cache.hpp"
+#include "resolver/health.hpp"
 #include "resolver/hierarchy.hpp"
 #include "resolver/retry.hpp"
 #include "util/civil_time.hpp"
@@ -79,6 +80,14 @@ struct RecursiveStats {
   std::uint64_t cname_chases = 0;
   std::uint64_t cname_capped = 0;
   std::uint64_t minimized_queries = 0;
+  // Adaptive-health counters (HealthModel path).  hedged_queries counts
+  // speculative duplicate sends; wins served the client, losses were wasted
+  // (the primary answered first); hedges where *both* sides died count
+  // neither.  breaker_skips counts servers bypassed by an open breaker.
+  std::uint64_t hedged_queries = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedge_losses = 0;
+  std::uint64_t breaker_skips = 0;
 
   /// Exact fold for per-worker resolver fleets: every field is a plain sum,
   /// so stats from N resolvers combine to what one resolver serving the
@@ -97,6 +106,10 @@ struct RecursiveStats {
     cname_chases += other.cname_chases;
     cname_capped += other.cname_capped;
     minimized_queries += other.minimized_queries;
+    hedged_queries += other.hedged_queries;
+    hedge_wins += other.hedge_wins;
+    hedge_losses += other.hedge_losses;
+    breaker_skips += other.breaker_skips;
     return *this;
   }
 
@@ -129,6 +142,17 @@ class RecursiveResolver {
                    RetryPolicy policy = {}, std::uint64_t jitter_seed = 1);
 
   const RetryPolicy& retry_policy() const noexcept { return net_.policy; }
+
+  /// Turn on adaptive upstream health: per-server SRTT/success tracking
+  /// orders each tier's candidate set, per-try timeouts shrink toward the
+  /// tracked SRTT (still capped by the RetryPolicy), circuit breakers skip
+  /// dead servers, and slow tries are hedged to a healthy sibling.  Without
+  /// this call the resolver keeps its historical fixed-order behavior
+  /// bit-for-bit.  Replaces any previous model (estimates reset).
+  void enable_health(HealthConfig config = {});
+  void disable_health() noexcept { health_.reset(); }
+  HealthModel* health() noexcept { return health_.get(); }
+  const HealthModel* health() const noexcept { return health_.get(); }
 
   /// Install (or reset) the adversarial-workload defense posture.  Takes
   /// effect on the next query; flipping a defense never invalidates cached
@@ -172,6 +196,21 @@ class RecursiveResolver {
   std::optional<dns::Message> query_endpoint(const net::Endpoint& server,
                                              const dns::Message& query,
                                              util::SimTime& now);
+
+  /// Query one tier's candidate servers.  Without a health model this is the
+  /// historical path: fixed order, full retry budget per server.  With one,
+  /// candidates are ranked by health, open breakers are skipped, and each
+  /// admitted server runs the adaptive attempt loop.
+  std::optional<dns::Message> query_tier(
+      const std::vector<net::Endpoint>& servers, const dns::Message& query,
+      util::SimTime& now);
+
+  /// Health-model attempt loop for one admitted server: adaptive per-try
+  /// timeouts, hedged sends to the next-best closed-breaker sibling in
+  /// `ranked`, and early exit when the breaker trips mid-retries.
+  std::optional<dns::Message> query_endpoint_adaptive(
+      const net::Endpoint& server, const std::vector<net::Endpoint>& ranked,
+      const dns::Message& query, util::SimTime& now);
 
   /// One upstream walk (network or direct), qname-minimized when the
   /// defense is on.  Does not touch the cache or client-facing stats.
@@ -221,6 +260,10 @@ class RecursiveResolver {
     obs::Counter cname_chases;
     obs::Counter cname_capped;
     obs::Counter minimized_queries;
+    obs::Counter hedged_queries;
+    obs::Counter hedge_wins;
+    obs::Counter hedge_losses;
+    obs::Counter breaker_skips;
     obs::LatencyHistogram upstream_seconds;
   };
 
@@ -234,6 +277,10 @@ class RecursiveResolver {
   ResponseObserver observer_;
   NetworkPath net_;
   ResolverDefenses defenses_;
+  std::unique_ptr<HealthModel> health_;
+  /// Shared registry remembered by bind_metrics so a later enable_health
+  /// lands its counters in the same place.
+  obs::MetricsRegistry* bound_registry_ = nullptr;
   /// Per-registered-domain delegation-fetch budget windows.
   struct ZoneBudget {
     util::SimTime window_start = 0;

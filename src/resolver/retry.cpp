@@ -7,9 +7,17 @@ namespace nxd::resolver {
 
 util::SimTime RetryPolicy::backoff_before(int attempt, util::Rng& rng) const {
   if (attempt <= 0 || backoff_base <= 0) return 0;
+  // Cap the exponent *before* exponentiating.  An uncapped pow() overflows
+  // to +inf for large attempt counts and llround(inf) is undefined — on some
+  // targets it wraps to LLONG_MIN, which the max() below would turn into a
+  // zero-second backoff, i.e. a retry hot-loop against a dead upstream.
+  // 2^63 already exceeds any representable SimTime, so 63 loses nothing.
+  const int exponent = std::min(attempt - 1, 63);
   double wait = static_cast<double>(backoff_base) *
-                std::pow(std::max(1.0, backoff_multiplier), attempt - 1);
-  wait = std::min(wait, static_cast<double>(backoff_max));
+                std::pow(std::max(1.0, backoff_multiplier), exponent);
+  if (!std::isfinite(wait) || wait > static_cast<double>(backoff_max)) {
+    wait = static_cast<double>(backoff_max);
+  }
   if (jitter > 0) {
     wait *= 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
   }

@@ -21,6 +21,9 @@ void ResponseRateLimiter::acquire_metrics(obs::MetricsRegistry& registry) {
   m_.table_overflow = registry.counter(
       "nxd_resolver_rrl_table_overflow_total",
       "Checks admitted unmetered because the source table was full");
+  m_.pressure_scaled = registry.counter(
+      "nxd_resolver_rrl_pressure_scaled_total",
+      "Checks metered at an elevated cost by the degradation ladder");
 }
 
 void ResponseRateLimiter::bind_metrics(obs::MetricsRegistry& registry,
@@ -33,6 +36,7 @@ void ResponseRateLimiter::bind_metrics(obs::MetricsRegistry& registry,
   m_.dropped.inc(carried.dropped);
   m_.sources_evicted.inc(carried.sources_evicted);
   m_.table_overflow.inc(carried.table_overflow);
+  m_.pressure_scaled.inc(carried.pressure_scaled);
   own_registry_.reset();
   trace_ = trace;
 }
@@ -44,6 +48,7 @@ const RrlStats& ResponseRateLimiter::stats() const noexcept {
   stats_.dropped = m_.dropped.value();
   stats_.sources_evicted = m_.sources_evicted.value();
   stats_.table_overflow = m_.table_overflow.value();
+  stats_.pressure_scaled = m_.pressure_scaled.value();
   return stats_;
 }
 
@@ -90,7 +95,18 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
                              0})
              .first;
   }
-  if (it->second.bucket.try_acquire(now)) {
+  // Degradation ladder: above Normal, every response costs more tokens —
+  // the effective per-source rate shrinks by 25%/50%/75% without touching
+  // bucket state, so the tightening releases the moment pressure does.
+  double cost = 1.0;
+  if (pressure_ != nullptr) {
+    const int level = pressure_->level_index();
+    if (level > 0) {
+      cost = obs::PressureSignal::cost_multiplier(level);
+      m_.pressure_scaled.inc();
+    }
+  }
+  if (it->second.bucket.try_acquire(now, cost)) {
     m_.passed.inc();
     if (trace_ != nullptr) {
       trace_->emit(now, obs::TraceKind::RrlPass, source.addr);

@@ -33,6 +33,7 @@
 #include "dns/message.hpp"
 #include "net/endpoint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pressure.hpp"
 #include "obs/trace.hpp"
 #include "util/civil_time.hpp"
 #include "util/token_bucket.hpp"
@@ -63,6 +64,9 @@ struct RrlStats {
   std::uint64_t sources_evicted = 0;
   /// Checks admitted unmetered because the table was full of active sources.
   std::uint64_t table_overflow = 0;
+  /// Checks metered at an elevated token cost because the degradation
+  /// ladder was above Normal when they arrived.
+  std::uint64_t pressure_scaled = 0;
 
   std::uint64_t limited() const noexcept { return slipped + dropped; }
 
@@ -86,6 +90,15 @@ class ResponseRateLimiter {
   void bind_metrics(obs::MetricsRegistry& registry,
                     obs::QueryTrace* trace = nullptr);
 
+  /// Subscribe to the system-wide degradation ladder: at pressure level L a
+  /// response costs 1x/1.33x/2x/4x tokens, shrinking every source's
+  /// effective rate without touching bucket state — deterministic and
+  /// instantly reversible when pressure releases.  The signal must outlive
+  /// the limiter; nullptr restores normal cost.
+  void set_pressure(const obs::PressureSignal* pressure) noexcept {
+    pressure_ = pressure;
+  }
+
  private:
   struct Source {
     util::TokenBucket bucket;
@@ -99,6 +112,7 @@ class ResponseRateLimiter {
     obs::Counter dropped;
     obs::Counter sources_evicted;
     obs::Counter table_overflow;
+    obs::Counter pressure_scaled;
   };
 
   void acquire_metrics(obs::MetricsRegistry& registry);
@@ -109,6 +123,7 @@ class ResponseRateLimiter {
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
   Metrics m_;
   obs::QueryTrace* trace_ = nullptr;
+  const obs::PressureSignal* pressure_ = nullptr;
 };
 
 /// The wire form of a Slip verdict: the genuine response's header with TC

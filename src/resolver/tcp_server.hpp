@@ -63,6 +63,13 @@ class TcpDnsServer {
   }
   std::uint64_t rrl_dropped() const noexcept { return rrl_dropped_; }
 
+  /// Subscribe the server's RRL to the system-wide degradation ladder —
+  /// see UdpDnsServer::set_pressure.  No-op until set_rrl() installed a
+  /// limiter; nullptr unsubscribes.
+  void set_pressure(const obs::PressureSignal* pressure) noexcept {
+    if (rrl_ != nullptr) rrl_->set_pressure(pressure);
+  }
+
   /// Mirror the server counters into a shared registry under
   /// nxd_dns_server_*_total{proto=tcp}; current values carry over.
   void bind_metrics(obs::MetricsRegistry& registry);

@@ -51,6 +51,15 @@ class UdpDnsServer {
   std::uint64_t rrl_dropped() const noexcept { return rrl_dropped_; }
   std::uint64_t rrl_slipped() const noexcept { return rrl_slipped_; }
 
+  /// Subscribe the server's RRL to the system-wide degradation ladder
+  /// (obs::PressureSignal): ingest pressure raises the per-response token
+  /// cost before queues blow up.  Convenience forwarder — no-op until
+  /// set_rrl() has installed a limiter.  The signal must outlive the
+  /// limiter; nullptr unsubscribes.
+  void set_pressure(const obs::PressureSignal* pressure) noexcept {
+    if (rrl_ != nullptr) rrl_->set_pressure(pressure);
+  }
+
   /// Mirror the server counters into a shared registry under
   /// nxd_dns_server_*_total{proto=udp}; current values carry over.
   void bind_metrics(obs::MetricsRegistry& registry);

@@ -1,0 +1,106 @@
+#include "util/circuit_breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nxd::util {
+
+const char* to_string(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::allow(SimTime now) {
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      if (now < open_until_) {
+        ++stats_.rejected;
+        return false;
+      }
+      state_ = BreakerState::HalfOpen;
+      ++stats_.half_opened;
+      probe_successes_ = 0;
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return true;
+    case BreakerState::HalfOpen:
+      if (probe_in_flight_) {
+        ++stats_.rejected;
+        return false;
+      }
+      probe_in_flight_ = true;
+      ++stats_.probes;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::on_success(SimTime) {
+  switch (state_) {
+    case BreakerState::Closed:
+      consecutive_failures_ = 0;
+      return;
+    case BreakerState::Open:
+      // A straggler reply (e.g. a hedge raced past the open) is evidence of
+      // life but not proof: clear the failure run, keep the cooldown.
+      consecutive_failures_ = 0;
+      return;
+    case BreakerState::HalfOpen:
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= std::max(1, config_.half_open_successes)) {
+        state_ = BreakerState::Closed;
+        ++stats_.reclosed;
+        consecutive_failures_ = 0;
+        reopen_streak_ = 0;
+      }
+      return;
+  }
+}
+
+void CircuitBreaker::on_failure(SimTime now) {
+  switch (state_) {
+    case BreakerState::Closed:
+      if (++consecutive_failures_ >= std::max(1, config_.failure_threshold)) {
+        open_at(now);
+      }
+      return;
+    case BreakerState::Open:
+      ++consecutive_failures_;
+      return;
+    case BreakerState::HalfOpen:
+      // The probe failed: back to Open with a longer cooldown.
+      probe_in_flight_ = false;
+      ++consecutive_failures_;
+      open_at(now);
+      return;
+  }
+}
+
+void CircuitBreaker::open_at(SimTime now) {
+  state_ = BreakerState::Open;
+  ++stats_.opened;
+  ++reopen_streak_;
+  // Cooldown = open_duration * backoff^(streak-1), clamped.  The exponent is
+  // capped before pow so a pathological streak can neither overflow to +inf
+  // nor wrap the clamp arithmetic.
+  const int exponent = std::min(reopen_streak_ - 1, 62);
+  double cooldown = static_cast<double>(std::max<SimTime>(1, config_.open_duration)) *
+                    std::pow(std::max(1.0, config_.open_backoff), exponent);
+  const double cap = static_cast<double>(
+      std::max(config_.open_duration, config_.max_open_duration));
+  if (!std::isfinite(cooldown) || cooldown > cap) cooldown = cap;
+  open_until_ = now + static_cast<SimTime>(cooldown);
+  probe_successes_ = 0;
+  probe_in_flight_ = false;
+}
+
+}  // namespace nxd::util

@@ -1,0 +1,107 @@
+// Deterministic circuit breaker for upstream dependencies.
+//
+// The resolver's answer to a flapping or dead nameserver cannot be "retry at
+// full cost forever" — the paper's NXDomain floods hammer exactly the
+// upstreams least likely to answer.  A breaker turns repeated failure into
+// cheap, bounded rejection: it opens after a run of consecutive failures,
+// rejects instantly while open, lets exactly one probe through per cooldown
+// window (half-open), and re-closes only when the probe succeeds.  Repeated
+// probe failures back the cooldown off exponentially, so a long-dead server
+// costs one cheap probe per growing window instead of a timeout per query.
+//
+// All state advances on the injected SimTime and is single-threaded by
+// design (one breaker per upstream per resolver), so chaos suites enumerate
+// every transition exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/civil_time.hpp"
+
+namespace nxd::util {
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+const char* to_string(BreakerState state) noexcept;
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip Closed -> Open.
+  int failure_threshold = 5;
+  /// Cooldown before the first half-open probe is allowed.
+  util::SimTime open_duration = 30;
+  /// Cooldown multiplier per re-open without an intervening close.
+  double open_backoff = 2.0;
+  util::SimTime max_open_duration = 300;
+  /// Probe successes required to re-close from half-open.
+  int half_open_successes = 1;
+};
+
+struct CircuitBreakerStats {
+  std::uint64_t opened = 0;       ///< transitions into Open
+  std::uint64_t half_opened = 0;  ///< Open -> HalfOpen (cooldown elapsed)
+  std::uint64_t reclosed = 0;     ///< HalfOpen -> Closed (probe succeeded)
+  std::uint64_t rejected = 0;     ///< allow() refusals
+  std::uint64_t probes = 0;       ///< half-open probe slots granted
+
+  CircuitBreakerStats& operator+=(const CircuitBreakerStats& o) noexcept {
+    opened += o.opened;
+    half_opened += o.half_opened;
+    reclosed += o.reclosed;
+    rejected += o.rejected;
+    probes += o.probes;
+    return *this;
+  }
+
+  friend bool operator==(const CircuitBreakerStats&,
+                         const CircuitBreakerStats&) = default;
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(CircuitBreakerConfig config) : config_(config) {}
+
+  /// May a request proceed at `now`?  Closed: yes.  Open: no, unless the
+  /// cooldown has elapsed — then the breaker half-opens and this call grants
+  /// the single probe slot.  HalfOpen: only when no probe is in flight.
+  /// Refusals are counted under `rejected`.
+  bool allow(SimTime now);
+
+  /// Report the outcome of a request previously admitted by allow().
+  void on_success(SimTime now);
+  void on_failure(SimTime now);
+
+  BreakerState state() const noexcept { return state_; }
+
+  /// True when allow(now) would grant a half-open probe (without consuming
+  /// it) — rankers use this to steer one live query at a recovering server.
+  bool probe_ready(SimTime now) const noexcept {
+    return (state_ == BreakerState::Open && now >= open_until_) ||
+           (state_ == BreakerState::HalfOpen && !probe_in_flight_);
+  }
+
+  /// Admissible without consuming a probe slot: plain Closed state.  Hedge
+  /// targets use this so a speculative duplicate never spends the one probe
+  /// a recovering server gets.
+  bool closed() const noexcept { return state_ == BreakerState::Closed; }
+
+  int consecutive_failures() const noexcept { return consecutive_failures_; }
+  SimTime open_until() const noexcept { return open_until_; }
+  const CircuitBreakerStats& stats() const noexcept { return stats_; }
+  const CircuitBreakerConfig& config() const noexcept { return config_; }
+
+ private:
+  void open_at(SimTime now);
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::Closed;
+  int consecutive_failures_ = 0;
+  /// Opens without an intervening re-close; exponent of the cooldown backoff.
+  int reopen_streak_ = 0;
+  int probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  SimTime open_until_ = 0;
+  CircuitBreakerStats stats_;
+};
+
+}  // namespace nxd::util

@@ -21,14 +21,18 @@
 #include "honeypot/overload.hpp"
 #include "honeypot/recorder.hpp"
 #include "honeypot/server.hpp"
+#include "net/fault.hpp"
 #include "net/sim_network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "pdns/observation.hpp"
 #include "pdns/store.hpp"
+#include "resolver/health.hpp"
+#include "resolver/hierarchy.hpp"
 #include "resolver/recursive.hpp"
 #include "resolver/rrl.hpp"
+#include "util/circuit_breaker.hpp"
 #include "util/rng.hpp"
 
 namespace nxd {
@@ -342,6 +346,125 @@ TEST(ObsIntegration, DeterministicUnderFixedSeed) {
   const auto b = run_once();
   EXPECT_EQ(a.first, b.first);    // identical JSONL trace
   EXPECT_EQ(a.second, b.second);  // identical Prometheus text
+}
+
+TEST(ObsIntegration, HealthBreakerAndHedgeMetricsFlowToSharedRegistry) {
+  // Two resolvers share one registry: the first exercises the breaker cycle
+  // (open -> half-open probe -> re-close) against a dark-then-healed
+  // primary, the second exercises hedging against a slow-dripping primary.
+  // The shared counters must equal the sum of both resolvers' legacy stats,
+  // and every consulted upstream must publish its SRTT gauge.
+  obs::MetricsRegistry registry;
+  resolver::DnsHierarchy hierarchy;
+  const auto name = dns::DomainName::must("steady.com");
+  hierarchy.register_domain(name, dns::IPv4::from_octets(203, 0, 113, 9));
+
+  net::SimNetwork network;
+  network.set_fault_plan(net::FaultPlan(21));
+  const auto farm = resolver::HierarchyEndpoints::with_replicas(3);
+  hierarchy.attach(network, farm);
+
+  resolver::HealthConfig breaker_only;
+  breaker_only.breaker.failure_threshold = 2;
+  breaker_only.breaker.open_duration = 8;
+  breaker_only.hedge_min_samples = 1'000'000;  // never arms hedging
+  resolver::RecursiveResolver breaker_rig(hierarchy);
+  breaker_rig.use_network(network, farm, resolver::RetryPolicy{}, 21);
+  breaker_rig.bind_metrics(registry);
+  breaker_rig.enable_health(breaker_only);
+
+  net::FaultSpec dark;
+  dark.drop = 1.0;
+  network.fault_plan().set_for(farm.auth, dark);
+  for (int i = 0; i < 2; ++i) {
+    // Replicas keep the tier answering while the primary's breaker opens.
+    EXPECT_EQ(breaker_rig.resolve_rcode(name, i * 20), dns::RCode::NoError);
+    breaker_rig.flush_cache();
+  }
+  network.fault_plan().set_for(farm.auth, net::FaultSpec{});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(breaker_rig.resolve_rcode(name, 200 + i * 20),
+              dns::RCode::NoError);
+    breaker_rig.flush_cache();
+  }
+  EXPECT_EQ(breaker_rig.health()->breaker_state(farm.auth),
+            util::BreakerState::Closed);
+  // The breaker rig never arms hedging (asserted before the second resolver
+  // joins the registry — bound stats read the shared series).
+  EXPECT_EQ(breaker_rig.stats().hedged_queries, 0u);
+
+  resolver::HealthConfig hedging;
+  hedging.breaker.failure_threshold = 2;
+  hedging.breaker.open_duration = 8;
+  hedging.hedge_min_samples = 2;
+  resolver::RecursiveResolver hedge_rig(hierarchy);
+  hedge_rig.use_network(network, farm, resolver::RetryPolicy{}, 22);
+  hedge_rig.bind_metrics(registry);
+  hedge_rig.enable_health(hedging);
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(hedge_rig.resolve_rcode(name, 400 + i * 10), dns::RCode::NoError);
+    hedge_rig.flush_cache();
+  }
+  net::FaultSpec drip;
+  drip.delay = 1.0;
+  drip.delay_min = 5;
+  drip.delay_max = 5;
+  network.fault_plan().set_for(farm.auth, drip);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(hedge_rig.resolve_rcode(name, 500 + i * 10), dns::RCode::NoError);
+    hedge_rig.flush_cache();
+  }
+
+  // Both resolvers are bound to the one registry, so their stats structs
+  // read the same shared series: either handle reports the global totals.
+  const auto& rs = hedge_rig.stats();
+  EXPECT_GE(rs.hedged_queries, 1u);
+  EXPECT_GE(rs.hedge_wins, 1u);
+  const auto hs = hedge_rig.health()->stats();
+  EXPECT_GE(hs.breaker_opened, 1u);
+  EXPECT_GE(hs.breaker_half_opened, 1u);
+  EXPECT_GE(hs.breaker_reclosed, 1u);
+  EXPECT_GE(hs.breaker_probes, 1u);
+  EXPECT_EQ(breaker_rig.health()->stats().breaker_opened, hs.breaker_opened);
+
+  const auto snapshot = registry.snapshot();
+  const auto value = [&snapshot](const std::string& metric,
+                                 const obs::LabelSet& labels =
+                                     {}) -> std::uint64_t {
+    const auto* series = snapshot.find(metric, labels);
+    return series == nullptr ? 0 : series->counter;
+  };
+  EXPECT_EQ(value("nxd_resolver_breaker_transitions_total", {{"to", "open"}}),
+            hs.breaker_opened);
+  EXPECT_EQ(
+      value("nxd_resolver_breaker_transitions_total", {{"to", "half_open"}}),
+      hs.breaker_half_opened);
+  EXPECT_EQ(value("nxd_resolver_breaker_transitions_total", {{"to", "closed"}}),
+            hs.breaker_reclosed);
+  EXPECT_EQ(value("nxd_resolver_breaker_rejections_total"),
+            hs.breaker_rejections);
+  EXPECT_EQ(value("nxd_resolver_breaker_probes_total"), hs.breaker_probes);
+  EXPECT_EQ(value("nxd_resolver_health_successes_total"), hs.successes);
+  EXPECT_EQ(value("nxd_resolver_health_failures_total"), hs.failures);
+  EXPECT_EQ(value("nxd_resolver_hedged_queries_total"), rs.hedged_queries);
+  EXPECT_EQ(value("nxd_resolver_hedge_wins_total"), rs.hedge_wins);
+  EXPECT_EQ(value("nxd_resolver_hedge_losses_total"), rs.hedge_losses);
+  EXPECT_EQ(value("nxd_resolver_breaker_skips_total"), rs.breaker_skips);
+
+  // Every consulted upstream publishes its smoothed-RTT gauge, labelled by
+  // server endpoint (the second replica was never needed, so it has none —
+  // sub-second wire RTTs legitimately round the estimate down to 0us).
+  for (const auto& server : {farm.auth, farm.auth_replicas[0]}) {
+    const auto* series = snapshot.find("nxd_resolver_upstream_srtt_us",
+                                       {{"server", server.to_string()}});
+    ASSERT_NE(series, nullptr) << server.to_string();
+    EXPECT_EQ(series->type, obs::MetricType::Gauge);
+    EXPECT_GE(series->gauge, 0);
+  }
+  EXPECT_EQ(snapshot.find("nxd_resolver_upstream_srtt_us",
+                          {{"server", farm.auth_replicas[1].to_string()}}),
+            nullptr);
 }
 
 TEST(ObsIntegration, OfflineSnapshotRendersSameExposition) {

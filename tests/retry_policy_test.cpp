@@ -4,6 +4,8 @@
 // non-existence).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "net/fault.hpp"
 #include "net/sim_network.hpp"
 #include "resolver/recursive.hpp"
@@ -52,6 +54,36 @@ INSTANTIATE_TEST_SUITE_P(
         // attempt <= 0 or base <= 0: no wait.
         BackoffCase{0, 1, 2.0, 30, 0}, BackoffCase{-1, 1, 2.0, 30, 0},
         BackoffCase{3, 0, 2.0, 30, 0}));
+
+TEST(RetryPolicy, HugeAttemptCountsClampToMaxInsteadOfOverflowing) {
+  // Regression: pow(2, attempt) overflows double to +inf around attempt 1024
+  // and llround(+inf) is UB (observed wrapping to LLONG_MIN, which the final
+  // max() turned into a zero-second backoff — a retry hot-loop against a
+  // dead upstream).  Every large attempt must clamp to exactly backoff_max.
+  RetryPolicy policy;  // base=1, mult=2, max=30
+  policy.jitter = 0;
+  util::Rng rng(9);
+  for (const int attempt :
+       {32, 63, 64, 65, 1000, 1024, 1'000'000, std::numeric_limits<int>::max()}) {
+    EXPECT_EQ(policy.backoff_before(attempt, rng), 30) << attempt;
+  }
+  // The ladder is monotone non-decreasing all the way up — no wrap-around
+  // anywhere between the exact range and the clamped range.
+  util::SimTime prev = 0;
+  for (int attempt = 1; attempt <= 128; ++attempt) {
+    const auto wait = policy.backoff_before(attempt, rng);
+    EXPECT_GE(wait, prev) << attempt;
+    prev = wait;
+  }
+  // With jitter on, huge attempts stay within the symmetric band around
+  // backoff_max rather than collapsing to zero.
+  policy.jitter = 0.25;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto wait = policy.backoff_before(5000, rng);
+    EXPECT_GE(wait, 22);  // floor(30 * 0.75)
+    EXPECT_LE(wait, 38);  // ceil(30 * 1.25)
+  }
+}
 
 TEST(RetryPolicy, JitterStaysWithinSymmetricBounds) {
   RetryPolicy policy;

@@ -23,6 +23,10 @@
 //                                nx_pipeline --metrics-out) as Prometheus
 //                                exposition text — the same bytes the live
 //                                GET /metrics endpoint serves
+//   health <file>                summarize the resolver's upstream-health
+//                                metrics from a snapshot: per-upstream SRTT
+//                                gauges, breaker state transitions/probes/
+//                                rejections, hedge win/loss counters
 //
 // Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when a check
 // subcommand found problems (e.g. zone errors, unclean durable dirs).
@@ -67,7 +71,9 @@ int usage() {
                "  recover <dir>               recover + compact a durable ingest dir\n"
                "  fsck <dir>                  read-only durable-dir health report\n"
                "  loadstats <file>            pretty-print an overload load snapshot\n"
-               "  metrics <file>              render a metrics snapshot as Prometheus text\n");
+               "  metrics <file>              render a metrics snapshot as Prometheus text\n"
+               "  health <file>               per-upstream SRTT / breaker / hedge stats\n"
+               "                              from a metrics snapshot\n");
   return 1;
 }
 
@@ -432,6 +438,78 @@ int cmd_loadstats(int argc, char** argv) {
   return 0;
 }
 
+int cmd_health(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  obs::MetricsSnapshot snapshot;
+  std::string error;
+  if (!obs::MetricsSnapshot::parse(*text, &snapshot, &error)) {
+    std::fprintf(stderr, "nxdtool: %s is not a metrics snapshot: %s\n",
+                 argv[0], error.c_str());
+    return 1;
+  }
+  const auto counter = [&snapshot](const char* name,
+                                   const obs::LabelSet& labels =
+                                       {}) -> std::uint64_t {
+    const auto* series = snapshot.find(name, labels);
+    return series == nullptr ? 0 : series->counter;
+  };
+
+  // Per-upstream SRTT gauges (one series per consulted server).
+  std::printf("%-22s %12s\n", "upstream", "srtt_ms");
+  bool any = false;
+  for (const auto& series : snapshot.series) {
+    if (series.name != "nxd_resolver_upstream_srtt_us") continue;
+    const char* server = "?";
+    for (const auto& [key, text_value] : series.labels) {
+      if (key == "server") server = text_value.c_str();
+    }
+    std::printf("%-22s %12.2f\n", server,
+                static_cast<double>(series.gauge) / 1'000.0);
+    any = true;
+  }
+  if (!any) {
+    std::printf("(no nxd_resolver_upstream_srtt_us series: run with the "
+                "health model enabled and bound)\n");
+  }
+
+  std::printf("\nhealth model: %llu successes, %llu failures\n",
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_health_successes_total")),
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_health_failures_total")));
+  std::printf("breakers: opened %llu, half-opened %llu, reclosed %llu; "
+              "%llu probes granted, %llu sends rejected, %llu candidates "
+              "skipped\n",
+              static_cast<unsigned long long>(counter(
+                  "nxd_resolver_breaker_transitions_total", {{"to", "open"}})),
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_breaker_transitions_total",
+                          {{"to", "half_open"}})),
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_breaker_transitions_total",
+                          {{"to", "closed"}})),
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_breaker_probes_total")),
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_breaker_rejections_total")),
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_breaker_skips_total")));
+  const auto hedged = counter("nxd_resolver_hedged_queries_total");
+  const auto wins = counter("nxd_resolver_hedge_wins_total");
+  std::printf("hedges: %llu raced, %llu won (%s), %llu lost\n",
+              static_cast<unsigned long long>(hedged),
+              static_cast<unsigned long long>(wins),
+              util::pct_str(wins, hedged).c_str(),
+              static_cast<unsigned long long>(
+                  counter("nxd_resolver_hedge_losses_total")));
+  return 0;
+}
+
 int cmd_metrics(int argc, char** argv) {
   if (argc != 1) return usage();
   const auto text = read_file(argv[0]);
@@ -463,5 +541,6 @@ int main(int argc, char** argv) {
   if (command == "fsck") return cmd_fsck(argc - 2, argv + 2);
   if (command == "loadstats") return cmd_loadstats(argc - 2, argv + 2);
   if (command == "metrics") return cmd_metrics(argc - 2, argv + 2);
+  if (command == "health") return cmd_health(argc - 2, argv + 2);
   return usage();
 }
