@@ -60,6 +60,19 @@
 //                   goodput + upstream amplification per posture.  Replaces
 //                   the normal pipeline run; see bench/attack_resilience for
 //                   the regression-tracked version (BENCH_attack.json).
+//               [--slo-report] [--spans=<path.jsonl>] [--timeseries=<path>]
+//                   streaming-telemetry layer.  Any of the three runs the
+//                   instrumented path: per-query causal spans (sampling 1.0,
+//                   tracer seed = --seed) plus a windowed time series pumped
+//                   from the shared registry.  --slo-report prints the
+//                   end-of-run SLO burn-rate + NXDomain-anomaly summary and
+//                   the span critical-path table; --spans / --timeseries
+//                   write the raw exports (`nxdtool spans|slo|top` re-read
+//                   them).  Combined with --attack the instrumented run is a
+//                   seeded warmup+flood demo whose flood windows the anomaly
+//                   detector must flag; with the normal pipeline the chaos
+//                   section (--loss) provides the sim-time traffic.  All
+//                   three flags off: output byte-identical to before.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -77,6 +90,9 @@
 #include "analysis/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "honeypot/server.hpp"
 #include "analysis/scale.hpp"
@@ -96,6 +112,62 @@
 
 using namespace nxd;
 
+namespace {
+
+/// End-of-run telemetry: replay the time series through the anomaly
+/// detector at its window cadence, evaluate the SLO monitor at the last
+/// sample, print both plus the span critical path (when `print`), and write
+/// the raw exports for the `nxdtool spans` / `slo` / `top` subcommands.
+void emit_telemetry(const obs::SpanTracer& spans,
+                    const obs::TimeSeriesStore& ts, bool print,
+                    const std::string& spans_path,
+                    const std::string& timeseries_path) {
+  if (print) {
+    std::printf("\n=== telemetry: SLO burn-rate + NXDomain anomaly ===\n");
+    if (ts.samples().empty()) {
+      std::printf("(no time-series samples: combine --slo-report with "
+                  "--attack or --loss)\n");
+    } else {
+      obs::NxAnomalyDetector detector;
+      const util::SimTime first = ts.samples().front().t;
+      const util::SimTime last = ts.last_time();
+      const util::SimTime step = detector.config().window;
+      for (util::SimTime t = first + step; t < last; t += step) {
+        detector.observe(ts, t);
+      }
+      detector.observe(ts, last);
+      obs::SloMonitor monitor;
+      std::fputs(monitor.evaluate(ts, last).to_text().c_str(), stdout);
+      std::fputs(detector.to_text().c_str(), stdout);
+    }
+    if (const auto report = obs::aggregate_spans(spans.finished());
+        report.traces > 0) {
+      std::printf("\n=== telemetry: span critical path ===\n");
+      std::fputs(report.to_text().c_str(), stdout);
+    }
+  }
+  if (!spans_path.empty()) {
+    std::ofstream out(spans_path, std::ios::binary);
+    out << spans.to_jsonl();
+    std::printf("span export written to %s (%llu spans, %llu dropped; "
+                "render with `nxdtool spans %s`)\n",
+                spans_path.c_str(),
+                static_cast<unsigned long long>(spans.spans_recorded()),
+                static_cast<unsigned long long>(spans.spans_dropped()),
+                spans_path.c_str());
+  }
+  if (!timeseries_path.empty()) {
+    std::ofstream out(timeseries_path, std::ios::binary);
+    out << ts.to_text();
+    std::printf("time series written to %s (%zu samples; replay with "
+                "`nxdtool slo %s`)\n",
+                timeseries_path.c_str(), ts.samples().size(),
+                timeseries_path.c_str());
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   double scale = 0.002;
   std::uint64_t seed = 42;
@@ -113,6 +185,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string attack_mode;
   std::string chaos_upstream;
+  bool slo_report = false;
+  std::string spans_path;
+  std::string timeseries_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
     if (std::strncmp(argv[i], "--seed=", 7) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -145,6 +220,11 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
     if (std::strncmp(argv[i], "--attack=", 9) == 0) attack_mode = argv[i] + 9;
+    if (std::strcmp(argv[i], "--slo-report") == 0) slo_report = true;
+    if (std::strncmp(argv[i], "--spans=", 8) == 0) spans_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+      timeseries_path = argv[i] + 13;
+    }
     if (std::strncmp(argv[i], "--chaos-upstream=", 17) == 0) {
       chaos_upstream = argv[i] + 17;
     }
@@ -201,15 +281,70 @@ int main(int argc, char** argv) {
         "legit answers per 1000 capacity units\n(upstream send costs %.0fx a "
         "client query).  'spurious' legit-name NXDomains must stay 0.\n",
         attack::AttackRunReport::kUpstreamCost);
+
+    // Instrumented telemetry run: legit-only warmup (quiet baseline windows
+    // for the anomaly detector), then the flood against the undefended
+    // posture, all under full span sampling.  Seeded and byte-reproducible.
+    if (slo_report || !spans_path.empty() || !timeseries_path.empty()) {
+      obs::MetricsRegistry registry;
+      obs::SpanTracer::Config span_config;
+      span_config.seed = seed;
+      span_config.capacity = 1 << 16;
+      obs::SpanTracer spans(span_config);
+      // Deep enough retention to keep the quiet warmup windows resident for
+      // the whole delayed flood (the anomaly baseline lives there).
+      obs::TimeSeriesStore::Config ts_config;
+      ts_config.retention = 1024;
+      obs::TimeSeriesStore ts(ts_config);
+
+      attack::HarnessConfig telemetry_config;
+      telemetry_config.seed = seed;
+      telemetry_config.attack_queries = 600;
+      telemetry_config.warmup_queries = 600;
+      telemetry_config.query_spacing = 1;
+      telemetry_config.registry = &registry;
+      telemetry_config.spans = &spans;
+      telemetry_config.timeseries = &ts;
+      // Seeded 1-3 s wire delay on every packet, so per-stage span durations
+      // (and the latency SLO) measure something real.
+      net::FaultSpec delay_spec;
+      delay_spec.delay = 1.0;
+      net::FaultPlan delay_plan(seed);
+      delay_plan.set_default(delay_spec);
+      telemetry_config.fault_plan = std::move(delay_plan);
+      attack::AttackHarness instrumented(telemetry_config);
+
+      std::printf("\n=== telemetry: instrumented warmup + %s flood "
+                  "(undefended, seed %llu) ===\n",
+                  generator->name().c_str(),
+                  static_cast<unsigned long long>(seed));
+      const auto flood =
+          instrumented.run(*generator, attack::DefensePlan::undefended());
+      std::printf("%d-query legit warmup, then %llu attack + %llu legit "
+                  "queries; %zu time-series samples over %lld sim seconds\n",
+                  telemetry_config.warmup_queries,
+                  static_cast<unsigned long long>(flood.attack_queries),
+                  static_cast<unsigned long long>(flood.legit_queries),
+                  ts.samples().size(),
+                  static_cast<long long>(ts.last_time()));
+      emit_telemetry(spans, ts, slo_report, spans_path, timeseries_path);
+    }
     return 0;
   }
 
-  // One registry + trace shared by every instrumented module; with all three
+  // One registry + trace shared by every instrumented module; with all the
   // flags off nothing binds to them and the run's output is untouched.
-  const bool obs_enabled =
-      metrics_every > 0 || !metrics_out.empty() || !trace_path.empty();
+  const bool telemetry_enabled =
+      slo_report || !spans_path.empty() || !timeseries_path.empty();
+  const bool obs_enabled = metrics_every > 0 || !metrics_out.empty() ||
+                           !trace_path.empty() || telemetry_enabled;
   obs::MetricsRegistry registry;
   obs::QueryTrace trace(65'536);
+  obs::SpanTracer::Config span_config;
+  span_config.seed = seed;
+  span_config.capacity = 1 << 16;
+  obs::SpanTracer spans(span_config);
+  obs::TimeSeriesStore timeseries;
   const auto emit_metrics = [&registry](const char* label) {
     std::printf("# --- metrics: %s ---\n", label);
     std::fputs(obs::render_prometheus(registry).c_str(), stdout);
@@ -243,6 +378,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (obs_enabled) durable->bind_metrics(registry, &trace);
+    if (telemetry_enabled) durable->trace_spans(&spans);
     const auto& recovery = durable->recovery();
     if (recovery.snapshot_loaded || recovery.replayed_batches > 0) {
       std::printf("(durable: recovered %llu checkpointed + %llu WAL batches"
@@ -485,6 +621,7 @@ int main(int argc, char** argv) {
       network.bind_metrics(registry, &trace);
       chaos_store.bind_metrics(registry, {{"stage", "chaos"}});
     }
+    if (telemetry_enabled) resolver.trace_spans(&spans);
     resolver.set_observer([&chaos_store](const dns::Message& q,
                                          const dns::Message& r, bool,
                                          util::SimTime when) {
@@ -493,6 +630,7 @@ int main(int argc, char** argv) {
 
     util::Rng stream(chaos_seed);
     util::SimTime now = 0;
+    util::SimTime next_sample = timeseries.config().window;
     std::uint16_t id = 1;
     for (int i = 0; i < 1'500; ++i, now += 2) {
       dns::DomainName name =
@@ -503,6 +641,13 @@ int main(int argc, char** argv) {
       const auto outcome =
           resolver.resolve(dns::make_query(id++, name, dns::RRType::A), now);
       now += outcome.elapsed;
+      if (telemetry_enabled && now >= next_sample) {
+        timeseries.observe(now, registry.snapshot());
+        next_sample = now + timeseries.config().window;
+      }
+    }
+    if (telemetry_enabled && now > timeseries.last_time()) {
+      timeseries.observe(now, registry.snapshot());
     }
 
     const auto& rs = resolver.stats();
@@ -569,6 +714,7 @@ int main(int argc, char** argv) {
       resolver.bind_metrics(registry, &trace);
       network.bind_metrics(registry, &trace);
     }
+    if (telemetry_enabled) resolver.trace_spans(&spans);
     resolver::HealthConfig health;
     health.breaker.failure_threshold = 2;
     health.breaker.open_duration = 8;
@@ -666,6 +812,7 @@ int main(int argc, char** argv) {
       ol_server.gate()->bind_metrics(registry, &trace);
       ol_recorder.bind_metrics(registry, &trace);
     }
+    if (telemetry_enabled) ol_server.trace_spans(&spans);
 
     util::SimClock ol_clock;
     util::Rng flood(seed);
@@ -776,6 +923,10 @@ int main(int argc, char** argv) {
                 trace_path.c_str(),
                 static_cast<unsigned long long>(trace.total_emitted()),
                 static_cast<unsigned long long>(trace.dropped()));
+  }
+  if (telemetry_enabled) {
+    emit_telemetry(spans, timeseries, slo_report, spans_path,
+                   timeseries_path);
   }
   return 0;
 }

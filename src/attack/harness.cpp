@@ -75,19 +75,41 @@ AttackRunReport AttackHarness::run(const AttackGenerator& attack,
   resolver::RecursiveResolver resolver(hierarchy);
   resolver.use_network(network, {}, {}, config_.seed);
   resolver.set_defenses(plan.defenses);
+  if (config_.registry != nullptr) resolver.bind_metrics(*config_.registry);
+  if (config_.spans != nullptr) resolver.trace_spans(config_.spans);
 
   AttackRunReport report;
   report.attack = attack.name();
   report.plan = plan.name;
 
   util::SimTime now = 0;
+  util::SimTime next_sample =
+      config_.timeseries != nullptr ? config_.timeseries->config().window : 0;
+  const auto pump = [&] {
+    if (config_.timeseries == nullptr || config_.registry == nullptr) return;
+    if (now < next_sample) return;
+    config_.timeseries->observe(now, config_.registry->snapshot());
+    next_sample = now + config_.timeseries->config().window;
+  };
+
+  // Legit-only warmup: baseline windows before the attack starts.
+  for (int i = 0; i < config_.warmup_queries; ++i) {
+    const auto& name = legit[static_cast<std::size_t>(i) % legit.size()];
+    const auto outcome = resolver.resolve(
+        dns::make_query(static_cast<std::uint16_t>(30'000 + i), name,
+                        dns::RRType::A),
+        now);
+    now += outcome.elapsed + config_.query_spacing;
+    pump();
+  }
+
   std::uint64_t legit_ix = 0;
   const int legit_every = std::max(1, config_.legit_every);
   for (int i = 0; i < config_.attack_queries; ++i) {
     const auto outcome = resolver.resolve(attack.query(
                                               static_cast<std::uint64_t>(i)),
                                           now);
-    now += outcome.elapsed;
+    now += outcome.elapsed + config_.query_spacing;
     ++report.attack_queries;
     if ((i + 1) % legit_every == 0) {
       const auto& name = legit[legit_ix++ % legit.size()];
@@ -95,7 +117,7 @@ AttackRunReport AttackHarness::run(const AttackGenerator& attack,
           dns::make_query(static_cast<std::uint16_t>(40'000 + legit_ix), name,
                           dns::RRType::A),
           now);
-      now += legit_outcome.elapsed;
+      now += legit_outcome.elapsed + config_.query_spacing;
       ++report.legit_queries;
       if (legit_outcome.response.header.rcode == dns::RCode::NoError) {
         ++report.legit_answered;
@@ -104,6 +126,11 @@ AttackRunReport AttackHarness::run(const AttackGenerator& attack,
         ++report.legit_spurious_nxdomain;
       }
     }
+    pump();
+  }
+  if (config_.timeseries != nullptr && config_.registry != nullptr &&
+      now > config_.timeseries->last_time()) {
+    config_.timeseries->observe(now, config_.registry->snapshot());
   }
 
   report.resolver_stats = resolver.stats();

@@ -23,6 +23,9 @@
 
 #include "attack/generator.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "resolver/recursive.hpp"
 
 namespace nxd::attack {
@@ -50,6 +53,23 @@ struct HarnessConfig {
   int legit_domains = 16;
   /// Optional packet-level chaos on the simulated wire.
   net::FaultPlan fault_plan;
+
+  // ---- telemetry taps (all optional; must outlive run()) ------------------
+  /// The fresh resolver binds its counters here (values accumulate across
+  /// plans run with the same registry).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Per-query causal spans from the fresh resolver.
+  obs::SpanTracer* spans = nullptr;
+  /// Fed one cumulative registry snapshot per `timeseries` window of sim
+  /// time (requires `registry`), so the SLO/anomaly layer can replay the
+  /// run's windowed rates offline.
+  obs::TimeSeriesStore* timeseries = nullptr;
+  /// Legitimate-only queries resolved before the attack begins — quiet
+  /// baseline windows for the anomaly detector to learn from.
+  int warmup_queries = 0;
+  /// Extra sim seconds between consecutive client queries, spreading one
+  /// run across many telemetry windows.  0 keeps the historical pacing.
+  util::SimTime query_spacing = 0;
 };
 
 struct AttackRunReport {

@@ -37,6 +37,24 @@ void NxdHoneypot::expose_metrics(const obs::MetricsRegistry* registry,
   admin_token_ = std::move(admin_token);
 }
 
+void NxdHoneypot::expose_slo(std::function<std::string()> provider) {
+  slo_provider_ = std::move(provider);
+}
+
+namespace {
+
+const char* expire_reason_name(ExpireReason reason) {
+  switch (reason) {
+    case ExpireReason::Header: return "expire_header";
+    case ExpireReason::Body: return "expire_body";
+    case ExpireReason::Idle: return "expire_idle";
+    case ExpireReason::DrainForced: return "drain_forced";
+  }
+  return "expire";
+}
+
+}  // namespace
+
 namespace {
 
 std::vector<std::uint8_t> wire_bytes(const HttpResponse& response) {
@@ -127,21 +145,29 @@ std::optional<std::vector<std::uint8_t>> NxdHoneypot::process_packet(
   // the traffic corpus.  The cheap prefix check keeps the hot path free of
   // HTTP parsing; a wrong or missing token falls through and is treated —
   // and recorded — exactly like any other visitor request.
-  if (metrics_ != nullptr && packet.protocol == net::Protocol::TCP) {
+  if ((metrics_ != nullptr || slo_provider_) && !admin_token_.empty() &&
+      packet.protocol == net::Protocol::TCP) {
     const std::string_view raw(
         reinterpret_cast<const char*>(packet.payload.data()),
         packet.payload.size());
-    if (raw.starts_with("GET /metrics")) {
+    if (raw.starts_with("GET /metrics") || raw.starts_with("GET /slo")) {
       if (const auto request = parse_http_request(raw);
-          request && request->path() == "/metrics" &&
-          !admin_token_.empty() &&
-          request->header("x-nxd-admin") == admin_token_) {
-        HttpResponse response;
-        response.headers["content-type"] =
-            "text/plain; version=0.0.4; charset=utf-8";
-        response.body = obs::render_prometheus(*metrics_);
-        ++responses_;
-        return wire_bytes(response);
+          request && request->header("x-nxd-admin") == admin_token_) {
+        if (metrics_ != nullptr && request->path() == "/metrics") {
+          HttpResponse response;
+          response.headers["content-type"] =
+              "text/plain; version=0.0.4; charset=utf-8";
+          response.body = obs::render_prometheus(*metrics_);
+          ++responses_;
+          return wire_bytes(response);
+        }
+        if (slo_provider_ && request->path() == "/slo") {
+          HttpResponse response;
+          response.headers["content-type"] = "text/plain; charset=utf-8";
+          response.body = slo_provider_();
+          ++responses_;
+          return wire_bytes(response);
+        }
       }
     }
   }
@@ -223,6 +249,9 @@ NxdHoneypot::ConnOpen NxdHoneypot::conn_open(const net::Endpoint& src,
   StreamConn conn;
   conn.src = src;
   conn.dst_port = dst_port;
+  if (spans_ != nullptr) {
+    conn.span = spans_->trace_root(admission.id, "conn", now, src.to_string());
+  }
   streams_.emplace(admission.id, std::move(conn));
   return out;
 }
@@ -257,11 +286,16 @@ std::optional<std::vector<std::uint8_t>> NxdHoneypot::conn_data(
   packet.src = conn.src;
   packet.dst = net::Endpoint{net::IPv4{}, conn.dst_port};
   packet.payload = std::move(conn.buffer);
+  const obs::SpanId span = conn.span;
   streams_.erase(it);
   const bool was_draining = gate_->draining();
   auto reply = process_packet(packet, now);
   gate_->close(id, /*completed=*/true);
   if (was_draining) recorder_.note_drained_connection();
+  if (spans_ != nullptr) {
+    spans_->end(span, now, static_cast<std::int64_t>(packet.payload.size()),
+                "complete");
+  }
   return reply;
 }
 
@@ -287,6 +321,11 @@ std::vector<NxdHoneypot::ReapedConn> NxdHoneypot::reap_expired(
     if (it == streams_.end()) continue;
     recorder_.note_expired_connection();
     record_partial(it->second, now);  // keep the half-sent bytes as evidence
+    if (spans_ != nullptr) {
+      spans_->end(it->second.span, now,
+                  static_cast<std::int64_t>(it->second.buffer.size()),
+                  expire_reason_name(expired.reason));
+    }
     streams_.erase(it);
     ReapedConn reaped;
     reaped.id = expired.id;
@@ -304,6 +343,10 @@ void NxdHoneypot::conn_abort(std::uint64_t id, util::SimTime now) {
   const auto it = streams_.find(id);
   if (it == streams_.end()) return;
   record_partial(it->second, now);
+  if (spans_ != nullptr) {
+    spans_->end(it->second.span, now,
+                static_cast<std::int64_t>(it->second.buffer.size()), "abort");
+  }
   streams_.erase(it);
   gate_->close(id, /*completed=*/false);
 }

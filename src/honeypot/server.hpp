@@ -16,6 +16,7 @@
 // the historical unguarded server.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -28,6 +29,7 @@
 #include "honeypot/recorder.hpp"
 #include "net/sim_network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "net/socket.hpp"
 #include "net/event_loop.hpp"
 
@@ -74,6 +76,20 @@ class NxdHoneypot {
   /// The registry must outlive the honeypot.
   void expose_metrics(const obs::MetricsRegistry* registry,
                       std::string admin_token);
+
+  /// Serve an operator SLO / anomaly report on `GET /slo`, gated by the same
+  /// `x-nxd-admin` token as expose_metrics (which must also be configured —
+  /// the token lives there).  The provider runs per scrape, so the report is
+  /// always current; like /metrics, admin scrapes are never recorded.
+  /// An empty function disables.
+  void expose_slo(std::function<std::string()> provider);
+
+  /// Trace streaming-connection lifecycle: one root span per accepted
+  /// connection (name "conn", keyed by connection id, detail = source
+  /// endpoint), ended with detail "complete" / the expiry reason / "abort".
+  /// SimTime timestamps, so seeded runs export byte-stable spans.  nullptr
+  /// stops.
+  void trace_spans(obs::SpanTracer* spans) noexcept { spans_ = spans; }
 
   /// Handle one captured packet: record it, and if it parses as an HTTP
   /// request produce the landing-page (or 404) response bytes.  With an
@@ -159,6 +175,7 @@ class NxdHoneypot {
     net::Endpoint src;
     std::uint16_t dst_port = 80;
     std::vector<std::uint8_t> buffer;
+    obs::SpanId span;  // null when the tracer skipped this connection
   };
 
   /// The original record-and-answer logic, shared by the one-shot and
@@ -176,6 +193,8 @@ class NxdHoneypot {
   Config config_;
   TrafficRecorder& recorder_;
   const obs::MetricsRegistry* metrics_ = nullptr;
+  std::function<std::string()> slo_provider_;
+  obs::SpanTracer* spans_ = nullptr;
   std::string admin_token_;
   std::map<std::string, HttpResponse> routes_;
   std::uint64_t responses_ = 0;

@@ -126,6 +126,16 @@ void LatencyHistogram::observe(std::uint64_t value) noexcept {
   }
 }
 
+void LatencyHistogram::observe_exemplar(std::uint64_t value,
+                                        std::uint64_t trace_id) noexcept {
+  observe(value);
+  if (cells_ == nullptr || trace_id == 0) return;
+  // Two relaxed stores: an exemplar is a debugging breadcrumb, a torn pair
+  // under contention still names a real sampled trace and a real value.
+  cells_->exemplar_value.store(value, std::memory_order_relaxed);
+  cells_->exemplar_trace.store(trace_id, std::memory_order_relaxed);
+}
+
 std::uint64_t LatencyHistogram::count() const noexcept {
   return cells_ != nullptr ? cells_->count.load(std::memory_order_relaxed) : 0;
 }
@@ -216,6 +226,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         out.hist_count = s->hist->count.load(std::memory_order_relaxed);
         out.hist_sum = s->hist->sum.load(std::memory_order_relaxed);
         out.hist_max = s->hist->max.load(std::memory_order_relaxed);
+        out.exemplar_value =
+            s->hist->exemplar_value.load(std::memory_order_relaxed);
+        out.exemplar_trace =
+            s->hist->exemplar_trace.load(std::memory_order_relaxed);
         break;
       }
     }
@@ -235,6 +249,8 @@ void MetricsRegistry::reset() {
       s->hist->count.store(0, std::memory_order_relaxed);
       s->hist->sum.store(0, std::memory_order_relaxed);
       s->hist->max.store(0, std::memory_order_relaxed);
+      s->hist->exemplar_value.store(0, std::memory_order_relaxed);
+      s->hist->exemplar_trace.store(0, std::memory_order_relaxed);
     }
   }
 }
@@ -283,6 +299,12 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
         mine->hist_count += theirs.hist_count;
         mine->hist_sum += theirs.hist_sum;
         mine->hist_max = std::max(mine->hist_max, theirs.hist_max);
+        // Exemplars don't add; keep ours unless we have none (deterministic
+        // regardless of merge order once any shard recorded one).
+        if (mine->exemplar_trace == 0) {
+          mine->exemplar_trace = theirs.exemplar_trace;
+          mine->exemplar_value = theirs.exemplar_value;
+        }
         break;
     }
   }
@@ -317,6 +339,12 @@ std::string MetricsSnapshot::to_text() const {
         break;
     }
     out << '\n';
+    // Exemplar rides as its own line (like help) so pre-exemplar snapshots
+    // parse unchanged and exemplar-free series render byte-identically.
+    if (s.type == MetricType::Histogram && s.exemplar_trace != 0) {
+      out << "exemplar " << encode_series_name(s.name, s.labels) << ' '
+          << s.exemplar_trace << ' ' << s.exemplar_value << '\n';
+    }
   }
   return out.str();
 }
@@ -334,6 +362,10 @@ bool MetricsSnapshot::parse(const std::string& text, MetricsSnapshot* out,
   // (series name, sorted labels) -> help text, applied once all lines are in.
   std::vector<std::pair<std::pair<std::string, LabelSet>, std::string>>
       pending_help;
+  // Likewise for exemplar lines: (series, labels) -> (trace, value).
+  std::vector<std::pair<std::pair<std::string, LabelSet>,
+                        std::pair<std::uint64_t, std::uint64_t>>>
+      pending_exemplars;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -361,6 +393,21 @@ bool MetricsSnapshot::parse(const std::string& text, MetricsSnapshot* out,
       pending_help.emplace_back(
           std::pair(std::move(s.name), sorted_labels(std::move(s.labels))),
           std::move(text));
+      continue;
+    }
+    if (type_tok == "exemplar") {
+      std::uint64_t trace = 0, value = 0;
+      std::string extra;
+      if (!decode_series_name(name_tok, &s.name, &s.labels) ||
+          !(ls >> trace >> value) || (ls >> extra) || trace == 0) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(lineno) + ": bad exemplar";
+        }
+        return false;
+      }
+      pending_exemplars.emplace_back(
+          std::pair(std::move(s.name), sorted_labels(std::move(s.labels))),
+          std::pair(trace, value));
       continue;
     }
     if (!parse_type_token(type_tok, &s.type) ||
@@ -418,6 +465,15 @@ bool MetricsSnapshot::parse(const std::string& text, MetricsSnapshot* out,
     for (auto& s : out->series) {
       if (s.name == key.first && sorted_labels(s.labels) == key.second) {
         s.help = text_value;
+      }
+    }
+  }
+  for (const auto& [key, ex] : pending_exemplars) {
+    for (auto& s : out->series) {
+      if (s.name == key.first && sorted_labels(s.labels) == key.second &&
+          s.type == MetricType::Histogram) {
+        s.exemplar_trace = ex.first;
+        s.exemplar_value = ex.second;
       }
     }
   }

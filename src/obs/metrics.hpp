@@ -50,6 +50,10 @@ struct HistogramCells {
   std::atomic<std::uint64_t> count{0};
   std::atomic<std::uint64_t> sum{0};
   std::atomic<std::uint64_t> max{0};
+  // Last sampled-trace exemplar (OpenMetrics-style): a trace id plus the
+  // observed value it tagged.  trace 0 means "no exemplar recorded".
+  std::atomic<std::uint64_t> exemplar_value{0};
+  std::atomic<std::uint64_t> exemplar_trace{0};
 };
 
 /// Bucket index for a sample value: smallest i with value <= 2^i, or the
@@ -107,6 +111,10 @@ class LatencyHistogram {
   LatencyHistogram() = default;
 
   void observe(std::uint64_t value) noexcept;
+  /// observe() plus an exemplar: remember (value, trace_id) so the rendered
+  /// histogram can link a real sampled trace to the latency it represents.
+  /// trace_id 0 degrades to plain observe().
+  void observe_exemplar(std::uint64_t value, std::uint64_t trace_id) noexcept;
   std::uint64_t count() const noexcept;
   std::uint64_t sum() const noexcept;
   std::uint64_t max() const noexcept;
@@ -138,6 +146,8 @@ struct SnapshotSeries {
   std::uint64_t hist_count = 0;
   std::uint64_t hist_sum = 0;
   std::uint64_t hist_max = 0;
+  std::uint64_t exemplar_value = 0;  // see HistogramCells
+  std::uint64_t exemplar_trace = 0;
 
   /// Same deterministic quantile rule as LatencyHistogram::quantile.
   std::uint64_t quantile(double q) const noexcept;

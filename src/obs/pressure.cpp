@@ -95,8 +95,17 @@ PressureLevel PressureSignal::update(const PressureInputs& inputs,
     }
   }
   if (next != current) level_.store(next, std::memory_order_relaxed);
-  m_.level.set(next);
-  return static_cast<PressureLevel>(next);
+  const int floor = external_floor_.load(std::memory_order_relaxed);
+  const int effective = next >= floor ? next : floor;
+  m_.level.set(effective);
+  return static_cast<PressureLevel>(effective);
+}
+
+void PressureSignal::set_external_floor(int level) noexcept {
+  if (level < 0) level = 0;
+  if (level > 3) level = 3;
+  external_floor_.store(level, std::memory_order_relaxed);
+  m_.level.set(level_index());
 }
 
 PressureStats PressureSignal::stats() const noexcept {

@@ -65,12 +65,24 @@ class PressureSignal {
   /// producer: call from one thread (the ingest/metrics pump).
   PressureLevel update(const PressureInputs& inputs, util::SimTime now);
 
-  /// Lock-free read for serving hot paths.
+  /// Lock-free read for serving hot paths.  The effective level is the max
+  /// of the ladder level and the external floor.
   PressureLevel level() const noexcept {
-    return static_cast<PressureLevel>(level_.load(std::memory_order_relaxed));
+    return static_cast<PressureLevel>(level_index());
   }
   int level_index() const noexcept {
-    return level_.load(std::memory_order_relaxed);
+    const int ladder = level_.load(std::memory_order_relaxed);
+    const int floor = external_floor_.load(std::memory_order_relaxed);
+    return ladder >= floor ? ladder : floor;
+  }
+
+  /// Anomaly-driven minimum level: a detected NXDomain flood pins the
+  /// effective level at `level` so RRL and connection gates tighten even
+  /// while the ingest ladder itself is healthy.  0 clears; clamped to [0,3].
+  /// Raise/lower step counters track only the ladder, not the floor.
+  void set_external_floor(int level) noexcept;
+  int external_floor() const noexcept {
+    return external_floor_.load(std::memory_order_relaxed);
   }
 
   /// Shed fraction ladder shared by every consumer: at level L, capacities
@@ -112,6 +124,7 @@ class PressureSignal {
 
   PressureThresholds thresholds_;
   std::atomic<int> level_{0};
+  std::atomic<int> external_floor_{0};
   PressureInputs inputs_;
 
   struct Metrics {

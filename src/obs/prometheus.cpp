@@ -1,5 +1,6 @@
 #include "obs/prometheus.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace nxd::obs {
@@ -83,6 +84,12 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
               << '\n';
           break;
         case MetricType::Histogram: {
+          // OpenMetrics-style exemplar: ride on the first bucket whose bound
+          // covers the exemplar value, linking a real sampled trace id to
+          // the latency it represents.  Absent exemplar -> output unchanged.
+          const std::size_t exemplar_bucket =
+              s.exemplar_trace != 0 ? histogram_bucket_index(s.exemplar_value)
+                                    : s.buckets.size();
           std::uint64_t cumulative = 0;
           for (std::size_t b = 0; b < s.buckets.size(); ++b) {
             cumulative += s.buckets[b];
@@ -91,7 +98,15 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
                 overflow ? "+Inf"
                          : std::to_string(histogram_bucket_bound(b));
             out << s.name << "_bucket" << label_block(s.labels, "le", le)
-                << ' ' << cumulative << '\n';
+                << ' ' << cumulative;
+            if (b == exemplar_bucket) {
+              char trace_hex[24];
+              std::snprintf(trace_hex, sizeof(trace_hex), "%016llx",
+                            static_cast<unsigned long long>(s.exemplar_trace));
+              out << " # {trace_id=\"" << trace_hex << "\"} "
+                  << s.exemplar_value;
+            }
+            out << '\n';
           }
           out << s.name << "_sum" << label_block(s.labels, "", "") << ' '
               << s.hist_sum << '\n';
@@ -103,7 +118,9 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
     }
     if (head.type == MetricType::Histogram) {
       // Auxiliary max series (Prometheus histograms cannot carry one).
-      emit_header(out, head.name + "_max", "", MetricType::Gauge);
+      emit_header(out, head.name + "_max",
+                  "Largest sample observed by " + head.name,
+                  MetricType::Gauge);
       for (std::size_t j = i; j < end; ++j) {
         const SnapshotSeries& s = series[j];
         if (s.type != MetricType::Histogram) continue;

@@ -1,0 +1,229 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+
+namespace nxd::obs {
+
+namespace {
+
+/// Delta of one series: counters and histogram cells subtract (clamped at 0
+/// so a registry reset cannot produce an underflowed giant), gauges keep the
+/// current level.
+SnapshotSeries delta_series(const SnapshotSeries& cur,
+                            const SnapshotSeries* prev) {
+  SnapshotSeries d = cur;
+  if (prev == nullptr || prev->type != cur.type) return d;
+  switch (cur.type) {
+    case MetricType::Counter:
+      d.counter = cur.counter >= prev->counter ? cur.counter - prev->counter
+                                               : cur.counter;
+      break;
+    case MetricType::Gauge:
+      break;  // level, not a rate
+    case MetricType::Histogram:
+      if (prev->buckets.size() == cur.buckets.size()) {
+        for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+          d.buckets[i] = cur.buckets[i] >= prev->buckets[i]
+                             ? cur.buckets[i] - prev->buckets[i]
+                             : cur.buckets[i];
+        }
+      }
+      d.hist_count = cur.hist_count >= prev->hist_count
+                         ? cur.hist_count - prev->hist_count
+                         : cur.hist_count;
+      d.hist_sum = cur.hist_sum >= prev->hist_sum
+                       ? cur.hist_sum - prev->hist_sum
+                       : cur.hist_sum;
+      // hist_max stays cumulative (a per-interval max is not recoverable
+      // from cells); window queries take the max across samples.
+      break;
+  }
+  return d;
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(Config config) : config_(config) {
+  if (config_.window <= 0) config_.window = 1;
+  if (config_.retention == 0) config_.retention = 1;
+}
+
+bool TimeSeriesStore::observe(util::SimTime now,
+                              const MetricsSnapshot& cumulative) {
+  if (have_prev_ && now <= last_time_) return false;
+  Sample s;
+  s.t = now;
+  s.delta.series.reserve(cumulative.series.size());
+  for (const auto& cur : cumulative.series) {
+    const SnapshotSeries* prev =
+        have_prev_ ? prev_.find(cur.name, cur.labels) : nullptr;
+    s.delta.series.push_back(delta_series(cur, prev));
+  }
+  samples_.push_back(std::move(s));
+  while (samples_.size() > config_.retention) {
+    samples_.pop_front();
+    ++dropped_;
+  }
+  prev_ = cumulative;
+  have_prev_ = true;
+  last_time_ = now;
+  return true;
+}
+
+std::uint64_t TimeSeriesStore::sum(const std::string& name,
+                                   util::SimTime window, util::SimTime now,
+                                   const LabelSet& labels) const {
+  std::uint64_t total = 0;
+  for (const Sample& s : samples_) {
+    if (s.t <= now - window || s.t > now) continue;
+    const SnapshotSeries* series = s.delta.find(name, labels);
+    if (series != nullptr && series->type == MetricType::Counter) {
+      total += series->counter;
+    }
+  }
+  return total;
+}
+
+double TimeSeriesStore::rate(const std::string& name, util::SimTime window,
+                             util::SimTime now, const LabelSet& labels) const {
+  if (window <= 0) return 0.0;
+  return static_cast<double>(sum(name, window, now, labels)) /
+         static_cast<double>(window);
+}
+
+double TimeSeriesStore::ratio(const std::string& numerator,
+                              const std::string& denominator,
+                              util::SimTime window, util::SimTime now) const {
+  const std::uint64_t den = sum(denominator, window, now);
+  if (den == 0) return 0.0;
+  return static_cast<double>(sum(numerator, window, now)) /
+         static_cast<double>(den);
+}
+
+SnapshotSeries TimeSeriesStore::window_histogram(const std::string& name,
+                                                 util::SimTime window,
+                                                 util::SimTime now,
+                                                 const LabelSet& labels) const {
+  SnapshotSeries out;
+  out.name = name;
+  out.labels = labels;
+  out.type = MetricType::Histogram;
+  out.buckets.assign(kHistogramBuckets + 1, 0);
+  for (const Sample& s : samples_) {
+    if (s.t <= now - window || s.t > now) continue;
+    const SnapshotSeries* series = s.delta.find(name, labels);
+    if (series == nullptr || series->type != MetricType::Histogram) continue;
+    if (series->buckets.size() == out.buckets.size()) {
+      for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+        out.buckets[i] += series->buckets[i];
+      }
+    }
+    out.hist_count += series->hist_count;
+    out.hist_sum += series->hist_sum;
+    out.hist_max = std::max(out.hist_max, series->hist_max);
+  }
+  return out;
+}
+
+std::string TimeSeriesStore::to_text() const {
+  std::string out = "nxd-timeseries v1 window=";
+  out += std::to_string(config_.window);
+  out += " retention=";
+  out += std::to_string(config_.retention);
+  out += '\n';
+  for (const Sample& s : samples_) {
+    out += "sample ";
+    out += std::to_string(s.t);
+    out += '\n';
+    out += s.delta.to_text();
+  }
+  return out;
+}
+
+bool TimeSeriesStore::parse(const std::string& text, TimeSeriesStore* out,
+                            std::string* error) {
+  out->clear();
+  std::size_t pos = 0;
+  auto next_line = [&](std::string* line) {
+    if (pos >= text.size()) return false;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    line->assign(text, pos, eol - pos);
+    pos = eol + 1;
+    return true;
+  };
+  std::string line;
+  if (!next_line(&line) ||
+      line.rfind("nxd-timeseries v1 window=", 0) != 0) {
+    if (error != nullptr) *error = "bad header (want \"nxd-timeseries v1\")";
+    return false;
+  }
+  {
+    const std::size_t wpos = line.find("window=") + 7;
+    const std::size_t rpos = line.find(" retention=");
+    if (rpos == std::string::npos) {
+      if (error != nullptr) *error = "bad header: missing retention";
+      return false;
+    }
+    try {
+      out->config_.window = std::stoll(line.substr(wpos, rpos - wpos));
+      out->config_.retention =
+          static_cast<std::size_t>(std::stoull(line.substr(rpos + 11)));
+    } catch (...) {
+      if (error != nullptr) *error = "bad header: malformed numbers";
+      return false;
+    }
+    if (out->config_.window <= 0 || out->config_.retention == 0) {
+      if (error != nullptr) *error = "bad header: non-positive config";
+      return false;
+    }
+  }
+  while (pos < text.size()) {
+    if (!next_line(&line)) break;
+    if (line.empty()) continue;
+    if (line.rfind("sample ", 0) != 0) {
+      if (error != nullptr) *error = "expected `sample <t>` line";
+      return false;
+    }
+    Sample s;
+    try {
+      s.t = std::stoll(line.substr(7));
+    } catch (...) {
+      if (error != nullptr) *error = "bad sample time";
+      return false;
+    }
+    // The embedded metrics block runs until the next `sample ` line or EOF.
+    const std::size_t block_start = pos;
+    std::size_t block_end = text.size();
+    std::size_t scan = pos;
+    while (scan < text.size()) {
+      std::size_t eol = text.find('\n', scan);
+      if (eol == std::string::npos) eol = text.size();
+      if (text.compare(scan, 7, "sample ") == 0) {
+        block_end = scan;
+        break;
+      }
+      scan = eol + 1;
+    }
+    const std::string block = text.substr(block_start, block_end - block_start);
+    pos = block_end;
+    if (!MetricsSnapshot::parse(block, &s.delta, error)) return false;
+    out->samples_.push_back(std::move(s));
+  }
+  // last_time_ from the final sample; prev_ unknown after a round-trip, so
+  // further observe() calls re-seed the baseline.
+  if (!out->samples_.empty()) {
+    out->last_time_ = out->samples_.back().t;
+  }
+  return true;
+}
+
+void TimeSeriesStore::clear() {
+  samples_.clear();
+  prev_ = MetricsSnapshot{};
+  have_prev_ = false;
+  last_time_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace nxd::obs

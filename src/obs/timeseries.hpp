@@ -1,0 +1,83 @@
+// Windowed metric time series: a bounded ring of periodic MetricsSnapshot
+// deltas, driven by SimTime, with sliding-window rate/ratio queries.
+//
+// The registry stores cumulative values; operators (and the SLO/anomaly
+// layer) need windowed rates — "NXDomain share over the last 60 s", "error
+// budget burn over the last hour".  `observe(now, snapshot)` diffs the
+// cumulative snapshot against the previous call and retains the per-interval
+// delta in a bounded deque, so memory is O(retention × series) regardless of
+// run length.  Counter and histogram values become interval deltas; gauges
+// keep their sampled level.  Everything is integer and SimTime-driven, so a
+// seeded run produces a byte-stable serialized store.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/civil_time.hpp"
+
+namespace nxd::obs {
+
+class TimeSeriesStore {
+ public:
+  struct Config {
+    util::SimTime window = 10;     // nominal sampling cadence, seconds
+    std::size_t retention = 360;   // delta samples kept (360 × 10 s = 1 h)
+  };
+
+  struct Sample {
+    util::SimTime t = 0;     // time of the cumulative snapshot
+    MetricsSnapshot delta;   // change since the previous sample
+  };
+
+  TimeSeriesStore() : TimeSeriesStore(Config{}) {}
+  explicit TimeSeriesStore(Config config);
+
+  /// Record a cumulative snapshot taken at `now`.  The first call seeds the
+  /// baseline (its delta is the snapshot itself).  Returns false (and stores
+  /// nothing) when `now` does not advance past the previous sample.
+  bool observe(util::SimTime now, const MetricsSnapshot& cumulative);
+
+  const std::deque<Sample>& samples() const noexcept { return samples_; }
+  const Config& config() const noexcept { return config_; }
+  util::SimTime last_time() const noexcept { return last_time_; }
+  std::uint64_t samples_dropped() const noexcept { return dropped_; }
+
+  /// Sum of a counter's deltas over samples with t in (now - window, now].
+  std::uint64_t sum(const std::string& name, util::SimTime window,
+                    util::SimTime now, const LabelSet& labels = {}) const;
+
+  /// sum / window, per second.
+  double rate(const std::string& name, util::SimTime window,
+              util::SimTime now, const LabelSet& labels = {}) const;
+
+  /// Window sum of `numerator` over window sum of `denominator`; 0 when the
+  /// denominator's window sum is 0.
+  double ratio(const std::string& numerator, const std::string& denominator,
+               util::SimTime window, util::SimTime now) const;
+
+  /// Bucket-wise sum of a histogram's deltas over the window (hist_max takes
+  /// max).  Returns an empty series (hist_count 0) if absent.
+  SnapshotSeries window_histogram(const std::string& name,
+                                  util::SimTime window, util::SimTime now,
+                                  const LabelSet& labels = {}) const;
+
+  /// "nxd-timeseries v1" text: header, then one `sample <t>` line followed by
+  /// the delta's embedded "nxd-metrics v1" block per sample.
+  std::string to_text() const;
+  static bool parse(const std::string& text, TimeSeriesStore* out,
+                    std::string* error);
+
+  void clear();
+
+ private:
+  Config config_;
+  std::deque<Sample> samples_;
+  MetricsSnapshot prev_;        // last cumulative snapshot
+  bool have_prev_ = false;
+  util::SimTime last_time_ = 0;
+  std::uint64_t dropped_ = 0;   // samples evicted by retention
+};
+
+}  // namespace nxd::obs

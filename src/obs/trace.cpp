@@ -30,6 +30,12 @@ void append_json_escaped(std::string* out, const std::string& v) {
 
 }  // namespace
 
+bool cap_detail(std::string* detail) {
+  if (detail->size() <= kDetailCap) return false;
+  detail->resize(kDetailCap);
+  return true;
+}
+
 const char* trace_kind_name(TraceKind k) noexcept {
   switch (k) {
     case TraceKind::IngestBatch: return "ingest_batch";
@@ -48,6 +54,8 @@ const char* trace_kind_name(TraceKind k) noexcept {
     case TraceKind::ConnComplete: return "conn_complete";
     case TraceKind::CaptureDrop: return "capture_drop";
     case TraceKind::FaultInject: return "fault_inject";
+    case TraceKind::SloAlert: return "slo_alert";
+    case TraceKind::Anomaly: return "anomaly";
     case TraceKind::kCount_: break;
   }
   return "unknown";
@@ -62,6 +70,7 @@ void QueryTrace::emit(util::SimTime t, TraceKind kind, std::uint64_t id,
                       std::int64_t value, std::string detail) {
   if (kind >= TraceKind::kCount_) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (cap_detail(&detail)) ++details_truncated_;
   TraceEvent& slot = ring_[next_seq_ % capacity_];
   slot.seq = next_seq_;
   slot.t = t;
@@ -101,6 +110,11 @@ std::uint64_t QueryTrace::dropped() const {
   return next_seq_ - resident;
 }
 
+std::uint64_t QueryTrace::details_truncated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return details_truncated_;
+}
+
 std::string QueryTrace::to_jsonl() const {
   std::string out;
   for (const TraceEvent& e : events()) {
@@ -124,6 +138,7 @@ std::string QueryTrace::to_jsonl() const {
 void QueryTrace::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   next_seq_ = 0;
+  details_truncated_ = 0;
   per_kind_.fill(0);
   for (auto& slot : ring_) slot = TraceEvent{};
 }

@@ -42,7 +42,10 @@ enum class TraceKind : std::uint8_t {
   CaptureDrop,   // value=payload bytes lost
   // net path.
   FaultInject,  // value=count, detail=fault kind
-  kCount_,      // sentinel, keep last
+  // telemetry path (SLO burn-rate and anomaly detection, see obs/slo.hpp).
+  SloAlert,  // id=alert seq, value=severity (2=page,1=ticket), detail=which
+  Anomaly,   // id=evaluation seq, value=share*1e4, detail=state
+  kCount_,   // sentinel, keep last
 };
 
 constexpr std::size_t kTraceKindCount =
@@ -50,6 +53,15 @@ constexpr std::size_t kTraceKindCount =
 
 /// Stable lowercase token for JSONL output ("query_start", "rrl_drop", ...).
 const char* trace_kind_name(TraceKind k) noexcept;
+
+/// Hard cap on TraceEvent/SpanRecord detail strings, in bytes (DESIGN.md
+/// §4k).  A water-torture flood of maximum-length random qnames must not be
+/// able to bloat the bounded rings: with the cap, ring memory is
+/// O(capacity × kDetailCap) regardless of workload.
+constexpr std::size_t kDetailCap = 128;
+
+/// Truncate `detail` to kDetailCap bytes in place; returns true if it cut.
+bool cap_detail(std::string* detail);
 
 struct TraceEvent {
   std::uint64_t seq = 0;  // global emit order, never reused
@@ -77,6 +89,8 @@ class QueryTrace {
   std::uint64_t emitted(TraceKind k) const;
   /// Events overwritten by ring wraparound (total_emitted - resident).
   std::uint64_t dropped() const;
+  /// Detail strings cut at kDetailCap on emit.
+  std::uint64_t details_truncated() const;
 
   /// One JSON object per line:
   /// {"seq":N,"t":N,"kind":"...","id":N,"value":N,"detail":"..."}
@@ -89,6 +103,7 @@ class QueryTrace {
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;  // ring_[seq % capacity_]
   std::uint64_t next_seq_ = 0;
+  std::uint64_t details_truncated_ = 0;
   std::array<std::uint64_t, kTraceKindCount> per_kind_{};
 };
 

@@ -154,6 +154,15 @@ struct DurableStore::Core {
   Metrics m;  // null handles until bind_metrics()
   obs::MetricsRegistry* registry = nullptr;
   obs::QueryTrace* trace = nullptr;
+  obs::SpanTracer* spans = nullptr;
+  // Span timestamps are nanoseconds since store open (steady clock) — the
+  // store runs on real threads, so unlike the sim-driven layers its spans
+  // carry wall durations and only their nesting is asserted by tests.
+  Clock::time_point opened = Clock::now();
+
+  std::int64_t span_ns(Clock::time_point t) const {
+    return static_cast<std::int64_t>(ns_between(opened, t));
+  }
 
   // ---- stage accounting (atomics, read by stage_stats) --------------------
   std::atomic<std::uint64_t> stat_groups{0};
@@ -549,9 +558,11 @@ void DurableStore::Core::commit_group(
       static_cast<std::size_t>(std::bit_width(group.size())) - 1);
   stat_group_hist[bucket].fetch_add(1, std::memory_order_relaxed);
 
+  obs::SpanTracer* sp = nullptr;
   {
     std::lock_guard<std::mutex> lock(metrics_mutex);
     tr = trace;
+    sp = spans;
     if (committed_ok) {
       m.wal_batches.inc(group.size());
       m.wal_groups.inc();
@@ -565,6 +576,23 @@ void DurableStore::Core::commit_group(
       tr->emit(0, obs::TraceKind::WalAck, pending->seq,
                static_cast<std::int64_t>(pending->frame.size()));
     }
+  }
+  if (sp != nullptr && committed_ok) {
+    // One trace per commit group, keyed by the group's last seq; the stage
+    // children reuse the t0..t4 stage boundaries the ns counters record.
+    const obs::SpanId root =
+        sp->trace_root(group.back()->seq, "wal_group", span_ns(t0));
+    if (root.sampled()) {
+      obs::SpanId s = sp->begin(root, "wal_append", span_ns(t0));
+      sp->end(s, span_ns(t1), static_cast<std::int64_t>(group.size()));
+      s = sp->begin(root, "wal_fsync", span_ns(t1));
+      sp->end(s, span_ns(t2));
+      s = sp->begin(root, "wal_apply", span_ns(t2));
+      sp->end(s, span_ns(t3), static_cast<std::int64_t>(group_obs));
+      s = sp->begin(root, "ckpt_handoff", span_ns(t3));
+      sp->end(s, span_ns(t4));
+    }
+    sp->end(root, span_ns(t4), static_cast<std::int64_t>(group.size()));
   }
 
   {
@@ -712,9 +740,11 @@ void DurableStore::Core::run_checkpoint(std::shared_ptr<CheckpointJob> job) {
   const std::uint64_t taken =
       checkpoints.fetch_add(1, std::memory_order_relaxed) + 1;
   obs::QueryTrace* tr = nullptr;
+  obs::SpanTracer* sp = nullptr;
   {
     std::lock_guard<std::mutex> lock(metrics_mutex);
     tr = trace;
+    sp = spans;
     m.checkpoints.inc();
     m.deltas.inc(written.size());
     if (job->compact) m.compactions.inc();
@@ -722,6 +752,14 @@ void DurableStore::Core::run_checkpoint(std::shared_ptr<CheckpointJob> job) {
   if (tr != nullptr) {
     tr->emit(0, obs::TraceKind::Checkpoint, taken,
              static_cast<std::int64_t>(next.frontier));
+  }
+  if (sp != nullptr) {
+    // Emitted retroactively once the manifest commit lands; failed rounds
+    // (collector marked dead above) carry no span.
+    const obs::SpanId root = sp->trace_root(
+        taken, "checkpoint", span_ns(t0), job->compact ? "compact" : "delta");
+    sp->end(root, span_ns(Clock::now()),
+            static_cast<std::int64_t>(next.frontier));
   }
 
   // 5. Retention: keep the current and previous manifests (and everything
@@ -933,6 +971,11 @@ DurableStore::StageStats DurableStore::stage_stats() const {
 void DurableStore::bind_metrics(obs::MetricsRegistry& registry,
                                 obs::QueryTrace* trace) {
   core_->do_bind(registry, trace);
+}
+
+void DurableStore::trace_spans(obs::SpanTracer* spans) {
+  std::lock_guard<std::mutex> lock(core_->metrics_mutex);
+  core_->spans = spans;
 }
 
 obs::PressureInputs DurableStore::pressure_inputs() const {

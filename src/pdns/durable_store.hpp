@@ -62,6 +62,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/pressure.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "pdns/manifest.hpp"
 #include "pdns/sharded_store.hpp"
@@ -257,6 +258,14 @@ class DurableStore {
   /// registry must outlive the store.
   void bind_metrics(obs::MetricsRegistry& registry,
                     obs::QueryTrace* trace = nullptr);
+
+  /// Emit spans for commit groups ("wal_group" with wal_append / wal_fsync /
+  /// wal_apply / ckpt_handoff children, keyed by the group's last batch seq)
+  /// and checkpoints ("checkpoint", keyed by checkpoint number).  Timestamps
+  /// are steady-clock nanoseconds since store open — real time, so tests
+  /// assert nesting invariants, not exact values.  The tracer must outlive
+  /// the store; nullptr stops emission.
+  void trace_spans(obs::SpanTracer* spans);
 
   // ---- degradation ladder (obs::PressureSignal) ---------------------------
   /// Inputs for the system-wide pressure signal: WAL group-commit lag

@@ -169,6 +169,12 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
         trace_->emit(now, obs::TraceKind::QueryRetry, query_seq_, attempt);
       }
     }
+    obs::SpanId try_span{};
+    if (tier_span_.sampled()) {
+      try_span = spans_->begin(tier_span_,
+                               "try" + std::to_string(attempt + 1), now,
+                               server.to_string());
+    }
     net::SimPacket packet;
     packet.protocol = net::Protocol::UDP;
     packet.src = kResolverSource;
@@ -179,7 +185,10 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
     now += net_.network->last_injected_delay();
     if (raw) {
       auto reply = dns::decode(*raw);
-      if (reply && is_acceptable_reply(query, *reply)) return reply;
+      if (reply && is_acceptable_reply(query, *reply)) {
+        if (spans_ != nullptr) spans_->end(try_span, now, attempt + 1);
+        return reply;
+      }
       // Mangled or mismatched reply: treat like a lost packet and retry.
     }
     m_.timeouts.inc();
@@ -187,6 +196,9 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint(
       trace_->emit(now, obs::TraceKind::QueryTimeout, query_seq_, attempt);
     }
     now += net_.policy.try_timeout;
+    if (spans_ != nullptr) {
+      spans_->end(try_span, now, -(attempt + 1), "timeout");
+    }
   }
   return std::nullopt;
 }
@@ -207,6 +219,9 @@ std::optional<dns::Message> RecursiveResolver::query_tier(
       // Breaker open: skipping is the whole point — the server costs
       // nothing until its cooldown grants a probe.
       m_.breaker_skips.inc();
+      if (tier_span_.sampled()) {
+        spans_->event(tier_span_, "breaker_skip", now, 0, server.to_string());
+      }
       continue;
     }
     if (auto reply = query_endpoint_adaptive(server, ranked, query, now)) {
@@ -229,6 +244,12 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
       if (trace_ != nullptr) {
         trace_->emit(now, obs::TraceKind::QueryRetry, query_seq_, attempt);
       }
+    }
+    obs::SpanId try_span{};
+    if (tier_span_.sampled()) {
+      try_span = spans_->begin(tier_span_,
+                               "try" + std::to_string(attempt + 1), now,
+                               server.to_string());
     }
     const util::SimTime try_timeout =
         health_->adaptive_timeout(server, net_.policy.try_timeout);
@@ -270,6 +291,7 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
       if (primary) {
         health_->on_success(server, rtt, now + primary_done);
         now += primary_done;
+        if (spans_ != nullptr) spans_->end(try_span, now, attempt + 1);
         return primary;
       }
       m_.timeouts.inc();
@@ -279,8 +301,16 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
       }
       health_->on_failure(server, now + try_timeout);
       now += try_timeout;
+      if (spans_ != nullptr) {
+        spans_->end(try_span, now, -(attempt + 1), "timeout");
+      }
     } else {
       m_.hedged_queries.inc();
+      obs::SpanId hedge_span{};
+      if (try_span.sampled()) {
+        hedge_span = spans_->begin(try_span, "hedge", now + hedge_after,
+                                   hedge_server->to_string());
+      }
       net::SimPacket dup = packet;
       dup.dst = *hedge_server;
       m_.upstream_sends.inc();
@@ -310,6 +340,11 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
         health_->on_failure(*hedge_server, now + hedged_done);
       }
 
+      if (spans_ != nullptr) {
+        // The hedge race's own outcome, win or lose, as a child of the try.
+        spans_->end(hedge_span, now + hedged_done, hedged ? 1 : -1,
+                    hedged ? std::string_view{} : std::string_view{"timeout"});
+      }
       if (hedged && (!primary || hedged_done < primary_done)) {
         // The hedge served the client.  A primary reply still in flight
         // lands later and feeds its estimate; a dead primary is charged its
@@ -326,6 +361,9 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
           health_->on_failure(server, now + primary_done);
         }
         now += hedged_done;
+        if (spans_ != nullptr) {
+          spans_->end(try_span, now, attempt + 1, "hedge_win");
+        }
         return hedged;
       }
       if (primary) {
@@ -333,6 +371,7 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
         if (hedged) m_.hedge_losses.inc();
         health_->on_success(server, rtt, now + primary_done);
         now += primary_done;
+        if (spans_ != nullptr) spans_->end(try_span, now, attempt + 1);
         return primary;
       }
       // Both sides died: wait out the slower deadline, then retry.
@@ -343,6 +382,9 @@ std::optional<dns::Message> RecursiveResolver::query_endpoint_adaptive(
       }
       health_->on_failure(server, now + primary_done);
       now += std::max(primary_done, hedged_done);
+      if (spans_ != nullptr) {
+        spans_->end(try_span, now, -(attempt + 1), "timeout");
+      }
     }
     if (!health_->closed(server)) break;  // breaker tripped mid-retries
   }
@@ -373,7 +415,16 @@ dns::Message RecursiveResolver::resolve_via_network(const dns::Message& query,
     const bool minimized =
         !(sent.questions.front() == query.questions.front());
     if (minimized) m_.minimized_queries.inc();
+    static constexpr const char* kTierNames[] = {"tier_root", "tier_tld",
+                                                 "tier_auth"};
+    if (spans_ != nullptr) {
+      tier_span_ = spans_->begin(span_cursor_, kTierNames[hop], now);
+    }
     auto reply = query_tier(net_.endpoints.tier_servers(chain[hop]), sent, now);
+    if (spans_ != nullptr) {
+      spans_->end(tier_span_, now, reply ? 0 : -1);
+      tier_span_ = obs::SpanId{};
+    }
     if (!reply) {
       // Every attempt at this tier exhausted: degrade to SERVFAIL.  Loss
       // must never manufacture an NXDomain — non-existence requires a
@@ -492,7 +543,19 @@ dns::Message RecursiveResolver::handle_referral(const dns::Message& query,
     ++fetched_here;
     m_.delegation_fetches.inc();
     const auto fetch_query = dns::make_query(next_id_++, target, dns::RRType::A);
+    obs::SpanId fetch_span{};
+    const obs::SpanId saved_cursor = span_cursor_;
+    if (span_cursor_.sampled()) {
+      fetch_span = spans_->begin(span_cursor_, "delegation_fetch", now,
+                                 target.to_string());
+      span_cursor_ = fetch_span;
+    }
     const dns::Message fetched = upstream_walk(fetch_query, now);
+    span_cursor_ = saved_cursor;
+    if (spans_ != nullptr) {
+      spans_->end(fetch_span, now,
+                  static_cast<std::int64_t>(fetched.header.rcode));
+    }
     if (fetched.header.rcode == dns::RCode::NXDomain) {
       cache_nxdomain(target, fetched, now);
     } else if (fetched.header.rcode == dns::RCode::NoError &&
@@ -523,7 +586,18 @@ void RecursiveResolver::chase_cname_tail(const dns::Message& query,
     m_.cname_chases.inc();
     const auto target =
         std::get<dns::CnameData>(response.answers.back().rdata).target;
+    obs::SpanId hop_span{};
+    const obs::SpanId saved_cursor = span_cursor_;
+    if (span_cursor_.sampled()) {
+      hop_span = spans_->begin(span_cursor_, "cname_hop", now,
+                               target.to_string());
+      span_cursor_ = hop_span;
+    }
     const dns::Message hop = internal_resolve(target, q.qtype, now);
+    span_cursor_ = saved_cursor;
+    if (spans_ != nullptr) {
+      spans_->end(hop_span, now, static_cast<std::int64_t>(chased));
+    }
     if (hop.header.rcode == dns::RCode::NXDomain) {
       // RFC 2308 §2.1: a chain ending in a non-existent name answers
       // NXDomain, keeping the alias records in the answer section.
@@ -544,18 +618,27 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
                                           util::SimTime now) {
   m_.client_queries.inc();
   ++query_seq_;
+  const std::string qname_str = query.questions.empty()
+                                    ? std::string()
+                                    : query.questions.front().name.to_string();
   if (trace_ != nullptr) {
-    trace_->emit(now, obs::TraceKind::QueryStart, query_seq_, 0,
-                 query.questions.empty()
-                     ? std::string()
-                     : query.questions.front().name.to_string());
+    trace_->emit(now, obs::TraceKind::QueryStart, query_seq_, 0, qname_str);
   }
+  root_span_ = spans_ != nullptr
+                   ? spans_->trace_root(query_seq_, "resolve", now, qname_str)
+                   : obs::SpanId{};
   if (query.questions.empty()) {
     ResolveOutcome out{dns::make_response(query, dns::RCode::FormErr)};
     if (trace_ != nullptr) {
       trace_->emit(now, obs::TraceKind::QueryResponse, query_seq_,
                    static_cast<std::int64_t>(out.response.header.rcode),
                    "formerr");
+    }
+    if (spans_ != nullptr) {
+      spans_->end(root_span_, now,
+                  static_cast<std::int64_t>(out.response.header.rcode),
+                  "formerr");
+      root_span_ = obs::SpanId{};
     }
     return out;
   }
@@ -576,18 +659,27 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
       response = dns::make_response(query, dns::RCode::NoError);
       response.answers = std::move(hit->records);
     }
+    if (spans_ != nullptr) {
+      spans_->event(root_span_, negative_hit ? "negcache_hit" : "cache_hit",
+                    now);
+    }
   } else {
     m_.upstream_resolutions.inc();
+    obs::SpanId up{};
+    if (spans_ != nullptr) up = spans_->begin(root_span_, "upstream", now);
+    span_cursor_ = up.sampled() ? up : root_span_;
     response = upstream_walk(query, done);
     response.header.id = query.header.id;
     if (is_referral(response)) {
       response = handle_referral(query, response, done);
     }
+    if (spans_ != nullptr) spans_->end(up, done);
   }
 
   // Resolver-side alias chasing — applies to cached chains too, since a
   // cached entry may end in a CNAME whose target was never resolved (or
   // has expired).
+  span_cursor_ = root_span_;
   if (!negative_hit) chase_cname_tail(query, response, done);
 
   if (response.header.rcode == dns::RCode::NXDomain) {
@@ -619,8 +711,23 @@ ResolveOutcome RecursiveResolver::resolve(const dns::Message& query,
   out.negative_cache_hit = negative_hit;
   out.elapsed = done - now;
   if (!from_cache) {
-    m_.upstream_seconds.observe(static_cast<std::uint64_t>(out.elapsed));
+    // A sampled trace tags the latency histogram with an exemplar so the
+    // rendered exposition links the p99 bucket to an inspectable trace id.
+    if (root_span_.sampled()) {
+      m_.upstream_seconds.observe_exemplar(
+          static_cast<std::uint64_t>(out.elapsed), root_span_.trace);
+    } else {
+      m_.upstream_seconds.observe(static_cast<std::uint64_t>(out.elapsed));
+    }
   }
+  if (spans_ != nullptr) {
+    spans_->end(root_span_, done,
+                static_cast<std::int64_t>(out.response.header.rcode),
+                from_cache ? "cache" : "upstream");
+  }
+  root_span_ = obs::SpanId{};
+  span_cursor_ = obs::SpanId{};
+  tier_span_ = obs::SpanId{};
   return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "net/sim_network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "resolver/cache.hpp"
 #include "resolver/health.hpp"
@@ -174,6 +175,15 @@ class RecursiveResolver {
   void bind_metrics(obs::MetricsRegistry& registry,
                     obs::QueryTrace* trace = nullptr);
 
+  /// Start emitting causal spans: one sampled trace per client query (keyed
+  /// by the query sequence number, so a fixed tracer seed samples the same
+  /// queries every run) with child spans for cache hits, tier walks,
+  /// per-upstream tries, hedge races, delegation fetches and CNAME hops.
+  /// Sampled traces also tag the upstream latency histogram with an
+  /// exemplar.  Pass nullptr to stop.
+  void trace_spans(obs::SpanTracer* spans) noexcept { spans_ = spans; }
+  obs::SpanTracer* span_tracer() const noexcept { return spans_; }
+
   const RecursiveStats& stats() const noexcept;
   const ResolverCache& cache() const noexcept { return cache_; }
   void flush_cache() { cache_.clear(); }
@@ -296,6 +306,16 @@ class RecursiveResolver {
   Metrics m_;
   obs::QueryTrace* trace_ = nullptr;
   std::uint64_t query_seq_ = 0;  // trace correlation id for the live query
+
+  /// Span context for the live query.  The resolver is single-threaded per
+  /// instance (like query_seq_), so plain members carry the causal chain:
+  /// root_span_ is the client query's root, span_cursor_ the parent for the
+  /// next tier walk (upstream / referral fetch / CNAME hop), tier_span_ the
+  /// parent for per-try spans inside the current tier.
+  obs::SpanTracer* spans_ = nullptr;
+  obs::SpanId root_span_{};
+  obs::SpanId span_cursor_{};
+  obs::SpanId tier_span_{};
 };
 
 }  // namespace nxd::resolver

@@ -52,6 +52,15 @@ const RrlStats& ResponseRateLimiter::stats() const noexcept {
   return stats_;
 }
 
+
+void ResponseRateLimiter::span_verdict(util::SimTime now, net::IPv4 source,
+                                       const char* verdict) {
+  if (spans_ == nullptr) return;
+  ++span_seq_;
+  const obs::SpanId s = spans_->trace_root(span_seq_, "rrl", now, verdict);
+  spans_->end(s, now, static_cast<std::int64_t>(source.addr));
+}
+
 RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
   m_.checked.inc();
   if (config_.responses_per_second <= 0) {
@@ -59,6 +68,7 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
     if (trace_ != nullptr) {
       trace_->emit(now, obs::TraceKind::RrlPass, source.addr);
     }
+    span_verdict(now, source, "pass");
     return RrlVerdict::Pass;
   }
   auto it = sources_.find(source);
@@ -86,6 +96,7 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
       if (trace_ != nullptr) {
         trace_->emit(now, obs::TraceKind::RrlPass, source.addr);
       }
+      span_verdict(now, source, "pass_overflow");
       return RrlVerdict::Pass;
     }
     it = sources_
@@ -111,6 +122,7 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
     if (trace_ != nullptr) {
       trace_->emit(now, obs::TraceKind::RrlPass, source.addr);
     }
+    span_verdict(now, source, "pass");
     return RrlVerdict::Pass;
   }
   // Limited: slip every `slip`-th limited response, drop the rest.
@@ -120,12 +132,14 @@ RrlVerdict ResponseRateLimiter::check(net::IPv4 source, util::SimTime now) {
     if (trace_ != nullptr) {
       trace_->emit(now, obs::TraceKind::RrlSlip, source.addr);
     }
+    span_verdict(now, source, "slip");
     return RrlVerdict::Slip;
   }
   m_.dropped.inc();
   if (trace_ != nullptr) {
     trace_->emit(now, obs::TraceKind::RrlDrop, source.addr);
   }
+  span_verdict(now, source, "drop");
   return RrlVerdict::Drop;
 }
 

@@ -34,6 +34,7 @@
 #include "net/endpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pressure.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/civil_time.hpp"
 #include "util/token_bucket.hpp"
@@ -99,6 +100,11 @@ class ResponseRateLimiter {
     pressure_ = pressure;
   }
 
+  /// Emit sampled point spans (name "rrl", detail=verdict, value=source
+  /// address) keyed by the check sequence number, so a fixed tracer seed
+  /// samples the same verdicts every run.  nullptr stops.
+  void trace_spans(obs::SpanTracer* spans) noexcept { spans_ = spans; }
+
  private:
   struct Source {
     util::TokenBucket bucket;
@@ -116,6 +122,7 @@ class ResponseRateLimiter {
   };
 
   void acquire_metrics(obs::MetricsRegistry& registry);
+  void span_verdict(util::SimTime now, net::IPv4 source, const char* verdict);
 
   RrlConfig config_;
   mutable RrlStats stats_;  // cache refreshed from the handles by stats()
@@ -123,6 +130,8 @@ class ResponseRateLimiter {
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
   Metrics m_;
   obs::QueryTrace* trace_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
+  std::uint64_t span_seq_ = 0;  // sampling key for verdict spans
   const obs::PressureSignal* pressure_ = nullptr;
 };
 

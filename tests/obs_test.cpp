@@ -236,6 +236,7 @@ TEST(Prometheus, GoldenText) {
       "nxd_lat_bucket{le=\"+Inf\"} 2\n"
       "nxd_lat_sum 4\n"
       "nxd_lat_count 2\n"
+      "# HELP nxd_lat_max Largest sample observed by nxd_lat\n"
       "# TYPE nxd_lat_max gauge\n"
       "nxd_lat_max 3\n"
       "# HELP nxd_q_total Queries\n"

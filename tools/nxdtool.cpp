@@ -27,9 +27,20 @@
 //                                metrics from a snapshot: per-upstream SRTT
 //                                gauges, breaker state transitions/probes/
 //                                rejections, hedge win/loss counters
+//   spans <file.jsonl>           critical-path aggregation of a span export
+//                                (written by nx_pipeline --spans): per-stage
+//                                latency attribution + the slowest trace
+//   slo <file>                   replay a time-series export (written by
+//                                nx_pipeline --timeseries) through the SLO
+//                                burn-rate monitor and the NXDomain anomaly
+//                                detector
+//   top <file> [window]          busiest counter series over the trailing
+//                                window (default 60 s) of a time-series
+//                                export
 //
 // Exit code: 0 on success, 1 on bad usage/unreadable input, 2 when a check
-// subcommand found problems (e.g. zone errors, unclean durable dirs).
+// subcommand found problems (e.g. zone errors, unclean durable dirs, firing
+// SLO alerts / active anomalies).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -46,6 +57,9 @@
 #include "honeypot/overload.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "pdns/durable_store.hpp"
 #include "resolver/recursive.hpp"
 #include "resolver/zone_file.hpp"
@@ -73,7 +87,12 @@ int usage() {
                "  loadstats <file>            pretty-print an overload load snapshot\n"
                "  metrics <file>              render a metrics snapshot as Prometheus text\n"
                "  health <file>               per-upstream SRTT / breaker / hedge stats\n"
-               "                              from a metrics snapshot\n");
+               "                              from a metrics snapshot\n"
+               "  spans <file.jsonl>          critical-path report from a span export\n"
+               "  slo <file>                  SLO burn-rate + NXDomain anomaly replay of\n"
+               "                              a time-series export\n"
+               "  top <file> [window]         busiest counter series over the trailing\n"
+               "                              window of a time-series export\n");
   return 1;
 }
 
@@ -510,6 +529,128 @@ int cmd_health(int argc, char** argv) {
   return 0;
 }
 
+int cmd_spans(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  std::vector<obs::SpanRecord> spans;
+  std::string error;
+  if (!obs::SpanTracer::parse_jsonl(*text, &spans, &error)) {
+    std::fprintf(stderr, "nxdtool: %s is not a span export: %s\n", argv[0],
+                 error.c_str());
+    return 1;
+  }
+  std::fputs(obs::aggregate_spans(spans).to_text().c_str(), stdout);
+  return 0;
+}
+
+int cmd_slo(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  obs::TimeSeriesStore ts;
+  std::string error;
+  if (!obs::TimeSeriesStore::parse(*text, &ts, &error)) {
+    std::fprintf(stderr, "nxdtool: %s is not a time-series export: %s\n",
+                 argv[0], error.c_str());
+    return 1;
+  }
+  if (ts.samples().empty()) {
+    std::printf("%s: empty time series\n", argv[0]);
+    return 0;
+  }
+  const util::SimTime first = ts.samples().front().t;
+  const util::SimTime last = ts.last_time();
+
+  // Replay the anomaly detector across the export at its window cadence, so
+  // the offline verdict sequence matches what a live run would have seen.
+  obs::NxAnomalyDetector detector;
+  const util::SimTime step = detector.config().window;
+  for (util::SimTime t = first + step; t < last; t += step) {
+    detector.observe(ts, t);
+  }
+  detector.observe(ts, last);
+
+  obs::SloMonitor monitor;
+  const auto& report = monitor.evaluate(ts, last);
+  std::printf("%s: %zu samples, t=[%lld, %lld]\n", argv[0],
+              ts.samples().size(), static_cast<long long>(first),
+              static_cast<long long>(last));
+  std::fputs(report.to_text().c_str(), stdout);
+  std::fputs(detector.to_text().c_str(), stdout);
+  const bool anomalous = detector.state() != obs::AnomalyState::Quiet &&
+                         detector.state() != obs::AnomalyState::Warmup;
+  return (report.any_page() || report.any_ticket() || anomalous) ? 2 : 0;
+}
+
+int cmd_top(int argc, char** argv) {
+  if (argc < 1 || argc > 2) return usage();
+  const auto text = read_file(argv[0]);
+  if (!text) {
+    std::fprintf(stderr, "nxdtool: cannot read %s\n", argv[0]);
+    return 1;
+  }
+  obs::TimeSeriesStore ts;
+  std::string error;
+  if (!obs::TimeSeriesStore::parse(*text, &ts, &error)) {
+    std::fprintf(stderr, "nxdtool: %s is not a time-series export: %s\n",
+                 argv[0], error.c_str());
+    return 1;
+  }
+  util::SimTime window = 60;
+  if (argc == 2) {
+    window = std::atoll(argv[1]);
+    if (window <= 0) return usage();
+  }
+  const util::SimTime now = ts.last_time();
+
+  // Window-sum every counter series present, then rank.  Labels keep series
+  // distinct (per-upstream, per-kind breakdowns surface individually).
+  std::map<std::string, std::uint64_t> sums;
+  for (const auto& sample : ts.samples()) {
+    if (sample.t <= now - window || sample.t > now) continue;
+    for (const auto& series : sample.delta.series) {
+      if (series.counter == 0) continue;
+      std::string key = series.name;
+      if (!series.labels.empty()) {
+        key += '{';
+        bool sep = false;
+        for (const auto& [k, v] : series.labels) {
+          if (sep) key += ',';
+          key += k + "=" + v;
+          sep = true;
+        }
+        key += '}';
+      }
+      sums[key] += series.counter;
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> ranked(sums.begin(),
+                                                            sums.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::printf("top counters over the last %lld s (ending t=%lld):\n",
+              static_cast<long long>(window), static_cast<long long>(now));
+  std::printf("%-52s %12s %10s\n", "series", "delta", "rate/s");
+  std::size_t shown = 0;
+  for (const auto& [name, sum] : ranked) {
+    if (++shown > 20) break;
+    std::printf("%-52s %12s %10.2f\n", name.c_str(),
+                util::with_commas(sum).c_str(),
+                static_cast<double>(sum) / static_cast<double>(window));
+  }
+  if (ranked.empty()) std::printf("(no counter activity in the window)\n");
+  return 0;
+}
+
 int cmd_metrics(int argc, char** argv) {
   if (argc != 1) return usage();
   const auto text = read_file(argv[0]);
@@ -542,5 +683,8 @@ int main(int argc, char** argv) {
   if (command == "loadstats") return cmd_loadstats(argc - 2, argv + 2);
   if (command == "metrics") return cmd_metrics(argc - 2, argv + 2);
   if (command == "health") return cmd_health(argc - 2, argv + 2);
+  if (command == "spans") return cmd_spans(argc - 2, argv + 2);
+  if (command == "slo") return cmd_slo(argc - 2, argv + 2);
+  if (command == "top") return cmd_top(argc - 2, argv + 2);
   return usage();
 }
